@@ -1,0 +1,50 @@
+// Ablation (§5.1 "Why not LRU?"): ADMM-Offload vs the LRU policy vs greedy.
+// Paper: ADMM-Offload outperforms LRU-based offloading by 40.5 % on average
+// — LRU decides only when to offload, never when to prefetch, so every miss
+// pays a fully exposed fetch.
+#include "bench_util.hpp"
+#include "core/mlr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlr;
+  bench::Args args(argc, argv);
+  const i64 n = args.get_i64("--n", 12);
+  const int iters = int(args.get_i64("--iters", 5));
+  WallTimer wall;
+  bench::header("Ablation — offload policy comparison (planned vs LRU vs greedy)",
+                "paper §5.1 (ADMM-Offload beats LRU by 40.5% on average)",
+                "vtime: planned < LRU < greedy");
+
+  struct Row {
+    const char* name;
+    OffloadMode mode;
+    double vtime = 0, stall = 0, peak = 0;
+  } rows[] = {{"no offload", OffloadMode::None},
+              {"ADMM-Offload (planned)", OffloadMode::Planned},
+              {"LRU", OffloadMode::Lru},
+              {"greedy", OffloadMode::Greedy}};
+
+  for (auto& row : rows) {
+    ReconstructionConfig cfg;
+    cfg.dataset = Dataset::small(n);
+    cfg.iters = iters;
+    cfg.memoize = false;
+    cfg.offload = row.mode;
+    Reconstructor rec(cfg);
+    auto rep = rec.run();
+    row.vtime = rep.vtime_s;
+    row.stall = rep.exposed_stall_s;
+    row.peak = rep.peak_rss_bytes;
+  }
+  std::printf("%-24s %-12s %-12s %-14s\n", "policy", "vtime(s)", "stall(s)",
+              "peak RSS(GB)");
+  for (const auto& row : rows)
+    std::printf("%-24s %-12.1f %-12.1f %-14.1f\n", row.name, row.vtime,
+                row.stall, row.peak / kGiB);
+  const double lru_vs_planned =
+      (rows[2].vtime - rows[1].vtime) / rows[2].vtime;
+  std::printf("\nADMM-Offload outperforms LRU by %.1f%% (paper: 40.5%% avg)\n",
+              100.0 * lru_vs_planned);
+  bench::footer(wall.seconds());
+  return 0;
+}

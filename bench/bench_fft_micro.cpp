@@ -1,0 +1,110 @@
+// google-benchmark microbenchmarks of the from-scratch FFT/NUFFT kernels —
+// the substrate under every F_u*D operator. Not a paper figure; documents
+// the real cost structure of the numerical core on this host.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "fft/nufft.hpp"
+
+namespace {
+
+using namespace mlr;
+
+std::vector<cfloat> signal(i64 n, u64 seed) {
+  Rng rng(seed);
+  std::vector<cfloat> v(static_cast<size_t>(n));
+  for (auto& x : v) x = cfloat(float(rng.normal()), float(rng.normal()));
+  return v;
+}
+
+void BM_FftPow2(benchmark::State& state) {
+  const i64 n = state.range(0);
+  fft::Plan1D plan(n);
+  auto x = signal(n, 1);
+  for (auto _ : state) {
+    plan.forward(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FftPow2)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const i64 n = state.range(0);
+  fft::Plan1D plan(n);
+  auto x = signal(n, 2);
+  for (auto _ : state) {
+    plan.forward(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FftBluestein)->Arg(60)->Arg(250)->Arg(1000);
+
+void BM_Fft2D(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Array2D<cfloat> a(n, n);
+  Rng rng(3);
+  for (auto& v : a) v = cfloat(float(rng.normal()), float(rng.normal()));
+  for (auto _ : state) {
+    fft::fft2d(a, false);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Fft2D)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Nufft1DType2(benchmark::State& state) {
+  const i64 n = state.range(0);
+  fft::Nufft1D plan(n);
+  Rng rng(4);
+  std::vector<double> nu(static_cast<size_t>(n));
+  for (auto& v : nu) v = rng.uniform(-double(n) / 2, double(n) / 2);
+  auto f = signal(n, 5);
+  std::vector<cfloat> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    plan.type2(nu, f, out, -1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Nufft1DType2)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Nufft2DType2(benchmark::State& state) {
+  const i64 n = state.range(0);
+  fft::Nufft2D plan(n, n);
+  Rng rng(6);
+  const i64 pts = n * n;
+  std::vector<double> nr(static_cast<size_t>(pts)), nc(static_cast<size_t>(pts));
+  for (i64 i = 0; i < pts; ++i) {
+    nr[size_t(i)] = rng.uniform(-double(n) / 2, double(n) / 2);
+    nc[size_t(i)] = rng.uniform(-double(n) / 2, double(n) / 2);
+  }
+  auto f = signal(pts, 7);
+  std::vector<cfloat> out(static_cast<size_t>(pts));
+  for (auto _ : state) {
+    plan.type2(nr, nc, f, out, -1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * pts);
+}
+BENCHMARK(BM_Nufft2DType2)->Arg(16)->Arg(32);
+
+void BM_NaiveNdftReference(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(8);
+  std::vector<double> nu(static_cast<size_t>(n));
+  for (auto& v : nu) v = rng.uniform(-double(n) / 2, double(n) / 2);
+  auto f = signal(n, 9);
+  std::vector<cfloat> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    fft::ndft1d_type2(nu, f, out, -1);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_NaiveNdftReference)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Shared helpers for the benchmark harness: flag parsing and paper-style
+// table printing. Each bench binary regenerates one table or figure of the
+// paper's evaluation section (see DESIGN.md §4 for the index).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace mlr::bench {
+
+/// Minimal --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  [[nodiscard]] i64 get_i64(const char* flag, i64 def) const {
+    const char* v = find(flag);
+    return v != nullptr ? std::atoll(v) : def;
+  }
+  [[nodiscard]] double get_double(const char* flag, double def) const {
+    const char* v = find(flag);
+    return v != nullptr ? std::atof(v) : def;
+  }
+  [[nodiscard]] bool has(const char* flag) const {
+    for (int i = 1; i < argc_; ++i)
+      if (std::strcmp(argv_[i], flag) == 0) return true;
+    return false;
+  }
+
+ private:
+  [[nodiscard]] const char* find(const char* flag) const {
+    for (int i = 1; i + 1 < argc_; ++i)
+      if (std::strcmp(argv_[i], flag) == 0) return argv_[i + 1];
+    return nullptr;
+  }
+  int argc_;
+  char** argv_;
+};
+
+inline void header(const char* experiment, const char* paper_ref,
+                   const char* expectation) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper reference : %s\n", paper_ref);
+  std::printf("shape to match  : %s\n", expectation);
+  std::printf("================================================================\n\n");
+}
+
+inline void footer(double wall_s) {
+  std::printf("\n[host wall time: %.1f s]\n\n", wall_s);
+}
+
+/// Print a horizontal ASCII bar row: label, value, normalized bar.
+inline void bar_row(const char* label, double value, double max_value,
+                    const char* unit = "") {
+  std::printf("  %-26s %10.3f %-3s |%s\n", label, value, unit,
+              ascii_bar(max_value > 0 ? value / max_value : 0, 36).c_str());
+}
+
+}  // namespace mlr::bench

@@ -1,0 +1,50 @@
+// Memory-constrained reconstruction (paper §5.1): the ADMM variables of a
+// 2K^3 problem exceed a 512 GB node, so ψ, λ and g are offloaded to SSD
+// between the phases that use them. Compares no offload / greedy offload /
+// planned ADMM-Offload on peak memory, stalls and the MT metric.
+#include <cstdio>
+
+#include "core/mlr.hpp"
+
+int main(int argc, char** argv) {
+  const mlr::i64 n = argc > 1 ? std::atoll(argv[1]) : 14;
+
+  std::printf("memory-constrained reconstruction — %lld^3 volume timed as 2K^3\n\n",
+              (long long)n);
+  struct Row {
+    const char* name;
+    mlr::OffloadMode mode;
+  } rows[] = {{"no offload", mlr::OffloadMode::None},
+              {"greedy offload", mlr::OffloadMode::Greedy},
+              {"ADMM-Offload", mlr::OffloadMode::Planned}};
+
+  double base_time = 0, base_peak = 0;
+  std::printf("%-16s %-12s %-14s %-12s %-8s\n", "policy", "vtime(s)",
+              "peak RSS (GB)", "stall (s)", "MT");
+  for (const auto& row : rows) {
+    mlr::ReconstructionConfig cfg;
+    cfg.dataset = mlr::Dataset::large(n);
+    cfg.iters = 6;
+    cfg.memoize = false;
+    cfg.offload = row.mode;
+    mlr::Reconstructor rec(cfg);
+    auto rep = rec.run();
+    if (row.mode == mlr::OffloadMode::None) {
+      base_time = rep.vtime_s;
+      base_peak = rep.peak_rss_bytes;
+    }
+    // Measured MT: memory-saving fraction over measured performance loss.
+    const double saved =
+        (base_peak - rep.peak_rss_bytes) / std::max(base_peak, 1.0);
+    const double t_loss = (rep.vtime_s - base_time) / std::max(base_time, 1e-9);
+    const double mt = row.mode == mlr::OffloadMode::None
+                          ? 0.0
+                          : saved / std::max(t_loss, 1e-3);
+    std::printf("%-16s %-12.2f %-14.1f %-12.2f %-8.2f\n", row.name,
+                rep.vtime_s, rep.peak_rss_bytes / mlr::kGiB,
+                rep.exposed_stall_s, mt);
+  }
+  std::printf("\nADMM-Offload hides prefetches behind compute; greedy pays for\n"
+              "every on-demand fetch on the critical path (Fig 13).\n");
+  return 0;
+}

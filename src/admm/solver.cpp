@@ -1,0 +1,391 @@
+#include "admm/solver.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/log.hpp"
+
+namespace mlr::admm {
+
+namespace {
+
+double norm2_sq(std::span<const cfloat> v) {
+  double s = 0;
+  for (const auto& x : v) s += std::norm(x);
+  return s;
+}
+
+double dot_re(std::span<const cfloat> a, std::span<const cfloat> b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    s += double(a[i].real()) * b[i].real() + double(a[i].imag()) * b[i].imag();
+  return s;
+}
+
+}  // namespace
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::Init: return "init";
+    case Phase::Lsp: return "LSP";
+    case Phase::Rsp: return "RSP";
+    case Phase::LambdaUpdate: return "lambda";
+    case Phase::PenaltyUpdate: return "penalty";
+  }
+  return "?";
+}
+
+Solver::Solver(memo::MemoizedLamino& ml, AdmmConfig cfg) : ml_(ml), cfg_(cfg) {
+  MLR_CHECK(cfg.outer_iters >= 1 && cfg.inner_iters >= 1);
+  MLR_CHECK(cfg.alpha >= 0 && cfg.rho > 0 && cfg.chunk_size >= 1);
+  MLR_CHECK_MSG(!(cfg.use_fusion && !cfg.use_cancellation),
+                "fusion requires operation cancellation (Algorithm 2)");
+}
+
+double Solver::host_cost(double elems, double passes) const {
+  return cfg_.work_scale * (elems * passes * sizeof(cfloat) / cfg_.cpu_mem_bw +
+                            elems * passes * 2.0 / cfg_.cpu_flops);
+}
+
+sim::VTime Solver::stage_fu1d(const Array3D<cfloat>& in, Array3D<cfloat>& out,
+                              bool adjoint, sim::VTime t) {
+  const auto& g = ml_.ops().geometry();
+  auto chunks = lamino::make_chunks(g.n1, cfg_.chunk_size);
+  std::vector<memo::StageChunk> work;
+  work.reserve(chunks.size());
+  for (const auto& spec : chunks) {
+    work.push_back({spec, in.slices(spec.begin, spec.count),
+                    out.slices(spec.begin, spec.count)});
+  }
+  auto rep = ml_.run_stage(
+      adjoint ? memo::OpKind::Fu1DAdj : memo::OpKind::Fu1D, work, t);
+  return rep.done;
+}
+
+sim::VTime Solver::stage_fu2d(const Array3D<cfloat>& in, Array3D<cfloat>& out,
+                              const Array3D<cfloat>* fused_ref, bool adjoint,
+                              sim::VTime t) {
+  const auto& ops = ml_.ops();
+  const auto& g = ops.geometry();
+  auto chunks = lamino::make_chunks(g.h, cfg_.chunk_size);
+  const std::size_t n = chunks.size();
+  std::vector<std::vector<cfloat>> ins(n), outs(n), refs(n);
+  std::vector<memo::StageChunk> work;
+  work.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& spec = chunks[i];
+    const auto plane = size_t(spec.count * g.n1 * g.n2);
+    const auto rows = size_t(spec.count * g.ntheta * g.w);
+    if (!adjoint) {
+      ins[i].resize(plane);
+      outs[i].resize(rows);
+      ops.pack_u1_rows(in, spec, ins[i]);
+      if (fused_ref != nullptr) {
+        refs[i].resize(rows);
+        ops.pack_dhat_rows(*fused_ref, spec, refs[i]);
+      }
+      work.push_back({spec, ins[i], outs[i], refs[i]});
+    } else {
+      ins[i].resize(rows);
+      outs[i].resize(plane);
+      ops.pack_dhat_rows(in, spec, ins[i]);
+      work.push_back({spec, ins[i], outs[i]});
+    }
+  }
+  auto rep = ml_.run_stage(
+      adjoint ? memo::OpKind::Fu2DAdj : memo::OpKind::Fu2D, work, t);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!adjoint) {
+      ops.unpack_dhat_rows(outs[i], chunks[i], out);
+    } else {
+      ops.unpack_u1_rows(outs[i], chunks[i], out);
+    }
+  }
+  return rep.done;
+}
+
+sim::VTime Solver::stage_f2d(Array3D<cfloat>& d, bool inverse, sim::VTime t) {
+  // Algorithm 1 path: every projection is shipped to the GPU, transformed,
+  // and shipped back — the transfers the cancellation optimization removes.
+  const auto& ops = ml_.ops();
+  const auto& g = ops.geometry();
+  // Real numerics (all projections at once).
+  ops.f2d(d, inverse);
+  // Virtual time: chunked by groups of projections.
+  sim::VTime done = t;
+  auto chunks = lamino::make_chunks(g.ntheta, cfg_.chunk_size);
+  for (const auto& spec : chunks) {
+    const double bytes =
+        double(spec.count * g.h * g.w) * sizeof(cfloat) * cfg_.work_scale;
+    const double flops = double(spec.count) * ops.f2d_proj_flops() *
+                         cfg_.f2d_cost_factor * cfg_.work_scale;
+    done = ml_.device_h2d(t, bytes);
+    done = ml_.device_kernel(done, flops);
+    done = ml_.device_d2h(done, bytes);
+  }
+  return done;
+}
+
+sim::VTime Solver::data_gradient(const Array3D<cfloat>& u,
+                                 const Array3D<cfloat>& dhat_or_d,
+                                 Array3D<cfloat>& grad, sim::VTime t,
+                                 double* loss_out) {
+  const auto& g = ml_.ops().geometry();
+  Array3D<cfloat> u1(g.u1_shape());
+  Array3D<cfloat> r(g.data_shape());
+  mem_.alloc("u1", double(u1.bytes()), t);
+  mem_.alloc("residual", double(r.bytes()), t);
+
+  // Forward pass.
+  t = stage_fu1d(u, u1, /*adjoint=*/false, t);
+  if (cfg_.use_cancellation && cfg_.use_fusion) {
+    // Fused GPU kernel computes r̂ = F_u2D(ũ1) − d̂ directly.
+    t = stage_fu2d(u1, r, &dhat_or_d, /*adjoint=*/false, t);
+  } else if (cfg_.use_cancellation) {
+    // Cancellation without fusion: subtraction on the CPU in the frequency
+    // domain — COMPLEX64 arithmetic, the §6.3 regression on small inputs.
+    t = stage_fu2d(u1, r, nullptr, /*adjoint=*/false, t);
+    for (i64 i = 0; i < r.size(); ++i) r.data()[i] -= dhat_or_d.data()[i];
+    t += host_cost(double(r.size()), 3.0) * 2.2;  // complex read/sub/write
+  } else {
+    // Algorithm 1: back to the spatial domain, subtract there (cheaper
+    // element type), then re-enter the frequency domain.
+    t = stage_fu2d(u1, r, nullptr, /*adjoint=*/false, t);
+    t = stage_f2d(r, /*inverse=*/true, t);  // F*_2D
+    for (i64 i = 0; i < r.size(); ++i) r.data()[i] -= dhat_or_d.data()[i];
+    t += host_cost(double(r.size()), 3.0);  // spatial-domain subtraction
+  }
+  if (loss_out != nullptr) *loss_out = 0.5 * norm2_sq(r.span());
+  if (!cfg_.use_cancellation) {
+    t = stage_f2d(r, /*inverse=*/false, t);  // F_2D before the adjoint
+  }
+
+  // Adjoint pass.
+  Array3D<cfloat> w1(g.u1_shape());
+  t = stage_fu2d(r, w1, nullptr, /*adjoint=*/true, t);
+  t = stage_fu1d(w1, grad, /*adjoint=*/true, t);
+  mem_.release("u1", t);
+  mem_.release("residual", t);
+  return t;
+}
+
+sim::VTime Solver::run_lsp(Array3D<cfloat>& u, const Array3D<cfloat>& dhat_or_d,
+                           const VectorField& g, sim::VTime t,
+                           double* loss_out, IterationStats* st) {
+  const auto& geo = ml_.ops().geometry();
+  const Shape3 os = geo.object_shape();
+  Array3D<cfloat> grad_data(os), G(os), G_prev(os), p(os), reg(os);
+  VectorField gu(os);
+  mem_.alloc("G_prev", double(G_prev.bytes()), t);
+  // Quadratic-safe fixed step: ‖L*L‖ from power iteration (the angular
+  // oversampling of low frequencies makes it ≫1) plus the TV Laplacian
+  // bound ‖∇ᵀ∇‖ ≤ 12.
+  const double step = 1.0 / (1.1 * lip_ + cfg_.rho * 12.0);
+  double g_prev_dot = 0;
+  for (int k = 0; k < cfg_.inner_iters; ++k) {
+    t = observe("u", t);
+    double loss = 0;
+    t = data_gradient(u, dhat_or_d, grad_data, t, &loss);
+    if (loss_out != nullptr) *loss_out = loss;
+    // G = L*(r) + ρ·∇ᵀ(∇u − g)
+    tv_grad(u, gu);
+    for (int c = 0; c < 3; ++c)
+      for (i64 i = 0; i < gu.c[c].size(); ++i)
+        gu.c[c].data()[i] -= g.c[c].data()[i];
+    tv_grad_adjoint(gu, reg);
+    for (i64 i = 0; i < G.size(); ++i)
+      G.data()[i] = grad_data.data()[i] + float(cfg_.rho) * reg.data()[i];
+    t += host_cost(double(G.size()), 10.0);  // TV grad/adjoint + combine
+    // CG update (Polak–Ribière+ direction, fixed quadratic-safe step).
+    const double g_dot = dot_re(G.span(), G.span());
+    if (k == 0) {
+      for (i64 i = 0; i < p.size(); ++i) p.data()[i] = -G.data()[i];
+    } else {
+      double beta =
+          (g_dot - dot_re(G.span(), G_prev.span())) / std::max(g_prev_dot, 1e-30);
+      beta = std::max(0.0, beta);
+      for (i64 i = 0; i < p.size(); ++i)
+        p.data()[i] = -G.data()[i] + float(beta) * p.data()[i];
+    }
+    for (i64 i = 0; i < u.size(); ++i)
+      u.data()[i] += float(step) * p.data()[i];
+    t += host_cost(double(u.size()), 4.0);
+    G_prev = G;
+    g_prev_dot = g_dot;
+    if (st != nullptr) st->rho = cfg_.rho;
+  }
+  mem_.release("G_prev", t);
+  return t;
+}
+
+SolveResult Solver::solve(const Array3D<cfloat>& d) {
+  const auto& geo = ml_.ops().geometry();
+  MLR_CHECK(d.shape() == geo.data_shape());
+  SolveResult result;
+  sim::VTime t = 0;
+  const double dev_xfer0 = ml_.device_transfer_busy();
+
+  if (obs_ != nullptr) obs_->phase_begin(Phase::Init, t);
+  if (lip_ == 0.0) {
+    // Power iteration on L*L (frequency-domain form; F_2D is unitary so the
+    // spectrum is identical). Plain operators — a one-off setup cost.
+    const auto& ops = ml_.ops();
+    Array3D<cfloat> v(geo.object_shape());
+    Rng rng(77);
+    for (auto& x : v) x = cfloat(float(rng.normal()), float(rng.normal()));
+    Array3D<cfloat> fwd(geo.data_shape()), bwd(geo.object_shape());
+    for (int it = 0; it < 8; ++it) {
+      const double nv = l2_norm<cfloat>(v.span());
+      MLR_CHECK(nv > 0);
+      for (auto& x : v) x *= float(1.0 / nv);
+      ops.forward_freq(v, fwd);
+      ops.adjoint_freq(fwd, bwd);
+      lip_ = l2_norm<cfloat>(bwd.span());
+      std::swap(v, bwd);
+    }
+    MLR_LOG(Debug) << "power iteration: ||L*L|| ~= " << lip_;
+  }
+  Array3D<cfloat> u(geo.object_shape());
+  Array3D<cfloat> dref = d;
+  mem_.alloc("u", double(u.bytes()), t);
+  mem_.alloc("d", double(dref.bytes()), t);
+  if (cfg_.use_cancellation) {
+    // Algorithm 2 line 2: d̂ = F_2D·d once, before the iterations.
+    t = stage_f2d(dref, /*inverse=*/false, t);
+  }
+  VectorField psi(geo.object_shape()), lambda(geo.object_shape()),
+      gfield(geo.object_shape()), psi_prev(geo.object_shape());
+  mem_.alloc("psi", double(psi.bytes()), t);
+  mem_.alloc("lambda", double(lambda.bytes()), t);
+  mem_.alloc("g", double(gfield.bytes()), t);
+  // Announce the variables' generation to the offload policy (greedy
+  // offloads "upon generation", §5.1).
+  t = observe("psi", t);
+  t = observe("lambda", t);
+  t = observe("g", t);
+  double rho = cfg_.rho;
+  if (obs_ != nullptr) obs_->phase_end(Phase::Init, t);
+
+  // Encoder calibration: warmup iterations run un-memoized while collecting
+  // real chunk samples; the CNN is then contrastive-trained and frozen.
+  const bool needs_warmup = ml_.config().enable &&
+                            !ml_.key_encoder().quantized() &&
+                            cfg_.encoder_warmup_iters > 0;
+  if (needs_warmup) {
+    ml_.set_bypass(true);
+    ml_.set_collect_samples(true);
+  }
+
+  VectorField gu(geo.object_shape());
+  for (int iter = 0; iter < cfg_.outer_iters; ++iter) {
+    IterationStats st;
+    st.iter = iter;
+    const auto memo0 = ml_.counters();
+    if (needs_warmup && iter == cfg_.encoder_warmup_iters) {
+      ml_.set_collect_samples(false);
+      (void)ml_.train_encoder_from_collected(cfg_.encoder_train_steps);
+      ml_.set_bypass(false);
+      // Training runs on the GPU (paper §4.3.1); charge its kernel time.
+      t = ml_.device_kernel(
+          t, double(cfg_.encoder_train_steps) * 6.0 *
+                 ml_.key_encoder().encode_flops());
+    }
+
+    // --- LSP ---------------------------------------------------------
+    if (obs_ != nullptr) obs_->phase_begin(Phase::Lsp, t);
+    const sim::VTime lsp0 = t;
+    t = observe("psi", t);
+    t = observe("lambda", t);
+    for (int c = 0; c < 3; ++c)
+      for (i64 i = 0; i < gfield.c[c].size(); ++i)
+        gfield.c[c].data()[i] =
+            psi.c[c].data()[i] - lambda.c[c].data()[i] / float(rho);
+    t += host_cost(double(3 * u.size()), 3.0);
+    t = observe("g", t);
+    cfg_.rho = rho;  // keep step size consistent with current penalty
+    t = run_lsp(u, dref, gfield, t, &st.loss, &st);
+    st.lsp_s = t - lsp0;
+    if (obs_ != nullptr) obs_->phase_end(Phase::Lsp, t);
+
+    // --- RSP: ψ = shrink(∇u + λ/ρ, α/ρ) --------------------------------
+    if (obs_ != nullptr) obs_->phase_begin(Phase::Rsp, t);
+    const sim::VTime rsp0 = t;
+    t = observe("lambda", t);
+    psi_prev = psi;
+    tv_grad(u, gu);
+    for (int c = 0; c < 3; ++c)
+      for (i64 i = 0; i < psi.c[c].size(); ++i)
+        psi.c[c].data()[i] =
+            gu.c[c].data()[i] + lambda.c[c].data()[i] / float(rho);
+    soft_threshold(psi, cfg_.alpha / rho);
+    t += host_cost(double(3 * u.size()), 4.0);
+    t = observe("psi", t);
+    st.rsp_s = t - rsp0;
+    if (obs_ != nullptr) obs_->phase_end(Phase::Rsp, t);
+
+    // --- λ update ------------------------------------------------------
+    if (obs_ != nullptr) obs_->phase_begin(Phase::LambdaUpdate, t);
+    const sim::VTime lam0 = t;
+    t = observe("psi", t);
+    t = observe("lambda", t);
+    for (int c = 0; c < 3; ++c)
+      for (i64 i = 0; i < lambda.c[c].size(); ++i)
+        lambda.c[c].data()[i] +=
+            float(rho) * (gu.c[c].data()[i] - psi.c[c].data()[i]);
+    t += host_cost(double(3 * u.size()), 3.0);
+    st.lambda_s = t - lam0;
+    if (obs_ != nullptr) obs_->phase_end(Phase::LambdaUpdate, t);
+
+    // --- penalty update (residual balancing) ----------------------------
+    if (obs_ != nullptr) obs_->phase_begin(Phase::PenaltyUpdate, t);
+    const sim::VTime pen0 = t;
+    if (cfg_.adaptive_rho) {
+      double r2 = 0, s2 = 0;
+      for (int c = 0; c < 3; ++c) {
+        for (i64 i = 0; i < psi.c[c].size(); ++i) {
+          r2 += std::norm(gu.c[c].data()[i] - psi.c[c].data()[i]);
+          s2 += std::norm(psi.c[c].data()[i] - psi_prev.c[c].data()[i]);
+        }
+      }
+      const double r = std::sqrt(r2), s = rho * std::sqrt(s2);
+      if (r > 10.0 * s) {
+        rho *= 2.0;
+      } else if (s > 10.0 * r) {
+        rho *= 0.5;
+      }
+      t += host_cost(double(3 * u.size()), 2.0);
+    }
+    st.penalty_s = t - pen0;
+    if (obs_ != nullptr) obs_->phase_end(Phase::PenaltyUpdate, t);
+
+    st.t_end = t;
+    const auto memo1 = ml_.counters();
+    st.memo_delta.computed = memo1.computed - memo0.computed;
+    st.memo_delta.miss = memo1.miss - memo0.miss;
+    st.memo_delta.db_hit = memo1.db_hit - memo0.db_hit;
+    st.memo_delta.cache_hit = memo1.cache_hit - memo0.cache_hit;
+    st.loss += cfg_.alpha * tv_norm(gu);
+    result.iterations.push_back(st);
+    if (hook_) hook_(iter, u);
+    MLR_LOG(Debug) << "iter " << iter << " loss " << st.loss << " vtime " << t;
+  }
+
+  mem_.release("psi", t);
+  mem_.release("lambda", t);
+  mem_.release("g", t);
+  mem_.release("u", t);
+  mem_.release("d", t);
+  result.total_vtime = t;
+  const double xfer = ml_.device_transfer_busy() - dev_xfer0;
+  result.transfer_share = t > 0 ? xfer / t : 0.0;
+  result.u = std::move(u);
+  return result;
+}
+
+double reconstruction_accuracy(const Array3D<cfloat>& reference,
+                               const Array3D<cfloat>& candidate) {
+  return 1.0 - relative_error<cfloat>(reference.span(), candidate.span());
+}
+
+}  // namespace mlr::admm

@@ -1,0 +1,155 @@
+// ADMM-FFT laminography solver (paper §2, Algorithms 1 and 2).
+//
+// Solves  min_u ½‖Lu − d‖² + α‖u‖_TV  by ADMM splitting ψ = ∇u:
+//   LSP  — refine u with N_inner conjugate-gradient steps on
+//          ½‖Lu−d‖² + ρ/2‖∇u − g‖²,  g = ψ − λ/ρ
+//   RSP  — ψ = soft-threshold(∇u + λ/ρ, α/ρ)   (closed form, lightweight)
+//   λ    — λ += ρ(∇u − ψ)
+//   ρ    — residual-balancing penalty update
+//
+// Execution styles (the paper's ablation axes):
+//   * Algorithm 1 (use_cancellation=false): forward ends with F*_2D, adjoint
+//     re-applies F_2D; subtraction happens in the spatial domain on the CPU.
+//   * Algorithm 2 (use_cancellation=true): d̂ = F_2D·d precomputed once, the
+//     detector transforms cancel; the frequency-domain subtraction runs on
+//     the CPU (use_fusion=false) or fused into the F_u2D GPU kernel
+//     (use_fusion=true).
+// All F_u* chunk work is dispatched through memo::MemoizedLamino, so the
+// same solver runs plain, memoized, cached, or coalesced configurations.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "admm/tv.hpp"
+#include "lamino/phantom.hpp"
+#include "memo/memoized_ops.hpp"
+#include "sim/clock.hpp"
+
+namespace mlr::admm {
+
+/// The four execution phases of one ADMM iteration (paper §5.1) plus setup.
+enum class Phase { Init = 0, Lsp = 1, Rsp = 2, LambdaUpdate = 3, PenaltyUpdate = 4 };
+const char* phase_name(Phase p);
+inline constexpr int kNumPhases = 5;
+
+/// Observer for variable liveness across phases — the hook ADMM-Offload
+/// plugs into. `access` may return a later time than `t` when the variable
+/// has to be prefetched back from SSD.
+class PhaseObserver {
+ public:
+  virtual ~PhaseObserver() = default;
+  virtual void phase_begin(Phase p, sim::VTime t) {}
+  virtual sim::VTime on_access(const std::string& var, sim::VTime t) {
+    return t;
+  }
+  virtual void phase_end(Phase p, sim::VTime t) {}
+};
+
+struct AdmmConfig {
+  int outer_iters = 20;
+  int inner_iters = 4;       ///< N_inner CG steps in LSP
+  double alpha = 1e-3;       ///< TV weight
+  double rho = 0.5;          ///< initial ADMM penalty
+  i64 chunk_size = 4;        ///< chunk thickness (paper default 16 at 1K³)
+  bool use_cancellation = true;
+  bool use_fusion = true;
+  bool adaptive_rho = true;
+  double cpu_flops = 5.0e10;   ///< host elementwise throughput
+  double cpu_mem_bw = 20.0e9;  ///< host streaming bandwidth
+  /// Virtual-clock volume scaling (see memo::MemoConfig::work_scale); keep
+  /// both equal so host and device stay proportionate.
+  double work_scale = 1.0;
+  /// Detector-FFT derating: the full-volume F_2D/F*_2D stages run under the
+  /// same conditions as the USFFT kernels (strided batched transforms with
+  /// staging), so they share the empirical derating.
+  double f2d_cost_factor = 100.0;
+  /// When memoization is enabled and the encoder is untrained, run this many
+  /// leading iterations in bypass mode while collecting encoder training
+  /// chunks, then train + INT8-freeze the encoder (mLR's calibration pass).
+  int encoder_warmup_iters = 1;
+  int encoder_train_steps = 300;
+};
+
+struct IterationStats {
+  int iter = 0;
+  double loss = 0;            ///< ½‖Lu−d‖² + α‖∇u‖₁ (data term in freq domain)
+  double rho = 0;
+  sim::VTime t_end = 0;       ///< virtual time at end of iteration
+  double lsp_s = 0;           ///< virtual seconds in LSP
+  double rsp_s = 0, lambda_s = 0, penalty_s = 0;
+  memo::MemoCounters memo_delta;  ///< memoization outcomes this iteration
+};
+
+struct SolveResult {
+  Array3D<cfloat> u;
+  std::vector<IterationStats> iterations;
+  sim::VTime total_vtime = 0;
+  double transfer_share = 0;  ///< fraction of vtime spent in CPU↔GPU copy
+};
+
+class Solver {
+ public:
+  /// `ml` supplies both the real operators and the execution backend.
+  Solver(memo::MemoizedLamino& ml, AdmmConfig cfg);
+
+  /// Reconstruct from measured projections `d` (spatial detector domain).
+  SolveResult solve(const Array3D<cfloat>& d);
+
+  /// Per-variable memory accounting (Fig 2 / Fig 13 input).
+  [[nodiscard]] const sim::MemoryTracker& memory() const { return mem_; }
+  void set_observer(PhaseObserver* obs) { obs_ = obs; }
+  /// Callback fired once per outer iteration with the current u (used by
+  /// characterization benches, e.g. the Fig 4 chunk-similarity probe).
+  void set_iteration_hook(
+      std::function<void(int, const Array3D<cfloat>&)> hook) {
+    hook_ = std::move(hook);
+  }
+
+ private:
+  // One LSP pass: N_inner CG refinements of u. Returns vtime at completion
+  // and accumulates the data-fidelity loss of the last inner iteration.
+  sim::VTime run_lsp(Array3D<cfloat>& u, const Array3D<cfloat>& dhat_or_d,
+                     const VectorField& g, sim::VTime t, double* loss_out,
+                     IterationStats* st);
+
+  // Gradient of the data term via the chunked operator stages; result in
+  // `grad`. Returns vtime when the gradient is available.
+  sim::VTime data_gradient(const Array3D<cfloat>& u,
+                           const Array3D<cfloat>& dhat_or_d,
+                           Array3D<cfloat>& grad, sim::VTime t,
+                           double* loss_out);
+
+  // Stage helpers.
+  sim::VTime stage_fu1d(const Array3D<cfloat>& u, Array3D<cfloat>& u1,
+                        bool adjoint, sim::VTime t);
+  sim::VTime stage_fu2d(const Array3D<cfloat>& u1, Array3D<cfloat>& dhat,
+                        const Array3D<cfloat>* fused_ref, bool adjoint,
+                        sim::VTime t);
+  // Detector-plane FFT stage (Algorithm 1 only): per-θ unitary transform on
+  // the simulated GPU, including its CPU↔GPU transfers.
+  sim::VTime stage_f2d(Array3D<cfloat>& d, bool inverse, sim::VTime t);
+
+  // Host elementwise op cost: `elems` complex values touched `passes` times.
+  double host_cost(double elems, double passes) const;
+
+  sim::VTime observe(const std::string& var, sim::VTime t) {
+    return obs_ != nullptr ? obs_->on_access(var, t) : t;
+  }
+
+  memo::MemoizedLamino& ml_;
+  AdmmConfig cfg_;
+  double lip_ = 0.0;  ///< ‖L*L‖ estimate (power iteration, set in solve())
+  sim::MemoryTracker mem_;
+  PhaseObserver* obs_ = nullptr;
+  std::function<void(int, const Array3D<cfloat>&)> hook_;
+  double transfer_busy_before_ = 0;
+};
+
+/// Reconstruction accuracy between a reference reconstruction and a
+/// memoized one: A = 1 − ‖R_ref − R‖_F/‖R_ref‖_F (paper Eq. 4/5).
+double reconstruction_accuracy(const Array3D<cfloat>& reference,
+                               const Array3D<cfloat>& candidate);
+
+}  // namespace mlr::admm

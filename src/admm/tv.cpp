@@ -1,0 +1,80 @@
+#include "admm/tv.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mlr::admm {
+
+void tv_grad(const Array3D<cfloat>& u, VectorField& g) {
+  MLR_CHECK(g.shape() == u.shape());
+  const i64 n1 = u.n1(), n0 = u.n0(), n2 = u.n2();
+  for (i64 i1 = 0; i1 < n1; ++i1)
+    for (i64 i0 = 0; i0 < n0; ++i0)
+      for (i64 i2 = 0; i2 < n2; ++i2) {
+        const cfloat v = u(i1, i0, i2);
+        g.c[0](i1, i0, i2) = (i1 + 1 < n1) ? u(i1 + 1, i0, i2) - v : cfloat{};
+        g.c[1](i1, i0, i2) = (i0 + 1 < n0) ? u(i1, i0 + 1, i2) - v : cfloat{};
+        g.c[2](i1, i0, i2) = (i2 + 1 < n2) ? u(i1, i0, i2 + 1) - v : cfloat{};
+      }
+}
+
+void tv_grad_adjoint(const VectorField& g, Array3D<cfloat>& out) {
+  MLR_CHECK(out.shape() == g.shape());
+  const i64 n1 = out.n1(), n0 = out.n0(), n2 = out.n2();
+  out.zero();
+  // Adjoint of forward difference with Neumann truncation: scatter +v to the
+  // shifted cell and −v to the source cell wherever the forward difference
+  // was actually formed.
+  for (i64 i1 = 0; i1 < n1; ++i1)
+    for (i64 i0 = 0; i0 < n0; ++i0)
+      for (i64 i2 = 0; i2 < n2; ++i2) {
+        const cfloat v0 = g.c[0](i1, i0, i2);
+        if (i1 + 1 < n1) {
+          out(i1 + 1, i0, i2) += v0;
+          out(i1, i0, i2) -= v0;
+        }
+        const cfloat v1 = g.c[1](i1, i0, i2);
+        if (i0 + 1 < n0) {
+          out(i1, i0 + 1, i2) += v1;
+          out(i1, i0, i2) -= v1;
+        }
+        const cfloat v2 = g.c[2](i1, i0, i2);
+        if (i2 + 1 < n2) {
+          out(i1, i0, i2 + 1) += v2;
+          out(i1, i0, i2) -= v2;
+        }
+      }
+}
+
+void soft_threshold(VectorField& x, double t) {
+  MLR_CHECK(t >= 0.0);
+  for (auto& comp : x.c) {
+    for (auto& v : comp) {
+      const double mag = std::abs(v);
+      if (mag <= t) {
+        v = cfloat{};
+      } else {
+        v *= float((mag - t) / mag);
+      }
+    }
+  }
+}
+
+double tv_norm(const VectorField& g) {
+  double s = 0;
+  for (const auto& comp : g.c)
+    for (const auto& v : comp) s += std::abs(v);
+  return s;
+}
+
+void axpy(VectorField& y, double a, const VectorField& x) {
+  MLR_CHECK(y.shape() == x.shape());
+  for (int k = 0; k < 3; ++k) {
+    const auto fa = float(a);
+    for (i64 i = 0; i < y.c[k].size(); ++i)
+      y.c[k].data()[i] += fa * x.c[k].data()[i];
+  }
+}
+
+}  // namespace mlr::admm

@@ -1,0 +1,46 @@
+// Total-variation operators for the regularization term α‖u‖_TV (paper §2).
+//
+// Forward-difference gradient ∇: C^(n1,n0,n2) → C^(3,n1,n0,n2) with Neumann
+// boundaries, its exact adjoint ∇ᵀ = −div, and the complex soft-thresholding
+// proximal step that solves the RSP subproblem in closed form.
+#pragma once
+
+#include <array>
+
+#include "common/array.hpp"
+
+namespace mlr::admm {
+
+/// Three-component vector field (the TV gradient of a volume).
+struct VectorField {
+  std::array<Array3D<cfloat>, 3> c;
+
+  VectorField() = default;
+  explicit VectorField(Shape3 s)
+      : c{Array3D<cfloat>(s), Array3D<cfloat>(s), Array3D<cfloat>(s)} {}
+
+  [[nodiscard]] Shape3 shape() const { return c[0].shape(); }
+  [[nodiscard]] std::size_t bytes() const { return 3 * c[0].bytes(); }
+  void zero() {
+    for (auto& a : c) a.zero();
+  }
+};
+
+/// g = ∇u (forward differences, Neumann boundary: last difference is 0).
+void tv_grad(const Array3D<cfloat>& u, VectorField& g);
+
+/// out = ∇ᵀg = −div(g) — the exact adjoint of tv_grad:
+/// <∇u, g> == <u, ∇ᵀg> for all u, g.
+void tv_grad_adjoint(const VectorField& g, Array3D<cfloat>& out);
+
+/// Anisotropic complex soft-threshold: each component value v becomes
+/// v·max(0, 1 − t/|v|). Solves min_ψ α‖ψ‖₁ + ρ/2‖ψ − x‖² with t = α/ρ.
+void soft_threshold(VectorField& x, double t);
+
+/// TV seminorm Σ|∇u| (anisotropic, complex magnitudes).
+double tv_norm(const VectorField& g);
+
+/// y += a·x (vector fields).
+void axpy(VectorField& y, double a, const VectorField& x);
+
+}  // namespace mlr::admm

@@ -1,0 +1,84 @@
+// Multi-GPU / multi-node execution (paper §5.2).
+//
+// mLR distributes chunks evenly across GPUs within and across nodes; the
+// F_u1D chunks partition along n1 and the F_u2D chunks along detector rows,
+// so consecutive stages require a redistribution (all-gather) of the
+// intermediate ũ1 array. Within a node that traffic rides NVLink; across
+// nodes it rides the same Slingshot fabric that carries memoization traffic
+// to the memory node — the contention behind the paper's Fig 14 (diminishing
+// returns past 4 GPUs), Fig 15 (fabric saturation) and Fig 16 (query-latency
+// tail).
+//
+// Numerics are real: every chunk is computed (or memoized) exactly once by
+// the wrapper that owns it, so the distributed result is bit-identical to
+// single-device execution regardless of the GPU count.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "memo/memoized_ops.hpp"
+
+namespace mlr::cluster {
+
+struct ClusterSpec {
+  int gpus = 1;
+  int gpus_per_node = 4;            ///< Polaris: 4×A100 per node
+  double nvlink_bw = 150.0e9;       ///< intra-node all-gather bytes/s
+  sim::DeviceSpec device{};
+  sim::LinkSpec fabric{};           ///< Slingshot: inter-node + memory node
+  sim::MemoryNodeSpec memory_node{};
+};
+
+/// A set of simulated GPUs plus the shared fabric and memory node, executing
+/// chunk stages round-robin across devices.
+class Cluster {
+ public:
+  Cluster(const lamino::Operators& ops, ClusterSpec spec,
+          memo::MemoConfig memo_cfg, memo::MemoDbConfig db_cfg = {});
+
+  [[nodiscard]] int num_gpus() const { return spec_.gpus; }
+  [[nodiscard]] int num_nodes() const {
+    return (spec_.gpus + spec_.gpus_per_node - 1) / spec_.gpus_per_node;
+  }
+  [[nodiscard]] int node_of(int gpu) const { return gpu / spec_.gpus_per_node; }
+
+  /// Execute one operator stage: chunks are assigned round-robin to GPUs;
+  /// the stage completes when the slowest GPU finishes. Returns the stage's
+  /// per-chunk records merged in chunk order.
+  memo::StageReport run_stage(memo::OpKind kind,
+                              std::span<memo::StageChunk> chunks,
+                              sim::VTime ready);
+
+  /// Model the redistribution between n1-partitioned and h-partitioned
+  /// stages: every GPU exchanges (G−1)/G of `total_bytes` — NVLink within a
+  /// node, the shared fabric across nodes. Returns the completion time.
+  sim::VTime redistribute(double total_bytes, sim::VTime ready);
+
+  /// Virtual time of one forward+adjoint pass (the four F_u stages plus the
+  /// two redistributions), using real numerics on `u`.
+  sim::VTime forward_adjoint_pass(const Array3D<cfloat>& u,
+                                  const Array3D<cfloat>& dhat, i64 chunk_size,
+                                  sim::VTime ready,
+                                  std::vector<double>* per_op_s = nullptr);
+
+  [[nodiscard]] sim::Interconnect& fabric() { return fabric_; }
+  [[nodiscard]] sim::MemoryNode& memory_node() { return memnode_; }
+  [[nodiscard]] memo::MemoDb& db() { return *db_; }
+  [[nodiscard]] memo::MemoizedLamino& wrapper(int gpu) {
+    return *wrappers_[size_t(gpu)];
+  }
+  [[nodiscard]] const lamino::Operators& ops() const { return ops_; }
+
+ private:
+  const lamino::Operators& ops_;
+  ClusterSpec spec_;
+  sim::Interconnect fabric_;
+  sim::MemoryNode memnode_;
+  std::unique_ptr<memo::MemoDb> db_;
+  std::vector<std::unique_ptr<sim::Device>> devices_;
+  std::vector<std::unique_ptr<memo::MemoizedLamino>> wrappers_;
+  sim::Timeline nvlink_;
+};
+
+}  // namespace mlr::cluster

@@ -1,0 +1,237 @@
+// Dense row-major tensors with 64-byte-aligned storage.
+//
+// Array2D / Array3D are the workhorse containers of the reconstruction stack.
+// They are value types (deep copy, cheap move) with contiguous storage so FFT
+// kernels can operate on raw spans.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mlr {
+
+namespace detail {
+
+/// Allocator returning 64-byte aligned memory (cache line / AVX-512 friendly).
+template <typename T>
+struct AlignedDeleter {
+  void operator()(T* p) const noexcept { std::free(p); }
+};
+
+template <typename T>
+std::unique_ptr<T[], AlignedDeleter<T>> aligned_array(std::size_t count) {
+  if (count == 0) return nullptr;
+  std::size_t bytes = count * sizeof(T);
+  // aligned_alloc requires size to be a multiple of alignment.
+  bytes = (bytes + 63) / 64 * 64;
+  void* p = std::aligned_alloc(64, bytes);
+  MLR_CHECK_MSG(p != nullptr, "allocation failed");
+  return std::unique_ptr<T[], AlignedDeleter<T>>(static_cast<T*>(p));
+}
+
+}  // namespace detail
+
+/// Dense 2-D row-major array.
+template <typename T>
+class Array2D {
+ public:
+  Array2D() = default;
+  Array2D(i64 rows, i64 cols)
+      : shape_{rows, cols}, data_(detail::aligned_array<T>(size_t(rows * cols))) {
+    MLR_CHECK(rows >= 0 && cols >= 0);
+    zero();
+  }
+  explicit Array2D(Shape2 s) : Array2D(s.rows, s.cols) {}
+
+  Array2D(const Array2D& o) : Array2D(o.shape_.rows, o.shape_.cols) {
+    std::copy(o.begin(), o.end(), begin());
+  }
+  Array2D& operator=(const Array2D& o) {
+    if (this != &o) {
+      Array2D tmp(o);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  Array2D(Array2D&&) noexcept = default;
+  Array2D& operator=(Array2D&&) noexcept = default;
+
+  [[nodiscard]] i64 rows() const { return shape_.rows; }
+  [[nodiscard]] i64 cols() const { return shape_.cols; }
+  [[nodiscard]] Shape2 shape() const { return shape_; }
+  [[nodiscard]] i64 size() const { return shape_.volume(); }
+  [[nodiscard]] std::size_t bytes() const { return size_t(size()) * sizeof(T); }
+
+  T& operator()(i64 r, i64 c) { return data_[size_t(r * shape_.cols + c)]; }
+  const T& operator()(i64 r, i64 c) const {
+    return data_[size_t(r * shape_.cols + c)];
+  }
+  T& at(i64 r, i64 c) {
+    MLR_CHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+    return (*this)(r, c);
+  }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  T* begin() { return data(); }
+  T* end() { return data() + size(); }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  std::span<T> span() { return {data(), size_t(size())}; }
+  std::span<const T> span() const { return {data(), size_t(size())}; }
+  /// Mutable view of one row.
+  std::span<T> row(i64 r) { return {data() + r * cols(), size_t(cols())}; }
+  std::span<const T> row(i64 r) const {
+    return {data() + r * cols(), size_t(cols())};
+  }
+
+  void zero() { std::fill(begin(), end(), T{}); }
+  void fill(T v) { std::fill(begin(), end(), v); }
+
+ private:
+  Shape2 shape_{};
+  std::unique_ptr<T[], detail::AlignedDeleter<T>> data_;
+};
+
+/// Dense 3-D row-major array indexed (i1, i0, i2) per the paper's u[n1,n0,n2].
+template <typename T>
+class Array3D {
+ public:
+  Array3D() = default;
+  Array3D(i64 n1, i64 n0, i64 n2)
+      : shape_{n1, n0, n2},
+        data_(detail::aligned_array<T>(size_t(n1 * n0 * n2))) {
+    MLR_CHECK(n1 >= 0 && n0 >= 0 && n2 >= 0);
+    zero();
+  }
+  explicit Array3D(Shape3 s) : Array3D(s.n1, s.n0, s.n2) {}
+
+  Array3D(const Array3D& o) : Array3D(o.shape_) {
+    std::copy(o.begin(), o.end(), begin());
+  }
+  Array3D& operator=(const Array3D& o) {
+    if (this != &o) {
+      Array3D tmp(o);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  Array3D(Array3D&&) noexcept = default;
+  Array3D& operator=(Array3D&&) noexcept = default;
+
+  [[nodiscard]] Shape3 shape() const { return shape_; }
+  [[nodiscard]] i64 n1() const { return shape_.n1; }
+  [[nodiscard]] i64 n0() const { return shape_.n0; }
+  [[nodiscard]] i64 n2() const { return shape_.n2; }
+  [[nodiscard]] i64 size() const { return shape_.volume(); }
+  [[nodiscard]] std::size_t bytes() const { return size_t(size()) * sizeof(T); }
+
+  T& operator()(i64 i1, i64 i0, i64 i2) {
+    return data_[size_t((i1 * shape_.n0 + i0) * shape_.n2 + i2)];
+  }
+  const T& operator()(i64 i1, i64 i0, i64 i2) const {
+    return data_[size_t((i1 * shape_.n0 + i0) * shape_.n2 + i2)];
+  }
+  T& at(i64 i1, i64 i0, i64 i2) {
+    MLR_CHECK(i1 >= 0 && i1 < n1() && i0 >= 0 && i0 < n0() && i2 >= 0 &&
+              i2 < n2());
+    return (*this)(i1, i0, i2);
+  }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  T* begin() { return data(); }
+  T* end() { return data() + size(); }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  std::span<T> span() { return {data(), size_t(size())}; }
+  std::span<const T> span() const { return {data(), size_t(size())}; }
+
+  /// Contiguous slab of `count` slices starting at slice `i1`.
+  std::span<T> slices(i64 i1, i64 count) {
+    MLR_CHECK(i1 >= 0 && i1 + count <= n1());
+    return {data() + i1 * n0() * n2(), size_t(count * n0() * n2())};
+  }
+  std::span<const T> slices(i64 i1, i64 count) const {
+    MLR_CHECK(i1 >= 0 && i1 + count <= n1());
+    return {data() + i1 * n0() * n2(), size_t(count * n0() * n2())};
+  }
+  /// One slice as a span (n0 * n2 elements).
+  std::span<T> slice(i64 i1) { return slices(i1, 1); }
+  std::span<const T> slice(i64 i1) const { return slices(i1, 1); }
+
+  void zero() { std::fill(begin(), end(), T{}); }
+  void fill(T v) { std::fill(begin(), end(), v); }
+
+ private:
+  Shape3 shape_{};
+  std::unique_ptr<T[], detail::AlignedDeleter<T>> data_;
+};
+
+/// L2 norm of a span of real or complex values.
+template <typename T>
+double l2_norm(std::span<const T> v) {
+  double s = 0;
+  for (const auto& x : v) {
+    if constexpr (std::is_same_v<T, cfloat> || std::is_same_v<T, cdouble>) {
+      s += double(x.real()) * x.real() + double(x.imag()) * x.imag();
+    } else {
+      s += double(x) * double(x);
+    }
+  }
+  return std::sqrt(s);
+}
+
+/// Frobenius-norm relative error ‖a−b‖_F / ‖a‖_F (Eq. 4 in the paper).
+template <typename T>
+double relative_error(std::span<const T> a, std::span<const T> b) {
+  MLR_CHECK(a.size() == b.size());
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if constexpr (std::is_same_v<T, cfloat> || std::is_same_v<T, cdouble>) {
+      auto d = a[i] - b[i];
+      num += double(d.real()) * d.real() + double(d.imag()) * d.imag();
+      den += double(a[i].real()) * a[i].real() +
+             double(a[i].imag()) * a[i].imag();
+    } else {
+      double d = double(a[i]) - double(b[i]);
+      num += d * d;
+      den += double(a[i]) * double(a[i]);
+    }
+  }
+  if (den == 0) return num == 0 ? 0.0 : 1.0;
+  return std::sqrt(num / den);
+}
+
+/// Cosine similarity of two equally-sized vectors (Eq. 3 in the paper).
+template <typename T>
+double cosine_similarity(std::span<const T> a, std::span<const T> b) {
+  MLR_CHECK(a.size() == b.size());
+  double dot = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if constexpr (std::is_same_v<T, cfloat> || std::is_same_v<T, cdouble>) {
+      dot += double(a[i].real()) * b[i].real() +
+             double(a[i].imag()) * b[i].imag();
+      na += double(a[i].real()) * a[i].real() +
+            double(a[i].imag()) * a[i].imag();
+      nb += double(b[i].real()) * b[i].real() +
+            double(b[i].imag()) * b[i].imag();
+    } else {
+      dot += double(a[i]) * double(b[i]);
+      na += double(a[i]) * double(a[i]);
+      nb += double(b[i]) * double(b[i]);
+    }
+  }
+  if (na == 0 || nb == 0) return na == nb ? 1.0 : 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace mlr

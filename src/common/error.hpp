@@ -1,0 +1,44 @@
+// Error handling primitives shared by every mlr module.
+//
+// The library throws `mlr::Error` (a std::runtime_error subclass carrying the
+// failing expression and source location) instead of aborting, so host
+// applications — and the test suite — can recover from misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mlr {
+
+/// Exception type thrown by all mlr precondition / invariant failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::string full = std::string("MLR_CHECK failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace mlr
+
+/// Precondition check that throws mlr::Error on failure. Always enabled —
+/// reconstruction jobs run for hours and silent corruption is worse than the
+/// branch cost.
+#define MLR_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::mlr::detail::raise_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MLR_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::mlr::detail::raise_check_failure(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Bench binaries set the level from --verbose; tests
+// keep it at Warn so output stays readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mlr {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: MLR_LOG(Info) << "x=" << x;
+#define MLR_LOG(level_name)                                        \
+  for (bool mlr_once = ::mlr::log_level() <= ::mlr::LogLevel::level_name; \
+       mlr_once; mlr_once = false)                                 \
+  ::mlr::detail::LogLine(::mlr::LogLevel::level_name)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, ss_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace mlr

@@ -1,0 +1,110 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace mlr {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lk(mu_);
+    jobs_.push(std::move(job));
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return jobs_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk(mu_);
+      cv_job_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void parallel_for_ranges(i64 begin, i64 end,
+                         const std::function<void(i64, i64)>& fn) {
+  const i64 total = end - begin;
+  if (total <= 0) return;
+  auto& pool = ThreadPool::global();
+  const i64 workers = i64(pool.size());
+  if (workers <= 1 || total == 1) {  // serial fast path, no thread handoff
+    fn(begin, end);
+    return;
+  }
+  const i64 chunks = std::min(total, workers * 4);
+  const i64 step = (total + chunks - 1) / chunks;
+  std::atomic<int> pending{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::atomic<i64> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  i64 launched = 0;
+  for (i64 lo = begin; lo < end; lo += step) {
+    const i64 hi = std::min(end, lo + step);
+    ++launched;
+    pool.submit([&, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      std::lock_guard lk(done_mu);
+      ++done;
+      done_cv.notify_all();
+    });
+  }
+  (void)pending;
+  std::unique_lock lk(done_mu);
+  done_cv.wait(lk, [&] { return done == launched; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& fn) {
+  parallel_for_ranges(begin, end, [&](i64 lo, i64 hi) {
+    for (i64 i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace mlr

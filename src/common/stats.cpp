@@ -1,0 +1,95 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mlr {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::percentile(double q) const {
+  MLR_CHECK(!xs_.empty());
+  MLR_CHECK(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (xs_.size() == 1) return xs_[0];
+  const double pos = q * double(xs_.size() - 1);
+  const std::size_t lo = std::size_t(pos);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = pos - double(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs_) s += x;
+  return s / double(xs_.size());
+}
+
+double Samples::cdf_at(double x) const {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  return double(it - xs_.begin()) / double(xs_.size());
+}
+
+std::vector<std::pair<double, double>> Samples::cdf(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (xs_.empty()) return out;
+  ensure_sorted();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = double(i) / double(points - 1);
+    out.emplace_back(percentile(q), q);
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / double(bins)), counts_(bins, 0) {
+  MLR_CHECK(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  auto idx = i64((x - lo_) / width_);
+  idx = std::clamp<i64>(idx, 0, i64(counts_.size()) - 1);
+  ++counts_[std::size_t(idx)];
+  ++total_;
+}
+
+std::string ascii_bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled = std::size_t(fraction * double(width) + 0.5);
+  std::string s(filled, '#');
+  s.append(width - filled, '.');
+  return s;
+}
+
+}  // namespace mlr

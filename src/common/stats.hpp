@@ -1,0 +1,73 @@
+// Streaming statistics, percentiles and CDF export used by the benchmark
+// harness (latency distributions, bandwidth utilization, hit rates).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlr {
+
+/// Welford running mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Reservoir of raw samples supporting exact percentiles and CDF dumps.
+/// Stores every sample (experiments here are small enough), so percentiles
+/// are exact rather than sketched.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  /// q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double mean() const;
+  /// Fraction of samples <= x.
+  [[nodiscard]] double cdf_at(double x) const;
+  /// Evenly spaced (value, cumulative fraction) points for plotting a CDF.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(
+      std::size_t points = 32) const;
+  [[nodiscard]] const std::vector<double>& raw() const { return xs_; }
+  void clear() { xs_.clear(); }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram for quick textual plots.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  [[nodiscard]] const std::vector<u64>& bins() const { return counts_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const { return lo_ + i * width_; }
+  [[nodiscard]] u64 total() const { return total_; }
+
+ private:
+  double lo_, width_;
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+};
+
+/// Render a simple ASCII bar, used by bench binaries to sketch figures.
+std::string ascii_bar(double fraction, std::size_t width = 40);
+
+}  // namespace mlr

@@ -1,0 +1,24 @@
+// Wall-clock timing helpers (real host time, as opposed to sim::Clock which
+// models the virtual Polaris timeline).
+#pragma once
+
+#include <chrono>
+
+namespace mlr {
+
+/// Monotonic stopwatch measuring real host seconds.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+  void reset() { start_ = clock::now(); }
+  /// Seconds elapsed since construction / last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mlr

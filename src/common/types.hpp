@@ -1,0 +1,46 @@
+// Fundamental scalar and shape types used across mlr.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mlr {
+
+/// COMPLEX64 in the paper's terminology: 32-bit real + 32-bit imaginary.
+using cfloat = std::complex<float>;
+/// Double-precision complex, used by reference DFTs in tests.
+using cdouble = std::complex<double>;
+
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/// Shape of a 3-D array in (n1, n0, n2) order following the paper:
+/// u ∈ R^(n1, n0, n2), where n1 indexes slices (the chunked dimension).
+struct Shape3 {
+  i64 n1 = 0;  ///< slowest dimension (chunked / slice axis)
+  i64 n0 = 0;  ///< middle dimension
+  i64 n2 = 0;  ///< fastest dimension
+
+  [[nodiscard]] i64 volume() const { return n1 * n0 * n2; }
+  bool operator==(const Shape3&) const = default;
+  [[nodiscard]] std::string str() const {
+    return std::to_string(n1) + "x" + std::to_string(n0) + "x" +
+           std::to_string(n2);
+  }
+};
+
+/// Shape of a 2-D array (rows, cols).
+struct Shape2 {
+  i64 rows = 0;
+  i64 cols = 0;
+  [[nodiscard]] i64 volume() const { return rows * cols; }
+  bool operator==(const Shape2&) const = default;
+};
+
+/// Bytes in a mebibyte / gibibyte, used by the memory accounting throughout.
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+}  // namespace mlr

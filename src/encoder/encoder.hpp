@@ -1,0 +1,88 @@
+// The CNN key encoder of mLR (§4.3.1).
+//
+// Maps a COMPLEX64 chunk (the input of an F_u*D operation) to a 60-d float
+// key used to search the memoization index. Matches the paper's design:
+//   * COMPLEX64 input decomposed into real/imag channels,
+//   * layer 1: 32 filters 5×5; layer 2: 64 filters 3×3; layer 3: FC → 60,
+//   * trained with contrastive pairs: L = | ‖za−zb‖₂ − ‖Cha−Chb‖₂ |,
+//   * deployed on the CPU with INT8-quantized weights.
+// Arbitrary chunk shapes are average-pooled to a fixed 32×32 front-end so one
+// encoder serves every operator's chunks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "encoder/layers.hpp"
+
+namespace mlr::encoder {
+
+struct EncoderConfig {
+  i64 input_hw = 32;    ///< pooled front-end resolution
+  i64 embed_dim = 60;   ///< key dimensionality (paper's query example)
+  double lr = 1e-3;
+};
+
+/// A chunk viewed as a rows×cols complex image (3-D slabs are pre-averaged
+/// along the slab dimension by the caller or via from_slab()).
+struct ChunkImage {
+  i64 rows = 0, cols = 0;
+  std::span<const cfloat> data;
+};
+
+/// Reduce a (count, rows, cols) slab to a single rows×cols plane by averaging
+/// along the first axis; returns owned storage.
+std::vector<cfloat> average_slab(std::span<const cfloat> slab, i64 count,
+                                 i64 rows, i64 cols);
+
+class CnnEncoder {
+ public:
+  explicit CnnEncoder(EncoderConfig cfg = {}, u64 seed = 2024);
+
+  /// Float-precision forward pass.
+  [[nodiscard]] std::vector<float> encode(const ChunkImage& chunk) const;
+  /// INT8-weight inference path (the deployed configuration). Falls back to
+  /// float weights until quantize() has been called.
+  [[nodiscard]] std::vector<float> encode_quantized(const ChunkImage& chunk) const;
+
+  /// One contrastive training step on a pair of chunks; returns the loss
+  /// L = | ‖za−zb‖ − ‖Cha−Chb‖ |.
+  double train_pair(const ChunkImage& a, const ChunkImage& b);
+
+  /// Train on random pairs drawn from `samples`; returns mean loss of the
+  /// final quarter of steps.
+  double train(const std::vector<std::vector<cfloat>>& samples, i64 rows,
+               i64 cols, int steps, u64 seed = 5);
+
+  /// Freeze float weights into per-tensor symmetric INT8.
+  void quantize();
+  [[nodiscard]] bool quantized() const { return quantized_; }
+
+  [[nodiscard]] const EncoderConfig& config() const { return cfg_; }
+  /// FLOPs of one forward pass (cost-model input; <1 % of FFT cost).
+  [[nodiscard]] double encode_flops() const;
+
+ private:
+  FeatureMap preprocess(const ChunkImage& chunk) const;
+  std::vector<float> forward(const FeatureMap& in, bool use_int8) const;
+  // Full forward keeping intermediates for backprop.
+  struct Trace;
+  std::vector<float> forward_train(const FeatureMap& in, Trace& t) const;
+  void backward_from_embedding(const Trace& t, std::vector<float> dz);
+
+  EncoderConfig cfg_;
+  Rng rng_;
+  Conv2D conv1_, conv2_;
+  Dense fc_;
+  Adam opt_w1_, opt_b1_, opt_w2_, opt_b2_, opt_wf_, opt_bf_;
+
+  bool quantized_ = false;
+  std::vector<std::int8_t> q_w1_, q_w2_, q_wf_;
+  float s_w1_ = 1.0f, s_w2_ = 1.0f, s_wf_ = 1.0f;
+};
+
+/// L2 distance between two raw chunks (the contrastive ground-truth label).
+double chunk_l2(std::span<const cfloat> a, std::span<const cfloat> b);
+
+}  // namespace mlr::encoder

@@ -1,0 +1,173 @@
+#include "encoder/layers.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mlr::encoder {
+
+Conv2D::Conv2D(i64 in_ch, i64 out_ch, i64 ksize, i64 stride, Rng& rng)
+    : in_ch_(in_ch), out_ch_(out_ch), k_(ksize), stride_(stride),
+      pad_(ksize / 2) {
+  MLR_CHECK(in_ch >= 1 && out_ch >= 1 && ksize >= 1 && stride >= 1);
+  const auto n = size_t(out_ch * in_ch * ksize * ksize);
+  w.resize(n);
+  gw.assign(n, 0.0f);
+  b.assign(size_t(out_ch), 0.0f);
+  gb.assign(size_t(out_ch), 0.0f);
+  const double he = std::sqrt(2.0 / double(in_ch * ksize * ksize));
+  for (auto& x : w) x = float(rng.normal(0.0, he));
+}
+
+FeatureMap Conv2D::forward(const FeatureMap& in) const {
+  MLR_CHECK(in.c == in_ch_);
+  FeatureMap out(out_ch_, out_h(in.h), out_w(in.w));
+  for (i64 oc = 0; oc < out_ch_; ++oc) {
+    for (i64 oy = 0; oy < out.h; ++oy) {
+      for (i64 ox = 0; ox < out.w; ++ox) {
+        double acc = b[size_t(oc)];
+        const i64 iy0 = oy * stride_ - pad_;
+        const i64 ix0 = ox * stride_ - pad_;
+        for (i64 ic = 0; ic < in_ch_; ++ic) {
+          for (i64 ky = 0; ky < k_; ++ky) {
+            const i64 iy = iy0 + ky;
+            if (iy < 0 || iy >= in.h) continue;
+            for (i64 kx = 0; kx < k_; ++kx) {
+              const i64 ix = ix0 + kx;
+              if (ix < 0 || ix >= in.w) continue;
+              acc += double(w[size_t(((oc * in_ch_ + ic) * k_ + ky) * k_ + kx)]) *
+                     double(in.at(ic, iy, ix));
+            }
+          }
+        }
+        out.at(oc, oy, ox) = float(acc);
+      }
+    }
+  }
+  return out;
+}
+
+FeatureMap Conv2D::backward(const FeatureMap& in, const FeatureMap& dout) {
+  MLR_CHECK(in.c == in_ch_ && dout.c == out_ch_);
+  FeatureMap din(in.c, in.h, in.w);
+  for (i64 oc = 0; oc < out_ch_; ++oc) {
+    for (i64 oy = 0; oy < dout.h; ++oy) {
+      for (i64 ox = 0; ox < dout.w; ++ox) {
+        const float g = dout.at(oc, oy, ox);
+        if (g == 0.0f) continue;
+        gb[size_t(oc)] += g;
+        const i64 iy0 = oy * stride_ - pad_;
+        const i64 ix0 = ox * stride_ - pad_;
+        for (i64 ic = 0; ic < in_ch_; ++ic) {
+          for (i64 ky = 0; ky < k_; ++ky) {
+            const i64 iy = iy0 + ky;
+            if (iy < 0 || iy >= in.h) continue;
+            for (i64 kx = 0; kx < k_; ++kx) {
+              const i64 ix = ix0 + kx;
+              if (ix < 0 || ix >= in.w) continue;
+              const auto wi = size_t(((oc * in_ch_ + ic) * k_ + ky) * k_ + kx);
+              gw[wi] += g * in.at(ic, iy, ix);
+              din.at(ic, iy, ix) += g * w[wi];
+            }
+          }
+        }
+      }
+    }
+  }
+  return din;
+}
+
+Dense::Dense(i64 in_dim, i64 out_dim, Rng& rng) : in_(in_dim), out_(out_dim) {
+  MLR_CHECK(in_dim >= 1 && out_dim >= 1);
+  w.resize(size_t(in_ * out_));
+  gw.assign(w.size(), 0.0f);
+  b.assign(size_t(out_), 0.0f);
+  gb.assign(size_t(out_), 0.0f);
+  const double xavier = std::sqrt(1.0 / double(in_));
+  for (auto& x : w) x = float(rng.normal(0.0, xavier));
+}
+
+std::vector<float> Dense::forward(const std::vector<float>& in) const {
+  MLR_CHECK(i64(in.size()) == in_);
+  std::vector<float> out(static_cast<size_t>(out_));
+  for (i64 o = 0; o < out_; ++o) {
+    double acc = b[size_t(o)];
+    const float* row = w.data() + size_t(o * in_);
+    for (i64 i = 0; i < in_; ++i) acc += double(row[i]) * double(in[size_t(i)]);
+    out[size_t(o)] = float(acc);
+  }
+  return out;
+}
+
+std::vector<float> Dense::backward(const std::vector<float>& in,
+                                   const std::vector<float>& dout) {
+  MLR_CHECK(i64(in.size()) == in_ && i64(dout.size()) == out_);
+  std::vector<float> din(static_cast<size_t>(in_), 0.0f);
+  for (i64 o = 0; o < out_; ++o) {
+    const float g = dout[size_t(o)];
+    gb[size_t(o)] += g;
+    float* grow = gw.data() + size_t(o * in_);
+    const float* row = w.data() + size_t(o * in_);
+    for (i64 i = 0; i < in_; ++i) {
+      grow[i] += g * in[size_t(i)];
+      din[size_t(i)] += g * row[i];
+    }
+  }
+  return din;
+}
+
+void relu_forward(std::vector<float>& v) {
+  for (auto& x : v)
+    if (x < 0) x = 0;
+}
+
+void relu_backward(const std::vector<float>& out, std::vector<float>& grad) {
+  MLR_CHECK(out.size() == grad.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i] <= 0.0f) grad[i] = 0.0f;
+}
+
+FeatureMap avgpool2(const FeatureMap& in) {
+  FeatureMap out(in.c, in.h / 2, in.w / 2);
+  for (i64 c = 0; c < in.c; ++c)
+    for (i64 y = 0; y < out.h; ++y)
+      for (i64 x = 0; x < out.w; ++x)
+        out.at(c, y, x) = 0.25f * (in.at(c, 2 * y, 2 * x) +
+                                   in.at(c, 2 * y + 1, 2 * x) +
+                                   in.at(c, 2 * y, 2 * x + 1) +
+                                   in.at(c, 2 * y + 1, 2 * x + 1));
+  return out;
+}
+
+FeatureMap avgpool2_backward(const FeatureMap& in_shape_ref,
+                             const FeatureMap& dout) {
+  FeatureMap din(in_shape_ref.c, in_shape_ref.h, in_shape_ref.w);
+  for (i64 c = 0; c < dout.c; ++c)
+    for (i64 y = 0; y < dout.h; ++y)
+      for (i64 x = 0; x < dout.w; ++x) {
+        const float g = 0.25f * dout.at(c, y, x);
+        din.at(c, 2 * y, 2 * x) += g;
+        din.at(c, 2 * y + 1, 2 * x) += g;
+        din.at(c, 2 * y, 2 * x + 1) += g;
+        din.at(c, 2 * y + 1, 2 * x + 1) += g;
+      }
+  return din;
+}
+
+void Adam::step(std::vector<float>& param, std::vector<float>& grad) {
+  MLR_CHECK(param.size() == m_.size() && grad.size() == m_.size());
+  constexpr double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  ++t_;
+  const double bc1 = 1.0 - std::pow(b1, double(t_));
+  const double bc2 = 1.0 - std::pow(b2, double(t_));
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    m_[i] = float(b1 * m_[i] + (1.0 - b1) * grad[i]);
+    v_[i] = float(b2 * v_[i] + (1.0 - b2) * double(grad[i]) * grad[i]);
+    const double mh = m_[i] / bc1;
+    const double vh = v_[i] / bc2;
+    param[i] -= float(lr_ * mh / (std::sqrt(vh) + eps));
+    grad[i] = 0.0f;  // consume the accumulator
+  }
+}
+
+}  // namespace mlr::encoder

@@ -1,0 +1,189 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace mlr::fft {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+bool is_pow2(i64 n) { return n > 0 && (n & (n - 1)) == 0; }
+
+i64 next_pow2(i64 n) {
+  i64 p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<u64> make_bitrev(i64 n) {
+  std::vector<u64> rev(static_cast<size_t>(n));
+  int bits = 0;
+  while ((i64(1) << bits) < n) ++bits;
+  for (i64 i = 0; i < n; ++i) {
+    u64 r = 0;
+    for (int b = 0; b < bits; ++b)
+      if (i & (i64(1) << b)) r |= u64(1) << (bits - 1 - b);
+    rev[size_t(i)] = r;
+  }
+  return rev;
+}
+
+std::vector<cfloat> make_twiddles(i64 n) {
+  std::vector<cfloat> tw(size_t(n / 2));
+  for (i64 k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * kPi * double(k) / double(n);
+    tw[size_t(k)] = cfloat(float(std::cos(ang)), float(std::sin(ang)));
+  }
+  return tw;
+}
+
+// Core iterative radix-2 Cooley–Tukey, decimation in time.
+void fft_pow2_core(std::span<cfloat> a, const std::vector<cfloat>& tw,
+                   const std::vector<u64>& rev, bool inverse) {
+  const i64 n = i64(a.size());
+  for (i64 i = 0; i < n; ++i) {
+    const auto j = i64(rev[size_t(i)]);
+    if (i < j) std::swap(a[size_t(i)], a[size_t(j)]);
+  }
+  for (i64 len = 2; len <= n; len <<= 1) {
+    const i64 half = len / 2;
+    const i64 step = n / len;  // twiddle stride
+    for (i64 base = 0; base < n; base += len) {
+      for (i64 k = 0; k < half; ++k) {
+        cfloat w = tw[size_t(k * step)];
+        if (inverse) w = std::conj(w);
+        const cfloat u = a[size_t(base + k)];
+        const cfloat t = a[size_t(base + k + half)] * w;
+        a[size_t(base + k)] = u + t;
+        a[size_t(base + k + half)] = u - t;
+      }
+    }
+  }
+  if (inverse) {
+    const float inv = 1.0f / float(n);
+    for (auto& x : a) x *= inv;
+  }
+}
+
+}  // namespace
+
+Plan1D::Plan1D(i64 n) : n_(n), pow2_(is_pow2(n)) {
+  MLR_CHECK_MSG(n >= 1, "FFT length must be positive");
+  if (n_ == 1) return;
+  if (pow2_) {
+    twiddle_ = make_twiddles(n_);
+    bitrev_ = make_bitrev(n_);
+    return;
+  }
+  // Bluestein setup: x[k]·chirp[k], convolve with conj chirp, multiply chirp.
+  m_ = next_pow2(2 * n_ - 1);
+  chirp_.resize(static_cast<size_t>(n_));
+  for (i64 k = 0; k < n_; ++k) {
+    // exp(-iπ k²/n); reduce k² mod 2n to keep the angle accurate for large k.
+    const i64 k2 = (k * k) % (2 * n_);
+    const double ang = -kPi * double(k2) / double(n_);
+    chirp_[size_t(k)] = cfloat(float(std::cos(ang)), float(std::sin(ang)));
+  }
+  mtw_ = make_twiddles(m_);
+  mbitrev_ = make_bitrev(m_);
+  std::vector<cfloat> b(size_t(m_), cfloat{});
+  b[0] = std::conj(chirp_[0]);
+  for (i64 k = 1; k < n_; ++k) {
+    b[size_t(k)] = std::conj(chirp_[size_t(k)]);
+    b[size_t(m_ - k)] = std::conj(chirp_[size_t(k)]);
+  }
+  fft_pow2_core({b.data(), size_t(m_)}, mtw_, mbitrev_, /*inverse=*/false);
+  chirp_fft_ = std::move(b);
+}
+
+void Plan1D::execute(std::span<cfloat> data, bool inverse) const {
+  MLR_CHECK(i64(data.size()) == n_);
+  if (n_ == 1) return;
+  if (pow2_) {
+    execute_pow2(data, inverse);
+  } else {
+    execute_bluestein(data, inverse);
+  }
+}
+
+void Plan1D::execute_pow2(std::span<cfloat> data, bool inverse) const {
+  fft_pow2_core(data, twiddle_, bitrev_, inverse);
+}
+
+void Plan1D::execute_bluestein(std::span<cfloat> data, bool inverse) const {
+  // Inverse transform = conj(forward(conj(x)))/n.
+  std::vector<cfloat> a(size_t(m_), cfloat{});
+  if (inverse) {
+    for (i64 k = 0; k < n_; ++k)
+      a[size_t(k)] = std::conj(data[size_t(k)]) * chirp_[size_t(k)];
+  } else {
+    for (i64 k = 0; k < n_; ++k)
+      a[size_t(k)] = data[size_t(k)] * chirp_[size_t(k)];
+  }
+  fft_pow2_core({a.data(), size_t(m_)}, mtw_, mbitrev_, /*inverse=*/false);
+  for (i64 k = 0; k < m_; ++k) a[size_t(k)] *= chirp_fft_[size_t(k)];
+  fft_pow2_core({a.data(), size_t(m_)}, mtw_, mbitrev_, /*inverse=*/true);
+  if (inverse) {
+    const float inv = 1.0f / float(n_);
+    for (i64 k = 0; k < n_; ++k)
+      data[size_t(k)] =
+          std::conj(a[size_t(k)] * chirp_[size_t(k)]) * inv;
+  } else {
+    for (i64 k = 0; k < n_; ++k)
+      data[size_t(k)] = a[size_t(k)] * chirp_[size_t(k)];
+  }
+}
+
+void Plan1D::execute_strided(cfloat* data, i64 stride, bool inverse) const {
+  if (stride == 1) {
+    execute({data, size_t(n_)}, inverse);
+    return;
+  }
+  std::vector<cfloat> tmp(static_cast<size_t>(n_));
+  for (i64 i = 0; i < n_; ++i) tmp[size_t(i)] = data[i * stride];
+  execute({tmp.data(), size_t(n_)}, inverse);
+  for (i64 i = 0; i < n_; ++i) data[i * stride] = tmp[size_t(i)];
+}
+
+void fft2d_span(std::span<cfloat> a, i64 rows, i64 cols, bool inverse,
+                bool unitary) {
+  MLR_CHECK(i64(a.size()) == rows * cols);
+  Plan1D row_plan(cols);
+  Plan1D col_plan(rows);
+  for (i64 r = 0; r < rows; ++r) {
+    row_plan.execute(a.subspan(size_t(r * cols), size_t(cols)), inverse);
+  }
+  for (i64 c = 0; c < cols; ++c) {
+    col_plan.execute_strided(a.data() + c, cols, inverse);
+  }
+  if (unitary) {
+    // forward: multiply by 1/√N; inverse already divided by N, so restore √N.
+    const double n = double(rows * cols);
+    const float s = float(inverse ? std::sqrt(n) : 1.0 / std::sqrt(n));
+    for (auto& x : a) x *= s;
+  }
+}
+
+void fft2d(Array2D<cfloat>& a, bool inverse) {
+  fft2d_span(a.span(), a.rows(), a.cols(), inverse, /*unitary=*/false);
+}
+
+void fft2d_unitary(Array2D<cfloat>& a, bool inverse) {
+  fft2d_span(a.span(), a.rows(), a.cols(), inverse, /*unitary=*/true);
+}
+
+void fftshift(std::span<cfloat> a) {
+  const auto n = i64(a.size());
+  std::rotate(a.begin(), a.begin() + (n + 1) / 2, a.end());
+}
+
+double fft_flops(i64 n) {
+  if (n <= 1) return 0.0;
+  return 5.0 * double(n) * std::log2(double(n));
+}
+
+}  // namespace mlr::fft

@@ -1,0 +1,300 @@
+#include "fft/nufft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "fft/fft.hpp"
+
+namespace mlr::fft {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Wrap a real coordinate into [0, m).
+inline double wrap(double x, double m) {
+  x = std::fmod(x, m);
+  if (x < 0) x += m;
+  return x;
+}
+
+// Execute a length-m DFT with explicit sign: sign=-1 is the forward
+// convention of Plan1D; sign=+1 is the unscaled conjugate transform.
+void dft_sign(const Plan1D& plan, std::span<cfloat> a, int sign) {
+  if (sign < 0) {
+    plan.forward(a);
+  } else {
+    plan.inverse(a);
+    const float m = float(a.size());
+    for (auto& x : a) x *= m;
+  }
+}
+
+// Evaluate the Gaussian spreading weights around point p on a grid of size m.
+// Fills idx[0..cnt) with wrapped grid indices and w[0..cnt) with weights.
+struct SpreadWindow {
+  static constexpr int kMax = 32;
+  i64 idx[kMax];
+  float w[kMax];
+  int cnt = 0;
+};
+
+SpreadWindow make_window(double p, i64 m, int msp, double tau) {
+  SpreadWindow win;
+  const i64 lo = i64(std::ceil(p - msp));
+  const i64 hi = i64(std::floor(p + msp));
+  const double inv4tau = 1.0 / (4.0 * tau);
+  for (i64 u = lo; u <= hi && win.cnt < SpreadWindow::kMax; ++u) {
+    const double d = double(u) - p;
+    win.idx[win.cnt] = (u % m + m) % m;
+    win.w[win.cnt] = float(std::exp(-d * d * inv4tau));
+    ++win.cnt;
+  }
+  return win;
+}
+
+// 1/ψ̂ deconvolution factors in storage order for n uniform modes on a fine
+// grid of size m. ψ̂(k̃) = √(4πτ)·exp(−τ(2πk̃/m)²).
+std::vector<float> make_deconv(i64 n, i64 m, double tau) {
+  std::vector<float> d(static_cast<size_t>(n));
+  const double norm = std::sqrt(4.0 * kPi * tau);
+  for (i64 k = 0; k < n; ++k) {
+    const i64 kc = to_centered(k, n);
+    const double w = 2.0 * kPi * double(kc) / double(m);
+    d[size_t(k)] = float(1.0 / (norm * std::exp(-tau * w * w)));
+  }
+  return d;
+}
+
+}  // namespace
+
+double GriddingParams::tau() const {
+  // Greengard–Lee optimal width for oversampling σ: τ (in fine-grid units²)
+  // = Msp·σ / (4π(σ−0.5)); for σ=2 this is Msp/(3π).
+  return double(msp) * double(sigma) / (4.0 * kPi * (double(sigma) - 0.5));
+}
+
+Nufft1D::Nufft1D(i64 n, GriddingParams params)
+    : n_(n), m_(params.sigma * n), params_(params) {
+  MLR_CHECK(n >= 2);
+  deconv_ = make_deconv(n_, m_, params_.tau());
+  fine_plan_ = std::make_shared<Plan1D>(m_);
+}
+
+void Nufft1D::type2(std::span<const double> nu, std::span<const cfloat> f,
+                    std::span<cfloat> out, int sign) const {
+  MLR_CHECK(i64(f.size()) == n_);
+  MLR_CHECK(out.size() == nu.size());
+  const double tau = params_.tau();
+  // 1) deconvolve and zero-pad into the fine grid (storage order: index
+  //    k̃ mod m).
+  std::vector<cfloat> g(size_t(m_), cfloat{});
+  for (i64 k = 0; k < n_; ++k) {
+    const i64 kc = to_centered(k, n_);
+    g[size_t(from_centered(kc, m_))] = f[size_t(k)] * deconv_[size_t(k)];
+  }
+  // 2) fine-grid DFT from mode index to spatial index.
+  dft_sign(*fine_plan_, {g.data(), size_t(m_)}, sign);
+  // 3) interpolate at σ·ν_j.
+  const auto sigma = double(params_.sigma);
+  for (std::size_t j = 0; j < nu.size(); ++j) {
+    const double p = wrap(sigma * nu[j], double(m_));
+    const auto win = make_window(p, m_, params_.msp, tau);
+    cfloat acc{};
+    for (int t = 0; t < win.cnt; ++t) acc += g[size_t(win.idx[t])] * win.w[t];
+    out[j] = acc;
+  }
+}
+
+void Nufft1D::type1(std::span<const double> nu, std::span<const cfloat> q,
+                    std::span<cfloat> out, int sign) const {
+  MLR_CHECK(q.size() == nu.size());
+  MLR_CHECK(i64(out.size()) == n_);
+  const double tau = params_.tau();
+  // 1) spread onto the fine grid.
+  std::vector<cfloat> g(size_t(m_), cfloat{});
+  const auto sigma = double(params_.sigma);
+  for (std::size_t j = 0; j < nu.size(); ++j) {
+    const double p = wrap(sigma * nu[j], double(m_));
+    const auto win = make_window(p, m_, params_.msp, tau);
+    for (int t = 0; t < win.cnt; ++t) g[size_t(win.idx[t])] += q[j] * win.w[t];
+  }
+  // 2) fine-grid DFT from spatial index to mode index.
+  dft_sign(*fine_plan_, {g.data(), size_t(m_)}, sign);
+  // 3) deconvolve, truncate to the n central modes.
+  for (i64 k = 0; k < n_; ++k) {
+    const i64 kc = to_centered(k, n_);
+    out[size_t(k)] =
+        g[size_t(from_centered(kc, m_))] * deconv_[size_t(k)];
+  }
+}
+
+double Nufft1D::flops(i64 npts) const {
+  return fft_flops(m_) + double(npts) * double(2 * params_.msp + 1) * 8.0 +
+         double(n_) * 6.0;
+}
+
+Nufft2D::Nufft2D(i64 rows, i64 cols, GriddingParams params)
+    : rows_(rows),
+      cols_(cols),
+      mr_(params.sigma * rows),
+      mc_(params.sigma * cols),
+      params_(params) {
+  MLR_CHECK(rows >= 2 && cols >= 2);
+  deconv_r_ = make_deconv(rows_, mr_, params_.tau());
+  deconv_c_ = make_deconv(cols_, mc_, params_.tau());
+  fine_plan_r_ = std::make_shared<Plan1D>(mr_);
+  fine_plan_c_ = std::make_shared<Plan1D>(mc_);
+}
+
+void Nufft2D::fine_fft2d(std::span<cfloat> g, int sign) const {
+  for (i64 r = 0; r < mr_; ++r)
+    dft_sign(*fine_plan_c_, g.subspan(size_t(r * mc_), size_t(mc_)), sign);
+  std::vector<cfloat> col(static_cast<size_t>(mr_));
+  for (i64 c = 0; c < mc_; ++c) {
+    for (i64 r = 0; r < mr_; ++r) col[size_t(r)] = g[size_t(r * mc_ + c)];
+    dft_sign(*fine_plan_r_, {col.data(), size_t(mr_)}, sign);
+    for (i64 r = 0; r < mr_; ++r) g[size_t(r * mc_ + c)] = col[size_t(r)];
+  }
+}
+
+void Nufft2D::type2(std::span<const double> nu_r,
+                    std::span<const double> nu_c,
+                    std::span<const cfloat> f, std::span<cfloat> out,
+                    int sign) const {
+  MLR_CHECK(i64(f.size()) == rows_ * cols_);
+  MLR_CHECK(nu_r.size() == nu_c.size() && out.size() == nu_r.size());
+  const double tau = params_.tau();
+  std::vector<cfloat> g(size_t(mr_ * mc_), cfloat{});
+  for (i64 r = 0; r < rows_; ++r) {
+    const i64 rf = from_centered(to_centered(r, rows_), mr_);
+    for (i64 c = 0; c < cols_; ++c) {
+      const i64 cf = from_centered(to_centered(c, cols_), mc_);
+      g[size_t(rf * mc_ + cf)] = f[size_t(r * cols_ + c)] *
+                                 deconv_r_[size_t(r)] * deconv_c_[size_t(c)];
+    }
+  }
+  fine_fft2d({g.data(), g.size()}, sign);
+  const auto sigma = double(params_.sigma);
+  for (std::size_t j = 0; j < nu_r.size(); ++j) {
+    const double pr = wrap(sigma * nu_r[j], double(mr_));
+    const double pc = wrap(sigma * nu_c[j], double(mc_));
+    const auto wr = make_window(pr, mr_, params_.msp, tau);
+    const auto wc = make_window(pc, mc_, params_.msp, tau);
+    cfloat acc{};
+    for (int a = 0; a < wr.cnt; ++a) {
+      const cfloat* row = g.data() + wr.idx[a] * mc_;
+      cfloat racc{};
+      for (int b = 0; b < wc.cnt; ++b) racc += row[wc.idx[b]] * wc.w[b];
+      acc += racc * wr.w[a];
+    }
+    out[j] = acc;
+  }
+}
+
+void Nufft2D::type1(std::span<const double> nu_r,
+                    std::span<const double> nu_c,
+                    std::span<const cfloat> q, std::span<cfloat> out,
+                    int sign) const {
+  MLR_CHECK(nu_r.size() == nu_c.size() && q.size() == nu_r.size());
+  MLR_CHECK(i64(out.size()) == rows_ * cols_);
+  const double tau = params_.tau();
+  std::vector<cfloat> g(size_t(mr_ * mc_), cfloat{});
+  const auto sigma = double(params_.sigma);
+  for (std::size_t j = 0; j < nu_r.size(); ++j) {
+    const double pr = wrap(sigma * nu_r[j], double(mr_));
+    const double pc = wrap(sigma * nu_c[j], double(mc_));
+    const auto wr = make_window(pr, mr_, params_.msp, tau);
+    const auto wc = make_window(pc, mc_, params_.msp, tau);
+    for (int a = 0; a < wr.cnt; ++a) {
+      cfloat* row = g.data() + wr.idx[a] * mc_;
+      const cfloat qa = q[j] * wr.w[a];
+      for (int b = 0; b < wc.cnt; ++b) row[wc.idx[b]] += qa * wc.w[b];
+    }
+  }
+  fine_fft2d({g.data(), g.size()}, sign);
+  for (i64 r = 0; r < rows_; ++r) {
+    const i64 rf = from_centered(to_centered(r, rows_), mr_);
+    for (i64 c = 0; c < cols_; ++c) {
+      const i64 cf = from_centered(to_centered(c, cols_), mc_);
+      out[size_t(r * cols_ + c)] = g[size_t(rf * mc_ + cf)] *
+                                   deconv_r_[size_t(r)] *
+                                   deconv_c_[size_t(c)];
+    }
+  }
+}
+
+double Nufft2D::flops(i64 npts) const {
+  const double w = double(2 * params_.msp + 1);
+  return double(mr_) * fft_flops(mc_) + double(mc_) * fft_flops(mr_) +
+         double(npts) * w * w * 8.0 + double(rows_ * cols_) * 6.0;
+}
+
+// ---------------------------------------------------------------------------
+// Naive references.
+
+void ndft1d_type2(std::span<const double> nu, std::span<const cfloat> f,
+                  std::span<cfloat> out, int sign) {
+  const i64 n = i64(f.size());
+  for (std::size_t j = 0; j < nu.size(); ++j) {
+    cdouble acc{};
+    for (i64 k = 0; k < n; ++k) {
+      const double ang =
+          double(sign) * 2.0 * kPi * double(to_centered(k, n)) * nu[j] /
+          double(n);
+      acc += cdouble(f[size_t(k)]) * std::polar(1.0, ang);
+    }
+    out[j] = cfloat(acc);
+  }
+}
+
+void ndft1d_type1(std::span<const double> nu, std::span<const cfloat> q,
+                  std::span<cfloat> out, i64 n, int sign) {
+  for (i64 k = 0; k < n; ++k) {
+    cdouble acc{};
+    for (std::size_t j = 0; j < nu.size(); ++j) {
+      const double ang =
+          double(sign) * 2.0 * kPi * double(to_centered(k, n)) * nu[j] /
+          double(n);
+      acc += cdouble(q[j]) * std::polar(1.0, ang);
+    }
+    out[size_t(k)] = cfloat(acc);
+  }
+}
+
+void ndft2d_type2(std::span<const double> nu_r, std::span<const double> nu_c,
+                  i64 rows, i64 cols, std::span<const cfloat> f,
+                  std::span<cfloat> out, int sign) {
+  for (std::size_t j = 0; j < nu_r.size(); ++j) {
+    cdouble acc{};
+    for (i64 r = 0; r < rows; ++r) {
+      for (i64 c = 0; c < cols; ++c) {
+        const double ang = double(sign) * 2.0 * kPi *
+                           (double(to_centered(r, rows)) * nu_r[j] / double(rows) +
+                            double(to_centered(c, cols)) * nu_c[j] / double(cols));
+        acc += cdouble(f[size_t(r * cols + c)]) * std::polar(1.0, ang);
+      }
+    }
+    out[j] = cfloat(acc);
+  }
+}
+
+void ndft2d_type1(std::span<const double> nu_r, std::span<const double> nu_c,
+                  i64 rows, i64 cols, std::span<const cfloat> q,
+                  std::span<cfloat> out, int sign) {
+  for (i64 r = 0; r < rows; ++r) {
+    for (i64 c = 0; c < cols; ++c) {
+      cdouble acc{};
+      for (std::size_t j = 0; j < nu_r.size(); ++j) {
+        const double ang = double(sign) * 2.0 * kPi *
+                           (double(to_centered(r, rows)) * nu_r[j] / double(rows) +
+                            double(to_centered(c, cols)) * nu_c[j] / double(cols));
+        acc += cdouble(q[j]) * std::polar(1.0, ang);
+      }
+      out[size_t(r * cols + c)] = cfloat(acc);
+    }
+  }
+}
+
+}  // namespace mlr::fft

@@ -1,0 +1,106 @@
+// Non-uniform FFT (NUFFT), Dutt–Rokhlin / Greengard–Lee Gaussian gridding.
+//
+// The laminography operators F_u1D / F_u2D evaluate Fourier transforms on
+// *unequally spaced* frequency grids (paper §2, refs [3,11]). This module
+// provides the two required primitives:
+//
+//   type-2 ("uniform → nonuniform"):
+//       F_j = Σ_k f_k · exp(sign·2πi · k̃ · ν_j / n),   k̃ = k − n/2 centered
+//   type-1 ("nonuniform → uniform"), the exact transpose:
+//       H_k = Σ_j q_j · exp(sign·2πi · k̃ · ν_j / n)
+//
+// so that type1(−sign) is the exact adjoint (conjugate transpose) of
+// type2(sign) — the property the ADMM conjugate-gradient solver relies on.
+//
+// Accuracy: oversampling σ=2 and spreading half-width Msp=6 give ~1e-6
+// relative error (single precision), verified against the naive NDFT in
+// tests/fft_test.cpp.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlr::fft {
+
+/// Gaussian spreading parameters shared by the 1-D and 2-D transforms.
+struct GriddingParams {
+  int msp = 6;        ///< spreading half-width in fine-grid points
+  i64 sigma = 2;      ///< oversampling factor (fine grid m = sigma·n)
+  [[nodiscard]] double tau() const;  ///< Gaussian width in fine-grid units²
+};
+
+/// 1-D NUFFT plan for a fixed uniform length n. The nonuniform frequencies
+/// are passed per call (they are cheap; the expensive state is the FFT plan).
+class Nufft1D {
+ public:
+  explicit Nufft1D(i64 n, GriddingParams params = {});
+
+  [[nodiscard]] i64 n() const { return n_; }
+  [[nodiscard]] i64 fine_size() const { return m_; }
+
+  /// Uniform (length n) → nonuniform (length nu.size()).
+  void type2(std::span<const double> nu, std::span<const cfloat> f,
+             std::span<cfloat> out, int sign) const;
+  /// Nonuniform (length nu.size()) → uniform (length n). Accumulates into
+  /// `out` after zeroing it.
+  void type1(std::span<const double> nu, std::span<const cfloat> q,
+             std::span<cfloat> out, int sign) const;
+
+  /// FLOP estimate for one type-2/type-1 call with `npts` targets (cost model
+  /// input for the simulated GPU).
+  [[nodiscard]] double flops(i64 npts) const;
+
+ private:
+  i64 n_, m_;
+  GriddingParams params_;
+  std::vector<float> deconv_;  // 1/ψ̂(k̃) for each uniform mode (storage order)
+  // Plan for the fine-grid FFT is built lazily per call to stay thread-safe;
+  // it is cached here because Plan1D execute() is const-thread-safe.
+  std::shared_ptr<const class Plan1D> fine_plan_;
+};
+
+/// 2-D NUFFT plan over an (rows × cols) uniform grid; nonuniform points are
+/// (ν_r, ν_c) pairs in cycles.
+class Nufft2D {
+ public:
+  Nufft2D(i64 rows, i64 cols, GriddingParams params = {});
+
+  [[nodiscard]] i64 rows() const { return rows_; }
+  [[nodiscard]] i64 cols() const { return cols_; }
+
+  /// Uniform (rows·cols row-major) → nonuniform (nu_r.size() targets).
+  void type2(std::span<const double> nu_r, std::span<const double> nu_c,
+             std::span<const cfloat> f, std::span<cfloat> out,
+             int sign) const;
+  /// Nonuniform → uniform (rows·cols). Zeroes `out` first.
+  void type1(std::span<const double> nu_r, std::span<const double> nu_c,
+             std::span<const cfloat> q, std::span<cfloat> out,
+             int sign) const;
+
+  [[nodiscard]] double flops(i64 npts) const;
+
+ private:
+  i64 rows_, cols_, mr_, mc_;
+  GriddingParams params_;
+  std::vector<float> deconv_r_, deconv_c_;
+  std::shared_ptr<const class Plan1D> fine_plan_r_, fine_plan_c_;
+
+  void fine_fft2d(std::span<cfloat> g, int sign) const;
+};
+
+/// Naive O(n·J) nonuniform DFT references used by tests and tiny problems.
+void ndft1d_type2(std::span<const double> nu, std::span<const cfloat> f,
+                  std::span<cfloat> out, int sign);
+void ndft1d_type1(std::span<const double> nu, std::span<const cfloat> q,
+                  std::span<cfloat> out, i64 n, int sign);
+void ndft2d_type2(std::span<const double> nu_r, std::span<const double> nu_c,
+                  i64 rows, i64 cols, std::span<const cfloat> f,
+                  std::span<cfloat> out, int sign);
+void ndft2d_type1(std::span<const double> nu_r, std::span<const double> nu_c,
+                  i64 rows, i64 cols, std::span<const cfloat> q,
+                  std::span<cfloat> out, int sign);
+
+}  // namespace mlr::fft

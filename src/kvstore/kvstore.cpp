@@ -1,0 +1,131 @@
+#include "kvstore/kvstore.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mlr::kvstore {
+
+KvStore::KvStore(std::size_t shards) : shards_(shards == 0 ? 1 : shards) {
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+KvStore::~KvStore() {
+  {
+    std::lock_guard lk(q_mu_);
+    stop_ = true;
+  }
+  q_cv_.notify_all();
+  writer_.join();
+}
+
+void KvStore::put(u64 key, Blob value) {
+  auto& sh = shard_of(key);
+  std::lock_guard lk(sh.mu);
+  auto it = sh.map.find(key);
+  if (it != sh.map.end()) sh.bytes -= it->second.size();
+  sh.bytes += value.size();
+  sh.map[key] = std::move(value);
+}
+
+void KvStore::put_async(u64 key, Blob value) {
+  {
+    std::lock_guard lk(q_mu_);
+    queue_.emplace(key, std::move(value));
+  }
+  q_cv_.notify_one();
+}
+
+void KvStore::drain() {
+  std::unique_lock lk(q_mu_);
+  q_idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void KvStore::writer_loop() {
+  for (;;) {
+    std::pair<u64, Blob> item;
+    {
+      std::unique_lock lk(q_mu_);
+      q_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      item = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    put(item.first, std::move(item.second));
+    {
+      std::lock_guard lk(q_mu_);
+      --in_flight_;
+    }
+    q_idle_.notify_all();
+  }
+}
+
+std::optional<Blob> KvStore::get(u64 key) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto& sh = shard_of(key);
+  std::optional<Blob> out;
+  {
+    std::lock_guard lk(sh.mu);
+    auto it = sh.map.find(key);
+    if (it != sh.map.end()) out = it->second;
+  }
+  const auto dt = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  {
+    std::lock_guard lk(lat_mu_);
+    get_lat_.add(dt);
+  }
+  return out;
+}
+
+bool KvStore::contains(u64 key) const {
+  const auto& sh = shard_of(key);
+  std::lock_guard lk(sh.mu);
+  return sh.map.contains(key);
+}
+
+bool KvStore::erase(u64 key) {
+  auto& sh = shard_of(key);
+  std::lock_guard lk(sh.mu);
+  auto it = sh.map.find(key);
+  if (it == sh.map.end()) return false;
+  sh.bytes -= it->second.size();
+  sh.map.erase(it);
+  return true;
+}
+
+std::size_t KvStore::size() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard lk(sh.mu);
+    n += sh.map.size();
+  }
+  return n;
+}
+
+std::size_t KvStore::bytes() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard lk(sh.mu);
+    n += sh.bytes;
+  }
+  return n;
+}
+
+Blob to_blob(std::span<const cfloat> data) {
+  Blob b(data.size() * sizeof(cfloat));
+  std::memcpy(b.data(), data.data(), b.size());
+  return b;
+}
+
+std::vector<cfloat> from_blob(const Blob& blob) {
+  MLR_CHECK(blob.size() % sizeof(cfloat) == 0);
+  std::vector<cfloat> v(blob.size() / sizeof(cfloat));
+  std::memcpy(v.data(), blob.data(), blob.size());
+  return v;
+}
+
+}  // namespace mlr::kvstore

@@ -1,0 +1,43 @@
+#include "lamino/geometry.hpp"
+
+#include "fft/fft.hpp"
+
+namespace mlr::lamino {
+
+std::vector<double> Geometry::z_frequencies() const {
+  std::vector<double> nu(static_cast<size_t>(h));
+  const double s = std::sin(phi);
+  for (i64 kv = 0; kv < h; ++kv) {
+    // Centered detector-row frequency scaled into the object's n0-cycle units.
+    const double kc = double(fft::to_centered(kv, h));
+    nu[size_t(kv)] = kc * s * double(n0) / double(h);
+  }
+  return nu;
+}
+
+void Geometry::plane_frequencies(i64 kv, std::vector<double>& nu_row,
+                                 std::vector<double>& nu_col) const {
+  MLR_CHECK(kv >= 0 && kv < h);
+  const auto npts = size_t(ntheta * w);
+  nu_row.resize(npts);
+  nu_col.resize(npts);
+  const double cphi = std::cos(phi);
+  const double kvc = double(fft::to_centered(kv, h));
+  for (i64 t = 0; t < ntheta; ++t) {
+    const double th = theta(t);
+    const double ct = std::cos(th), st = std::sin(th);
+    for (i64 ku = 0; ku < w; ++ku) {
+      const double kuc = double(fft::to_centered(ku, w));
+      // ξ_x = ku·cosθ − kv·cosφ·sinθ ; ξ_y = ku·sinθ + kv·cosφ·cosθ.
+      const double fx = kuc * ct - kvc * cphi * st;
+      const double fy = kuc * st + kvc * cphi * ct;
+      const auto j = size_t(t * w + ku);
+      // row axis = n1 (y), col axis = n2 (x); rescale detector cycles into
+      // object-grid cycles.
+      nu_row[j] = fy * double(n1) / double(w);
+      nu_col[j] = fx * double(n2) / double(w);
+    }
+  }
+}
+
+}  // namespace mlr::lamino

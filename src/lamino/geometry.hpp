@@ -1,0 +1,75 @@
+// Laminography acquisition geometry.
+//
+// A flat sample rotates about an axis tilted by the laminography angle φ
+// relative to the beam; a detector of h×w pixels records nθ projections. By
+// the Fourier-slice theorem the 2-D FFT of projection θ samples the 3-D FFT
+// of the object on the tilted plane spanned by
+//     e_u(θ) = ( cosθ,  sinθ, 0)
+//     e_v(θ) = (−cosφ·sinθ, cosφ·cosθ, sinφ)
+// so detector frequency (ku, kv) maps to the 3-D frequency point
+//     ξ = ku·e_u + kv·e_v.
+// The z-component kv·sinφ is independent of θ — that separability is what
+// lets the paper factor the forward model into F_u1D (1-D transform along z
+// to the nonuniform kv·sinφ grid) followed by F_u2D (2-D transform of each
+// kv-plane to the in-plane nonuniform points) and F*_2D (uniform detector
+// transform).
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mlr::lamino {
+
+/// Geometry of one laminography scan.
+struct Geometry {
+  i64 n1 = 0;       ///< object voxels along y (chunked axis)
+  i64 n0 = 0;       ///< object voxels along z (vertical; maps to detector h)
+  i64 n2 = 0;       ///< object voxels along x
+  i64 ntheta = 0;   ///< number of projection angles
+  i64 h = 0;        ///< detector rows
+  i64 w = 0;        ///< detector columns
+  double phi = 0.0; ///< laminography tilt angle (radians), 0 < φ ≤ π/2
+
+  /// Cubic volume preset with matched detector, the configuration the paper
+  /// evaluates (n³ volumes, detector n×n, nθ = n angles).
+  static Geometry cube(i64 n, double phi_deg = 61.0) {
+    Geometry g;
+    g.n1 = g.n0 = g.n2 = n;
+    g.ntheta = n;
+    g.h = g.w = n;
+    g.phi = phi_deg * std::numbers::pi / 180.0;
+    return g;
+  }
+
+  void validate() const {
+    MLR_CHECK(n1 >= 2 && n0 >= 2 && n2 >= 2);
+    MLR_CHECK(ntheta >= 1 && h >= 2 && w >= 2);
+    MLR_CHECK(phi > 0.0 && phi <= std::numbers::pi / 2 + 1e-9);
+  }
+
+  /// Rotation angle of projection t, uniform over [0, 2π).
+  [[nodiscard]] double theta(i64 t) const {
+    return 2.0 * std::numbers::pi * double(t) / double(ntheta);
+  }
+
+  /// Nonuniform z-frequencies ν_kv = k̃v·sinφ targeted by F_u1D (length h,
+  /// storage order).
+  [[nodiscard]] std::vector<double> z_frequencies() const;
+
+  /// In-plane nonuniform frequency points for one detector row kv (length
+  /// nθ·w pairs, ordered θ-major). ν_y = row coordinate (n1 axis),
+  /// ν_x = column coordinate (n2 axis).
+  void plane_frequencies(i64 kv, std::vector<double>& nu_row,
+                         std::vector<double>& nu_col) const;
+
+  [[nodiscard]] Shape3 object_shape() const { return {n1, n0, n2}; }
+  [[nodiscard]] Shape3 data_shape() const { return {ntheta, h, w}; }
+  /// Shape of the intermediate ũ1 = F_u1D·u array.
+  [[nodiscard]] Shape3 u1_shape() const { return {n1, h, n2}; }
+};
+
+}  // namespace mlr::lamino

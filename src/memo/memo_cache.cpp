@@ -1,0 +1,113 @@
+#include "memo/memo_cache.hpp"
+
+#include <algorithm>
+
+#include "common/array.hpp"
+#include "common/error.hpp"
+
+namespace mlr::memo {
+
+PrivateCache::PrivateCache(i64 num_locations)
+    : num_locations_(num_locations),
+      slots_(size_t(kNumOpKinds * num_locations)) {
+  MLR_CHECK(num_locations >= 1);
+}
+
+i64 PrivateCache::slot(OpKind kind, i64 location) const {
+  MLR_CHECK(location >= 0 && location < num_locations_);
+  return i64(int(kind)) * num_locations_ + location;
+}
+
+namespace {
+// Shared acceptance rule (see MemoDb::query_batch): oracle pooled-plane
+// cosine with a norm gate when probes exist, encoder proxy otherwise.
+bool accept_entry(const CacheEntry& e, std::span<const float> key, double tau,
+                  double norm, std::span<const cfloat> probe) {
+  if (!probe.empty() && e.probe.size() == probe.size()) {
+    const double lo = std::min(norm, e.norm), hi = std::max(norm, e.norm);
+    if (hi > 0 && lo / hi <= tau) return false;
+    return cosine_similarity<cfloat>(probe, e.probe) > tau;
+  }
+  return std::min(key_cosine(key, e.key),
+                  estimated_chunk_cosine(key, e.key, norm, e.norm)) > tau;
+}
+}  // namespace
+
+std::optional<std::vector<cfloat>> PrivateCache::lookup(
+    OpKind kind, i64 location, std::span<const float> key, double tau,
+    double norm, std::span<const cfloat> probe) {
+  ++stats_.lookups;
+  const auto& s = slots_[size_t(slot(kind, location))];
+  if (!s.has_value()) return std::nullopt;
+  ++stats_.comparisons;  // exactly one comparison: the private slot
+  if (accept_entry(*s, key, tau, norm, probe)) {
+    ++stats_.hits;
+    return s->value;
+  }
+  return std::nullopt;
+}
+
+void PrivateCache::insert(OpKind kind, i64 location,
+                          std::span<const float> key,
+                          std::span<const cfloat> value, double norm,
+                          std::span<const cfloat> probe) {
+  // FIFO with capacity one == unconditional replacement.
+  slots_[size_t(slot(kind, location))] =
+      CacheEntry{{key.begin(), key.end()},
+                 {value.begin(), value.end()},
+                 norm,
+                 {probe.begin(), probe.end()}};
+}
+
+std::size_t PrivateCache::bytes() const {
+  std::size_t b = 0;
+  for (const auto& s : slots_) {
+    if (s)
+      b += s->key.size() * sizeof(float) + s->value.size() * sizeof(cfloat);
+  }
+  return b;
+}
+
+GlobalCache::GlobalCache(i64 capacity) : capacity_(capacity) {
+  MLR_CHECK(capacity >= 1);
+}
+
+std::optional<std::vector<cfloat>> GlobalCache::lookup(
+    OpKind kind, i64 /*location*/, std::span<const float> key, double tau,
+    double norm, std::span<const cfloat> probe) {
+  ++stats_.lookups;
+  // Cross-location sharing: any resident entry of the same operator kind may
+  // serve the request, so every one must be compared.
+  const Tagged* best = nullptr;
+  for (const auto& t : pool_) {
+    if (t.kind != kind) continue;
+    ++stats_.comparisons;
+    if (accept_entry(t.entry, key, tau, norm, probe)) best = &t;
+  }
+  if (best != nullptr) {
+    ++stats_.hits;
+    return best->entry.value;
+  }
+  return std::nullopt;
+}
+
+void GlobalCache::insert(OpKind kind, i64 /*location*/,
+                         std::span<const float> key,
+                         std::span<const cfloat> value, double norm,
+                         std::span<const cfloat> probe) {
+  if (i64(pool_.size()) >= capacity_) pool_.erase(pool_.begin());  // FIFO
+  pool_.push_back({kind, CacheEntry{{key.begin(), key.end()},
+                                    {value.begin(), value.end()},
+                                    norm,
+                                    {probe.begin(), probe.end()}}});
+}
+
+std::size_t GlobalCache::bytes() const {
+  std::size_t b = 0;
+  for (const auto& t : pool_)
+    b += t.entry.key.size() * sizeof(float) +
+         t.entry.value.size() * sizeof(cfloat);
+  return b;
+}
+
+}  // namespace mlr::memo

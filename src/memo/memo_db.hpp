@@ -1,0 +1,141 @@
+// The distributed memoization database (paper §4.3).
+//
+// Architecture mirrors Fig 6: the *memory node* hosts an index database
+// (ANN over encoder keys — Faiss IVF in the paper, our IvfFlatIndex here)
+// and a value database (Redis in the paper, our KvStore here). The compute
+// node reaches it over the shared interconnect. Queries are optionally
+// *coalesced* into ≥4 KB payloads (§4.3.3) and looked up as a batch.
+//
+// All timing flows through the virtual clock: key transfer on the
+// Interconnect timeline, batched lookup + value serve on the MemoryNode
+// timeline, value transfer back on the Interconnect. Insertions are
+// asynchronous — they occupy the link/node timelines but never gate the
+// caller's ready time (the paper hides insertion behind the next iteration).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ann/ann.hpp"
+#include "common/stats.hpp"
+#include "kvstore/kvstore.hpp"
+#include "sim/device.hpp"
+
+namespace mlr::memo {
+
+/// Distinct FFT operators have distinct key/value spaces (an F_u1D result is
+/// never a valid answer for an F_u2D query).
+enum class OpKind : int { Fu1D = 0, Fu1DAdj = 1, Fu2D = 2, Fu2DAdj = 3 };
+inline constexpr int kNumOpKinds = 4;
+const char* op_kind_name(OpKind k);
+
+/// One pending lookup in a coalescing batch. `norm` is the L2 norm of the
+/// raw chunk: because the ReLU encoder is nearly positively homogeneous,
+/// key *cosine* alone cannot distinguish a chunk from a rescaled copy, so a
+/// match additionally requires the stored/query norm ratio to exceed τ.
+struct QueryRequest {
+  OpKind kind;
+  std::vector<float> key;
+  double norm = 1.0;
+  /// Pooled input plane for oracle similarity (empty in encoder mode).
+  std::vector<cfloat> probe;
+  /// Per-query acceptance threshold; 0 → use the DB's configured τ.
+  double tau = 0.0;
+  /// Expected value length in cfloats; 0 → any. A stored result for a
+  /// different chunk shape is never a valid answer (tail chunks are smaller
+  /// than interior chunks).
+  std::size_t value_size = 0;
+};
+
+/// Outcome of one lookup.
+struct QueryReply {
+  bool hit = false;
+  u64 match_id = 0;
+  double cosine = 0.0;           ///< similarity of matched key
+  std::vector<cfloat> value;     ///< retrieved FFT result when hit
+  sim::VTime value_ready = 0.0;  ///< virtual time the value is on the compute node
+};
+
+struct MemoDbConfig {
+  i64 key_dim = 60;
+  double tau = 0.92;            ///< cosine threshold for accepting a match
+  i64 coalesce_bytes = 4096;    ///< payload target for key coalescing
+  bool coalesce = true;
+  /// Virtual-clock multiplier applied to value-payload bytes so a scaled-
+  /// down volume is *timed* as its paper-scale counterpart (keys are tiny
+  /// at any scale and are not multiplied).
+  double value_scale = 1.0;
+  /// Oracle similarity: accept by the true cosine of pooled input planes
+  /// instead of the encoder-key proxy. The paper's encoder is trained at
+  /// dataset scale and approximates exactly this quantity; at this repo's
+  /// reduced scale the oracle removes encoder fidelity as a confounder for
+  /// the accuracy/convergence experiments (see DESIGN.md). Keys are still
+  /// encoded and timed for the performance path either way.
+  bool oracle_similarity = true;
+  ann::IvfParams ivf{};         ///< index database parameters
+};
+
+/// Timing breakdown accumulated across queries (Fig 10 / Fig 11 components).
+struct DbTiming {
+  double comm_s = 0;         ///< key+value transfer time on the critical path
+  double search_s = 0;       ///< index lookup time
+  double value_serve_s = 0;  ///< value database service time
+  Samples query_latency_us;  ///< end-to-end per-query latency samples
+};
+
+class MemoDb {
+ public:
+  MemoDb(MemoDbConfig cfg, sim::Interconnect* net, sim::MemoryNode* node);
+
+  /// Batched lookup: all requests travel together (coalesced into
+  /// ceil(batch·key_bytes / coalesce_bytes) messages when enabled, one
+  /// message per key otherwise). Returns one reply per request; replies for
+  /// hits include the value and its arrival time.
+  std::vector<QueryReply> query_batch(std::span<const QueryRequest> reqs,
+                                      sim::VTime ready);
+
+  /// Asynchronous insertion of (key, value): charged to the link/node
+  /// timelines, never blocks the caller. `norm` is the raw chunk L2 norm.
+  void insert(OpKind kind, std::span<const float> key,
+              std::span<const cfloat> value, sim::VTime ready,
+              double norm = 1.0, std::vector<cfloat> probe = {});
+
+  [[nodiscard]] std::size_t entries(OpKind kind) const;
+  [[nodiscard]] std::size_t total_entries() const;
+  [[nodiscard]] std::size_t value_bytes() const { return values_.bytes(); }
+  [[nodiscard]] const DbTiming& timing() const { return timing_; }
+  [[nodiscard]] const MemoDbConfig& config() const { return cfg_; }
+  /// Number of coalesced wire messages sent so far for queries.
+  [[nodiscard]] u64 messages_sent() const { return messages_; }
+
+ private:
+  u64 make_id(OpKind kind) { return (u64(kind) << 56) | next_id_++; }
+
+  MemoDbConfig cfg_;
+  sim::Interconnect* net_;
+  sim::MemoryNode* node_;
+  std::vector<std::unique_ptr<ann::IvfFlatIndex>> index_;  // one per OpKind
+  kvstore::KvStore values_;
+  std::unordered_map<u64, double> norms_;  // id → stored chunk norm
+  std::unordered_map<u64, std::vector<cfloat>> probes_;  // id → pooled input
+  u64 next_id_ = 0;
+  u64 messages_ = 0;
+  DbTiming timing_;
+};
+
+/// Cosine similarity between two float keys.
+double key_cosine(std::span<const float> a, std::span<const float> b);
+
+/// Estimated cosine similarity between the two *chunks* behind a pair of
+/// keys (Eq. 3 of the paper). The contrastive encoder preserves chunk L2
+/// distances (‖za−zb‖ ≈ ‖Cha−Chb‖), and chunk norms are known exactly, so
+///   cos χ = (nq² + ndb² − ‖za−zb‖²) / (2·nq·ndb),
+/// clamped to [−1, 1].
+double estimated_chunk_cosine(std::span<const float> key_q,
+                              std::span<const float> key_db, double norm_q,
+                              double norm_db);
+
+}  // namespace mlr::memo

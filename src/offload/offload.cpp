@@ -1,0 +1,457 @@
+#include "offload/offload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mlr::offload {
+
+namespace {
+// Iteration phases in execution order (Init excluded).
+constexpr std::array<Phase, 4> kIterPhases{Phase::Lsp, Phase::Rsp,
+                                           Phase::LambdaUpdate,
+                                           Phase::PenaltyUpdate};
+int phase_pos(Phase p) {
+  for (std::size_t i = 0; i < kIterPhases.size(); ++i)
+    if (kIterPhases[i] == p) return int(i);
+  return -1;
+}
+}  // namespace
+
+std::optional<Phase> Trace::next_accessor(const std::string& var,
+                                          Phase p) const {
+  auto it = access.find(var);
+  if (it == access.end()) return std::nullopt;
+  const int pos = phase_pos(p);
+  if (pos < 0) return std::nullopt;
+  for (int step = 1; step <= int(kIterPhases.size()); ++step) {
+    const Phase q = kIterPhases[size_t((pos + step) % kIterPhases.size())];
+    if (it->second[size_t(int(q))].accessed) return q;
+  }
+  return std::nullopt;
+}
+
+double Trace::mpd(const std::string& var, Phase p) const {
+  auto it = access.find(var);
+  if (it == access.end()) return 0.0;
+  const auto& pa = it->second[size_t(int(p))];
+  if (!pa.accessed) return 0.0;
+  auto q = next_accessor(var, p);
+  if (!q.has_value()) {
+    // Sole accessor: the window is the rest of the iteration plus the run-up
+    // to the same phase next iteration.
+    return iteration_s;
+  }
+  const auto& qa = it->second[size_t(int(*q))];
+  double gap = qa.first - pa.last;
+  if (gap < 0) gap += iteration_s;  // next access is in the following iteration
+  return gap;
+}
+
+void TraceProfiler::phase_begin(Phase p, sim::VTime t) {
+  current_ = p;
+  if (p == Phase::Lsp) {
+    // New iteration: archive the previous one.
+    if (in_iteration_) {
+      building_.iteration_s = t - building_.phase_begin[size_t(int(Phase::Lsp))];
+      last_ = building_;
+      building_ = Trace{};
+    }
+    in_iteration_ = true;
+  }
+  if (in_iteration_) building_.phase_begin[size_t(int(p))] = t;
+}
+
+sim::VTime TraceProfiler::on_access(const std::string& var, sim::VTime t) {
+  if (in_iteration_) {
+    auto& pa = building_.access[var][size_t(int(current_))];
+    if (!pa.accessed) {
+      pa.accessed = true;
+      pa.first = t;
+    }
+    pa.last = t;
+    ++pa.count;
+  }
+  return t;
+}
+
+void TraceProfiler::phase_end(Phase p, sim::VTime t) {
+  if (in_iteration_) building_.phase_end[size_t(int(p))] = t;
+  if (in_iteration_ && p == Phase::PenaltyUpdate) {
+    building_.iteration_s =
+        t - building_.phase_begin[size_t(int(Phase::Lsp))];
+    last_ = building_;
+    building_ = Trace{};
+    in_iteration_ = false;
+  }
+}
+
+// --- Planner ----------------------------------------------------------------
+
+Planner::Planner(Trace trace, std::vector<VariableInfo> candidates,
+                 sim::SsdSpec ssd)
+    : trace_(std::move(trace)), candidates_(std::move(candidates)), ssd_(ssd) {
+  MLR_CHECK(trace_.iteration_s > 0);
+}
+
+bool Planner::feasible(const VariableInfo& var, Phase p) const {
+  auto it = trace_.access.find(var.name);
+  if (it == trace_.access.end()) return false;
+  if (!it->second[size_t(int(p))].accessed) return false;
+  const double mpd = trace_.mpd(var.name, p);
+  // Constraint (2): PD > 0 — a next access in the same phase window with no
+  // gap disables offloading.
+  if (mpd <= 0) return false;
+  // Constraint (3): offload (write) must fit inside the MPD window; the
+  // prefetch (read) must too, since it happens after the offload
+  // (constraint 1).
+  const sim::Ssd dev(ssd_);
+  const double off_s = dev.write_duration(var.bytes);
+  const double pre_s = dev.read_duration(var.bytes);
+  return off_s + pre_s < mpd;
+}
+
+std::vector<Plan> Planner::enumerate() const {
+  // Per-variable options: not offloaded, or offloaded after any feasible
+  // phase (prefetch target = next accessor), each with eager or just-in-time
+  // prefetch. The cross-product is small (≤3 variables in practice).
+  struct Option {
+    std::optional<PlanEntry> entry;  // nullopt = keep resident
+  };
+  std::vector<std::vector<Option>> per_var;
+  for (const auto& v : candidates_) {
+    std::vector<Option> opts;
+    opts.push_back({std::nullopt});
+    for (Phase p : kIterPhases) {
+      if (!feasible(v, p)) continue;
+      auto q = trace_.next_accessor(v.name, p);
+      if (!q.has_value()) q = p;  // sole accessor: back before the same phase
+      for (bool eager : {false, true}) {
+        opts.push_back({PlanEntry{v.name, v.bytes, p, *q, eager}});
+      }
+    }
+    per_var.push_back(std::move(opts));
+  }
+  std::vector<Plan> plans;
+  std::vector<std::size_t> pick(per_var.size(), 0);
+  for (;;) {
+    Plan plan;
+    for (std::size_t i = 0; i < per_var.size(); ++i) {
+      const auto& o = per_var[i][pick[i]];
+      if (o.entry.has_value()) plan.entries.push_back(*o.entry);
+    }
+    score(plan);
+    plans.push_back(std::move(plan));
+    // Odometer increment.
+    std::size_t i = 0;
+    for (; i < pick.size(); ++i) {
+      if (++pick[i] < per_var[i].size()) break;
+      pick[i] = 0;
+    }
+    if (i == pick.size()) break;
+    if (plans.size() > 4096) break;  // combinatorial safety valve
+  }
+  return plans;
+}
+
+void Planner::score(Plan& plan) const {
+  // Baseline peak = all candidates resident.
+  double total = 0;
+  for (const auto& v : candidates_) total += v.bytes;
+  if (total <= 0 || plan.entries.empty()) {
+    plan.memory_saving_bytes = 0;
+    plan.memory_saving_frac = 0;
+    plan.perf_loss_frac = 0;
+    return;
+  }
+  const sim::Ssd dev(ssd_);
+  // A variable is absent from (last access in the offload phase + write
+  // time) until (first access in the prefetch phase), cyclically. Peak RSS
+  // is evaluated at every access instant of every candidate, which covers
+  // the iteration's residency extremes.
+  auto absent_at = [&](const PlanEntry& e, double t) {
+    const auto& pa = trace_.access.at(e.var)[size_t(int(e.offload_after))];
+    const auto& qa = trace_.access.at(e.var)[size_t(int(e.prefetch_for))];
+    const double from = pa.last + dev.write_duration(e.bytes);
+    const double to = qa.first;
+    if (from <= to) return t > from && t < to;
+    return t > from || t < to;  // window wraps into the next iteration
+  };
+  // Probe instants: every access time plus phase boundaries/midpoints (the
+  // program's true RSS peak sits mid-LSP where the solver workspaces live,
+  // so the relevant question is how much is absent *then*).
+  std::vector<double> probes;
+  for (const auto& [name, phases] : trace_.access) {
+    for (const auto& pa : phases) {
+      if (!pa.accessed) continue;
+      probes.push_back(pa.first);
+      probes.push_back(pa.last);
+    }
+  }
+  for (Phase p : kIterPhases) {
+    const double b = trace_.phase_begin[size_t(int(p))];
+    const double e = trace_.phase_end[size_t(int(p))];
+    probes.push_back(b);
+    probes.push_back(0.5 * (b + e));
+  }
+  // Memory saving = the largest simultaneous absence the plan achieves —
+  // the peak-RSS reduction when the program peak falls inside that window
+  // (LSP dominates the iteration, so it does).
+  double best_absent = 0;
+  for (double t : probes) {
+    double absent = 0;
+    for (const auto& e : plan.entries) {
+      if (absent_at(e, t)) absent += e.bytes;
+    }
+    best_absent = std::max(best_absent, absent);
+  }
+  plan.memory_saving_bytes = best_absent;
+  plan.memory_saving_frac = best_absent / total;
+  // Performance loss: exposed prefetch time — max(0, read − slack), where
+  // slack is the window after the offload completes; plus a queueing share
+  // for the shared SSD channel when several variables move.
+  double exposed = 0;
+  for (const auto& e : plan.entries) {
+    const double mpd = trace_.mpd(e.var, e.offload_after);
+    const double off_s = dev.write_duration(e.bytes);
+    const double pre_s = dev.read_duration(e.bytes);
+    const double slack = mpd - off_s;
+    exposed += std::max(0.0, pre_s - slack);
+    exposed += 0.1 * (off_s + pre_s) * double(plan.entries.size() - 1);
+  }
+  plan.perf_loss_frac = exposed / trace_.iteration_s;
+}
+
+Plan Planner::best() const {
+  auto plans = enumerate();
+  MLR_CHECK(!plans.empty());
+  const Plan* best = &plans.front();
+  for (const auto& p : plans) {
+    if (p.entries.empty()) continue;
+    if (best->entries.empty() || p.mt() > best->mt()) best = &p;
+  }
+  return *best;
+}
+
+// --- AdmmOffloadPolicy --------------------------------------------------------
+
+AdmmOffloadPolicy::AdmmOffloadPolicy(Plan plan, Trace trace, sim::SsdSpec ssd)
+    : plan_(std::move(plan)), trace_(std::move(trace)), ssd_(ssd) {
+  for (const auto& e : plan_.entries) {
+    vars_[e.var] = VarState{&e, /*resident=*/true, 0, false};
+  }
+  // Re-point entry pointers at our stored copy (vector may have moved).
+  for (auto& [name, st] : vars_) {
+    for (const auto& e : plan_.entries) {
+      if (e.var == name) st.entry = &e;
+    }
+  }
+}
+
+void AdmmOffloadPolicy::record(sim::VTime t) {
+  double off = 0;
+  for (const auto& [name, st] : vars_) {
+    if (!st.resident) off += st.entry->bytes;
+  }
+  stats_.offloaded_timeline.push_back({t, off});
+}
+
+void AdmmOffloadPolicy::do_offload(VarState& st, sim::VTime t) {
+  const sim::VTime written = ssd_.write(t, st.entry->bytes);
+  st.resident = false;
+  st.prefetch_issued = false;
+  ++stats_.offloads;
+  record(t);
+  if (st.entry->eager_prefetch) {
+    st.ready_at = ssd_.read(written, st.entry->bytes);
+    st.prefetch_issued = true;
+    ++stats_.prefetches;
+  }
+}
+
+void AdmmOffloadPolicy::phase_begin(Phase p, sim::VTime t) {
+  current_ = p;
+  access_count_.clear();
+  // Just-in-time prefetches for variables needed by this phase are issued at
+  // the previous phase boundary; issue any still-pending ones now (worst
+  // case: fully exposed at first access).
+  for (auto& [name, st] : vars_) {
+    if (st.resident || st.prefetch_issued) continue;
+    if (st.entry->prefetch_for == p) {
+      st.ready_at = ssd_.read(t, st.entry->bytes);
+      st.prefetch_issued = true;
+      ++stats_.prefetches;
+    }
+  }
+}
+
+sim::VTime AdmmOffloadPolicy::on_access(const std::string& var, sim::VTime t) {
+  auto it = vars_.find(var);
+  if (it == vars_.end()) return t;
+  auto& st = it->second;
+  if (st.resident) return after_access(var, st, t);
+  // Constraint (4): the phase must wait for the prefetch.
+  if (!st.prefetch_issued) {
+    st.ready_at = ssd_.read(t, st.entry->bytes);
+    st.prefetch_issued = true;
+    ++stats_.demand_fetches;
+  }
+  const sim::VTime ready = std::max(t, st.ready_at);
+  stats_.exposed_stall_s += ready - t;
+  st.resident = true;
+  st.prefetch_issued = false;
+  record(ready);
+  return after_access(var, st, ready);
+}
+
+sim::VTime AdmmOffloadPolicy::after_access(const std::string& var,
+                                           VarState& st, sim::VTime t) {
+  // Intra-phase offload: once the traced number of accesses for this phase
+  // has happened, the variable is dead until its prefetch phase.
+  if (st.entry->offload_after != current_) return t;
+  auto it = trace_.access.find(var);
+  if (it == trace_.access.end()) return t;
+  const int traced = it->second[size_t(int(current_))].count;
+  if (traced > 0 && ++access_count_[var] >= traced && st.resident) {
+    do_offload(st, t);
+  }
+  return t;
+}
+
+void AdmmOffloadPolicy::phase_end(Phase p, sim::VTime t) {
+  // Backstop: anything the intra-phase path did not offload (e.g. when no
+  // trace counts are available) goes out at the phase boundary.
+  for (auto& [name, st] : vars_) {
+    if (!st.resident) continue;
+    if (st.entry->offload_after == p) do_offload(st, t);
+  }
+}
+
+// --- GreedyOffloadPolicy --------------------------------------------------------
+
+GreedyOffloadPolicy::GreedyOffloadPolicy(std::vector<VariableInfo> vars,
+                                         sim::SsdSpec ssd)
+    : ssd_(ssd) {
+  for (const auto& v : vars) vars_[v.name] = {v.bytes, true, false};
+}
+
+void GreedyOffloadPolicy::record(sim::VTime t) {
+  double off = 0;
+  for (const auto& [name, st] : vars_) {
+    if (!st.resident) off += st.bytes;
+  }
+  stats_.offloaded_timeline.push_back({t, off});
+}
+
+sim::VTime GreedyOffloadPolicy::on_access(const std::string& var,
+                                          sim::VTime t) {
+  auto it = vars_.find(var);
+  if (it == vars_.end()) return t;
+  auto& st = it->second;
+  st.touched_this_phase = true;
+  sim::VTime ready = t;
+  if (!st.resident) {
+    // Demand fetch, fully exposed.
+    ready = ssd_.read(t, st.bytes);
+    stats_.exposed_stall_s += ready - t;
+    ++stats_.demand_fetches;
+  }
+  // "Immediately offloads … upon generation": write the variable straight
+  // back out after this use; the write is exposed on the critical path too.
+  const sim::VTime written = ssd_.write(ready, st.bytes);
+  stats_.exposed_stall_s += written - ready;
+  ++stats_.offloads;
+  st.resident = false;
+  record(written);
+  return written;
+}
+
+void GreedyOffloadPolicy::phase_end(Phase p, sim::VTime t) {
+  // Variables generated but never touched this phase are flushed at the
+  // boundary (covers the initial state after allocation).
+  for (auto& [name, st] : vars_) {
+    if (st.resident) {
+      (void)ssd_.write(t, st.bytes);
+      st.resident = false;
+      ++stats_.offloads;
+    }
+    st.touched_this_phase = false;
+  }
+  record(t);
+}
+
+// --- LruOffloadPolicy ------------------------------------------------------------
+
+LruOffloadPolicy::LruOffloadPolicy(std::vector<VariableInfo> vars,
+                                   double budget_bytes, sim::SsdSpec ssd)
+    : ssd_(ssd), budget_(budget_bytes) {
+  for (const auto& v : vars) vars_[v.name] = {v.bytes, false, 0};
+}
+
+void LruOffloadPolicy::record(sim::VTime t) {
+  double off = 0;
+  for (const auto& [name, st] : vars_) {
+    if (!st.resident) off += st.bytes;
+  }
+  stats_.offloaded_timeline.push_back({t, off});
+}
+
+sim::VTime LruOffloadPolicy::on_access(const std::string& var, sim::VTime t) {
+  auto it = vars_.find(var);
+  if (it == vars_.end()) return t;
+  auto& st = it->second;
+  sim::VTime now = t;
+  if (!st.resident) {
+    // Evict LRU residents until the fetch fits the budget.
+    while (resident_bytes_ + st.bytes > budget_) {
+      VarState* lru = nullptr;
+      for (auto& [n, s] : vars_) {
+        if (!s.resident || &s == &st) continue;
+        if (lru == nullptr || s.last_used < lru->last_used) lru = &s;
+      }
+      if (lru == nullptr) break;  // nothing evictable; exceed budget
+      now = ssd_.write(now, lru->bytes);  // eviction write is exposed too
+      lru->resident = false;
+      resident_bytes_ -= lru->bytes;
+      ++stats_.offloads;
+    }
+    now = ssd_.read(now, st.bytes);
+    stats_.exposed_stall_s += now - t;
+    ++stats_.demand_fetches;
+    st.resident = true;
+    resident_bytes_ += st.bytes;
+    record(now);
+  }
+  st.last_used = now;
+  return now;
+}
+
+// --- curve combination ------------------------------------------------------------
+
+std::vector<sim::MemoryTracker::Sample> apply_offload_to_rss(
+    const std::vector<sim::MemoryTracker::Sample>& base,
+    const std::vector<sim::MemoryTracker::Sample>& offloaded) {
+  std::vector<sim::MemoryTracker::Sample> out;
+  std::size_t bi = 0, oi = 0;
+  double cur_base = 0, cur_off = 0;
+  while (bi < base.size() || oi < offloaded.size()) {
+    const double tb =
+        bi < base.size() ? base[bi].t : std::numeric_limits<double>::max();
+    const double to = oi < offloaded.size()
+                          ? offloaded[oi].t
+                          : std::numeric_limits<double>::max();
+    double t;
+    if (tb <= to) {
+      cur_base = base[bi++].bytes;
+      t = tb;
+    } else {
+      cur_off = offloaded[oi++].bytes;
+      t = to;
+    }
+    out.push_back({t, std::max(0.0, cur_base - cur_off)});
+  }
+  return out;
+}
+
+}  // namespace mlr::offload

@@ -1,0 +1,230 @@
+// ADMM-Offload (paper §5.1): save CPU memory by moving the big ADMM
+// variables (ψ, λ, g) to SSD between the phases that touch them.
+//
+// Components:
+//  * TraceProfiler     — observes one profiled iteration and records, per
+//                        variable, which phases access it (the "first/last
+//                        access" data the paper gathers from one iteration).
+//  * Planner           — enumerates offload/prefetch plans subject to the
+//                        paper's four constraints and scores them with
+//                        MT = memory-saving × 1/performance-loss, returning
+//                        the argmax plan.
+//  * AdmmOffloadPolicy — executes a plan at run time: offload at the chosen
+//                        phase boundary, prefetch so the next consumer phase
+//                        (usually) does not stall; stalls that do happen are
+//                        exposed via delayed on_access times.
+//  * GreedyOffloadPolicy — baseline: offload immediately after every use,
+//                        fetch on demand (fully exposed reads).
+//  * LruOffloadPolicy  — baseline: capacity-budget eviction of the least-
+//                        recently-used variable, fetch on demand.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "admm/solver.hpp"
+#include "sim/device.hpp"
+
+namespace mlr::offload {
+
+using admm::Phase;
+using admm::kNumPhases;
+
+/// An offloadable (alias-free, paper §5.1) variable.
+struct VariableInfo {
+  std::string name;
+  double bytes = 0;
+};
+
+/// Which phases touch a variable, from the profiled iteration.
+struct PhaseAccess {
+  bool accessed = false;
+  sim::VTime first = 0, last = 0;  ///< absolute vtimes within the profile
+  int count = 0;                   ///< number of accesses in the phase
+};
+
+/// Access trace of one ADMM iteration.
+struct Trace {
+  std::map<std::string, std::array<PhaseAccess, kNumPhases>> access;
+  std::array<sim::VTime, kNumPhases> phase_begin{};
+  std::array<sim::VTime, kNumPhases> phase_end{};
+  double iteration_s = 0;  ///< duration of the profiled iteration
+
+  /// Next phase (cyclically, skipping Init) accessing `var` strictly after
+  /// phase `p`; nullopt when no other phase touches it.
+  [[nodiscard]] std::optional<Phase> next_accessor(const std::string& var,
+                                                   Phase p) const;
+  /// Maximum prefetch distance of `var` w.r.t. offloading after phase `p`:
+  /// the gap between its last access in `p` and its first access in the next
+  /// accessor phase (wrapping adds the remaining iteration time).
+  [[nodiscard]] double mpd(const std::string& var, Phase p) const;
+};
+
+/// PhaseObserver that records the trace during one profiled iteration.
+class TraceProfiler : public admm::PhaseObserver {
+ public:
+  void phase_begin(Phase p, sim::VTime t) override;
+  sim::VTime on_access(const std::string& var, sim::VTime t) override;
+  void phase_end(Phase p, sim::VTime t) override;
+
+  /// Finish profiling (call after ≥1 full iteration) and return the trace of
+  /// the *last complete* iteration.
+  [[nodiscard]] Trace trace() const { return last_; }
+
+ private:
+  Phase current_ = Phase::Init;
+  Trace building_, last_;
+  bool in_iteration_ = false;
+};
+
+/// One variable's offload/prefetch decision inside a plan.
+struct PlanEntry {
+  std::string var;
+  double bytes = 0;
+  Phase offload_after{};   ///< write to SSD once this phase's last use ends
+  Phase prefetch_for{};    ///< must be resident again when this phase starts
+  bool eager_prefetch = false;  ///< prefetch right after offload completes
+};
+
+struct Plan {
+  std::vector<PlanEntry> entries;
+  double memory_saving_bytes = 0;  ///< estimated peak-RSS reduction
+  double memory_saving_frac = 0;   ///< M (fraction of baseline peak)
+  double perf_loss_frac = 0;       ///< T (fraction of iteration time)
+  /// MT = M · (1/T); higher is better (paper §5.1).
+  [[nodiscard]] double mt() const {
+    return perf_loss_frac > 1e-9 ? memory_saving_frac / perf_loss_frac
+                                 : memory_saving_frac * 1e9;
+  }
+};
+
+/// Enumerates candidate plans under the four constraints and returns the one
+/// with the largest MT.
+class Planner {
+ public:
+  Planner(Trace trace, std::vector<VariableInfo> candidates,
+          sim::SsdSpec ssd = {});
+
+  /// All feasible plans (constraints 1–4 satisfied), including the empty one.
+  [[nodiscard]] std::vector<Plan> enumerate() const;
+  /// argmax MT over enumerate(), excluding the empty plan unless nothing
+  /// else is feasible.
+  [[nodiscard]] Plan best() const;
+
+  /// Feasibility of offloading `var` after phase `p` (constraints 2 and 3).
+  [[nodiscard]] bool feasible(const VariableInfo& var, Phase p) const;
+
+ private:
+  void score(Plan& plan) const;
+
+  Trace trace_;
+  std::vector<VariableInfo> candidates_;
+  sim::SsdSpec ssd_;
+};
+
+/// Runtime statistics common to all offload policies.
+struct OffloadStats {
+  double exposed_stall_s = 0;  ///< prefetch/fetch time on the critical path
+  u64 offloads = 0, prefetches = 0, demand_fetches = 0;
+  /// (vtime, offloaded bytes) curve; subtract from the baseline RSS curve to
+  /// obtain the policy's RSS (Fig 13).
+  std::vector<sim::MemoryTracker::Sample> offloaded_timeline;
+  [[nodiscard]] double current_offloaded() const {
+    return offloaded_timeline.empty() ? 0.0 : offloaded_timeline.back().bytes;
+  }
+};
+
+/// Plan-driven policy (the paper's ADMM-Offload).
+class AdmmOffloadPolicy : public admm::PhaseObserver {
+ public:
+  /// `trace` enables intra-phase offloading: a variable is written out right
+  /// after its traced last access in the offload phase instead of waiting
+  /// for the phase boundary (Fig 7's behaviour).
+  AdmmOffloadPolicy(Plan plan, Trace trace = {}, sim::SsdSpec ssd = {});
+
+  void phase_begin(Phase p, sim::VTime t) override;
+  sim::VTime on_access(const std::string& var, sim::VTime t) override;
+  void phase_end(Phase p, sim::VTime t) override;
+
+  [[nodiscard]] const OffloadStats& stats() const { return stats_; }
+  [[nodiscard]] const Plan& plan() const { return plan_; }
+
+ private:
+  struct VarState {
+    const PlanEntry* entry = nullptr;
+    bool resident = true;
+    sim::VTime ready_at = 0;  ///< when a pending prefetch lands
+    bool prefetch_issued = false;
+  };
+  void record(sim::VTime t);
+  void do_offload(VarState& st, sim::VTime t);
+  sim::VTime after_access(const std::string& var, VarState& st, sim::VTime t);
+
+  Plan plan_;
+  Trace trace_;
+  sim::Ssd ssd_;
+  Phase current_ = Phase::Init;
+  std::map<std::string, int> access_count_;
+  std::map<std::string, VarState> vars_;
+  OffloadStats stats_;
+};
+
+/// Baseline: offload every tracked variable the moment its phase ends, fetch
+/// on demand with the read fully exposed.
+class GreedyOffloadPolicy : public admm::PhaseObserver {
+ public:
+  GreedyOffloadPolicy(std::vector<VariableInfo> vars, sim::SsdSpec ssd = {});
+
+  sim::VTime on_access(const std::string& var, sim::VTime t) override;
+  void phase_end(Phase p, sim::VTime t) override;
+
+  [[nodiscard]] const OffloadStats& stats() const { return stats_; }
+
+ private:
+  void record(sim::VTime t);
+  struct VarState {
+    double bytes = 0;
+    bool resident = true;
+    bool touched_this_phase = false;
+  };
+  sim::Ssd ssd_;
+  std::map<std::string, VarState> vars_;
+  OffloadStats stats_;
+};
+
+/// Baseline: LRU under a residency budget; eviction happens only when a
+/// fetch would exceed the budget (the policy the paper argues against: it
+/// decides *when to offload* but never *when to prefetch*).
+class LruOffloadPolicy : public admm::PhaseObserver {
+ public:
+  LruOffloadPolicy(std::vector<VariableInfo> vars, double budget_bytes,
+                   sim::SsdSpec ssd = {});
+
+  sim::VTime on_access(const std::string& var, sim::VTime t) override;
+
+  [[nodiscard]] const OffloadStats& stats() const { return stats_; }
+
+ private:
+  void record(sim::VTime t);
+  struct VarState {
+    double bytes = 0;
+    bool resident = false;   ///< variables materialize on first access
+    sim::VTime last_used = 0;
+  };
+  sim::Ssd ssd_;
+  double budget_;
+  double resident_bytes_ = 0;
+  std::map<std::string, VarState> vars_;
+  OffloadStats stats_;
+};
+
+/// Combine a baseline RSS curve with a policy's offloaded-bytes curve:
+/// rss(t) = base(t) − offloaded(t). Returns a merged step curve.
+std::vector<sim::MemoryTracker::Sample> apply_offload_to_rss(
+    const std::vector<sim::MemoryTracker::Sample>& base,
+    const std::vector<sim::MemoryTracker::Sample>& offloaded);
+
+}  // namespace mlr::offload

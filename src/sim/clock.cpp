@@ -1,0 +1,47 @@
+#include "sim/clock.hpp"
+
+#include <algorithm>
+
+namespace mlr::sim {
+
+void MemoryTracker::alloc(const std::string& name, double bytes, VTime t) {
+  MLR_CHECK(bytes >= 0);
+  for (auto& [n, b] : live_) {
+    if (n == name) {
+      current_ += bytes - b;
+      b = bytes;
+      peak_ = std::max(peak_, current_);
+      samples_.push_back({t, current_});
+      return;
+    }
+  }
+  live_.emplace_back(name, bytes);
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+  samples_.push_back({t, current_});
+}
+
+void MemoryTracker::release(const std::string& name, VTime t) {
+  for (auto it = live_.begin(); it != live_.end(); ++it) {
+    if (it->first == name) {
+      current_ -= it->second;
+      live_.erase(it);
+      samples_.push_back({t, current_});
+      return;
+    }
+  }
+  MLR_CHECK_MSG(false, "release of unknown variable: " + name);
+}
+
+double MemoryTracker::bytes_of(const std::string& name) const {
+  for (const auto& [n, b] : live_) {
+    if (n == name) return b;
+  }
+  return 0.0;
+}
+
+std::vector<std::pair<std::string, double>> MemoryTracker::breakdown() const {
+  return live_;
+}
+
+}  // namespace mlr::sim

@@ -1,0 +1,87 @@
+// Virtual-time substrate.
+//
+// The paper's performance results come from Polaris (A100 GPUs, Slingshot 11,
+// NVMe). This container has none of that hardware, so every performance-
+// facing experiment runs real numerics under a *virtual clock*: each modelled
+// resource (GPU compute stream, copy engine, network link, SSD channel) is a
+// timeline that serializes the operations placed on it, and an operation's
+// completion time is
+//     start = max(input-ready time, resource.busy_until);  end = start + dur.
+// Critical-path composition of those timelines reproduces pipeline overlap
+// (Figs 1 and 3), transfer bottlenecks, and contention, without wall-clock
+// dependence on this machine.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mlr::sim {
+
+/// Virtual timestamp in seconds.
+using VTime = double;
+
+/// A serially-used resource (one GPU stream, one DMA engine, one NIC...).
+/// Tracks cumulative busy time so utilization can be reported.
+class Timeline {
+ public:
+  explicit Timeline(std::string name = {}) : name_(std::move(name)) {}
+
+  /// Schedule an operation that becomes eligible at `ready` and takes
+  /// `duration` seconds. Returns its completion time.
+  VTime schedule(VTime ready, double duration) {
+    MLR_CHECK(duration >= 0.0);
+    const VTime start = std::max(ready, busy_until_);
+    busy_until_ = start + duration;
+    busy_accum_ += duration;
+    return busy_until_;
+  }
+
+  [[nodiscard]] VTime busy_until() const { return busy_until_; }
+  /// Total busy seconds scheduled so far.
+  [[nodiscard]] double busy_time() const { return busy_accum_; }
+  /// Fraction of [0, horizon] this resource was busy.
+  [[nodiscard]] double utilization(VTime horizon) const {
+    return horizon > 0 ? std::min(1.0, busy_accum_ / horizon) : 0.0;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void reset() {
+    busy_until_ = 0;
+    busy_accum_ = 0;
+  }
+
+ private:
+  std::string name_;
+  VTime busy_until_ = 0;
+  double busy_accum_ = 0;
+};
+
+/// Named memory-consumption tracker sampling a (virtual time, bytes) curve —
+/// drives the RSS plots of Fig 2 and Fig 13.
+class MemoryTracker {
+ public:
+  struct Sample {
+    VTime t;
+    double bytes;
+  };
+
+  void alloc(const std::string& name, double bytes, VTime t);
+  void release(const std::string& name, VTime t);
+  [[nodiscard]] double current() const { return current_; }
+  [[nodiscard]] double peak() const { return peak_; }
+  [[nodiscard]] double bytes_of(const std::string& name) const;
+  [[nodiscard]] const std::vector<Sample>& timeline() const { return samples_; }
+  /// Live variable → bytes map (for the Fig 2 style breakdown).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> breakdown() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> live_;
+  std::vector<Sample> samples_;
+  double current_ = 0, peak_ = 0;
+};
+
+}  // namespace mlr::sim

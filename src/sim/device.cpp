@@ -1,0 +1,72 @@
+#include "sim/device.hpp"
+
+namespace mlr::sim {
+
+Device::Device(int id, DeviceSpec spec)
+    : id_(id),
+      spec_(spec),
+      compute_("gpu" + std::to_string(id) + ".compute"),
+      h2d_("gpu" + std::to_string(id) + ".h2d"),
+      d2h_("gpu" + std::to_string(id) + ".d2h") {}
+
+VTime Device::run_kernel(VTime ready, double flops) {
+  MLR_CHECK(flops >= 0);
+  return compute_.schedule(ready, spec_.kernel_launch + flops / spec_.flops);
+}
+
+VTime Device::h2d(VTime ready, double bytes) {
+  return h2d_.schedule(ready, bytes / spec_.h2d_bw);
+}
+
+VTime Device::d2h(VTime ready, double bytes) {
+  return d2h_.schedule(ready, bytes / spec_.d2h_bw);
+}
+
+void Device::hbm_alloc(const std::string& name, double bytes, VTime t) {
+  MLR_CHECK_MSG(hbm_.current() + bytes <= spec_.hbm_bytes,
+                "GPU " + std::to_string(id_) + " HBM overflow allocating " +
+                    name);
+  hbm_.alloc(name, bytes, t);
+}
+
+void Device::hbm_free(const std::string& name, VTime t) {
+  hbm_.release(name, t);
+}
+
+void Device::reset() {
+  compute_.reset();
+  h2d_.reset();
+  d2h_.reset();
+}
+
+Interconnect::Interconnect(LinkSpec spec, u64 seed)
+    : spec_(spec), link_("interconnect"), rng_(seed) {}
+
+VTime Interconnect::transfer(VTime ready, double bytes) {
+  MLR_CHECK(bytes >= 0);
+  double dur = spec_.latency + bytes / spec_.bandwidth;
+  if (spec_.jitter_mean > 0) dur += rng_.exponential(spec_.jitter_mean);
+  return link_.schedule(ready, dur);
+}
+
+double Interconnect::payload_efficiency(double bytes) const {
+  const double wire = bytes / spec_.bandwidth;
+  return wire / (wire + spec_.latency);
+}
+
+VTime MemoryNode::serve_index_query(VTime ready, i64 batch) {
+  MLR_CHECK(batch >= 1);
+  // Batched lookups amortize the fixed traversal cost; multi-threaded DRAM
+  // scanning adds only a marginal per-key term (paper §4.3.3).
+  const double dur =
+      spec_.base_query_s + double(batch - 1) * spec_.per_key_query_s;
+  return cpu_.schedule(ready, dur);
+}
+
+VTime MemoryNode::serve_value(VTime ready, double bytes) {
+  // Constant service latency plus a single-stream serialization term — a
+  // Redis-like value store moves large values at a few GB/s, not wire speed.
+  return cpu_.schedule(ready, spec_.value_serve_s + bytes / spec_.value_stream_bw);
+}
+
+}  // namespace mlr::sim

@@ -1,0 +1,154 @@
+// Simulated GPU and node hardware models, calibrated to the paper's platform
+// (Polaris: 4×A100-40GB per node, PCIe/NVLink, dual Slingshot 11, local NVMe).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/clock.hpp"
+
+namespace mlr::sim {
+
+/// Hardware characteristics of one modelled GPU.
+struct DeviceSpec {
+  double flops = 6.0e12;          ///< sustained FP32 FFT-pipeline FLOP/s (A100)
+  double hbm_bytes = 40.0 * kGiB; ///< HBM2 capacity
+  double h2d_bw = 22.0e9;         ///< effective host→device bytes/s (PCIe 4)
+  double d2h_bw = 22.0e9;         ///< device→host bytes/s
+  double kernel_launch = 6.0e-6;  ///< per-kernel launch latency (s)
+};
+
+/// One modelled GPU: a compute stream plus independent H2D/D2H copy engines,
+/// with HBM capacity accounting. Copy/compute overlap falls out of the
+/// separate timelines — the pipeline of Fig 1.
+class Device {
+ public:
+  Device(int id, DeviceSpec spec = {});
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+
+  /// Launch a kernel consuming `flops`; returns virtual completion time.
+  VTime run_kernel(VTime ready, double flops);
+  /// Enqueue a host→device transfer of `bytes`.
+  VTime h2d(VTime ready, double bytes);
+  /// Enqueue a device→host transfer of `bytes`.
+  VTime d2h(VTime ready, double bytes);
+
+  /// HBM accounting; throws when over capacity (the condition that forces
+  /// chunked execution in the first place).
+  void hbm_alloc(const std::string& name, double bytes, VTime t);
+  void hbm_free(const std::string& name, VTime t);
+  [[nodiscard]] const MemoryTracker& hbm() const { return hbm_; }
+
+  [[nodiscard]] const Timeline& compute() const { return compute_; }
+  [[nodiscard]] const Timeline& h2d_engine() const { return h2d_; }
+  [[nodiscard]] const Timeline& d2h_engine() const { return d2h_; }
+  void reset();
+
+ private:
+  int id_;
+  DeviceSpec spec_;
+  Timeline compute_, h2d_, d2h_;
+  MemoryTracker hbm_;
+};
+
+/// Shared network link between compute node(s) and the memory node
+/// (HPE Slingshot 11, 200 Gb/s bidirectional injection). All users contend
+/// for the same timeline; latency jitter is optional failure injection.
+struct LinkSpec {
+  double bandwidth = 25.0e9;  ///< bytes/s (200 Gb/s)
+  double latency = 2.0e-6;    ///< per-message base latency (s)
+  double jitter_mean = 0.0;   ///< optional exponential jitter mean (s)
+};
+
+class Interconnect {
+ public:
+  explicit Interconnect(LinkSpec spec = {}, u64 seed = 99);
+
+  /// Transfer `bytes` in one message; returns completion time.
+  VTime transfer(VTime ready, double bytes);
+  /// Effective achieved bandwidth fraction for a payload of `bytes`
+  /// (small payloads waste the link on latency — the Fig 11 effect).
+  [[nodiscard]] double payload_efficiency(double bytes) const;
+
+  [[nodiscard]] const Timeline& link() const { return link_; }
+  [[nodiscard]] double utilization(VTime horizon) const {
+    return link_.utilization(horizon);
+  }
+  [[nodiscard]] const LinkSpec& spec() const { return spec_; }
+  void set_jitter(double mean) { spec_.jitter_mean = mean; }
+  void reset() { link_.reset(); }
+
+ private:
+  LinkSpec spec_;
+  Timeline link_;
+  Rng rng_;
+};
+
+/// Local NVMe SSD model (a few GB/s — an order of magnitude below the
+/// interconnect, which is why the memoization DB lives on a memory node and
+/// only ADMM-Offload uses the SSD).
+struct SsdSpec {
+  double read_bw = 3.2e9;   ///< bytes/s
+  double write_bw = 2.2e9;  ///< bytes/s
+  double latency = 80.0e-6; ///< per-op latency
+};
+
+class Ssd {
+ public:
+  explicit Ssd(SsdSpec spec = {}) : spec_(spec), channel_("ssd") {}
+
+  VTime read(VTime ready, double bytes) {
+    return channel_.schedule(ready, spec_.latency + bytes / spec_.read_bw);
+  }
+  VTime write(VTime ready, double bytes) {
+    return channel_.schedule(ready, spec_.latency + bytes / spec_.write_bw);
+  }
+  /// Pure duration (no queueing) — used by the offload planner's estimates.
+  [[nodiscard]] double read_duration(double bytes) const {
+    return spec_.latency + bytes / spec_.read_bw;
+  }
+  [[nodiscard]] double write_duration(double bytes) const {
+    return spec_.latency + bytes / spec_.write_bw;
+  }
+  [[nodiscard]] const Timeline& channel() const { return channel_; }
+  void reset() { channel_.reset(); }
+
+ private:
+  SsdSpec spec_;
+  Timeline channel_;
+};
+
+/// The remote memory node hosting the memoization database: CPU memory
+/// capacity, a service model for index queries (DRAM-bandwidth-bound batched
+/// ANN lookups) and value fetches.
+struct MemoryNodeSpec {
+  double dram_bytes = 512.0 * kGiB;
+  double base_query_s = 0.2e-3;     ///< ANN query at 1M×60-d (paper §4.3.2)
+  double per_key_query_s = 20.0e-6; ///< marginal per additional key in batch
+  double value_serve_s = 0.4e-3;    ///< value DB P99 < 0.5 ms (paper)
+  double value_stream_bw = 2.0e9;   ///< value DB serialization throughput
+};
+
+class MemoryNode {
+ public:
+  explicit MemoryNode(MemoryNodeSpec spec = {}) : spec_(spec), cpu_("memnode") {}
+
+  /// Serve a batched index lookup of `batch` keys.
+  VTime serve_index_query(VTime ready, i64 batch);
+  /// Serve one value retrieval of `bytes`.
+  VTime serve_value(VTime ready, double bytes);
+  [[nodiscard]] const MemoryNodeSpec& spec() const { return spec_; }
+  [[nodiscard]] MemoryTracker& dram() { return dram_tracker_; }
+  void reset() { cpu_.reset(); }
+
+ private:
+  MemoryNodeSpec spec_;
+  Timeline cpu_;
+  MemoryTracker dram_tracker_;
+};
+
+}  // namespace mlr::sim

@@ -1,0 +1,138 @@
+// Tests for multi-GPU chunk distribution: result equivalence across GPU
+// counts, speedup within a node, redistribution cost across nodes, fabric
+// utilization and query-latency contention.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "lamino/phantom.hpp"
+
+namespace mlr::cluster {
+namespace {
+
+struct Fixture {
+  lamino::Geometry geom = lamino::Geometry::cube(12);
+  lamino::Operators ops{geom};
+  Array3D<cfloat> u, dhat;
+  Fixture() {
+    u = lamino::to_complex(lamino::make_phantom(
+        geom.object_shape(), lamino::PhantomKind::BrainTissue, 21));
+    dhat = Array3D<cfloat>(geom.data_shape());
+    ops.forward_freq(u, dhat);
+  }
+  ClusterSpec spec(int gpus) {
+    ClusterSpec s;
+    s.gpus = gpus;
+    return s;
+  }
+};
+
+TEST(Cluster, NodeTopology) {
+  Fixture f;
+  Cluster c(f.ops, f.spec(10), {.enable = false});
+  EXPECT_EQ(c.num_gpus(), 10);
+  EXPECT_EQ(c.num_nodes(), 3);  // 4 + 4 + 2
+  EXPECT_EQ(c.node_of(0), 0);
+  EXPECT_EQ(c.node_of(4), 1);
+  EXPECT_EQ(c.node_of(9), 2);
+}
+
+TEST(Cluster, StageResultIndependentOfGpuCount) {
+  // Distribution must not change numerics: same output for 1, 2, 5 GPUs.
+  Fixture f;
+  const auto& g = f.geom;
+  auto run = [&](int gpus) {
+    Cluster c(f.ops, f.spec(gpus), {.enable = false});
+    Array3D<cfloat> u1(g.u1_shape());
+    auto chunks = lamino::make_chunks(g.n1, 3);
+    std::vector<memo::StageChunk> work;
+    for (const auto& spec : chunks)
+      work.push_back({spec, f.u.slices(spec.begin, spec.count),
+                      u1.slices(spec.begin, spec.count)});
+    (void)c.run_stage(memo::OpKind::Fu1D, work, 0.0);
+    return u1;
+  };
+  auto r1 = run(1), r2 = run(2), r5 = run(5);
+  EXPECT_LT(relative_error<cfloat>(r1.span(), r2.span()), 1e-12);
+  EXPECT_LT(relative_error<cfloat>(r1.span(), r5.span()), 1e-12);
+}
+
+TEST(Cluster, MoreGpusFasterWithinNode) {
+  Fixture f;
+  auto time_for = [&](int gpus) {
+    Cluster c(f.ops, f.spec(gpus), {.enable = false, .work_scale = 1.0e6});
+    return c.forward_adjoint_pass(f.u, f.dhat, 1, 0.0);
+  };
+  const double t1 = time_for(1), t2 = time_for(2), t4 = time_for(4);
+  EXPECT_LT(t2, t1);
+  EXPECT_LT(t4, t2);
+  // Sub-linear: speedup below ideal due to redistribution.
+  EXPECT_GT(t4, t1 / 4.0);
+}
+
+TEST(Cluster, CrossNodeScalingDiminishes) {
+  // 4 → 8 GPUs crosses a node boundary: the redistribution moves to the
+  // fabric and the marginal gain collapses (Fig 14's plateau).
+  Fixture f;
+  auto time_for = [&](int gpus) {
+    Cluster c(f.ops, f.spec(gpus), {.enable = false, .work_scale = 1.0e6});
+    return c.forward_adjoint_pass(f.u, f.dhat, 1, 0.0);
+  };
+  const double t2 = time_for(2), t4 = time_for(4), t8 = time_for(8);
+  const double gain_24 = t2 / t4;
+  const double gain_48 = t4 / t8;
+  EXPECT_LT(gain_48, gain_24);
+}
+
+TEST(Cluster, RedistributionCostsGrowAcrossNodes) {
+  Fixture f;
+  Cluster intra(f.ops, f.spec(4), {.enable = false});
+  Cluster inter(f.ops, f.spec(8), {.enable = false});
+  const double bytes = 1.0e9;
+  const double t_intra = intra.redistribute(bytes, 0.0);
+  const double t_inter = inter.redistribute(bytes, 0.0);
+  EXPECT_GT(t_inter, t_intra);
+}
+
+TEST(Cluster, SingleGpuRedistributionFree) {
+  Fixture f;
+  Cluster c(f.ops, f.spec(1), {.enable = false});
+  EXPECT_DOUBLE_EQ(c.redistribute(1.0e9, 5.0), 5.0);
+}
+
+TEST(Cluster, MemoizedClusterSharesOneDatabase) {
+  Fixture f;
+  Cluster c(f.ops, f.spec(2),
+            {.enable = true, .tau = 0.9, .key_dim = 16, .encoder_hw = 16},
+            {.key_dim = 16, .tau = 0.9, .ivf = {.nlist = 2, .train_size = 8}});
+  const auto& g = f.geom;
+  Array3D<cfloat> u1(g.u1_shape());
+  auto chunks = lamino::make_chunks(g.n1, 3);
+  std::vector<memo::StageChunk> work;
+  for (const auto& spec : chunks)
+    work.push_back({spec, f.u.slices(spec.begin, spec.count),
+                    u1.slices(spec.begin, spec.count)});
+  (void)c.run_stage(memo::OpKind::Fu1D, work, 0.0);
+  // Every chunk either inserted into the shared DB or served from it,
+  // regardless of which GPU owned it.
+  u64 hits = 0;
+  for (int g = 0; g < 2; ++g)
+    hits += c.wrapper(g).counters().db_hit + c.wrapper(g).counters().cache_hit;
+  EXPECT_EQ(c.db().entries(memo::OpKind::Fu1D) + hits, chunks.size());
+}
+
+TEST(Cluster, FabricUtilizationGrowsWithGpus) {
+  // More GPUs → more memoization + redistribution traffic on the shared
+  // fabric (Fig 15).
+  Fixture f;
+  auto util = [&](int gpus) {
+    Cluster c(f.ops, f.spec(gpus),
+              {.enable = false, .work_scale = 1.0e6});
+    const double done = c.forward_adjoint_pass(f.u, f.dhat, 1, 0.0);
+    return c.fabric().utilization(done);
+  };
+  EXPECT_GT(util(8), util(4));
+  EXPECT_GT(util(16), util(8));
+}
+
+}  // namespace
+}  // namespace mlr::cluster

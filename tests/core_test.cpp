@@ -1,0 +1,96 @@
+// Tests for the public mlr::Reconstructor facade.
+#include <gtest/gtest.h>
+
+#include "core/mlr.hpp"
+
+namespace mlr {
+namespace {
+
+ReconstructionConfig tiny(bool memoize) {
+  ReconstructionConfig cfg;
+  cfg.dataset = Dataset::small(10);
+  cfg.iters = 4;
+  cfg.inner_iters = 2;
+  cfg.chunk_size = 4;
+  cfg.memoize = memoize;
+  return cfg;
+}
+
+TEST(Dataset, PresetsScaleToPaperSizes) {
+  auto s = Dataset::small();
+  auto m = Dataset::medium();
+  auto l = Dataset::large();
+  EXPECT_EQ(s.paper_n, 1024);
+  EXPECT_EQ(m.paper_n, 1536);
+  EXPECT_EQ(l.paper_n, 2048);
+  EXPECT_GT(s.work_scale(), 1.0);
+  EXPECT_GT(l.work_scale(), s.work_scale() * 0.9);
+}
+
+TEST(Reconstructor, BaselineRunProducesReport) {
+  Reconstructor rec(tiny(false));
+  auto rep = rec.run();
+  EXPECT_GT(rep.vtime_s, 0.0);
+  EXPECT_GT(rep.real_seconds, 0.0);
+  EXPECT_LT(rep.error_vs_truth, 1.0);
+  EXPECT_EQ(rep.memo.miss + rep.memo.db_hit + rep.memo.cache_hit, 0u);
+  EXPECT_GT(rep.memo.computed, 0u);
+  EXPECT_GT(rep.peak_rss_bytes, 0.0);
+}
+
+TEST(Reconstructor, MemoizedRunFasterThanBaseline) {
+  Reconstructor base(tiny(false));
+  auto rb = base.run();
+  Reconstructor memo_rec(tiny(true));
+  auto rm = memo_rec.run();
+  EXPECT_GT(rm.memo.cache_hit + rm.memo.db_hit, 0u);
+  EXPECT_LT(rm.vtime_s, rb.vtime_s);
+  // Reconstructions remain close (both approach the same phantom).
+  EXPECT_LT(rm.error_vs_truth, rb.error_vs_truth + 0.35);
+}
+
+TEST(Reconstructor, OffloadReducesPeakRss) {
+  auto cfg = tiny(false);
+  cfg.offload = OffloadMode::Planned;
+  Reconstructor rec(cfg);
+  auto rep = rec.run();
+  EXPECT_FALSE(rep.offload_plan.entries.empty());
+  EXPECT_GT(rep.offload_plan.memory_saving_frac, 0.0);
+  EXPECT_GT(rep.offload_plan.mt(), 0.0);
+}
+
+TEST(Reconstructor, GreedyOffloadStallsMore) {
+  auto planned_cfg = tiny(false);
+  planned_cfg.offload = OffloadMode::Planned;
+  Reconstructor planned(planned_cfg);
+  auto rp = planned.run();
+  auto greedy_cfg = tiny(false);
+  greedy_cfg.offload = OffloadMode::Greedy;
+  Reconstructor greedy(greedy_cfg);
+  auto rg = greedy.run();
+  EXPECT_GT(rg.exposed_stall_s, rp.exposed_stall_s);
+  EXPECT_GT(rg.vtime_s, rp.vtime_s);
+}
+
+TEST(Reconstructor, PrepareIsIdempotent) {
+  Reconstructor rec(tiny(false));
+  rec.prepare();
+  const auto* d1 = rec.projections().data();
+  rec.prepare();
+  EXPECT_EQ(rec.projections().data(), d1);
+}
+
+TEST(MemoryBreakdown, MatchesPaperShape) {
+  // Fig 2: ψ and λ equal (12 % each), g + G_prev about double ψ, LSP
+  // workspaces present.
+  auto b = admm_memory_breakdown(Dataset::medium());
+  EXPECT_DOUBLE_EQ(b.psi, b.lambda);
+  EXPECT_GT(b.g + b.g_prev, 1.2 * b.psi);
+  EXPECT_GT(b.total(), b.psi * 4);
+  // Medium dataset ≈ the paper's 300 GB ADMM footprint (±2×).
+  EXPECT_GT(b.total(), 150.0 * kGiB);
+  EXPECT_LT(b.total(), 600.0 * kGiB);
+}
+
+}  // namespace
+}  // namespace mlr

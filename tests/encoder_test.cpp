@@ -1,0 +1,273 @@
+// Tests for the CNN key encoder: numerical gradient checks of every layer,
+// contrastive training convergence, INT8 quantization fidelity, and the
+// metric property the memoization system needs (similar chunks → nearby keys).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "encoder/encoder.hpp"
+#include "encoder/layers.hpp"
+
+namespace mlr::encoder {
+namespace {
+
+FeatureMap random_fm(i64 c, i64 h, i64 w, Rng& rng) {
+  FeatureMap fm(c, h, w);
+  for (auto& x : fm.v) x = float(rng.normal());
+  return fm;
+}
+
+// Scalar loss = sum of elements; checks dL/dw by finite differences.
+TEST(Conv2D, WeightGradientMatchesFiniteDifference) {
+  Rng rng(1);
+  Conv2D conv(2, 3, 3, 1, rng);
+  auto in = random_fm(2, 6, 6, rng);
+  auto out = conv.forward(in);
+  FeatureMap dout(out.c, out.h, out.w);
+  for (auto& x : dout.v) x = 1.0f;  // L = sum(out)
+  (void)conv.backward(in, dout);
+  const double eps = 1e-3;
+  for (std::size_t wi : {0ul, 7ul, 25ul, conv.w.size() - 1}) {
+    const float orig = conv.w[wi];
+    conv.w[wi] = orig + float(eps);
+    auto op = conv.forward(in);
+    conv.w[wi] = orig - float(eps);
+    auto om = conv.forward(in);
+    conv.w[wi] = orig;
+    double lp = 0, lm = 0;
+    for (auto v : op.v) lp += v;
+    for (auto v : om.v) lm += v;
+    const double want = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(conv.gw[wi], want, 1e-2 * std::max(1.0, std::abs(want)))
+        << "w index " << wi;
+  }
+}
+
+TEST(Conv2D, InputGradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Conv2D conv(1, 2, 3, 1, rng);
+  auto in = random_fm(1, 5, 5, rng);
+  auto out = conv.forward(in);
+  FeatureMap dout(out.c, out.h, out.w);
+  for (auto& x : dout.v) x = 1.0f;
+  auto din = conv.backward(in, dout);
+  const double eps = 1e-3;
+  for (std::size_t ii : {0ul, 12ul, 24ul}) {
+    const float orig = in.v[ii];
+    in.v[ii] = orig + float(eps);
+    auto op = conv.forward(in);
+    in.v[ii] = orig - float(eps);
+    auto om = conv.forward(in);
+    in.v[ii] = orig;
+    double lp = 0, lm = 0;
+    for (auto v : op.v) lp += v;
+    for (auto v : om.v) lm += v;
+    EXPECT_NEAR(din.v[ii], (lp - lm) / (2 * eps), 1e-2);
+  }
+}
+
+TEST(Conv2D, StrideReducesOutput) {
+  Rng rng(3);
+  Conv2D conv(1, 1, 3, 2, rng);
+  auto in = random_fm(1, 8, 8, rng);
+  auto out = conv.forward(in);
+  EXPECT_EQ(out.h, 4);
+  EXPECT_EQ(out.w, 4);
+}
+
+TEST(Dense, GradientsMatchFiniteDifference) {
+  Rng rng(4);
+  Dense fc(6, 4, rng);
+  std::vector<float> in(6);
+  for (auto& x : in) x = float(rng.normal());
+  std::vector<float> dout(4, 1.0f);
+  (void)fc.backward(in, dout);
+  const double eps = 1e-3;
+  for (std::size_t wi : {0ul, 11ul, 23ul}) {
+    const float orig = fc.w[wi];
+    fc.w[wi] = orig + float(eps);
+    auto op = fc.forward(in);
+    fc.w[wi] = orig - float(eps);
+    auto om = fc.forward(in);
+    fc.w[wi] = orig;
+    double lp = 0, lm = 0;
+    for (auto v : op) lp += v;
+    for (auto v : om) lm += v;
+    EXPECT_NEAR(fc.gw[wi], (lp - lm) / (2 * eps), 1e-2);
+  }
+}
+
+TEST(Relu, ForwardBackwardMask) {
+  std::vector<float> v{-1.0f, 2.0f, -0.5f, 3.0f};
+  relu_forward(v);
+  EXPECT_EQ(v, (std::vector<float>{0, 2, 0, 3}));
+  std::vector<float> g{1, 1, 1, 1};
+  relu_backward(v, g);
+  EXPECT_EQ(g, (std::vector<float>{0, 1, 0, 1}));
+}
+
+TEST(AvgPool, ForwardAndBackwardConserveMass) {
+  Rng rng(5);
+  auto in = random_fm(2, 4, 4, rng);
+  auto out = avgpool2(in);
+  EXPECT_EQ(out.h, 2);
+  double sin = 0, sout = 0;
+  for (auto v : in.v) sin += v;
+  for (auto v : out.v) sout += v;
+  EXPECT_NEAR(sout * 4.0, sin, 1e-4);
+  FeatureMap dout(out.c, out.h, out.w);
+  for (auto& x : dout.v) x = 1.0f;
+  auto din = avgpool2_backward(in, dout);
+  double sdin = 0;
+  for (auto v : din.v) sdin += v;
+  EXPECT_NEAR(sdin, double(out.size()), 1e-4);  // each out grad spreads to 4×0.25
+}
+
+TEST(Adam, DecreasesQuadratic) {
+  // Minimize f(x) = x² from x=5.
+  std::vector<float> x{5.0f};
+  std::vector<float> g(1);
+  Adam opt(1, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    g[0] = 2.0f * x[0];
+    opt.step(x, g);
+    EXPECT_EQ(g[0], 0.0f);  // gradient accumulator consumed
+  }
+  EXPECT_LT(std::abs(x[0]), 0.3f);
+}
+
+// ---------------------------------------------------------------------------
+// Encoder end-to-end.
+
+std::vector<cfloat> random_chunk(i64 n, Rng& rng) {
+  std::vector<cfloat> v(static_cast<size_t>(n));
+  for (auto& x : v) x = cfloat(float(rng.normal()), float(rng.normal()));
+  return v;
+}
+
+TEST(CnnEncoder, OutputDimensionAndDeterminism) {
+  CnnEncoder enc;
+  Rng rng(6);
+  auto chunk = random_chunk(16 * 16, rng);
+  auto z1 = enc.encode({16, 16, chunk});
+  auto z2 = enc.encode({16, 16, chunk});
+  ASSERT_EQ(z1.size(), 60u);
+  EXPECT_EQ(z1, z2);
+}
+
+TEST(CnnEncoder, HandlesArbitraryChunkShapes) {
+  CnnEncoder enc;
+  Rng rng(7);
+  for (auto [r, c] : {std::pair<i64, i64>{8, 8}, {12, 40}, {64, 64}, {5, 7}}) {
+    auto chunk = random_chunk(r * c, rng);
+    auto z = enc.encode({r, c, chunk});
+    EXPECT_EQ(z.size(), 60u);
+  }
+}
+
+TEST(CnnEncoder, IdenticalChunksEncodeIdentically) {
+  CnnEncoder enc;
+  Rng rng(8);
+  auto chunk = random_chunk(32 * 32, rng);
+  auto za = enc.encode({32, 32, chunk});
+  auto zb = enc.encode({32, 32, chunk});
+  double d = 0;
+  for (std::size_t i = 0; i < za.size(); ++i)
+    d += double(za[i] - zb[i]) * (za[i] - zb[i]);
+  EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(CnnEncoder, ContrastiveTrainingReducesLoss) {
+  CnnEncoder enc({.input_hw = 16, .embed_dim = 16, .lr = 3e-4});
+  Rng rng(9);
+  std::vector<std::vector<cfloat>> samples;
+  for (int i = 0; i < 12; ++i) samples.push_back(random_chunk(16 * 16, rng));
+  // Loss of first steps vs trained tail.
+  double first = 0;
+  Rng prng(10);
+  for (int s = 0; s < 8; ++s) {
+    const auto i = size_t(prng.uniform_int(0, 10));
+    first += enc.train_pair({16, 16, samples[i]}, {16, 16, samples[i + 1]});
+  }
+  first /= 8;
+  const double tail = enc.train(samples, 16, 16, 150, 11);
+  EXPECT_LT(tail, first);
+}
+
+TEST(CnnEncoder, TrainedEncoderPreservesSimilarityOrdering) {
+  // After training, a near-duplicate chunk must embed closer than an
+  // unrelated chunk — the property the τ threshold relies on.
+  CnnEncoder enc({.input_hw = 16, .embed_dim = 16, .lr = 3e-4});
+  Rng rng(12);
+  std::vector<std::vector<cfloat>> samples;
+  for (int i = 0; i < 10; ++i) samples.push_back(random_chunk(16 * 16, rng));
+  enc.train(samples, 16, 16, 200, 13);
+  auto base = samples[0];
+  auto near = base;
+  for (auto& x : near) x += cfloat(float(rng.normal(0, 0.01)), 0);
+  const auto& far = samples[5];
+  auto zb = enc.encode({16, 16, base});
+  auto zn = enc.encode({16, 16, near});
+  auto zf = enc.encode({16, 16, far});
+  auto dist = [](const std::vector<float>& a, const std::vector<float>& b) {
+    double s = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      s += double(a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(s);
+  };
+  EXPECT_LT(dist(zb, zn), dist(zb, zf));
+}
+
+TEST(CnnEncoder, QuantizationPreservesEmbeddingsApproximately) {
+  CnnEncoder enc({.input_hw = 16, .embed_dim = 16});
+  Rng rng(14);
+  auto chunk = random_chunk(16 * 16, rng);
+  auto zf = enc.encode({16, 16, chunk});
+  enc.quantize();
+  ASSERT_TRUE(enc.quantized());
+  auto zq = enc.encode_quantized({16, 16, chunk});
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < zf.size(); ++i) {
+    num += double(zf[i] - zq[i]) * (zf[i] - zq[i]);
+    den += double(zf[i]) * zf[i];
+  }
+  EXPECT_LT(std::sqrt(num / std::max(den, 1e-12)), 0.05);  // <5 % relative
+}
+
+TEST(CnnEncoder, TrainAfterQuantizeRejected) {
+  CnnEncoder enc({.input_hw = 16, .embed_dim = 8});
+  enc.quantize();
+  Rng rng(15);
+  auto a = random_chunk(16 * 16, rng), b = random_chunk(16 * 16, rng);
+  EXPECT_THROW(enc.train_pair({16, 16, a}, {16, 16, b}), mlr::Error);
+}
+
+TEST(CnnEncoder, EncodeFlopsTinyVsFft) {
+  CnnEncoder enc;
+  // Paper: CNN inference <1 % of total time. Sanity: a few MFLOPs.
+  EXPECT_LT(enc.encode_flops(), 2.0e7);
+  EXPECT_GT(enc.encode_flops(), 1.0e5);
+}
+
+TEST(AverageSlab, ReducesAlongFirstAxis) {
+  Rng rng(16);
+  auto slab = random_chunk(3 * 4 * 5, rng);
+  auto avg = average_slab(slab, 3, 4, 5);
+  ASSERT_EQ(avg.size(), 20u);
+  for (i64 i = 0; i < 20; ++i) {
+    cfloat want{};
+    for (i64 s = 0; s < 3; ++s) want += slab[size_t(s * 20 + i)];
+    want /= 3.0f;
+    EXPECT_NEAR(std::abs(avg[size_t(i)] - want), 0.0, 1e-5);
+  }
+}
+
+TEST(ChunkL2, MatchesDefinition) {
+  std::vector<cfloat> a{{1, 0}, {0, 0}}, b{{0, 0}, {0, 1}};
+  EXPECT_NEAR(chunk_l2(a, b), std::sqrt(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace mlr::encoder

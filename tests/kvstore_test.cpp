@@ -1,0 +1,101 @@
+// Tests for the in-memory KV store (Redis substitute).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kvstore/kvstore.hpp"
+
+namespace mlr::kvstore {
+namespace {
+
+Blob blob_of(std::string_view s) {
+  Blob b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+TEST(KvStore, PutGetRoundtrip) {
+  KvStore kv;
+  kv.put(1, blob_of("hello"));
+  auto v = kv.get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 5u);
+  EXPECT_FALSE(kv.get(2).has_value());
+}
+
+TEST(KvStore, OverwriteUpdatesBytes) {
+  KvStore kv;
+  kv.put(1, Blob(100));
+  EXPECT_EQ(kv.bytes(), 100u);
+  kv.put(1, Blob(40));
+  EXPECT_EQ(kv.bytes(), 40u);
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStore, Erase) {
+  KvStore kv;
+  kv.put(7, Blob(10));
+  EXPECT_TRUE(kv.erase(7));
+  EXPECT_FALSE(kv.erase(7));
+  EXPECT_EQ(kv.size(), 0u);
+  EXPECT_EQ(kv.bytes(), 0u);
+}
+
+TEST(KvStore, AsyncPutVisibleAfterDrain) {
+  KvStore kv;
+  for (u64 k = 0; k < 100; ++k) kv.put_async(k, Blob(8));
+  kv.drain();
+  EXPECT_EQ(kv.size(), 100u);
+  for (u64 k = 0; k < 100; ++k) EXPECT_TRUE(kv.contains(k));
+}
+
+TEST(KvStore, ShardingDistributesKeys) {
+  KvStore kv(4);
+  for (u64 k = 0; k < 64; ++k) kv.put(k, Blob(1));
+  EXPECT_EQ(kv.size(), 64u);
+  EXPECT_EQ(kv.bytes(), 64u);
+}
+
+TEST(KvStore, ConcurrentReadersAndWriters) {
+  KvStore kv;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&kv, t] {
+      for (u64 k = 0; k < 200; ++k) {
+        kv.put(u64(t) * 1000 + k, Blob(16));
+        (void)kv.get(u64(t) * 1000 + (k / 2));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(kv.size(), 800u);
+}
+
+TEST(KvStore, LatencyStatsRecorded) {
+  KvStore kv;
+  kv.put(1, Blob(64));
+  for (int i = 0; i < 50; ++i) (void)kv.get(1);
+  EXPECT_EQ(kv.get_latencies().count(), 50u);
+  EXPECT_GE(kv.get_latencies().percentile(0.99), 0.0);
+}
+
+TEST(KvStoreBlob, ComplexRoundtrip) {
+  Rng rng(5);
+  std::vector<cfloat> v(33);
+  for (auto& x : v) x = cfloat(float(rng.normal()), float(rng.normal()));
+  auto blob = to_blob(v);
+  EXPECT_EQ(blob.size(), v.size() * sizeof(cfloat));
+  auto back = from_blob(blob);
+  ASSERT_EQ(back.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(back[i], v[i]);
+}
+
+TEST(KvStoreBlob, FromBlobRejectsMisaligned) {
+  Blob b(7);
+  EXPECT_THROW(from_blob(b), mlr::Error);
+}
+
+}  // namespace
+}  // namespace mlr::kvstore

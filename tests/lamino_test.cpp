@@ -1,0 +1,317 @@
+// Tests for the laminography geometry, operators and phantoms.
+// The load-bearing properties: adjoint consistency <Lu, d> == <u, L*d>
+// (CG correctness), the F_2D·F*_2D = I cancellation identity, chunked ==
+// whole-volume equality, and phantom sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "lamino/geometry.hpp"
+#include "lamino/operators.hpp"
+#include "lamino/phantom.hpp"
+
+namespace mlr::lamino {
+namespace {
+
+Array3D<cfloat> random_volume(Shape3 s, u64 seed) {
+  Array3D<cfloat> v(s);
+  Rng rng(seed);
+  for (auto& x : v) x = cfloat(float(rng.normal()), float(rng.normal()));
+  return v;
+}
+
+cdouble inner(std::span<const cfloat> a, std::span<const cfloat> b) {
+  cdouble acc{};
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += cdouble(a[i]) * std::conj(cdouble(b[i]));
+  return acc;
+}
+
+TEST(Geometry, CubePresetShapes) {
+  auto g = Geometry::cube(16);
+  g.validate();
+  EXPECT_EQ(g.object_shape(), (Shape3{16, 16, 16}));
+  EXPECT_EQ(g.data_shape(), (Shape3{16, 16, 16}));
+  EXPECT_EQ(g.u1_shape(), (Shape3{16, 16, 16}));
+}
+
+TEST(Geometry, ValidateRejectsBadConfig) {
+  Geometry g = Geometry::cube(8);
+  g.phi = 0.0;
+  EXPECT_THROW(g.validate(), Error);
+  g = Geometry::cube(8);
+  g.n0 = 1;
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Geometry, ZFrequenciesScaleWithPhi) {
+  auto g90 = Geometry::cube(16, 90.0);  // sinφ = 1
+  auto g30 = Geometry::cube(16, 30.0);  // sinφ = 0.5
+  auto z90 = g90.z_frequencies();
+  auto z30 = g30.z_frequencies();
+  for (std::size_t i = 0; i < z90.size(); ++i)
+    EXPECT_NEAR(z30[i], 0.5 * z90[i], 1e-9);
+}
+
+TEST(Geometry, PlaneFrequenciesCenterRowIsRing) {
+  // kv = 0 (center frequency): points are ku·(cosθ, sinθ) — radius |ku|.
+  auto g = Geometry::cube(16);
+  std::vector<double> nr, nc;
+  g.plane_frequencies(0, nr, nc);
+  ASSERT_EQ(nr.size(), size_t(g.ntheta * g.w));
+  for (i64 t = 0; t < g.ntheta; ++t) {
+    for (i64 ku = 0; ku < g.w; ++ku) {
+      const auto j = size_t(t * g.w + ku);
+      const double r = std::hypot(nr[j], nc[j]);
+      const double kuc = std::abs(double(fft::to_centered(ku, g.w)));
+      EXPECT_NEAR(r, kuc, 1e-9);
+    }
+  }
+}
+
+TEST(Geometry, ThetaUniform) {
+  auto g = Geometry::cube(8);
+  EXPECT_DOUBLE_EQ(g.theta(0), 0.0);
+  EXPECT_NEAR(g.theta(4), std::numbers::pi, 1e-12);
+}
+
+TEST(Chunks, PartitionCoversRange) {
+  auto chunks = make_chunks(20, 6);
+  ASSERT_EQ(chunks.size(), 4u);
+  i64 covered = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].index, i64(i));
+    EXPECT_EQ(chunks[i].begin, covered);
+    covered += chunks[i].count;
+  }
+  EXPECT_EQ(covered, 20);
+  EXPECT_EQ(chunks.back().count, 2);
+}
+
+TEST(Chunks, ExactDivision) {
+  auto chunks = make_chunks(16, 4);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (const auto& c : chunks) EXPECT_EQ(c.count, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Operator adjointness — the property CG depends on.
+
+class OperatorAdjointness : public ::testing::TestWithParam<i64> {};
+
+TEST_P(OperatorAdjointness, Fu1dPair) {
+  const i64 n = GetParam();
+  Operators ops(Geometry::cube(n));
+  auto u = random_volume(ops.geometry().object_shape(), 1);
+  auto y = random_volume(ops.geometry().u1_shape(), 2);
+  Array3D<cfloat> Au(ops.geometry().u1_shape());
+  Array3D<cfloat> Aty(ops.geometry().object_shape());
+  ops.fu1d(u, Au);
+  ops.fu1d_adj(y, Aty);
+  const auto lhs = inner(Au.span(), y.span());
+  const auto rhs = inner(u.span(), Aty.span());
+  EXPECT_LT(std::abs(lhs - rhs) / std::abs(lhs), 2e-4) << "n=" << n;
+}
+
+TEST_P(OperatorAdjointness, Fu2dPair) {
+  const i64 n = GetParam();
+  Operators ops(Geometry::cube(n));
+  auto u1 = random_volume(ops.geometry().u1_shape(), 3);
+  auto y = random_volume(ops.geometry().data_shape(), 4);
+  Array3D<cfloat> Au(ops.geometry().data_shape());
+  Array3D<cfloat> Aty(ops.geometry().u1_shape());
+  ops.fu2d(u1, Au);
+  ops.fu2d_adj(y, Aty);
+  const auto lhs = inner(Au.span(), y.span());
+  const auto rhs = inner(u1.span(), Aty.span());
+  EXPECT_LT(std::abs(lhs - rhs) / std::abs(lhs), 2e-4) << "n=" << n;
+}
+
+TEST_P(OperatorAdjointness, FullForwardAdjointPair) {
+  const i64 n = GetParam();
+  Operators ops(Geometry::cube(n));
+  auto u = random_volume(ops.geometry().object_shape(), 5);
+  auto y = random_volume(ops.geometry().data_shape(), 6);
+  Array3D<cfloat> Lu(ops.geometry().data_shape());
+  Array3D<cfloat> Lty(ops.geometry().object_shape());
+  ops.forward(u, Lu);
+  ops.adjoint(y, Lty);
+  const auto lhs = inner(Lu.span(), y.span());
+  const auto rhs = inner(u.span(), Lty.span());
+  EXPECT_LT(std::abs(lhs - rhs) / std::abs(lhs), 3e-4) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OperatorAdjointness,
+                         ::testing::Values<i64>(8, 12, 16));
+
+TEST(Operators, CancellationIdentity) {
+  // F_2D(F*_2D(x)) == x on detector data — the algebra behind Algorithm 2.
+  Operators ops(Geometry::cube(12));
+  auto d = random_volume(ops.geometry().data_shape(), 7);
+  auto d2 = d;
+  ops.f2d(d2, /*inverse=*/true);
+  ops.f2d(d2, /*inverse=*/false);
+  EXPECT_LT(relative_error<cfloat>(d.span(), d2.span()), 1e-4);
+}
+
+TEST(Operators, FreqDomainForwardEqualsSpatialPlusF2d) {
+  // forward_freq == F_2D ∘ forward — i.e. cancellation changes nothing.
+  Operators ops(Geometry::cube(12));
+  auto u = random_volume(ops.geometry().object_shape(), 8);
+  Array3D<cfloat> d(ops.geometry().data_shape());
+  ops.forward(u, d);
+  ops.f2d(d, /*inverse=*/false);  // back to frequency domain
+  Array3D<cfloat> dhat(ops.geometry().data_shape());
+  ops.forward_freq(u, dhat);
+  EXPECT_LT(relative_error<cfloat>(dhat.span(), d.span()), 1e-4);
+}
+
+TEST(Operators, ChunkedFu1dMatchesWhole) {
+  Operators ops(Geometry::cube(12));
+  const auto& g = ops.geometry();
+  auto u = random_volume(g.object_shape(), 9);
+  Array3D<cfloat> whole(g.u1_shape());
+  ops.fu1d(u, whole);
+  Array3D<cfloat> chunked(g.u1_shape());
+  for (const auto& spec : make_chunks(g.n1, 5)) {
+    ops.fu1d_chunk(spec, u.slices(spec.begin, spec.count),
+                   chunked.slices(spec.begin, spec.count));
+  }
+  EXPECT_LT(relative_error<cfloat>(whole.span(), chunked.span()), 1e-5);
+}
+
+TEST(Operators, ChunkedFu2dMatchesWhole) {
+  Operators ops(Geometry::cube(12));
+  const auto& g = ops.geometry();
+  auto u1 = random_volume(g.u1_shape(), 10);
+  Array3D<cfloat> whole(g.data_shape());
+  ops.fu2d(u1, whole);
+  Array3D<cfloat> chunked(g.data_shape());
+  for (const auto& spec : make_chunks(g.h, 5)) {
+    std::vector<cfloat> in(static_cast<size_t>(spec.count * g.n1 * g.n2));
+    std::vector<cfloat> out(static_cast<size_t>(spec.count * g.ntheta * g.w));
+    ops.pack_u1_rows(u1, spec, in);
+    ops.fu2d_chunk(spec, in, out);
+    ops.unpack_dhat_rows(out, spec, chunked);
+  }
+  EXPECT_LT(relative_error<cfloat>(whole.span(), chunked.span()), 1e-5);
+}
+
+TEST(Operators, FusedSubtractMatchesSeparate) {
+  Operators ops(Geometry::cube(8));
+  const auto& g = ops.geometry();
+  auto u1 = random_volume(g.u1_shape(), 11);
+  auto ref = random_volume(g.data_shape(), 12);
+  ChunkSpec spec{0, 0, g.h};
+  std::vector<cfloat> in(static_cast<size_t>(g.h * g.n1 * g.n2));
+  std::vector<cfloat> refp(static_cast<size_t>(g.h * g.ntheta * g.w));
+  std::vector<cfloat> fused(refp.size()), separate(refp.size());
+  ops.pack_u1_rows(u1, spec, in);
+  ops.pack_dhat_rows(ref, spec, refp);
+  ops.fu2d_chunk_fused_subtract(spec, in, refp, fused);
+  ops.fu2d_chunk(spec, in, separate);
+  for (std::size_t i = 0; i < fused.size(); ++i)
+    separate[i] -= refp[i];
+  EXPECT_LT(relative_error<cfloat>(separate, fused), 1e-6);
+}
+
+TEST(Operators, PackUnpackRoundtrip) {
+  Operators ops(Geometry::cube(8));
+  const auto& g = ops.geometry();
+  auto u1 = random_volume(g.u1_shape(), 13);
+  Array3D<cfloat> out(g.u1_shape());
+  for (const auto& spec : make_chunks(g.h, 3)) {
+    std::vector<cfloat> buf(static_cast<size_t>(spec.count * g.n1 * g.n2));
+    ops.pack_u1_rows(u1, spec, buf);
+    ops.unpack_u1_rows(buf, spec, out);
+  }
+  EXPECT_LT(relative_error<cfloat>(u1.span(), out.span()), 1e-12);
+}
+
+TEST(Operators, FlopModelsPositiveMonotone) {
+  Operators ops(Geometry::cube(16));
+  EXPECT_GT(ops.fu1d_chunk_flops(1), 0.0);
+  EXPECT_GT(ops.fu1d_chunk_flops(4), ops.fu1d_chunk_flops(1));
+  EXPECT_GT(ops.fu2d_chunk_flops(2), ops.fu2d_chunk_flops(1));
+  EXPECT_GT(ops.f2d_proj_flops(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Phantoms.
+
+class PhantomKinds : public ::testing::TestWithParam<PhantomKind> {};
+
+TEST_P(PhantomKinds, ValuesInRangeAndNonTrivial) {
+  auto v = make_phantom({24, 24, 24}, GetParam(), 3);
+  float mx = 0, mn = 1e9f;
+  double sum = 0;
+  for (float x : v) {
+    mx = std::max(mx, x);
+    mn = std::min(mn, x);
+    sum += x;
+  }
+  EXPECT_GE(mn, 0.0f);
+  EXPECT_LE(mx, 1.0f + 1e-5f);
+  EXPECT_GT(sum, 0.0);  // not empty
+}
+
+TEST_P(PhantomKinds, ConcentratedInCentralSlab) {
+  // Laminography targets flat samples: mass near z-center should dominate
+  // mass at the z-extremes.
+  auto v = make_phantom({24, 24, 24}, GetParam(), 4);
+  double central = 0, edges = 0;
+  for (i64 i1 = 0; i1 < v.n1(); ++i1)
+    for (i64 i0 = 0; i0 < v.n0(); ++i0)
+      for (i64 i2 = 0; i2 < v.n2(); ++i2) {
+        if (std::abs(i0 - v.n0() / 2) < v.n0() / 5)
+          central += v(i1, i0, i2);
+        else if (std::abs(i0 - v.n0() / 2) > v.n0() * 2 / 5)
+          edges += v(i1, i0, i2);
+      }
+  EXPECT_GT(central, 10.0 * std::max(edges, 1e-9));
+}
+
+TEST_P(PhantomKinds, DeterministicAcrossCalls) {
+  auto a = make_phantom({16, 16, 16}, GetParam(), 5);
+  auto b = make_phantom({16, 16, 16}, GetParam(), 5);
+  EXPECT_LT(relative_error<float>(a.span(), b.span()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PhantomKinds,
+                         ::testing::Values(PhantomKind::BrainTissue,
+                                           PhantomKind::IntegratedCircuit,
+                                           PhantomKind::Pcb));
+
+TEST(Phantom, ComplexRoundtrip) {
+  auto v = make_phantom({8, 8, 8}, PhantomKind::BrainTissue, 6);
+  auto c = to_complex(v);
+  auto r = real_part(c);
+  EXPECT_LT(relative_error<float>(v.span(), r.span()), 1e-12);
+}
+
+TEST(Phantom, SimulateProjectionsNoiseless) {
+  Operators ops(Geometry::cube(8));
+  auto u = to_complex(make_phantom(ops.geometry().object_shape(),
+                                   PhantomKind::BrainTissue, 7));
+  auto d0 = simulate_projections(ops, u, 0.0);
+  Array3D<cfloat> want(ops.geometry().data_shape());
+  ops.forward(u, want);
+  EXPECT_LT(relative_error<cfloat>(want.span(), d0.span()), 1e-12);
+}
+
+TEST(Phantom, SimulateProjectionsNoisePerturbsByRightAmount) {
+  Operators ops(Geometry::cube(8));
+  auto u = to_complex(make_phantom(ops.geometry().object_shape(),
+                                   PhantomKind::BrainTissue, 8));
+  auto clean = simulate_projections(ops, u, 0.0);
+  auto noisy = simulate_projections(ops, u, 0.05);
+  const double rel = relative_error<cfloat>(clean.span(), noisy.span());
+  EXPECT_GT(rel, 0.01);
+  EXPECT_LT(rel, 0.2);
+}
+
+}  // namespace
+}  // namespace mlr::lamino
