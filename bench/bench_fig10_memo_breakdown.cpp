@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
                 "cache hit below DB hit");
 
   ReconstructionConfig cfg;
+  cfg.threads = args.threads();
   cfg.dataset = Dataset::medium(n);
   cfg.iters = iters;
   cfg.memoize = true;

@@ -14,9 +14,12 @@ struct Series {
   mlr::u64 lookups = 0;
 };
 
+unsigned g_threads = 0;  // engine worker threads (--threads)
+
 Series run(mlr::memo::CacheKind kind, mlr::i64 n, int iters) {
   using namespace mlr;
   ReconstructionConfig cfg;
+  cfg.threads = g_threads;
   cfg.dataset = Dataset::small(n);
   cfg.iters = iters;
   cfg.memoize = true;
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
   bench::Args args(argc, argv);
   const i64 n = args.get_i64("--n", 16);
   const int iters = int(args.get_i64("--iters", 16));
+  g_threads = args.threads();
   WallTimer wall;
   bench::header("Fig 12 — private vs global memoization cache (F_u2D)",
                 "paper Fig 12 + §6.5 (85 % fewer comparisons)",

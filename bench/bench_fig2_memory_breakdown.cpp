@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
 
   // Time breakdown of a real (baseline) iteration.
   ReconstructionConfig cfg;
+  cfg.threads = args.threads();
   cfg.dataset = ds;
   cfg.iters = 4;
   cfg.inner_iters = 4;

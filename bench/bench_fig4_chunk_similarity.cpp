@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
                 "matches appear in most iterations and accumulate over time");
 
   ReconstructionConfig cfg;
+  cfg.threads = args.threads();
   cfg.dataset = Dataset::small(n);
   cfg.iters = iters;
   cfg.memoize = false;  // observe the raw chunk stream, no interference

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   double sum_impr = 0;
   for (const auto& ds : sets) {
     ReconstructionConfig base;
+    base.threads = args.threads();
     base.dataset = ds;
     base.iters = iters;
     base.memoize = false;

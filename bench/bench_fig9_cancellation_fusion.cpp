@@ -14,8 +14,11 @@ struct Strategy {
   bool cancel, fuse;
 };
 
+unsigned g_threads = 0;  // engine worker threads (--threads)
+
 double lsp_time(const mlr::Dataset& ds, const Strategy& s, int inner) {
   mlr::ReconstructionConfig cfg;
+  cfg.threads = g_threads;
   cfg.dataset = ds;
   cfg.iters = 2;
   cfg.inner_iters = inner;
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
   using namespace mlr;
   bench::Args args(argc, argv);
   const i64 n = args.get_i64("--n", 14);
+  g_threads = args.threads();
   WallTimer wall;
   bench::header(
       "Fig 9 — operation cancellation and fusion ablation",

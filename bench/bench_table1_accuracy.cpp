@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   // Reference reconstruction (no memoization).
   ReconstructionConfig base;
+  base.threads = args.threads();
   base.dataset = Dataset::small(n);
   base.dataset.noise = 0.02;
   base.iters = iters;

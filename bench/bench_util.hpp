@@ -26,6 +26,12 @@ class Args {
     const char* v = find(flag);
     return v != nullptr ? std::atof(v) : def;
   }
+  /// Engine worker threads (`--threads N`); negatives clamp to 0 (= share
+  /// the process-global pool). One parse point for every bench.
+  [[nodiscard]] unsigned threads() const {
+    const i64 t = get_i64("--threads", 0);
+    return t > 0 ? unsigned(t) : 0u;
+  }
   [[nodiscard]] bool has(const char* flag) const {
     for (int i = 1; i < argc_; ++i)
       if (std::strcmp(argv_[i], flag) == 0) return true;

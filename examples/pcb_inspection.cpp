@@ -8,6 +8,7 @@
 
 int main(int argc, char** argv) {
   const mlr::i64 n = argc > 1 ? std::atoll(argv[1]) : 20;
+  const unsigned threads = argc > 2 ? unsigned(std::max(0, std::atoi(argv[2]))) : 0;
 
   std::printf("PCB inspection — %lld^3 board, comparing tau choices\n\n",
               (long long)n);
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
     cfg.dataset.label = "PCB";
     cfg.iters = 10;
     cfg.tau = tau;
+    cfg.threads = threads;
     mlr::Reconstructor rec(cfg);
     auto rep = rec.run();
     if (tau == 0.99) err_ref = rep.error_vs_truth;

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run the full test suite.
+#   ./scripts/check.sh          release build + ctest
+#   ./scripts/check.sh tsan     ThreadSanitizer build + ctest (concurrency
+#                               tests under TSan; slower)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset="${1:-}"
+if [[ "$preset" == "tsan" ]]; then
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  ctest --preset tsan -j "$(nproc)"
+else
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)"
+  (cd build && ctest --output-on-failure -j "$(nproc)")
+fi

@@ -36,7 +36,11 @@ const char* phase_name(Phase p) {
   return "?";
 }
 
-Solver::Solver(memo::MemoizedLamino& ml, AdmmConfig cfg) : ml_(ml), cfg_(cfg) {
+Solver::Solver(memo::MemoizedLamino& ml, AdmmConfig cfg)
+    : Solver(ml.executor(), cfg) {}
+
+Solver::Solver(memo::StageExecutor& exec, AdmmConfig cfg)
+    : exec_(exec), ml_(exec.wrapper(0)), cfg_(cfg) {
   MLR_CHECK(cfg.outer_iters >= 1 && cfg.inner_iters >= 1);
   MLR_CHECK(cfg.alpha >= 0 && cfg.rho > 0 && cfg.chunk_size >= 1);
   MLR_CHECK_MSG(!(cfg.use_fusion && !cfg.use_cancellation),
@@ -58,7 +62,7 @@ sim::VTime Solver::stage_fu1d(const Array3D<cfloat>& in, Array3D<cfloat>& out,
     work.push_back({spec, in.slices(spec.begin, spec.count),
                     out.slices(spec.begin, spec.count)});
   }
-  auto rep = ml_.run_stage(
+  auto rep = exec_.run_stage(
       adjoint ? memo::OpKind::Fu1DAdj : memo::OpKind::Fu1D, work, t);
   return rep.done;
 }
@@ -93,7 +97,7 @@ sim::VTime Solver::stage_fu2d(const Array3D<cfloat>& in, Array3D<cfloat>& out,
       work.push_back({spec, ins[i], outs[i]});
     }
   }
-  auto rep = ml_.run_stage(
+  auto rep = exec_.run_stage(
       adjoint ? memo::OpKind::Fu2DAdj : memo::OpKind::Fu2D, work, t);
   for (std::size_t i = 0; i < n; ++i) {
     if (!adjoint) {
@@ -224,7 +228,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
   MLR_CHECK(d.shape() == geo.data_shape());
   SolveResult result;
   sim::VTime t = 0;
-  const double dev_xfer0 = ml_.device_transfer_busy();
+  const double dev_xfer0 = exec_.device_transfer_busy();
 
   if (obs_ != nullptr) obs_->phase_begin(Phase::Init, t);
   if (lip_ == 0.0) {
@@ -273,19 +277,19 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
                             !ml_.key_encoder().quantized() &&
                             cfg_.encoder_warmup_iters > 0;
   if (needs_warmup) {
-    ml_.set_bypass(true);
-    ml_.set_collect_samples(true);
+    exec_.set_bypass(true);
+    exec_.set_collect_samples(true);
   }
 
   VectorField gu(geo.object_shape());
   for (int iter = 0; iter < cfg_.outer_iters; ++iter) {
     IterationStats st;
     st.iter = iter;
-    const auto memo0 = ml_.counters();
+    const auto memo0 = exec_.counters();
     if (needs_warmup && iter == cfg_.encoder_warmup_iters) {
-      ml_.set_collect_samples(false);
-      (void)ml_.train_encoder_from_collected(cfg_.encoder_train_steps);
-      ml_.set_bypass(false);
+      exec_.set_collect_samples(false);
+      (void)exec_.train_encoder_from_collected(cfg_.encoder_train_steps);
+      exec_.set_bypass(false);
       // Training runs on the GPU (paper §4.3.1); charge its kernel time.
       t = ml_.device_kernel(
           t, double(cfg_.encoder_train_steps) * 6.0 *
@@ -360,7 +364,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     if (obs_ != nullptr) obs_->phase_end(Phase::PenaltyUpdate, t);
 
     st.t_end = t;
-    const auto memo1 = ml_.counters();
+    const auto memo1 = exec_.counters();
     st.memo_delta.computed = memo1.computed - memo0.computed;
     st.memo_delta.miss = memo1.miss - memo0.miss;
     st.memo_delta.db_hit = memo1.db_hit - memo0.db_hit;
@@ -377,7 +381,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
   mem_.release("u", t);
   mem_.release("d", t);
   result.total_vtime = t;
-  const double xfer = ml_.device_transfer_busy() - dev_xfer0;
+  const double xfer = exec_.device_transfer_busy() - dev_xfer0;
   result.transfer_share = t > 0 ? xfer / t : 0.0;
   result.u = std::move(u);
   return result;

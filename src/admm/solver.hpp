@@ -25,6 +25,7 @@
 #include "admm/tv.hpp"
 #include "lamino/phantom.hpp"
 #include "memo/memoized_ops.hpp"
+#include "memo/stage_executor.hpp"
 #include "sim/clock.hpp"
 
 namespace mlr::admm {
@@ -91,8 +92,14 @@ struct SolveResult {
 
 class Solver {
  public:
-  /// `ml` supplies both the real operators and the execution backend.
+  /// `ml` supplies both the real operators and the execution backend (all
+  /// chunk stages run through its built-in StageExecutor).
   Solver(memo::MemoizedLamino& ml, AdmmConfig cfg);
+  /// Engine injection: chunk stages run through `exec`, which may span
+  /// several devices and carry a dedicated worker pool (the
+  /// ExecutionContext path). `exec.wrapper(0)` hosts the un-memoized
+  /// detector stages and the encoder.
+  Solver(memo::StageExecutor& exec, AdmmConfig cfg);
 
   /// Reconstruct from measured projections `d` (spatial detector domain).
   SolveResult solve(const Array3D<cfloat>& d);
@@ -138,7 +145,8 @@ class Solver {
     return obs_ != nullptr ? obs_->on_access(var, t) : t;
   }
 
-  memo::MemoizedLamino& ml_;
+  memo::StageExecutor& exec_;  ///< runs every chunked operator stage
+  memo::MemoizedLamino& ml_;   ///< primary wrapper: encoder + detector FFTs
   AdmmConfig cfg_;
   double lip_ = 0.0;  ///< ‖L*L‖ estimate (power iteration, set in solve())
   sim::MemoryTracker mem_;

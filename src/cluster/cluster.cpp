@@ -22,31 +22,16 @@ Cluster::Cluster(const lamino::Operators& ops, ClusterSpec spec,
     wrappers_.push_back(std::make_unique<memo::MemoizedLamino>(
         ops_, memo_cfg, devices_.back().get(), db_.get()));
   }
+  std::vector<memo::MemoizedLamino*> ptrs;
+  ptrs.reserve(wrappers_.size());
+  for (auto& w : wrappers_) ptrs.push_back(w.get());
+  exec_ = std::make_unique<memo::StageExecutor>(std::move(ptrs));
 }
 
 memo::StageReport Cluster::run_stage(memo::OpKind kind,
                                      std::span<memo::StageChunk> chunks,
                                      sim::VTime ready) {
-  // Round-robin distribution: GPU g takes chunks g, g+G, g+2G, …
-  const int G = spec_.gpus;
-  memo::StageReport merged;
-  merged.records.resize(chunks.size());
-  merged.done = ready;
-  std::vector<memo::StageChunk> mine;
-  for (int g = 0; g < G; ++g) {
-    mine.clear();
-    std::vector<std::size_t> idx;
-    for (std::size_t c = size_t(g); c < chunks.size(); c += size_t(G)) {
-      mine.push_back(chunks[c]);
-      idx.push_back(c);
-    }
-    if (mine.empty()) continue;
-    auto rep = wrappers_[size_t(g)]->run_stage(kind, mine, ready);
-    merged.done = std::max(merged.done, rep.done);
-    for (std::size_t i = 0; i < idx.size(); ++i)
-      merged.records[idx[i]] = rep.records[i];
-  }
-  return merged;
+  return exec_->run_stage(kind, chunks, ready);
 }
 
 sim::VTime Cluster::redistribute(double total_bytes, sim::VTime ready) {

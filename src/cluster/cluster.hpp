@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "memo/memoized_ops.hpp"
+#include "memo/stage_executor.hpp"
 
 namespace mlr::cluster {
 
@@ -45,10 +46,14 @@ class Cluster {
 
   /// Execute one operator stage: chunks are assigned round-robin to GPUs;
   /// the stage completes when the slowest GPU finishes. Returns the stage's
-  /// per-chunk records merged in chunk order.
+  /// per-chunk records merged in chunk order. Delegates to the shared
+  /// StageExecutor engine (same code path as core::Reconstructor).
   memo::StageReport run_stage(memo::OpKind kind,
                               std::span<memo::StageChunk> chunks,
                               sim::VTime ready);
+
+  /// The multi-device engine executing the stages.
+  [[nodiscard]] memo::StageExecutor& executor() { return *exec_; }
 
   /// Model the redistribution between n1-partitioned and h-partitioned
   /// stages: every GPU exchanges (G−1)/G of `total_bytes` — NVLink within a
@@ -78,6 +83,7 @@ class Cluster {
   std::unique_ptr<memo::MemoDb> db_;
   std::vector<std::unique_ptr<sim::Device>> devices_;
   std::vector<std::unique_ptr<memo::MemoizedLamino>> wrappers_;
+  std::unique_ptr<memo::StageExecutor> exec_;
   sim::Timeline nvlink_;
 };
 

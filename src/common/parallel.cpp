@@ -8,6 +8,10 @@ namespace mlr {
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = 1;
+  // Hard cap: a garbage count (e.g. unsigned(-1) from a CLI parse) must not
+  // try to spawn billions of workers. 256 still allows deliberate
+  // oversubscription for determinism tests on small hosts.
+  threads = std::min(threads, 256u);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -61,11 +65,10 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void parallel_for_ranges(i64 begin, i64 end,
+void parallel_for_ranges(ThreadPool& pool, i64 begin, i64 end,
                          const std::function<void(i64, i64)>& fn) {
   const i64 total = end - begin;
   if (total <= 0) return;
-  auto& pool = ThreadPool::global();
   const i64 workers = i64(pool.size());
   if (workers <= 1 || total == 1) {  // serial fast path, no thread handoff
     fn(begin, end);
@@ -73,10 +76,9 @@ void parallel_for_ranges(i64 begin, i64 end,
   }
   const i64 chunks = std::min(total, workers * 4);
   const i64 step = (total + chunks - 1) / chunks;
-  std::atomic<int> pending{0};
   std::exception_ptr first_error;
   std::mutex err_mu;
-  std::atomic<i64> done{0};
+  i64 done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
   i64 launched = 0;
@@ -95,16 +97,25 @@ void parallel_for_ranges(i64 begin, i64 end,
       done_cv.notify_all();
     });
   }
-  (void)pending;
   std::unique_lock lk(done_mu);
   done_cv.wait(lk, [&] { return done == launched; });
   if (first_error) std::rethrow_exception(first_error);
 }
 
-void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& fn) {
-  parallel_for_ranges(begin, end, [&](i64 lo, i64 hi) {
+void parallel_for(ThreadPool& pool, i64 begin, i64 end,
+                  const std::function<void(i64)>& fn) {
+  parallel_for_ranges(pool, begin, end, [&](i64 lo, i64 hi) {
     for (i64 i = lo; i < hi; ++i) fn(i);
   });
+}
+
+void parallel_for_ranges(i64 begin, i64 end,
+                         const std::function<void(i64, i64)>& fn) {
+  parallel_for_ranges(ThreadPool::global(), begin, end, fn);
+}
+
+void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& fn) {
+  parallel_for(ThreadPool::global(), begin, end, fn);
 }
 
 }  // namespace mlr

@@ -1,0 +1,34 @@
+#include "core/execution_context.hpp"
+
+#include "common/error.hpp"
+
+namespace mlr {
+
+ExecutionContext::ExecutionContext(const lamino::Operators& ops,
+                                   ExecutionOptions opt)
+    : opt_(opt), net_(opt.link), memnode_(opt.memory_node) {
+  MLR_CHECK(opt_.gpus >= 1);
+  if (opt_.memo.enable) {
+    db_ = std::make_unique<memo::MemoDb>(opt_.db, &net_, &memnode_);
+  }
+  for (int g = 0; g < opt_.gpus; ++g) {
+    devices_.push_back(std::make_unique<sim::Device>(g, opt_.device));
+    wrappers_.push_back(std::make_unique<memo::MemoizedLamino>(
+        ops, opt_.memo, devices_.back().get(), db_.get()));
+  }
+  std::vector<memo::MemoizedLamino*> ptrs;
+  ptrs.reserve(wrappers_.size());
+  for (auto& w : wrappers_) ptrs.push_back(w.get());
+  exec_ = std::make_unique<memo::StageExecutor>(std::move(ptrs));
+  if (opt_.threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(opt_.threads);
+    exec_->set_pool(pool_.get());
+    // The wrappers' built-in engines follow the same pool so direct
+    // wrapper.run_stage() calls behave identically.
+    for (auto& w : wrappers_) w->executor().set_pool(pool_.get());
+  }
+}
+
+ExecutionContext::~ExecutionContext() = default;
+
+}  // namespace mlr

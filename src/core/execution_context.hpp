@@ -1,0 +1,75 @@
+// ExecutionContext — ownership of the execution substrate for one
+// reconstruction run.
+//
+// Wires together everything the StageExecutor engine drives: the simulated
+// GPU(s), the interconnect + memory node, the distributed memoization DB,
+// one MemoizedLamino wrapper per device, and the worker pool for the
+// engine's parallel phases. This replaces the ad-hoc pointer plumbing that
+// used to live inside Reconstructor::prepare(), and gives multi-GPU chunk
+// distribution, offload experiments and memoization one shared code path:
+// everything executes stages through `executor()`.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "memo/memo_db.hpp"
+#include "memo/memoized_ops.hpp"
+#include "memo/stage_executor.hpp"
+#include "sim/device.hpp"
+
+namespace mlr {
+
+struct ExecutionOptions {
+  /// Worker threads for the engine's parallel phases. 0 = share the
+  /// process-global pool (hardware concurrency); 1 = strictly serial
+  /// execution on the calling thread; N = a dedicated N-worker pool.
+  unsigned threads = 0;
+  /// Simulated devices; chunks are distributed round-robin across them.
+  int gpus = 1;
+  memo::MemoConfig memo{};   ///< wrapper config, shared by every device
+  memo::MemoDbConfig db{};   ///< memoization DB config (used when memo.enable)
+  sim::DeviceSpec device{};
+  sim::LinkSpec link{};
+  sim::MemoryNodeSpec memory_node{};
+};
+
+class ExecutionContext {
+ public:
+  ExecutionContext(const lamino::Operators& ops, ExecutionOptions opt);
+  ~ExecutionContext();
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// The stage-execution engine over all devices — the one entry point for
+  /// running operator stages.
+  [[nodiscard]] memo::StageExecutor& executor() { return *exec_; }
+
+  [[nodiscard]] int num_gpus() const { return int(devices_.size()); }
+  [[nodiscard]] memo::MemoizedLamino& wrapper(int gpu = 0) {
+    return *wrappers_[std::size_t(gpu)];
+  }
+  [[nodiscard]] sim::Device& device(int gpu = 0) {
+    return *devices_[std::size_t(gpu)];
+  }
+  [[nodiscard]] sim::Interconnect& network() { return net_; }
+  [[nodiscard]] sim::MemoryNode& memory_node() { return memnode_; }
+  [[nodiscard]] memo::MemoDb* db() { return db_.get(); }
+  /// Dedicated pool (null when sharing the process-global one).
+  [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
+  [[nodiscard]] const ExecutionOptions& options() const { return opt_; }
+
+ private:
+  ExecutionOptions opt_;
+  sim::Interconnect net_;
+  sim::MemoryNode memnode_;
+  std::unique_ptr<memo::MemoDb> db_;
+  std::vector<std::unique_ptr<sim::Device>> devices_;
+  std::vector<std::unique_ptr<memo::MemoizedLamino>> wrappers_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<memo::StageExecutor> exec_;
+};
+
+}  // namespace mlr

@@ -29,25 +29,20 @@ void Reconstructor::prepare() {
       geom.object_shape(), cfg_.dataset.kind, cfg_.dataset.seed));
   d_ = lamino::simulate_projections(*ops_, u_true_, cfg_.dataset.noise,
                                     cfg_.dataset.seed + 1);
-  device_ = std::make_unique<sim::Device>(0);
-  net_ = std::make_unique<sim::Interconnect>();
-  memnode_ = std::make_unique<sim::MemoryNode>();
   const double ws = cfg_.dataset.work_scale();
-  if (cfg_.memoize) {
-    memo::MemoDbConfig dbc;
-    dbc.tau = cfg_.tau;
-    dbc.coalesce = cfg_.coalesce;
-    dbc.value_scale = ws;
-    db_ = std::make_unique<memo::MemoDb>(dbc, net_.get(), memnode_.get());
-  }
-  memo::MemoConfig mc;
-  mc.enable = cfg_.memoize;
-  mc.tau = cfg_.tau;
-  mc.cache = cfg_.cache;
-  mc.coalesce = cfg_.coalesce;
-  mc.work_scale = ws;
-  wrapper_ = std::make_unique<memo::MemoizedLamino>(*ops_, mc, device_.get(),
-                                                    db_.get());
+  ExecutionOptions eo;
+  eo.threads = cfg_.threads;
+  eo.gpus = cfg_.gpus;
+  eo.db.tau = cfg_.tau;
+  eo.db.coalesce = cfg_.coalesce;
+  eo.db.value_scale = ws;
+  eo.memo.enable = cfg_.memoize;
+  eo.memo.tau = cfg_.tau;
+  eo.memo.cache = cfg_.cache;
+  eo.memo.cache_shards = cfg_.cache_shards;
+  eo.memo.coalesce = cfg_.coalesce;
+  eo.memo.work_scale = ws;
+  ctx_ = std::make_unique<ExecutionContext>(*ops_, eo);
   admm::AdmmConfig ac;
   ac.outer_iters = cfg_.iters;
   ac.inner_iters = cfg_.inner_iters;
@@ -56,7 +51,7 @@ void Reconstructor::prepare() {
   ac.use_cancellation = cfg_.cancellation;
   ac.use_fusion = cfg_.fusion;
   ac.work_scale = ws;
-  solver_ = std::make_unique<admm::Solver>(*wrapper_, ac);
+  solver_ = std::make_unique<admm::Solver>(ctx_->executor(), ac);
   prepared_ = true;
 }
 
@@ -116,10 +111,8 @@ Report Reconstructor::run() {
   rep.vtime_s = rep.result.total_vtime;
   rep.error_vs_truth =
       relative_error<cfloat>(u_true_.span(), rep.result.u.span());
-  rep.memo = wrapper_->counters();
-  if (wrapper_->cache() != nullptr) {
-    rep.cache_hit_rate = wrapper_->cache()->stats().hit_rate();
-  }
+  rep.memo = ctx_->executor().counters();
+  rep.cache_hit_rate = ctx_->executor().cache_stats().hit_rate();
   // Steady-state peak: skip the Init/first-iteration transient where all
   // variables are co-resident while the policy's initial writes are still in
   // flight (the paper's variables materialize staggered across phases).

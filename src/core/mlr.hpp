@@ -21,6 +21,7 @@
 
 #include "admm/solver.hpp"
 #include "cluster/cluster.hpp"
+#include "core/execution_context.hpp"
 #include "lamino/phantom.hpp"
 #include "memo/memoized_ops.hpp"
 #include "offload/offload.hpp"
@@ -71,6 +72,15 @@ struct ReconstructionConfig {
   OffloadMode offload = OffloadMode::None;
 
   int gpus = 1;  ///< >1 distributes chunks across simulated GPUs
+
+  // Stage-execution engine knobs (see ExecutionOptions/StageExecutor):
+  /// Worker threads for the engine's parallel phases. 0 = process-global
+  /// pool (hardware concurrency), 1 = serial. Results are bit-identical for
+  /// any value — only host wall time changes.
+  unsigned threads = 0;
+  /// GlobalCache shard count ((kind, location) hash sharding); ≤1 keeps the
+  /// single shared pool. Ignored by the Private cache.
+  i64 cache_shards = 1;
 };
 
 struct Report {
@@ -101,11 +111,13 @@ class Reconstructor {
   [[nodiscard]] const lamino::Operators& ops() const { return *ops_; }
   [[nodiscard]] const Array3D<cfloat>& projections() const { return d_; }
   [[nodiscard]] const Array3D<cfloat>& ground_truth() const { return u_true_; }
-  [[nodiscard]] memo::MemoizedLamino& wrapper() { return *wrapper_; }
+  [[nodiscard]] ExecutionContext& context() { return *ctx_; }
+  [[nodiscard]] memo::StageExecutor& engine() { return ctx_->executor(); }
+  [[nodiscard]] memo::MemoizedLamino& wrapper() { return ctx_->wrapper(); }
   [[nodiscard]] admm::Solver& solver() { return *solver_; }
-  [[nodiscard]] sim::Interconnect& network() { return *net_; }
-  [[nodiscard]] sim::MemoryNode& memory_node() { return *memnode_; }
-  [[nodiscard]] memo::MemoDb* db() { return db_.get(); }
+  [[nodiscard]] sim::Interconnect& network() { return ctx_->network(); }
+  [[nodiscard]] sim::MemoryNode& memory_node() { return ctx_->memory_node(); }
+  [[nodiscard]] memo::MemoDb* db() { return ctx_->db(); }
   [[nodiscard]] const ReconstructionConfig& config() const { return cfg_; }
 
  private:
@@ -113,11 +125,7 @@ class Reconstructor {
   std::unique_ptr<lamino::Operators> ops_;
   Array3D<cfloat> u_true_;
   Array3D<cfloat> d_;
-  std::unique_ptr<sim::Device> device_;
-  std::unique_ptr<sim::Interconnect> net_;
-  std::unique_ptr<sim::MemoryNode> memnode_;
-  std::unique_ptr<memo::MemoDb> db_;
-  std::unique_ptr<memo::MemoizedLamino> wrapper_;
+  std::unique_ptr<ExecutionContext> ctx_;  ///< devices/pool/cache/DB wiring
   std::unique_ptr<admm::Solver> solver_;
   bool prepared_ = false;
 };

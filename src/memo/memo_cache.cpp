@@ -9,7 +9,8 @@ namespace mlr::memo {
 
 PrivateCache::PrivateCache(i64 num_locations)
     : num_locations_(num_locations),
-      slots_(size_t(kNumOpKinds * num_locations)) {
+      slots_(size_t(kNumOpKinds * num_locations)),
+      locks_(std::make_unique<std::mutex[]>(kLockStripes)) {
   MLR_CHECK(num_locations >= 1);
 }
 
@@ -36,13 +37,15 @@ bool accept_entry(const CacheEntry& e, std::span<const float> key, double tau,
 std::optional<std::vector<cfloat>> PrivateCache::lookup(
     OpKind kind, i64 location, std::span<const float> key, double tau,
     double norm, std::span<const cfloat> probe) {
-  ++stats_.lookups;
-  const auto& s = slots_[size_t(slot(kind, location))];
-  if (!s.has_value()) return std::nullopt;
-  ++stats_.comparisons;  // exactly one comparison: the private slot
-  if (accept_entry(*s, key, tau, norm, probe)) {
-    ++stats_.hits;
-    return s->value;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const i64 s = slot(kind, location);
+  std::lock_guard lk(stripe(s));
+  const auto& e = slots_[size_t(s)];
+  if (!e.has_value()) return std::nullopt;
+  comparisons_.fetch_add(1, std::memory_order_relaxed);  // the private slot
+  if (accept_entry(*e, key, tau, norm, probe)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return e->value;
   }
   return std::nullopt;
 }
@@ -51,62 +54,92 @@ void PrivateCache::insert(OpKind kind, i64 location,
                           std::span<const float> key,
                           std::span<const cfloat> value, double norm,
                           std::span<const cfloat> probe) {
-  // FIFO with capacity one == unconditional replacement.
-  slots_[size_t(slot(kind, location))] =
-      CacheEntry{{key.begin(), key.end()},
-                 {value.begin(), value.end()},
-                 norm,
-                 {probe.begin(), probe.end()}};
+  // FIFO with capacity one == unconditional replacement. Build the entry
+  // outside the lock so the stripe is held only for the swap.
+  CacheEntry entry{{key.begin(), key.end()},
+                   {value.begin(), value.end()},
+                   norm,
+                   {probe.begin(), probe.end()}};
+  const i64 s = slot(kind, location);
+  std::lock_guard lk(stripe(s));
+  slots_[size_t(s)] = std::move(entry);
 }
 
 std::size_t PrivateCache::bytes() const {
   std::size_t b = 0;
-  for (const auto& s : slots_) {
-    if (s)
-      b += s->key.size() * sizeof(float) + s->value.size() * sizeof(cfloat);
+  for (i64 s = 0; s < i64(slots_.size()); ++s) {
+    std::lock_guard lk(stripe(s));
+    const auto& e = slots_[size_t(s)];
+    if (e)
+      b += e->key.size() * sizeof(float) + e->value.size() * sizeof(cfloat);
   }
   return b;
 }
 
-GlobalCache::GlobalCache(i64 capacity) : capacity_(capacity) {
+GlobalCache::GlobalCache(i64 capacity, i64 shards)
+    : shard_capacity_(0), shards_(size_t(std::max<i64>(1, shards))) {
   MLR_CHECK(capacity >= 1);
+  const i64 n = i64(shards_.size());
+  shard_capacity_ = std::max<i64>(1, (capacity + n - 1) / n);
+}
+
+GlobalCache::Shard& GlobalCache::shard_of(OpKind kind, i64 location) {
+  const u64 h = u64(int(kind)) * 0x9e3779b97f4a7c15ull + u64(location);
+  return shards_[size_t(h % shards_.size())];
+}
+
+const GlobalCache::Shard& GlobalCache::shard_of(OpKind kind,
+                                                i64 location) const {
+  const u64 h = u64(int(kind)) * 0x9e3779b97f4a7c15ull + u64(location);
+  return shards_[size_t(h % shards_.size())];
 }
 
 std::optional<std::vector<cfloat>> GlobalCache::lookup(
-    OpKind kind, i64 /*location*/, std::span<const float> key, double tau,
+    OpKind kind, i64 location, std::span<const float> key, double tau,
     double norm, std::span<const cfloat> probe) {
-  ++stats_.lookups;
-  // Cross-location sharing: any resident entry of the same operator kind may
-  // serve the request, so every one must be compared.
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  // Cross-location sharing: any resident entry of the same operator kind in
+  // this shard may serve the request, so every one must be compared.
+  auto& sh = shard_of(kind, location);
+  std::lock_guard lk(sh.mu);
   const Tagged* best = nullptr;
-  for (const auto& t : pool_) {
+  u64 compared = 0;
+  for (const auto& t : sh.pool) {
     if (t.kind != kind) continue;
-    ++stats_.comparisons;
+    ++compared;
     if (accept_entry(t.entry, key, tau, norm, probe)) best = &t;
   }
+  comparisons_.fetch_add(compared, std::memory_order_relaxed);
   if (best != nullptr) {
-    ++stats_.hits;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return best->entry.value;
   }
   return std::nullopt;
 }
 
-void GlobalCache::insert(OpKind kind, i64 /*location*/,
+void GlobalCache::insert(OpKind kind, i64 location,
                          std::span<const float> key,
                          std::span<const cfloat> value, double norm,
                          std::span<const cfloat> probe) {
-  if (i64(pool_.size()) >= capacity_) pool_.erase(pool_.begin());  // FIFO
-  pool_.push_back({kind, CacheEntry{{key.begin(), key.end()},
-                                    {value.begin(), value.end()},
-                                    norm,
-                                    {probe.begin(), probe.end()}}});
+  Tagged tagged{kind, CacheEntry{{key.begin(), key.end()},
+                                 {value.begin(), value.end()},
+                                 norm,
+                                 {probe.begin(), probe.end()}}};
+  auto& sh = shard_of(kind, location);
+  std::lock_guard lk(sh.mu);
+  if (i64(sh.pool.size()) >= shard_capacity_)
+    sh.pool.erase(sh.pool.begin());  // FIFO
+  sh.pool.push_back(std::move(tagged));
 }
 
 std::size_t GlobalCache::bytes() const {
   std::size_t b = 0;
-  for (const auto& t : pool_)
-    b += t.entry.key.size() * sizeof(float) +
-         t.entry.value.size() * sizeof(cfloat);
+  for (const auto& sh : shards_) {
+    std::lock_guard lk(sh.mu);
+    for (const auto& t : sh.pool)
+      b += t.entry.key.size() * sizeof(float) +
+           t.entry.value.size() * sizeof(cfloat);
+  }
   return b;
 }
 

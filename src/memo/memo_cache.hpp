@@ -6,10 +6,22 @@
 //     capacity equals one FFT output per location.
 //   * GlobalCache  — one shared pool over all locations: a lookup compares
 //     against every resident entry (64 for the paper's 1K³ case), which is
-//     where the 85 % extra comparison cost comes from.
+//     where the 85 % extra comparison cost comes from. The pool can be
+//     *sharded* by (kind, location) hash so concurrent lookups stop scanning
+//     (and serializing on) one global FIFO under a single lock — cross-
+//     location sharing is then confined to a shard, the classic
+//     concurrency/recall trade-off.
 // Both accept a hit only when key cosine similarity exceeds τ.
+//
+// Thread safety: the batched StageExecutor probes the cache from many worker
+// threads at once, so every implementation must tolerate concurrent
+// lookup/lookup and lookup/insert. Stats counters are atomic; entry state is
+// guarded by striped (PrivateCache) or per-shard (GlobalCache) mutexes.
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -19,6 +31,7 @@
 
 namespace mlr::memo {
 
+/// Snapshot of the cache counters (values are copied out of the atomics).
 struct CacheStats {
   u64 lookups = 0;
   u64 hits = 0;
@@ -36,6 +49,7 @@ struct CacheEntry {
 };
 
 /// Abstract cache over (op kind, chunk location) → FFT result.
+/// Implementations must be safe under concurrent lookup and insert.
 class MemoCache {
  public:
   virtual ~MemoCache() = default;
@@ -47,15 +61,23 @@ class MemoCache {
   virtual void insert(OpKind kind, i64 location, std::span<const float> key,
                       std::span<const cfloat> value, double norm = 1.0,
                       std::span<const cfloat> probe = {}) = 0;
-  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] CacheStats stats() const {
+    return {lookups_.load(std::memory_order_relaxed),
+            hits_.load(std::memory_order_relaxed),
+            comparisons_.load(std::memory_order_relaxed)};
+  }
   /// Total resident bytes.
   [[nodiscard]] virtual std::size_t bytes() const = 0;
 
  protected:
-  CacheStats stats_;
+  std::atomic<u64> lookups_{0};
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> comparisons_{0};
 };
 
 /// mLR's private cache: slot per (kind, location), one entry per slot.
+/// Concurrency: slot mutexes are striped — distinct locations almost never
+/// contend, same-location lookups serialize only on their own stripe.
 class PrivateCache : public MemoCache {
  public:
   explicit PrivateCache(i64 num_locations);
@@ -71,16 +93,24 @@ class PrivateCache : public MemoCache {
   [[nodiscard]] std::size_t bytes() const override;
 
  private:
+  static constexpr std::size_t kLockStripes = 64;
+
   i64 slot(OpKind kind, i64 location) const;
+  std::mutex& stripe(i64 s) const { return locks_[std::size_t(s) % kLockStripes]; }
+
   i64 num_locations_;
   std::vector<std::optional<CacheEntry>> slots_;
+  mutable std::unique_ptr<std::mutex[]> locks_;
 };
 
-/// Baseline: one shared pool, capacity = num_locations entries, FIFO
-/// eviction, lookup scans every resident entry.
+/// Baseline: a shared FIFO pool over all locations, lookup scans every
+/// resident entry of the matching kind. With `shards > 1` the pool is split
+/// by (kind, location) hash: each shard holds capacity/shards entries behind
+/// its own mutex, so concurrent lookups of different shards proceed without
+/// contention and each scan touches only its shard's residents.
 class GlobalCache : public MemoCache {
  public:
-  explicit GlobalCache(i64 capacity);
+  explicit GlobalCache(i64 capacity, i64 shards = 1);
 
   std::optional<std::vector<cfloat>> lookup(OpKind kind, i64 location,
                                             std::span<const float> key,
@@ -92,13 +122,23 @@ class GlobalCache : public MemoCache {
               std::span<const cfloat> probe = {}) override;
   [[nodiscard]] std::size_t bytes() const override;
 
+  [[nodiscard]] i64 shards() const { return i64(shards_.size()); }
+
  private:
   struct Tagged {
     OpKind kind;
     CacheEntry entry;
   };
-  i64 capacity_;
-  std::vector<Tagged> pool_;  // FIFO order
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Tagged> pool;  // FIFO order
+  };
+
+  Shard& shard_of(OpKind kind, i64 location);
+  const Shard& shard_of(OpKind kind, i64 location) const;
+
+  i64 shard_capacity_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace mlr::memo

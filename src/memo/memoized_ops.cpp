@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "memo/stage_executor.hpp"
 
 namespace mlr::memo {
 
@@ -23,13 +24,17 @@ MemoizedLamino::MemoizedLamino(const lamino::Operators& ops, MemoConfig cfg,
         cache_ = std::make_unique<PrivateCache>(locations);
         break;
       case CacheKind::Global:
-        cache_ = std::make_unique<GlobalCache>(locations);
+        cache_ = std::make_unique<GlobalCache>(locations,
+                                               std::max<i64>(1, cfg_.cache_shards));
         break;
       case CacheKind::None:
         break;
     }
   }
+  exec_ = std::make_unique<StageExecutor>(*this);
 }
+
+MemoizedLamino::~MemoizedLamino() = default;
 
 std::pair<i64, i64> MemoizedLamino::chunk_plane_dims(OpKind kind) const {
   const auto& g = ops_.geometry();
@@ -108,154 +113,7 @@ double MemoizedLamino::compute_chunk(OpKind kind, const StageChunk& c,
 StageReport MemoizedLamino::run_stage(OpKind kind,
                                       std::span<StageChunk> chunks,
                                       sim::VTime ready) {
-  StageReport report;
-  report.records.resize(chunks.size());
-  sim::VTime stage_done = ready;
-
-  // Fast path: memoization disabled or bypassed (warmup) — the Fig 1
-  // pipeline (H2D / kernel / D2H with copy-compute overlap).
-  if (!cfg_.enable || bypass_) {
-    if (collect_) {
-      const auto [rows, cols] = chunk_plane_dims(kind);
-      for (const auto& c : chunks) {
-        if (samples_.size() >= sample_cap_ * kNumOpKinds) break;
-        samples_.push_back(
-            {encoder::average_slab(c.in, c.spec.count, rows, cols), rows,
-             cols});
-      }
-    }
-    for (std::size_t i = 0; i < chunks.size(); ++i) {
-      auto& c = chunks[i];
-      auto& rec = report.records[i];
-      rec.kind = kind;
-      rec.outcome = MemoOutcome::Computed;
-      rec.location = c.spec.index;
-      double flops = 0;
-      compute_chunk(kind, c, &flops);
-      flops *= cfg_.kernel_cost_factor * cfg_.work_scale;
-      if (kind == OpKind::Fu1D || kind == OpKind::Fu1DAdj)
-        flops *= cfg_.fu1d_extra_derate;
-      const double in_bytes =
-          double(c.in.size() + c.ref.size()) * sizeof(cfloat) * cfg_.work_scale;
-      const double out_bytes =
-          double(c.out.size()) * sizeof(cfloat) * cfg_.work_scale;
-      const sim::VTime t0 = device_->compute().busy_until();
-      const sim::VTime in_ready = device_->h2d(ready, in_bytes);
-      const sim::VTime k_done = device_->run_kernel(in_ready, flops);
-      const sim::VTime done = device_->d2h(k_done, out_bytes);
-      rec.compute_s = done - std::max(ready, t0);
-      ++counters_.computed;
-      stage_done = std::max(stage_done, done);
-    }
-    report.done = stage_done;
-    if (sink_ != nullptr)
-      sink_->insert(sink_->end(), report.records.begin(),
-                    report.records.end());
-    return report;
-  }
-
-  // Memoized path.
-  const double encode_s = enc_.encode_flops() / cfg_.host_flops;
-  std::vector<std::vector<float>> keys(chunks.size());
-  std::vector<double> norms(chunks.size(), 1.0);
-  std::vector<std::vector<cfloat>> probes(chunks.size());
-  std::vector<int> state(chunks.size(), 0);  // 0=pending, 1=cache, 2=db, 3=miss
-  sim::VTime host_t = ready;
-
-  // 1) Encode all keys, then probe the local memoization cache.
-  std::vector<QueryRequest> reqs;
-  std::vector<std::size_t> req_chunk;  // request → chunk index
-  for (std::size_t i = 0; i < chunks.size(); ++i) {
-    auto& c = chunks[i];
-    auto& rec = report.records[i];
-    rec.kind = kind;
-    rec.location = c.spec.index;
-    keys[i] = encode_chunk(kind, c.spec, c.in);
-    rec.encode_s = encode_s;
-    host_t += encode_s;
-    const double norm = l2_norm<cfloat>(c.in);
-    norms[i] = norm;
-    probes[i] = pooled_probe(kind, c.spec, c.in);
-    if (cache_ != nullptr) {
-      auto hit = cache_->lookup(kind, c.spec.index, keys[i], cfg_.tau, norm,
-                                probes[i]);
-      if (hit.has_value()) {
-        MLR_CHECK(hit->size() == c.out.size());
-        std::copy(hit->begin(), hit->end(), c.out.begin());
-        rec.outcome = MemoOutcome::CacheHit;
-        rec.copy_s = double(c.out.size()) * sizeof(cfloat) * cfg_.work_scale /
-                     cfg_.host_mem_bw;
-        host_t += rec.copy_s;
-        ++counters_.cache_hit;
-        state[i] = 1;
-        continue;
-      }
-    }
-    reqs.push_back(
-        {kind, keys[i], norms[i], probes[i], cfg_.tau, c.out.size()});
-    req_chunk.push_back(i);
-  }
-  stage_done = std::max(stage_done, host_t);
-
-  // 2) Coalesced batch query against the memoization database.
-  std::vector<QueryReply> replies;
-  if (!reqs.empty()) replies = db_->query_batch(reqs, host_t);
-  for (std::size_t r = 0; r < replies.size(); ++r) {
-    const std::size_t i = req_chunk[r];
-    auto& c = chunks[i];
-    auto& rec = report.records[i];
-    if (replies[r].hit) {
-      MLR_CHECK(replies[r].value.size() == c.out.size());
-      std::copy(replies[r].value.begin(), replies[r].value.end(),
-                c.out.begin());
-      rec.outcome = MemoOutcome::DbHit;
-      rec.db_s = replies[r].value_ready - host_t;
-      rec.copy_s = double(c.out.size()) * sizeof(cfloat) * cfg_.work_scale /
-                   cfg_.host_mem_bw;
-      if (cache_ != nullptr)
-        cache_->insert(kind, c.spec.index, keys[i], c.out, norms[i],
-                       probes[i]);
-      ++counters_.db_hit;
-      state[i] = 2;
-      stage_done = std::max(stage_done, replies[r].value_ready + rec.copy_s);
-    } else {
-      // Failed lookup: its latency stays on the critical path (case 1).
-      rec.db_s = replies[r].value_ready - host_t;
-      state[i] = 3;
-    }
-  }
-
-  // 3) Misses: real FFT on the simulated GPU (pipelined), async insertion.
-  for (std::size_t i = 0; i < chunks.size(); ++i) {
-    if (state[i] != 3) continue;
-    auto& c = chunks[i];
-    auto& rec = report.records[i];
-    double flops = 0;
-    compute_chunk(kind, c, &flops);
-    flops *= cfg_.kernel_cost_factor * cfg_.work_scale;
-    if (kind == OpKind::Fu1D || kind == OpKind::Fu1DAdj)
-      flops *= cfg_.fu1d_extra_derate;
-    const double in_bytes =
-        double(c.in.size() + c.ref.size()) * sizeof(cfloat) * cfg_.work_scale;
-    const double out_bytes =
-        double(c.out.size()) * sizeof(cfloat) * cfg_.work_scale;
-    const sim::VTime t0 = std::max(host_t, device_->compute().busy_until());
-    const sim::VTime in_ready = device_->h2d(host_t, in_bytes);
-    const sim::VTime k_done = device_->run_kernel(in_ready, flops);
-    const sim::VTime done = device_->d2h(k_done, out_bytes);
-    rec.outcome = MemoOutcome::Miss;
-    rec.compute_s = done - t0;
-    db_->insert(kind, keys[i], c.out, done, norms[i], probes[i]);
-    if (cache_ != nullptr)
-      cache_->insert(kind, c.spec.index, keys[i], c.out, norms[i], probes[i]);
-    ++counters_.miss;
-    stage_done = std::max(stage_done, done);
-  }
-
-  report.done = stage_done;
-  if (sink_ != nullptr)
-    sink_->insert(sink_->end(), report.records.begin(), report.records.end());
-  return report;
+  return exec_->run_stage(kind, chunks, ready);
 }
 
 double MemoizedLamino::train_encoder(

@@ -31,6 +31,11 @@ struct MemoConfig {
   bool enable = true;          ///< memoization on/off (off = plain pipeline)
   double tau = 0.92;           ///< similarity threshold (paper default)
   CacheKind cache = CacheKind::Private;
+  /// GlobalCache shard count — the pool is split by (kind, location) hash so
+  /// concurrent lookups stop scanning (and serializing on) one global FIFO.
+  /// ≤1 keeps the classic single shared pool; PrivateCache is per-location
+  /// by construction and ignores this.
+  i64 cache_shards = 1;
   bool coalesce = true;        ///< 4 KB key coalescing
   i64 key_dim = 60;
   i64 encoder_hw = 32;
@@ -98,16 +103,26 @@ struct MemoCounters {
   }
 };
 
+class StageExecutor;
+
 class MemoizedLamino {
  public:
   /// `db` may be null when cfg.enable is false.
   MemoizedLamino(const lamino::Operators& ops, MemoConfig cfg,
                  sim::Device* device, MemoDb* db);
+  ~MemoizedLamino();
 
   /// Execute one operator stage (a set of independent chunks) starting at
   /// virtual time `ready`. Outputs are written into each chunk's `out`.
+  /// Delegates to the built-in StageExecutor (batched phases; parallel real
+  /// work, deterministic virtual clock).
   StageReport run_stage(OpKind kind, std::span<StageChunk> chunks,
                         sim::VTime ready);
+
+  /// The wrapper's own single-device engine. Callers wanting a dedicated
+  /// worker pool or multi-device distribution build their own StageExecutor
+  /// over one or more wrappers instead.
+  [[nodiscard]] StageExecutor& executor() { return *exec_; }
 
   /// Train the key encoder on sample chunks (contrastive pairs) and freeze
   /// it to INT8 — done once before reconstruction starts.
@@ -163,6 +178,8 @@ class MemoizedLamino {
   }
 
  private:
+  friend class StageExecutor;  // the engine drives the members below
+
   double compute_chunk(OpKind kind, const StageChunk& c,
                        double* flops_out) const;
   std::pair<i64, i64> chunk_plane_dims(OpKind kind) const;
@@ -185,6 +202,7 @@ class MemoizedLamino {
     i64 rows, cols;
   };
   std::vector<Sample> samples_;
+  std::unique_ptr<StageExecutor> exec_;
 };
 
 }  // namespace mlr::memo

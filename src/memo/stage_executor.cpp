@@ -1,0 +1,297 @@
+#include "memo/stage_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/array.hpp"
+#include "common/error.hpp"
+#include "encoder/layers.hpp"
+
+namespace mlr::memo {
+
+StageExecutor::StageExecutor(MemoizedLamino& ml) : wrappers_{&ml} {}
+
+StageExecutor::StageExecutor(std::vector<MemoizedLamino*> wrappers)
+    : wrappers_(std::move(wrappers)) {
+  MLR_CHECK(!wrappers_.empty());
+  for (auto* w : wrappers_) MLR_CHECK(w != nullptr);
+}
+
+MemoCounters StageExecutor::counters() const {
+  MemoCounters total;
+  for (const auto* w : wrappers_) {
+    const auto& c = w->counters();
+    total.computed += c.computed;
+    total.miss += c.miss;
+    total.db_hit += c.db_hit;
+    total.cache_hit += c.cache_hit;
+  }
+  return total;
+}
+
+CacheStats StageExecutor::cache_stats() const {
+  CacheStats total;
+  for (const auto* w : wrappers_) {
+    if (w->cache() == nullptr) continue;
+    const auto s = w->cache()->stats();
+    total.lookups += s.lookups;
+    total.hits += s.hits;
+    total.comparisons += s.comparisons;
+  }
+  return total;
+}
+
+void StageExecutor::set_bypass(bool bypass) {
+  for (auto* w : wrappers_) w->set_bypass(bypass);
+}
+
+void StageExecutor::set_collect_samples(bool collect,
+                                        std::size_t cap_per_kind) {
+  for (auto* w : wrappers_) w->set_collect_samples(collect, cap_per_kind);
+}
+
+double StageExecutor::train_encoder_from_collected(int steps) {
+  double loss = 0;
+  for (auto* w : wrappers_) loss += w->train_encoder_from_collected(steps);
+  return loss / double(wrappers_.size());
+}
+
+double StageExecutor::device_transfer_busy() const {
+  double busy = 0;
+  for (const auto* w : wrappers_) busy += w->device_transfer_busy();
+  return busy;
+}
+
+StageReport StageExecutor::run_stage(OpKind kind,
+                                     std::span<StageChunk> chunks,
+                                     sim::VTime ready) {
+  StageReport report;
+  report.records.resize(chunks.size());
+  report.done = ready;
+  const std::size_t G = wrappers_.size();
+  if (G == 1) {
+    run_wrapper_stage(*wrappers_[0], kind, chunks, ready, report.records,
+                      &report.done);
+    return report;
+  }
+  // Round-robin distribution: GPU g takes chunks g, g+G, g+2G, … Wrappers
+  // execute their sub-batches in device order so the shared DB / link
+  // timelines are scheduled deterministically.
+  std::vector<StageChunk> mine;
+  std::vector<ChunkRecord> recs;
+  for (std::size_t g = 0; g < G; ++g) {
+    mine.clear();
+    std::vector<std::size_t> idx;
+    for (std::size_t c = g; c < chunks.size(); c += G) {
+      mine.push_back(chunks[c]);
+      idx.push_back(c);
+    }
+    if (mine.empty()) continue;
+    recs.assign(mine.size(), ChunkRecord{});
+    sim::VTime done = ready;
+    run_wrapper_stage(*wrappers_[g], kind, mine, ready, recs, &done);
+    report.done = std::max(report.done, done);
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      report.records[idx[i]] = recs[i];
+  }
+  return report;
+}
+
+void StageExecutor::run_wrapper_stage(MemoizedLamino& ml, OpKind kind,
+                                      std::span<StageChunk> chunks,
+                                      sim::VTime ready,
+                                      std::span<ChunkRecord> records,
+                                      sim::VTime* done) {
+  if (!ml.cfg_.enable || ml.bypass_) {
+    run_bypass(ml, kind, chunks, ready, records, done);
+  } else {
+    run_memoized(ml, kind, chunks, ready, records, done);
+  }
+  if (ml.sink_ != nullptr)
+    ml.sink_->insert(ml.sink_->end(), records.begin(), records.end());
+}
+
+void StageExecutor::run_bypass(MemoizedLamino& ml, OpKind kind,
+                               std::span<StageChunk> chunks, sim::VTime ready,
+                               std::span<ChunkRecord> records,
+                               sim::VTime* done) {
+  // Fast path: memoization disabled or bypassed (warmup) — the Fig 1
+  // pipeline (H2D / kernel / D2H with copy-compute overlap).
+  if (ml.collect_) {
+    // Sample collection stays serial so the training set is order-stable.
+    const auto [rows, cols] = ml.chunk_plane_dims(kind);
+    for (const auto& c : chunks) {
+      if (ml.samples_.size() >= ml.sample_cap_ * kNumOpKinds) break;
+      ml.samples_.push_back(
+          {encoder::average_slab(c.in, c.spec.count, rows, cols), rows, cols});
+    }
+  }
+  // Parallel phase: the real FFT numerics of every chunk at once.
+  std::vector<double> flops(chunks.size(), 0.0);
+  parallel_for(pool(), 0, i64(chunks.size()), [&](i64 i) {
+    ml.compute_chunk(kind, chunks[size_t(i)], &flops[size_t(i)]);
+  });
+  // Serial phase: deterministic virtual-clock scheduling in chunk order.
+  sim::VTime stage_done = ready;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    auto& c = chunks[i];
+    auto& rec = records[i];
+    rec.kind = kind;
+    rec.outcome = MemoOutcome::Computed;
+    rec.location = c.spec.index;
+    double f = flops[i] * ml.cfg_.kernel_cost_factor * ml.cfg_.work_scale;
+    if (kind == OpKind::Fu1D || kind == OpKind::Fu1DAdj)
+      f *= ml.cfg_.fu1d_extra_derate;
+    const double in_bytes = double(c.in.size() + c.ref.size()) *
+                            sizeof(cfloat) * ml.cfg_.work_scale;
+    const double out_bytes =
+        double(c.out.size()) * sizeof(cfloat) * ml.cfg_.work_scale;
+    const sim::VTime t0 = ml.device_->compute().busy_until();
+    const sim::VTime in_ready = ml.device_->h2d(ready, in_bytes);
+    const sim::VTime k_done = ml.device_->run_kernel(in_ready, f);
+    const sim::VTime c_done = ml.device_->d2h(k_done, out_bytes);
+    rec.compute_s = c_done - std::max(ready, t0);
+    ++ml.counters_.computed;
+    stage_done = std::max(stage_done, c_done);
+  }
+  *done = stage_done;
+}
+
+void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
+                                 std::span<StageChunk> chunks,
+                                 sim::VTime ready,
+                                 std::span<ChunkRecord> records,
+                                 sim::VTime* done) {
+  const std::size_t n = chunks.size();
+  const double encode_s = ml.enc_.encode_flops() / ml.cfg_.host_flops;
+  std::vector<std::vector<float>> keys(n);
+  std::vector<double> norms(n, 1.0);
+  std::vector<std::vector<cfloat>> probes(n);
+  // 0=pending, 1=cache hit, 2=db hit, 3=miss
+  std::vector<int> state(n, 0);
+
+  // Phase 1+2 (parallel): encode every key, compute the pooled probes, and
+  // probe the thread-safe local cache; a hit copies its stored value
+  // straight into the chunk output. No inserts happen concurrently, so the
+  // lookup results are independent of evaluation order.
+  parallel_for(pool(), 0, i64(n), [&](i64 ii) {
+    const auto i = size_t(ii);
+    auto& c = chunks[i];
+    auto& rec = records[i];
+    rec.kind = kind;
+    rec.location = c.spec.index;
+    keys[i] = ml.encode_chunk(kind, c.spec, c.in);
+    norms[i] = l2_norm<cfloat>(c.in);
+    probes[i] = ml.pooled_probe(kind, c.spec, c.in);
+    if (ml.cache_ != nullptr) {
+      auto hit = ml.cache_->lookup(kind, c.spec.index, keys[i], ml.cfg_.tau,
+                                   norms[i], probes[i]);
+      if (hit.has_value()) {
+        MLR_CHECK(hit->size() == c.out.size());
+        std::copy(hit->begin(), hit->end(), c.out.begin());
+        state[i] = 1;
+      }
+    }
+  });
+
+  // Serial accounting pass: the host encodes keys and copies reused values
+  // one after another (the paper's single host thread of control), so the
+  // virtual clock advances in chunk order regardless of pool width.
+  sim::VTime stage_done = ready;
+  sim::VTime host_t = ready;
+  std::vector<QueryRequest> reqs;
+  std::vector<std::size_t> req_chunk;  // request → chunk index
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& c = chunks[i];
+    auto& rec = records[i];
+    rec.encode_s = encode_s;
+    host_t += encode_s;
+    if (state[i] == 1) {
+      rec.outcome = MemoOutcome::CacheHit;
+      rec.copy_s = double(c.out.size()) * sizeof(cfloat) *
+                   ml.cfg_.work_scale / ml.cfg_.host_mem_bw;
+      host_t += rec.copy_s;
+      ++ml.counters_.cache_hit;
+      continue;
+    }
+    reqs.push_back(
+        {kind, keys[i], norms[i], probes[i], ml.cfg_.tau, c.out.size()});
+    req_chunk.push_back(i);
+  }
+  stage_done = std::max(stage_done, host_t);
+
+  // Phase 3: ONE coalesced batch query against the memoization database for
+  // everything the cache could not serve.
+  std::vector<QueryReply> replies;
+  if (!reqs.empty()) replies = ml.db_->query_batch(reqs, host_t);
+  // Copy retrieved values into their chunk outputs in parallel…
+  parallel_for(pool(), 0, i64(replies.size()), [&](i64 rr) {
+    const auto r = size_t(rr);
+    if (!replies[r].hit) return;
+    auto& c = chunks[req_chunk[r]];
+    MLR_CHECK(replies[r].value.size() == c.out.size());
+    std::copy(replies[r].value.begin(), replies[r].value.end(),
+              c.out.begin());
+  });
+  // …then account timing and refill the local cache serially, in chunk
+  // order, so FIFO eviction order stays deterministic.
+  for (std::size_t r = 0; r < replies.size(); ++r) {
+    const std::size_t i = req_chunk[r];
+    auto& c = chunks[i];
+    auto& rec = records[i];
+    if (replies[r].hit) {
+      rec.outcome = MemoOutcome::DbHit;
+      rec.db_s = replies[r].value_ready - host_t;
+      rec.copy_s = double(c.out.size()) * sizeof(cfloat) *
+                   ml.cfg_.work_scale / ml.cfg_.host_mem_bw;
+      if (ml.cache_ != nullptr)
+        ml.cache_->insert(kind, c.spec.index, keys[i], c.out, norms[i],
+                          probes[i]);
+      ++ml.counters_.db_hit;
+      state[i] = 2;
+      stage_done = std::max(stage_done, replies[r].value_ready + rec.copy_s);
+    } else {
+      // Failed lookup: its latency stays on the critical path (case 1).
+      rec.db_s = replies[r].value_ready - host_t;
+      state[i] = 3;
+    }
+  }
+
+  // Phase 4: every miss computes its real FFT in parallel…
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < n; ++i)
+    if (state[i] == 3) misses.push_back(i);
+  std::vector<double> flops(n, 0.0);
+  parallel_for(pool(), 0, i64(misses.size()), [&](i64 mm) {
+    const std::size_t i = misses[size_t(mm)];
+    ml.compute_chunk(kind, chunks[i], &flops[i]);
+  });
+  // …and is scheduled on the simulated GPU + inserted into DB and cache in
+  // chunk order (async insertion never gates the caller).
+  for (const std::size_t i : misses) {
+    auto& c = chunks[i];
+    auto& rec = records[i];
+    double f = flops[i] * ml.cfg_.kernel_cost_factor * ml.cfg_.work_scale;
+    if (kind == OpKind::Fu1D || kind == OpKind::Fu1DAdj)
+      f *= ml.cfg_.fu1d_extra_derate;
+    const double in_bytes = double(c.in.size() + c.ref.size()) *
+                            sizeof(cfloat) * ml.cfg_.work_scale;
+    const double out_bytes =
+        double(c.out.size()) * sizeof(cfloat) * ml.cfg_.work_scale;
+    const sim::VTime t0 = std::max(host_t, ml.device_->compute().busy_until());
+    const sim::VTime in_ready = ml.device_->h2d(host_t, in_bytes);
+    const sim::VTime k_done = ml.device_->run_kernel(in_ready, f);
+    const sim::VTime c_done = ml.device_->d2h(k_done, out_bytes);
+    rec.outcome = MemoOutcome::Miss;
+    rec.compute_s = c_done - t0;
+    ml.db_->insert(kind, keys[i], c.out, c_done, norms[i], probes[i]);
+    if (ml.cache_ != nullptr)
+      ml.cache_->insert(kind, c.spec.index, keys[i], c.out, norms[i],
+                        probes[i]);
+    ++ml.counters_.miss;
+    stage_done = std::max(stage_done, c_done);
+  }
+  *done = stage_done;
+}
+
+}  // namespace mlr::memo

@@ -1,0 +1,89 @@
+// StageExecutor — the batched, parallel stage-execution engine (the layer
+// between the ADMM solver and the memo/device subsystems).
+//
+// A stage is a set of independent chunks by construction, so the engine
+// splits execution into batched phases instead of looping chunk-at-a-time:
+//
+//   phase 1  encode    all keys + pooled probes, fanned out on the thread
+//                      pool (the INT8 CNN forward is pure compute)
+//   phase 2  probe     the local memoization cache for every key in
+//                      parallel (caches are thread-safe; hits copy their
+//                      stored value straight into the chunk output)
+//   phase 3  query     ONE coalesced batch lookup against the distributed
+//                      MemoDb for every chunk the cache could not serve
+//   phase 4  compute   all remaining misses' FFT numerics in parallel,
+//                      then insert the fresh values into DB + cache
+//
+// Wall-clock parallelism never touches the virtual clock: device/link/node
+// timelines are scheduled in a deterministic serial pass in chunk order, so
+// reported virtual times, ChunkRecords (Fig 10/12) and cache FIFO contents
+// are bit-identical for any `threads` setting.
+//
+// The engine also owns multi-device distribution: constructed over several
+// MemoizedLamino wrappers (one per simulated GPU) it round-robins chunks
+// across them — the single code path shared by core::Reconstructor and
+// cluster::Cluster.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "memo/memoized_ops.hpp"
+
+namespace mlr::memo {
+
+class StageExecutor {
+ public:
+  /// Single-device engine over one wrapper.
+  explicit StageExecutor(MemoizedLamino& ml);
+  /// Multi-device engine: chunks are distributed round-robin, wrapper g
+  /// taking chunks g, g+G, g+2G, … (the paper's §5.2 distribution).
+  explicit StageExecutor(std::vector<MemoizedLamino*> wrappers);
+
+  /// Worker pool for the parallel phases; nullptr restores the process-wide
+  /// pool. A one-worker pool runs every phase serially on the caller.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] ThreadPool& pool() const {
+    return pool_ != nullptr ? *pool_ : ThreadPool::global();
+  }
+
+  /// Execute one operator stage starting at virtual time `ready`. Outputs
+  /// are written into each chunk's `out`; records come back in chunk order.
+  StageReport run_stage(OpKind kind, std::span<StageChunk> chunks,
+                        sim::VTime ready);
+
+  [[nodiscard]] MemoizedLamino& wrapper(std::size_t gpu = 0) const {
+    return *wrappers_[gpu];
+  }
+  [[nodiscard]] std::size_t num_wrappers() const { return wrappers_.size(); }
+
+  // Aggregates / broadcasts over every wrapper — what a solver driving the
+  // engine needs without reaching into individual devices.
+  [[nodiscard]] MemoCounters counters() const;
+  [[nodiscard]] CacheStats cache_stats() const;
+  void set_bypass(bool bypass);
+  void set_collect_samples(bool collect, std::size_t cap_per_kind = 128);
+  /// Contrastive-train each wrapper's encoder on its collected samples and
+  /// freeze to INT8. Returns the mean tail loss across wrappers.
+  double train_encoder_from_collected(int steps);
+  /// Cumulative CPU↔GPU copy-engine busy seconds over every device.
+  [[nodiscard]] double device_transfer_busy() const;
+
+ private:
+  /// The batched phases for one wrapper's share of the stage.
+  void run_wrapper_stage(MemoizedLamino& ml, OpKind kind,
+                         std::span<StageChunk> chunks, sim::VTime ready,
+                         std::span<ChunkRecord> records, sim::VTime* done);
+  void run_bypass(MemoizedLamino& ml, OpKind kind,
+                  std::span<StageChunk> chunks, sim::VTime ready,
+                  std::span<ChunkRecord> records, sim::VTime* done);
+  void run_memoized(MemoizedLamino& ml, OpKind kind,
+                    std::span<StageChunk> chunks, sim::VTime ready,
+                    std::span<ChunkRecord> records, sim::VTime* done);
+
+  std::vector<MemoizedLamino*> wrappers_;
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace mlr::memo

@@ -1,0 +1,206 @@
+// Concurrency tests for the batched stage-execution engine's shared state:
+// the memoization caches and the KvStore are hammered from many threads and
+// must neither lose counter updates nor corrupt entries; the StageExecutor
+// must produce bit-identical results and virtual times for any pool width.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "kvstore/kvstore.hpp"
+#include "lamino/phantom.hpp"
+#include "memo/memo_cache.hpp"
+#include "memo/memoized_ops.hpp"
+#include "memo/stage_executor.hpp"
+
+namespace mlr::memo {
+namespace {
+
+std::vector<float> unit_key(i64 dim, i64 hot) {
+  std::vector<float> k(static_cast<size_t>(dim), 0.0f);
+  k[size_t(hot % dim)] = 1.0f;
+  return k;
+}
+
+std::vector<cfloat> random_value(i64 n, u64 seed) {
+  Rng rng(seed);
+  std::vector<cfloat> v(static_cast<size_t>(n));
+  for (auto& x : v) x = cfloat(float(rng.normal()), float(rng.normal()));
+  return v;
+}
+
+// N threads × M rounds of lookup+insert against one cache; every counter
+// update must survive (atomic counters, no lost updates) and every lookup
+// that returns a value must return an intact, internally-consistent entry.
+void hammer_cache(MemoCache& cache, int threads, int rounds, i64 locations) {
+  std::atomic<u64> expected_lookups{0};
+  std::atomic<u64> torn_values{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(u64(1000 + t));
+      for (int r = 0; r < rounds; ++r) {
+        const i64 loc = rng.uniform_int(0, locations - 1);
+        const auto kind = OpKind(int(rng.uniform_int(0, kNumOpKinds - 1)));
+        // Key and value both derive from hot = loc mod dim, so locations
+        // sharing a key (GlobalCache cross-location hits) also share the
+        // expected value — any mismatch is a genuinely torn/corrupt entry.
+        const i64 hot = loc % 16;
+        if (rng.uniform() < 0.5) {
+          // Value encodes its own key id in every element so a torn read
+          // (mixed entries) is detectable.
+          std::vector<cfloat> v(32, cfloat(float(hot), float(hot)));
+          cache.insert(kind, loc, unit_key(16, hot), v, 1.0);
+        } else {
+          auto got = cache.lookup(kind, loc, unit_key(16, hot), 0.9, 1.0);
+          expected_lookups.fetch_add(1);
+          if (got.has_value()) {
+            for (const auto& x : *got) {
+              if (x != cfloat(float(hot), float(hot))) {
+                torn_values.fetch_add(1);
+                break;
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(torn_values.load(), 0u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookups, expected_lookups.load());  // no lost updates
+  EXPECT_LE(stats.hits, stats.lookups);
+  EXPECT_GE(stats.hit_rate(), 0.0);
+  EXPECT_LE(stats.hit_rate(), 1.0);
+}
+
+TEST(Concurrency, PrivateCacheParallelLookupInsert) {
+  PrivateCache cache(64);
+  hammer_cache(cache, 8, 2000, 64);
+}
+
+TEST(Concurrency, GlobalCacheParallelLookupInsert) {
+  GlobalCache cache(64);
+  hammer_cache(cache, 8, 2000, 64);
+}
+
+TEST(Concurrency, ShardedGlobalCacheParallelLookupInsert) {
+  GlobalCache cache(64, /*shards=*/8);
+  EXPECT_EQ(cache.shards(), 8);
+  hammer_cache(cache, 8, 2000, 64);
+}
+
+TEST(Concurrency, ShardedGlobalCacheKeepsSameLocationSharing) {
+  // Sharding must not break the contract that a location can re-hit the
+  // entry it inserted.
+  GlobalCache cache(64, /*shards=*/8);
+  for (i64 loc = 0; loc < 32; ++loc)
+    cache.insert(OpKind::Fu2D, loc, unit_key(16, loc),
+                 random_value(8, u64(loc)), 1.0);
+  for (i64 loc = 0; loc < 32; ++loc)
+    EXPECT_TRUE(
+        cache.lookup(OpKind::Fu2D, loc, unit_key(16, loc), 0.9).has_value())
+        << "location " << loc;
+}
+
+TEST(Concurrency, KvStoreParallelGetAsyncPut) {
+  kvstore::KvStore store(8);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 1000;
+  std::vector<std::thread> workers;
+  std::atomic<u64> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(u64(7 + t));
+      for (int r = 0; r < kRounds; ++r) {
+        const u64 key = u64(rng.uniform_int(0, 255));
+        if (rng.uniform() < 0.5) {
+          // Every blob for `key` holds key-derived bytes — torn or
+          // cross-keyed reads are detectable.
+          kvstore::Blob b(64, std::byte(key & 0xff));
+          store.put_async(key, std::move(b));
+        } else {
+          auto got = store.get(key);
+          if (got.has_value()) {
+            for (const auto byte : *got) {
+              if (byte != std::byte(key & 0xff)) {
+                mismatches.fetch_add(1);
+                break;
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  store.drain();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_LE(store.size(), 256u);
+  // bytes() must agree with the surviving entries (no double counting).
+  EXPECT_EQ(store.bytes(), store.size() * 64u);
+}
+
+TEST(Concurrency, PoolScopedParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  parallel_for(pool, 0, 1000, [&](i64 i) { touched[size_t(i)]++; });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+// The engine contract: identical numerics AND identical virtual-clock
+// schedule for any pool width.
+TEST(Concurrency, StageExecutorDeterministicAcrossPoolWidths) {
+  lamino::Operators ops{lamino::Geometry::cube(8)};
+  const auto& g = ops.geometry();
+  auto u = lamino::to_complex(lamino::make_phantom(
+      g.object_shape(), lamino::PhantomKind::BrainTissue, 9));
+  auto chunks = lamino::make_chunks(g.n1, 2);
+
+  auto run_with_pool = [&](unsigned threads, Array3D<cfloat>& out1,
+                           Array3D<cfloat>& out2) {
+    sim::Device dev{0};
+    sim::Interconnect net;
+    sim::MemoryNode node;
+    MemoDb db{{.key_dim = 16, .tau = 0.92,
+               .ivf = {.nlist = 2, .train_size = 8}},
+              &net, &node};
+    MemoizedLamino ml(ops, {.enable = true, .tau = 0.92, .key_dim = 16,
+                            .encoder_hw = 16},
+                      &dev, &db);
+    ThreadPool pool(threads);
+    ml.executor().set_pool(&pool);
+    auto make_work = [&](Array3D<cfloat>& dst) {
+      std::vector<StageChunk> w;
+      for (const auto& spec : chunks)
+        w.push_back({spec, u.slices(spec.begin, spec.count),
+                     dst.slices(spec.begin, spec.count)});
+      return w;
+    };
+    auto w1 = make_work(out1);
+    auto rep1 = ml.run_stage(OpKind::Fu1D, w1, 0.0);  // all misses
+    auto w2 = make_work(out2);
+    auto rep2 = ml.run_stage(OpKind::Fu1D, w2, rep1.done);  // all hits
+    return std::pair{rep1.done, rep2.done};
+  };
+
+  Array3D<cfloat> s1(g.u1_shape()), s2(g.u1_shape());
+  Array3D<cfloat> p1(g.u1_shape()), p2(g.u1_shape());
+  const auto [s_done1, s_done2] = run_with_pool(1, s1, s2);
+  const auto [p_done1, p_done2] = run_with_pool(4, p1, p2);
+  // Bit-identical outputs…
+  for (i64 i = 0; i < s1.size(); ++i) {
+    ASSERT_EQ(s1.data()[i], p1.data()[i]);
+    ASSERT_EQ(s2.data()[i], p2.data()[i]);
+  }
+  // …and bit-identical virtual times.
+  EXPECT_EQ(s_done1, p_done1);
+  EXPECT_EQ(s_done2, p_done2);
+}
+
+}  // namespace
+}  // namespace mlr::memo
