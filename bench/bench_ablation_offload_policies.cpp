@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   for (auto& row : rows) {
     ReconstructionConfig cfg;
     cfg.threads = args.threads();
+    cfg.overlap_slices = args.overlap();
     cfg.dataset = Dataset::small(n);
     cfg.iters = iters;
     cfg.memoize = false;

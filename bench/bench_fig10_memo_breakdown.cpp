@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   ReconstructionConfig cfg;
   cfg.threads = args.threads();
+  cfg.overlap_slices = args.overlap();
   cfg.dataset = Dataset::medium(n);
   cfg.iters = iters;
   cfg.memoize = true;

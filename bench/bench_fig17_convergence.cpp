@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   auto run = [&](bool memoize) {
     ReconstructionConfig cfg;
     cfg.threads = args.threads();
+    cfg.overlap_slices = args.overlap();
     cfg.dataset = Dataset::small(n);
     cfg.dataset.noise = 0.03;  // realistic detector noise sets the loss floor
     cfg.iters = iters;

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   // Time breakdown of a real (baseline) iteration.
   ReconstructionConfig cfg;
   cfg.threads = args.threads();
+  cfg.overlap_slices = args.overlap();
   cfg.dataset = ds;
   cfg.iters = 4;
   cfg.inner_iters = 4;

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   for (const auto& ds : sets) {
     ReconstructionConfig base;
     base.threads = args.threads();
+    base.overlap_slices = args.overlap();
     base.dataset = ds;
     base.iters = iters;
     base.memoize = false;

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   // Reference reconstruction (no memoization).
   ReconstructionConfig base;
   base.threads = args.threads();
+  base.overlap_slices = args.overlap();
   base.dataset = Dataset::small(n);
   base.dataset.noise = 0.02;
   base.iters = iters;

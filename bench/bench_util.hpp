@@ -3,6 +3,7 @@
 // paper's evaluation section (see DESIGN.md §4 for the index).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +32,11 @@ class Args {
   [[nodiscard]] unsigned threads() const {
     const i64 t = get_i64("--threads", 0);
     return t > 0 ? unsigned(t) : 0u;
+  }
+  /// DB/compute overlap slices (`--overlap N`, default on at 4 slices;
+  /// 0 = legacy barriered path). One parse point for every bench.
+  [[nodiscard]] i64 overlap() const {
+    return std::max<i64>(0, get_i64("--overlap", 4));
   }
   [[nodiscard]] bool has(const char* flag) const {
     for (int i = 1; i < argc_; ++i)

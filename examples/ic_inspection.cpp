@@ -12,8 +12,10 @@
 int main(int argc, char** argv) {
   const mlr::i64 n = argc > 1 ? std::atoll(argv[1]) : 20;
   const unsigned threads = argc > 2 ? unsigned(std::max(0, std::atoi(argv[2]))) : 0;
+  const mlr::i64 overlap = argc > 3 ? std::max(0, std::atoi(argv[3])) : 4;
   mlr::ReconstructionConfig cfg;
   cfg.threads = threads;
+  cfg.overlap_slices = overlap;
   cfg.dataset = mlr::Dataset::small(n);
   cfg.dataset.kind = mlr::lamino::PhantomKind::IntegratedCircuit;
   cfg.dataset.label = "IC die";

@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   const mlr::i64 n = argc > 1 ? std::atoll(argv[1]) : 14;
   const unsigned threads = argc > 2 ? unsigned(std::max(0, std::atoi(argv[2]))) : 0;
+  const mlr::i64 overlap = argc > 3 ? std::max(0, std::atoi(argv[3])) : 4;
 
   std::printf("memory-constrained reconstruction — %lld^3 volume timed as 2K^3\n\n",
               (long long)n);
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
     cfg.memoize = false;
     cfg.offload = row.mode;
     cfg.threads = threads;
+    cfg.overlap_slices = overlap;
     mlr::Reconstructor rec(cfg);
     auto rep = rec.run();
     if (row.mode == mlr::OffloadMode::None) {

@@ -7,18 +7,51 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace mlr::ann {
 
+thread_local u64* Index::tl_dist_acc_ = nullptr;
+
 float Index::l2(std::span<const float> a, std::span<const float> b) const {
   MLR_CHECK(i64(a.size()) == dim_ && i64(b.size()) == dim_);
-  ++dist_evals_;
+  count_dist(1);
   double s = 0;
   for (i64 i = 0; i < dim_; ++i) {
     const double d = double(a[size_t(i)]) - double(b[size_t(i)]);
     s += d * d;
   }
   return float(std::sqrt(s));
+}
+
+std::vector<std::vector<Neighbor>> Index::search_batch(
+    std::span<const float> queries, i64 k, ThreadPool* pool) const {
+  MLR_CHECK(dim_ >= 1 && i64(queries.size()) % dim_ == 0);
+  const i64 nq = i64(queries.size()) / dim_;
+  std::vector<std::vector<Neighbor>> out(static_cast<size_t>(nq));
+  // RAII reset of the worker's accumulator pointer: pool threads are
+  // long-lived, so a search() exception must not leave it dangling at a
+  // dead stack frame for the next search on that thread to write through.
+  struct AccScope {
+    explicit AccScope(u64* p) { tl_dist_acc_ = p; }
+    ~AccScope() { tl_dist_acc_ = nullptr; }
+  };
+  auto search_one = [&](i64 i) {
+    std::span<const float> q{queries.data() + size_t(i) * size_t(dim_),
+                             size_t(dim_)};
+    u64 local = 0;
+    {
+      AccScope scope(&local);
+      out[size_t(i)] = search(q, k);
+    }
+    dist_evals_.fetch_add(local, std::memory_order_relaxed);
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, 0, nq, search_one);
+  } else {
+    for (i64 i = 0; i < nq; ++i) search_one(i);
+  }
+  return out;
 }
 
 // --- FlatIndex ---------------------------------------------------------------

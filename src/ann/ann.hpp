@@ -12,12 +12,17 @@
 // compared architecture-to-architecture.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+
+namespace mlr {
+class ThreadPool;
+}
 
 namespace mlr::ann {
 
@@ -36,6 +41,17 @@ class Index {
   /// k nearest neighbours, ascending distance.
   [[nodiscard]] virtual std::vector<Neighbor> search(std::span<const float> q,
                                                      i64 k) const = 0;
+  /// Batched search over `nq = queries.size() / dim()` vectors stored
+  /// contiguously (Faiss layout). Result i is bit-identical to
+  /// search(queries[i], k); when `pool` is non-null the queries fan out
+  /// across its workers. Safe to call concurrently with other searches but
+  /// not with add(): the caller serializes insertion against search rounds
+  /// (the MemoDb defers a stage's insertions until its queries finished).
+  /// Distance evaluations are accumulated per query and folded into
+  /// distance_evals() with one atomic add each, so reported counts match
+  /// the looped-search total for any pool width.
+  [[nodiscard]] std::vector<std::vector<Neighbor>> search_batch(
+      std::span<const float> queries, i64 k, ThreadPool* pool = nullptr) const;
   /// Convenience single-nearest.
   [[nodiscard]] std::optional<Neighbor> nearest(std::span<const float> q) const {
     auto r = search(q, 1);
@@ -46,13 +62,31 @@ class Index {
   [[nodiscard]] i64 dim() const { return dim_; }
   [[nodiscard]] virtual std::size_t size() const = 0;
   /// Cumulative number of vector-distance evaluations (insert + search).
-  [[nodiscard]] u64 distance_evals() const { return dist_evals_; }
+  [[nodiscard]] u64 distance_evals() const {
+    return dist_evals_.load(std::memory_order_relaxed);
+  }
 
  protected:
   float l2(std::span<const float> a, std::span<const float> b) const;
 
   i64 dim_;
-  mutable u64 dist_evals_ = 0;
+
+ private:
+  /// Count `n` distance evaluations. Searches run concurrently on the pool
+  /// (the const search paths share this counter), so the total lives in an
+  /// atomic; search_batch() redirects its workers into a per-query local
+  /// accumulator first so the hot loop stays free of shared-cacheline
+  /// traffic.
+  void count_dist(u64 n) const {
+    if (tl_dist_acc_ != nullptr) {
+      *tl_dist_acc_ += n;
+    } else {
+      dist_evals_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  mutable std::atomic<u64> dist_evals_{0};
+  static thread_local u64* tl_dist_acc_;
 };
 
 /// Exact exhaustive index.

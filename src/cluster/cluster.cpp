@@ -17,10 +17,15 @@ Cluster::Cluster(const lamino::Operators& ops, ClusterSpec spec,
   if (memo_cfg.enable) {
     db_ = std::make_unique<memo::MemoDb>(db_cfg, &fabric_, &memnode_);
   }
+  // All GPUs key through one shared encoder (see core::ExecutionContext):
+  // cluster hit patterns match the single-GPU run for any gpu count.
+  auto registry = std::make_shared<encoder::EncoderRegistry>(
+      encoder::EncoderConfig{.input_hw = memo_cfg.encoder_hw,
+                             .embed_dim = memo_cfg.key_dim});
   for (int g = 0; g < spec_.gpus; ++g) {
     devices_.push_back(std::make_unique<sim::Device>(g, spec_.device));
     wrappers_.push_back(std::make_unique<memo::MemoizedLamino>(
-        ops_, memo_cfg, devices_.back().get(), db_.get()));
+        ops_, memo_cfg, devices_.back().get(), db_.get(), registry));
   }
   std::vector<memo::MemoizedLamino*> ptrs;
   ptrs.reserve(wrappers_.size());

@@ -11,10 +11,16 @@ ExecutionContext::ExecutionContext(const lamino::Operators& ops,
   if (opt_.memo.enable) {
     db_ = std::make_unique<memo::MemoDb>(opt_.db, &net_, &memnode_);
   }
+  // One key encoder for the whole run: every device wrapper keys (and
+  // trains) through the same registry, so gpus>1 reproduces the single-GPU
+  // hit patterns.
+  registry_ = std::make_shared<encoder::EncoderRegistry>(
+      encoder::EncoderConfig{.input_hw = opt_.memo.encoder_hw,
+                             .embed_dim = opt_.memo.key_dim});
   for (int g = 0; g < opt_.gpus; ++g) {
     devices_.push_back(std::make_unique<sim::Device>(g, opt_.device));
     wrappers_.push_back(std::make_unique<memo::MemoizedLamino>(
-        ops, opt_.memo, devices_.back().get(), db_.get()));
+        ops, opt_.memo, devices_.back().get(), db_.get(), registry_));
   }
   std::vector<memo::MemoizedLamino*> ptrs;
   ptrs.reserve(wrappers_.size());

@@ -3,11 +3,13 @@
 //
 // Wires together everything the StageExecutor engine drives: the simulated
 // GPU(s), the interconnect + memory node, the distributed memoization DB,
-// one MemoizedLamino wrapper per device, and the worker pool for the
-// engine's parallel phases. This replaces the ad-hoc pointer plumbing that
-// used to live inside Reconstructor::prepare(), and gives multi-GPU chunk
-// distribution, offload experiments and memoization one shared code path:
-// everything executes stages through `executor()`.
+// one MemoizedLamino wrapper per device, the shared EncoderRegistry (all
+// devices key with ONE encoder, so multi-GPU hit patterns match single-GPU
+// runs), and the worker pool for the engine's parallel phases. This
+// replaces the ad-hoc pointer plumbing that used to live inside
+// Reconstructor::prepare(), and gives multi-GPU chunk distribution, offload
+// experiments and memoization one shared code path: everything executes
+// stages through `executor()`.
 #pragma once
 
 #include <memory>
@@ -57,6 +59,10 @@ class ExecutionContext {
   [[nodiscard]] sim::Interconnect& network() { return net_; }
   [[nodiscard]] sim::MemoryNode& memory_node() { return memnode_; }
   [[nodiscard]] memo::MemoDb* db() { return db_.get(); }
+  /// The cross-device key encoder shared by every wrapper.
+  [[nodiscard]] encoder::EncoderRegistry& encoder_registry() {
+    return *registry_;
+  }
   /// Dedicated pool (null when sharing the process-global one).
   [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
   [[nodiscard]] const ExecutionOptions& options() const { return opt_; }
@@ -66,6 +72,7 @@ class ExecutionContext {
   sim::Interconnect net_;
   sim::MemoryNode memnode_;
   std::unique_ptr<memo::MemoDb> db_;
+  std::shared_ptr<encoder::EncoderRegistry> registry_;
   std::vector<std::unique_ptr<sim::Device>> devices_;
   std::vector<std::unique_ptr<memo::MemoizedLamino>> wrappers_;
   std::unique_ptr<ThreadPool> pool_;

@@ -36,6 +36,7 @@ void Reconstructor::prepare() {
   eo.db.tau = cfg_.tau;
   eo.db.coalesce = cfg_.coalesce;
   eo.db.value_scale = ws;
+  eo.db.overlap_slices = cfg_.overlap_slices;
   eo.memo.enable = cfg_.memoize;
   eo.memo.tau = cfg_.tau;
   eo.memo.cache = cfg_.cache;

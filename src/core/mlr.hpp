@@ -81,6 +81,11 @@ struct ReconstructionConfig {
   /// GlobalCache shard count ((kind, location) hash sharding); ≤1 keeps the
   /// single shared pool. Ignored by the Private cache.
   i64 cache_shards = 1;
+  /// DB/compute overlap: slices per stage driven through the MemoDb's async
+  /// query service (slice k+1's ANN scoring overlaps slice k's miss FFTs).
+  /// 0 or 1 = the legacy barriered path. Outputs, records and virtual times
+  /// are bit-identical for every value — only host wall time changes.
+  i64 overlap_slices = 4;
 };
 
 struct Report {

@@ -222,4 +222,38 @@ double CnnEncoder::encode_flops() const {
   return f1 + f2 + ff;
 }
 
+// --- EncoderRegistry ---------------------------------------------------------
+
+bool EncoderRegistry::add_sample(std::vector<cfloat> plane, i64 rows,
+                                 i64 cols) {
+  if (samples_.size() >= cap_) return false;
+  samples_.push_back({std::move(plane), rows, cols});
+  return true;
+}
+
+double EncoderRegistry::train_from_collected(int steps, bool quantize) {
+  if (samples_.size() < 2) return 0.0;
+  Rng rng(97);
+  double tail = 0;
+  int tail_n = 0;
+  for (int s = 0; s < steps; ++s) {
+    const auto i = size_t(rng.uniform_int(0, i64(samples_.size()) - 1));
+    auto j = size_t(rng.uniform_int(0, i64(samples_.size()) - 2));
+    if (j >= i) ++j;
+    // Pairs must share a shape for the chunk-L2 ground truth; skip others.
+    if (samples_[i].rows != samples_[j].rows ||
+        samples_[i].cols != samples_[j].cols)
+      continue;
+    const double loss = enc_.train_pair(
+        {samples_[i].rows, samples_[i].cols, samples_[i].plane},
+        {samples_[j].rows, samples_[j].cols, samples_[j].plane});
+    if (s >= steps * 3 / 4) {
+      tail += loss;
+      ++tail_n;
+    }
+  }
+  if (quantize) enc_.quantize();
+  return tail_n ? tail / tail_n : 0.0;
+}
+
 }  // namespace mlr::encoder

@@ -85,4 +85,58 @@ class CnnEncoder {
 /// L2 distance between two raw chunks (the contrastive ground-truth label).
 double chunk_l2(std::span<const cfloat> a, std::span<const cfloat> b);
 
+/// Shared ownership of one key encoder plus its contrastive training set.
+///
+/// Every device wrapper of a run (core::ExecutionContext, cluster::Cluster)
+/// points at the same registry, so a multi-GPU run collects ONE training set
+/// — deposited in global chunk order by the StageExecutor, the order a
+/// single-GPU run would see — trains ONE encoder, and therefore produces the
+/// same keys and the same DB/cache hit patterns as the single-GPU run.
+/// A wrapper constructed without a registry creates a private one, keeping
+/// standalone (test/bench) wrappers self-contained.
+///
+/// Thread safety: encode paths on the contained CnnEncoder are const and may
+/// run concurrently from pool workers; sample collection and training are
+/// serial by contract (the StageExecutor collects in its deterministic
+/// serial pass, training happens between stages).
+class EncoderRegistry {
+ public:
+  explicit EncoderRegistry(EncoderConfig cfg = {}, u64 seed = 2024)
+      : enc_(cfg, seed) {}
+
+  [[nodiscard]] CnnEncoder& encoder() { return enc_; }
+  [[nodiscard]] const CnnEncoder& encoder() const { return enc_; }
+
+  /// Toggle sample collection; `cap_total` bounds the training set size.
+  void set_collect(bool on, std::size_t cap_total) {
+    collect_ = on;
+    cap_ = cap_total;
+  }
+  [[nodiscard]] bool collecting() const { return collect_; }
+  /// True while collection is on and the set has room — callers gate the
+  /// (non-trivial) plane pooling on this.
+  [[nodiscard]] bool wants_samples() const {
+    return collect_ && samples_.size() < cap_;
+  }
+  /// Deposit one (plane, rows, cols) sample; returns false once the set is
+  /// full (collection for this registry is then finished).
+  bool add_sample(std::vector<cfloat> plane, i64 rows, i64 cols);
+  [[nodiscard]] std::size_t collected() const { return samples_.size(); }
+
+  /// Contrastive-train on the collected set (pairs must share a shape) and
+  /// optionally freeze to INT8. Returns mean tail loss; no-op (0) with
+  /// fewer than 2 samples.
+  double train_from_collected(int steps, bool quantize);
+
+ private:
+  struct Sample {
+    std::vector<cfloat> plane;
+    i64 rows, cols;
+  };
+  CnnEncoder enc_;
+  std::vector<Sample> samples_;
+  bool collect_ = false;
+  std::size_t cap_ = 0;
+};
+
 }  // namespace mlr::encoder

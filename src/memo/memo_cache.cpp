@@ -20,6 +20,25 @@ i64 PrivateCache::slot(OpKind kind, i64 location) const {
 }
 
 namespace {
+// FNV-1a over an entry's bits; order sensitivity comes from folding the
+// running digest into each entry's hash.
+u64 hash_bytes(u64 h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+u64 hash_entry(u64 h, const CacheEntry& e) {
+  h = hash_bytes(h, e.key.data(), e.key.size() * sizeof(float));
+  h = hash_bytes(h, e.value.data(), e.value.size() * sizeof(cfloat));
+  h = hash_bytes(h, &e.norm, sizeof(e.norm));
+  h = hash_bytes(h, e.probe.data(), e.probe.size() * sizeof(cfloat));
+  return h;
+}
+
 // Shared acceptance rule (see MemoDb::query_batch): oracle pooled-plane
 // cosine with a norm gate when probes exist, encoder proxy otherwise.
 bool accept_entry(const CacheEntry& e, std::span<const float> key, double tau,
@@ -74,6 +93,17 @@ std::size_t PrivateCache::bytes() const {
       b += e->key.size() * sizeof(float) + e->value.size() * sizeof(cfloat);
   }
   return b;
+}
+
+u64 PrivateCache::fingerprint() const {
+  u64 h = 0xcbf29ce484222325ull;
+  for (i64 s = 0; s < i64(slots_.size()); ++s) {
+    std::lock_guard lk(stripe(s));
+    const auto& e = slots_[size_t(s)];
+    h = hash_bytes(h, &s, sizeof(s));
+    if (e) h = hash_entry(h, *e);
+  }
+  return h;
 }
 
 GlobalCache::GlobalCache(i64 capacity, i64 shards)
@@ -141,6 +171,19 @@ std::size_t GlobalCache::bytes() const {
            t.entry.value.size() * sizeof(cfloat);
   }
   return b;
+}
+
+u64 GlobalCache::fingerprint() const {
+  u64 h = 0xcbf29ce484222325ull;
+  for (const auto& sh : shards_) {
+    std::lock_guard lk(sh.mu);
+    for (const auto& t : sh.pool) {  // FIFO order within the shard
+      const int k = int(t.kind);
+      h = hash_bytes(h, &k, sizeof(k));
+      h = hash_entry(h, t.entry);
+    }
+  }
+  return h;
 }
 
 }  // namespace mlr::memo

@@ -68,6 +68,11 @@ class MemoCache {
   }
   /// Total resident bytes.
   [[nodiscard]] virtual std::size_t bytes() const = 0;
+  /// Order-sensitive digest of the resident entries (keys, values, norms,
+  /// FIFO order). Two caches that went through the same insert sequence
+  /// produce the same fingerprint — the determinism tests compare the
+  /// engine's cache contents across thread counts and overlap settings.
+  [[nodiscard]] virtual u64 fingerprint() const = 0;
 
  protected:
   std::atomic<u64> lookups_{0};
@@ -91,6 +96,7 @@ class PrivateCache : public MemoCache {
               std::span<const cfloat> value, double norm = 1.0,
               std::span<const cfloat> probe = {}) override;
   [[nodiscard]] std::size_t bytes() const override;
+  [[nodiscard]] u64 fingerprint() const override;
 
  private:
   static constexpr std::size_t kLockStripes = 64;
@@ -121,6 +127,7 @@ class GlobalCache : public MemoCache {
               std::span<const cfloat> value, double norm = 1.0,
               std::span<const cfloat> probe = {}) override;
   [[nodiscard]] std::size_t bytes() const override;
+  [[nodiscard]] u64 fingerprint() const override;
 
   [[nodiscard]] i64 shards() const { return i64(shards_.size()); }
 

@@ -5,6 +5,7 @@
 
 #include "common/array.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace mlr::memo {
 
@@ -56,13 +57,87 @@ MemoDb::MemoDb(MemoDbConfig cfg, sim::Interconnect* net,
   }
 }
 
-std::vector<QueryReply> MemoDb::query_batch(
-    std::span<const QueryRequest> reqs, sim::VTime ready) {
-  std::vector<QueryReply> replies(reqs.size());
-  if (reqs.empty()) return replies;
-  // Asynchronous insertions complete before the next round of queries (they
-  // overlap the intervening iteration's compute).
-  values_.drain();
+void MemoDb::score_requests(std::span<const QueryRequest> reqs,
+                            std::span<QueryReply> replies,
+                            ThreadPool* pool) const {
+  MLR_CHECK(reqs.size() == replies.size());
+  if (reqs.empty()) return;
+  // 1) ANN search, batched per operator kind (requests of one stage share a
+  //    kind, so this is normally a single search_batch fanned across the
+  //    pool).
+  std::vector<std::optional<ann::Neighbor>> nn(reqs.size());
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+      if (int(reqs[i].kind) == k) members.push_back(i);
+    if (members.empty()) continue;
+    std::vector<float> flat;
+    flat.reserve(members.size() * size_t(cfg_.key_dim));
+    for (const auto i : members)
+      flat.insert(flat.end(), reqs[i].key.begin(), reqs[i].key.end());
+    auto found = index_[size_t(k)]->search_batch(flat, 1, pool);
+    for (std::size_t m = 0; m < members.size(); ++m)
+      if (!found[m].empty()) nn[members[m]] = found[m].front();
+  }
+
+  // 2) Value fetch + τ gate per request. Pure reads of the value store and
+  //    the norm/probe maps — insertions are deferred until the round closes.
+  auto gate_one = [&](i64 ii) {
+    const auto i = size_t(ii);
+    const auto& rq = reqs[i];
+    auto& rp = replies[i];
+    rp = QueryReply{};
+    if (!nn[i].has_value()) return;
+    // Re-fetching the stored key via id is not needed: IVF gives distance;
+    // we accept by cosine, which requires the stored key — the value blob
+    // stores key+value together.
+    auto blob = values_.get(nn[i]->id);
+    if (!blob.has_value()) return;
+    auto stored = kvstore::from_blob(*blob);
+    // Layout: first ceil(key_dim/2) cfloats hold the key (2 floats each).
+    const std::size_t key_cf = (size_t(cfg_.key_dim) + 1) / 2;
+    if (rq.value_size != 0 && stored.size() - key_cf != rq.value_size)
+      return;  // shape mismatch: not a valid answer for this chunk
+    std::vector<float> stored_key(static_cast<size_t>(cfg_.key_dim));
+    for (i64 d = 0; d < cfg_.key_dim; ++d) {
+      const auto c = stored[size_t(d / 2)];
+      stored_key[size_t(d)] = (d % 2 == 0) ? c.real() : c.imag();
+    }
+    const auto nit = norms_.find(nn[i]->id);
+    const double ndb = nit != norms_.end() ? nit->second : rq.norm;
+    const double tau = rq.tau > 0.0 ? rq.tau : cfg_.tau;
+    double cs;
+    const auto pit = probes_.find(nn[i]->id);
+    if (cfg_.oracle_similarity && !rq.probe.empty() && pit != probes_.end() &&
+        pit->second.size() == rq.probe.size()) {
+      // Oracle: true cosine of the pooled input planes (Eq. 3 computed on
+      // the chunks the keys stand for).
+      cs = cosine_similarity<cfloat>(rq.probe, pit->second);
+      // Scale gate: cosine is magnitude-blind.
+      const double lo = std::min(rq.norm, ndb), hi = std::max(rq.norm, ndb);
+      if (hi > 0 && lo / hi <= tau) cs = -1.0;
+    } else {
+      // Encoder proxy: key cosine AND the chunk-cosine estimate from the
+      // distance-preserving embedding must both clear τ.
+      cs = std::min(key_cosine(rq.key, stored_key),
+                    estimated_chunk_cosine(rq.key, stored_key, rq.norm, ndb));
+    }
+    if (cs > tau) {
+      rp.hit = true;
+      rp.match_id = nn[i]->id;
+      rp.cosine = cs;
+      rp.value.assign(stored.begin() + i64(key_cf), stored.end());
+    }
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, 0, i64(reqs.size()), gate_one);
+  } else {
+    for (i64 i = 0; i < i64(reqs.size()); ++i) gate_one(i);
+  }
+}
+
+void MemoDb::schedule_replies(std::span<QueryReply> replies, sim::VTime ready) {
+  if (replies.empty()) return;
   const double key_bytes = double(cfg_.key_dim) * sizeof(float);
 
   // 1) Ship the keys to the memory node. Coalescing packs keys until the
@@ -72,15 +147,15 @@ std::vector<QueryReply> MemoDb::query_batch(
   if (cfg_.coalesce) {
     const i64 keys_per_msg =
         std::max<i64>(1, i64(double(cfg_.coalesce_bytes) / key_bytes));
-    for (std::size_t off = 0; off < reqs.size();
+    for (std::size_t off = 0; off < replies.size();
          off += std::size_t(keys_per_msg)) {
-      const auto cnt =
-          std::min<std::size_t>(std::size_t(keys_per_msg), reqs.size() - off);
+      const auto cnt = std::min<std::size_t>(std::size_t(keys_per_msg),
+                                             replies.size() - off);
       keys_arrived = net_->transfer(ready, double(cnt) * key_bytes);
       ++messages_;
     }
   } else {
-    for (std::size_t i = 0; i < reqs.size(); ++i) {
+    for (std::size_t i = 0; i < replies.size(); ++i) {
       keys_arrived = net_->transfer(ready, key_bytes);
       ++messages_;
     }
@@ -91,88 +166,144 @@ std::vector<QueryReply> MemoDb::query_batch(
   // it every key pays the full per-query cost.
   sim::VTime searched;
   if (cfg_.coalesce) {
-    searched = node_->serve_index_query(keys_arrived, i64(reqs.size()));
+    searched = node_->serve_index_query(keys_arrived, i64(replies.size()));
   } else {
     searched = keys_arrived;
-    for (std::size_t i = 0; i < reqs.size(); ++i)
+    for (std::size_t i = 0; i < replies.size(); ++i)
       searched = node_->serve_index_query(searched, 1);
   }
   timing_.search_s += searched - keys_arrived;
 
-  // 3) Evaluate each request against its per-operator index; hits fetch the
-  //    value (value DB service + transfer back over the link).
+  // 3) Hits fetch their value: value DB service + transfer back over the
+  //    link, in request order.
   double value_comm = 0.0;
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
-    const auto& rq = reqs[i];
-    auto& rp = replies[i];
+  for (auto& rp : replies) {
     rp.value_ready = searched;  // miss: the caller waited for the lookup
-    auto& idx = *index_[size_t(int(rq.kind))];
-    auto nn = idx.nearest(rq.key);
-    if (nn.has_value()) {
-      // Re-fetch the stored key via id is not needed: IVF gives distance; we
-      // accept by cosine, which requires the stored key — the value blob
-      // stores key+value together.
-      auto blob = values_.get(nn->id);
-      if (blob.has_value()) {
-        auto stored = kvstore::from_blob(*blob);
-        // Layout: first ceil(key_dim/2) cfloats hold the key (2 floats each).
-        const std::size_t key_cf = (size_t(cfg_.key_dim) + 1) / 2;
-        if (rq.value_size != 0 &&
-            stored.size() - key_cf != rq.value_size) {
-          timing_.query_latency_us.add((searched - ready) * 1e6);
-          continue;  // shape mismatch: not a valid answer for this chunk
-        }
-        std::vector<float> stored_key(static_cast<size_t>(cfg_.key_dim));
-        for (i64 d = 0; d < cfg_.key_dim; ++d) {
-          const auto c = stored[size_t(d / 2)];
-          stored_key[size_t(d)] = (d % 2 == 0) ? c.real() : c.imag();
-        }
-        const auto nit = norms_.find(nn->id);
-        const double ndb = nit != norms_.end() ? nit->second : rq.norm;
-        const double tau = rq.tau > 0.0 ? rq.tau : cfg_.tau;
-        double cs;
-        const auto pit = probes_.find(nn->id);
-        if (cfg_.oracle_similarity && !rq.probe.empty() &&
-            pit != probes_.end() && pit->second.size() == rq.probe.size()) {
-          // Oracle: true cosine of the pooled input planes (Eq. 3 computed
-          // on the chunks the keys stand for).
-          cs = cosine_similarity<cfloat>(rq.probe, pit->second);
-          // Scale gate: cosine is magnitude-blind.
-          const double lo = std::min(rq.norm, ndb), hi = std::max(rq.norm, ndb);
-          if (hi > 0 && lo / hi <= tau) cs = -1.0;
-        } else {
-          // Encoder proxy: key cosine AND the chunk-cosine estimate from the
-          // distance-preserving embedding must both clear τ.
-          cs = std::min(
-              key_cosine(rq.key, stored_key),
-              estimated_chunk_cosine(rq.key, stored_key, rq.norm, ndb));
-        }
-        if (cs > tau) {
-          rp.hit = true;
-          rp.match_id = nn->id;
-          rp.cosine = cs;
-          rp.value.assign(stored.begin() + i64(key_cf), stored.end());
-          const double vbytes =
-              double(rp.value.size()) * sizeof(cfloat) * cfg_.value_scale;
-          const sim::VTime served = node_->serve_value(searched, vbytes);
-          timing_.value_serve_s += served - searched;
-          rp.value_ready = net_->transfer(served, vbytes);
-          value_comm += rp.value_ready - served;
-        }
-      }
+    if (rp.hit) {
+      const double vbytes =
+          double(rp.value.size()) * sizeof(cfloat) * cfg_.value_scale;
+      const sim::VTime served = node_->serve_value(searched, vbytes);
+      timing_.value_serve_s += served - searched;
+      rp.value_ready = net_->transfer(served, vbytes);
+      value_comm += rp.value_ready - served;
     }
     timing_.query_latency_us.add(
         (std::max(rp.hit ? rp.value_ready : searched, searched) - ready) *
         1e6);
   }
   timing_.comm_s += (keys_arrived - comm_start) + value_comm;
+}
+
+std::vector<QueryReply> MemoDb::query_batch(
+    std::span<const QueryRequest> reqs, sim::VTime ready, ThreadPool* pool) {
+  MLR_CHECK_MSG(!round_open_, "query_batch inside an open async round");
+  std::vector<QueryReply> replies(reqs.size());
+  if (reqs.empty()) return replies;
+  // Asynchronous insertions complete before the next round of queries (they
+  // overlap the intervening iteration's compute).
+  values_.drain();
+  score_requests(reqs, replies, pool);
+  schedule_replies(replies, ready);
   return replies;
+}
+
+void MemoDb::begin_batch() {
+  MLR_CHECK_MSG(!round_open_, "begin_batch while a round is already open");
+  values_.drain();
+  slices_.clear();
+  round_open_ = true;
+}
+
+MemoDb::SliceTicket MemoDb::submit_slice(std::vector<QueryRequest> reqs,
+                                         ThreadPool* pool) {
+  MLR_CHECK_MSG(round_open_, "submit_slice outside begin_batch/finalize");
+  auto s = std::make_shared<Slice>();
+  s->reqs = std::move(reqs);
+  s->scored.resize(s->reqs.size());
+  // The job shares ownership of its slice and signals completion under the
+  // slice lock, so the collector can neither miss the wakeup nor destroy
+  // the slice while the worker still touches it. Scoring errors are stashed
+  // for collect() — thrown from a pool job they would std::terminate the
+  // worker loop.
+  auto score = [this, s] {
+    try {
+      // Intra-slice scoring stays serial: the overlap is across slices, and
+      // a slice job must not re-enter the pool it runs on.
+      score_requests(s->reqs, s->scored, nullptr);
+    } catch (...) {
+      s->error = std::current_exception();
+    }
+    std::lock_guard lk(s->mu);
+    s->done = true;
+    s->cv.notify_all();
+  };
+  // Register the slice only once nothing else can throw, and deregister if
+  // the pool handoff itself fails — a registered slice whose job never runs
+  // would hang collect()/abort_round() on the done flag.
+  slices_.push_back(s);
+  if (pool != nullptr && pool->size() > 1) {
+    try {
+      pool->submit(score);
+    } catch (...) {
+      slices_.pop_back();
+      throw;
+    }
+  } else {
+    score();
+  }
+  return slices_.size() - 1;
+}
+
+std::span<const QueryReply> MemoDb::collect(SliceTicket t) {
+  MLR_CHECK(round_open_ && t < slices_.size());
+  Slice& s = *slices_[t];
+  std::unique_lock lk(s.mu);
+  s.cv.wait(lk, [&] { return s.done; });
+  if (s.error) std::rethrow_exception(s.error);
+  return s.scored;
+}
+
+std::vector<QueryReply> MemoDb::finalize(sim::VTime ready) {
+  MLR_CHECK_MSG(round_open_, "finalize without begin_batch");
+  try {
+    std::vector<QueryReply> replies;
+    for (SliceTicket t = 0; t < slices_.size(); ++t) {
+      (void)collect(t);  // ensure scoring finished; rethrows scoring errors
+      auto& scored = slices_[t]->scored;
+      replies.insert(replies.end(), std::make_move_iterator(scored.begin()),
+                     std::make_move_iterator(scored.end()));
+    }
+    schedule_replies(replies, ready);
+    slices_.clear();
+    round_open_ = false;
+    return replies;
+  } catch (...) {
+    // One failed round must not wedge the database: close it, then let the
+    // caller see the original error.
+    abort_round();
+    throw;
+  }
+}
+
+void MemoDb::abort_round() {
+  if (!round_open_) return;
+  // Drain in-flight scoring first so no worker still references slice
+  // state, then discard the round.
+  for (auto& s : slices_) {
+    std::unique_lock lk(s->mu);
+    s->cv.wait(lk, [&] { return s->done; });
+  }
+  slices_.clear();
+  round_open_ = false;
 }
 
 void MemoDb::insert(OpKind kind, std::span<const float> key,
                     std::span<const cfloat> value, sim::VTime ready,
                     double norm, std::vector<cfloat> probe) {
   MLR_CHECK(i64(key.size()) == cfg_.key_dim);
+  // Service contract: a round's scoring must never observe the insertions
+  // its caller is about to make (slice boundaries would leak into results).
+  MLR_CHECK_MSG(!round_open_, "insert inside an open async query round");
   const u64 id = make_id(kind);
   index_[size_t(int(kind))]->add(id, key);
   norms_[id] = norm;

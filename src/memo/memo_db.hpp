@@ -1,4 +1,5 @@
-// The distributed memoization database (paper §4.3).
+// The distributed memoization database (paper §4.3), exposed as an
+// asynchronous batch-query service.
 //
 // Architecture mirrors Fig 6: the *memory node* hosts an index database
 // (ANN over encoder keys — Faiss IVF in the paper, our IvfFlatIndex here)
@@ -6,14 +7,51 @@
 // node reaches it over the shared interconnect. Queries are optionally
 // *coalesced* into ≥4 KB payloads (§4.3.3) and looked up as a batch.
 //
-// All timing flows through the virtual clock: key transfer on the
-// Interconnect timeline, batched lookup + value serve on the MemoryNode
-// timeline, value transfer back on the Interconnect. Insertions are
-// asynchronous — they occupy the link/node timelines but never gate the
-// caller's ready time (the paper hides insertion behind the next iteration).
+// The service splits every lookup round into two halves:
+//
+//   * scoring — the real work: ANN search (fanned across a ThreadPool via
+//     ann::Index::search_batch), value fetch and the τ similarity gate.
+//     Scoring touches no virtual timeline, so slices of one round can run
+//     concurrently with the caller's other work (the StageExecutor overlaps
+//     slice k+1's scoring with slice k's miss FFTs).
+//   * scheduling — a deterministic serial pass over the round's requests in
+//     submission order that charges key transfer (Interconnect), batched
+//     lookup + value serve (MemoryNode) and value transfer back
+//     (Interconnect) to the virtual clock. Because scheduling never depends
+//     on how scoring was sliced or which worker ran it, reported virtual
+//     times are bit-identical for any overlap_slices / pool-width setting.
+//
+// Two entry points drive the service:
+//
+//   * query_batch() — the one-shot form: score (optionally on a pool) then
+//     schedule, all before returning. Equivalent to a round with one slice.
+//   * begin_batch() / submit_slice() / collect() / finalize() — the async
+//     form. begin_batch opens a round (draining pending insertions, exactly
+//     like the head of query_batch); each submit_slice enqueues one slice's
+//     scoring on the pool and returns a ticket; collect blocks until that
+//     slice's scoring finished and exposes timing-free replies (hit, value);
+//     finalize runs the serial scheduling pass over every slice in
+//     submission order and returns the completed replies — bit-identical to
+//     one query_batch over the concatenated requests.
+//
+// Service contract: between begin_batch() and finalize() the caller must not
+// insert() — a stage's own insertions are deferred until its queries have
+// resolved (the barriered path satisfies this trivially; the sliced
+// StageExecutor defers its miss insertions), so scoring results never depend
+// on slice boundaries. Slices own their requests (moved in), so in-flight
+// scoring never references caller storage; if collect()/finalize() rethrow a
+// scoring error, call abort_round() before reusing the database.
+//
+// Insertions are asynchronous — they occupy the link/node timelines but
+// never gate the caller's ready time (the paper hides insertion behind the
+// next iteration); they become visible to queries at the next round's
+// begin_batch()/query_batch().
 #pragma once
 
+#include <condition_variable>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -23,6 +61,10 @@
 #include "common/stats.hpp"
 #include "kvstore/kvstore.hpp"
 #include "sim/device.hpp"
+
+namespace mlr {
+class ThreadPool;
+}
 
 namespace mlr::memo {
 
@@ -75,6 +117,11 @@ struct MemoDbConfig {
   /// the accuracy/convergence experiments (see DESIGN.md). Keys are still
   /// encoded and timed for the performance path either way.
   bool oracle_similarity = true;
+  /// Number of slices the StageExecutor cuts a stage's DB round into so
+  /// slice k+1's scoring overlaps slice k's miss FFTs. 0 (or 1) = the
+  /// legacy barriered path: one query_batch, then all miss compute.
+  /// Results, records and virtual times are bit-identical either way.
+  i64 overlap_slices = 4;
   ann::IvfParams ivf{};         ///< index database parameters
 };
 
@@ -90,12 +137,43 @@ class MemoDb {
  public:
   MemoDb(MemoDbConfig cfg, sim::Interconnect* net, sim::MemoryNode* node);
 
-  /// Batched lookup: all requests travel together (coalesced into
+  /// One-shot batched lookup: all requests travel together (coalesced into
   /// ceil(batch·key_bytes / coalesce_bytes) messages when enabled, one
   /// message per key otherwise). Returns one reply per request; replies for
-  /// hits include the value and its arrival time.
+  /// hits include the value and its arrival time. ANN scoring fans out
+  /// across `pool` when given (timing is unaffected — see the header
+  /// comment's scoring/scheduling split).
   std::vector<QueryReply> query_batch(std::span<const QueryRequest> reqs,
-                                      sim::VTime ready);
+                                      sim::VTime ready,
+                                      ThreadPool* pool = nullptr);
+
+  // --- Asynchronous batch-query service ------------------------------------
+  // begin_batch → submit_slice* → collect* → finalize. See header comment.
+
+  using SliceTicket = std::size_t;
+
+  /// Open an async round: pending asynchronous insertions become visible
+  /// (as at the head of query_batch) and slice state resets. Must not be
+  /// called while a round is in flight.
+  void begin_batch();
+  /// Enqueue one slice's scoring on `pool` (scored inline when `pool` is
+  /// null or single-threaded). The slice takes ownership of its requests.
+  SliceTicket submit_slice(std::vector<QueryRequest> reqs, ThreadPool* pool);
+  /// Block until slice `t` finished scoring; rethrows a stashed scoring
+  /// error. The returned replies carry hit/match/cosine/value but no timing
+  /// — value_ready is assigned by finalize(). The span is valid until
+  /// finalize()/abort_round().
+  std::span<const QueryReply> collect(SliceTicket t);
+  /// Deterministic serial scheduling pass over every submitted slice in
+  /// submission order; returns the round's completed replies, bit-identical
+  /// (values, hits, virtual times, wire messages, timing stats) to one
+  /// query_batch over the concatenated requests. Closes the round — on a
+  /// scoring error too (the error is rethrown after the round resets).
+  std::vector<QueryReply> finalize(sim::VTime ready);
+  /// Abandon an open round after an error: drains in-flight slice scoring,
+  /// then discards all slice state without touching the virtual clock.
+  /// No-op when no round is open.
+  void abort_round();
 
   /// Asynchronous insertion of (key, value): charged to the link/node
   /// timelines, never blocks the caller. `norm` is the raw chunk L2 norm.
@@ -114,6 +192,31 @@ class MemoDb {
  private:
   u64 make_id(OpKind kind) { return (u64(kind) << 56) | next_id_++; }
 
+  /// Scoring half: ANN search (search_batch on `pool`), value fetch and the
+  /// τ gate for every request. Touches no timeline and mutates no DB state,
+  /// so it is safe on pool workers while the index is not being inserted to.
+  void score_requests(std::span<const QueryRequest> reqs,
+                      std::span<QueryReply> replies, ThreadPool* pool) const;
+  /// Scheduling half: charge key transfer, batched lookup and hit value
+  /// serve/transfer for `replies` (in order) to the virtual timelines,
+  /// filling in value_ready and the timing/message counters.
+  void schedule_replies(std::span<QueryReply> replies, sim::VTime ready);
+
+  /// One slice of an in-flight async round. Held by shared_ptr and owning
+  /// its requests: the pool job keeps its slice (and the request storage it
+  /// scores) alive, so neither finalize()/abort_round() clearing the round
+  /// nor the caller unwinding can free memory a worker still touches. An
+  /// exception thrown while scoring is stashed and rethrown from collect()
+  /// — it must not escape into the pool's worker loop.
+  struct Slice {
+    std::vector<QueryRequest> reqs;
+    std::vector<QueryReply> scored;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+  };
+
   MemoDbConfig cfg_;
   sim::Interconnect* net_;
   sim::MemoryNode* node_;
@@ -124,6 +227,8 @@ class MemoDb {
   u64 next_id_ = 0;
   u64 messages_ = 0;
   DbTiming timing_;
+  std::vector<std::shared_ptr<Slice>> slices_;  // current async round
+  bool round_open_ = false;
 };
 
 /// Cosine similarity between two float keys.

@@ -8,13 +8,19 @@
 namespace mlr::memo {
 
 MemoizedLamino::MemoizedLamino(const lamino::Operators& ops, MemoConfig cfg,
-                               sim::Device* device, MemoDb* db)
+                               sim::Device* device, MemoDb* db,
+                               std::shared_ptr<encoder::EncoderRegistry> registry)
     : ops_(ops),
       cfg_(cfg),
       device_(device),
       db_(db),
-      enc_({.input_hw = cfg.encoder_hw, .embed_dim = cfg.key_dim}) {
+      registry_(std::move(registry)) {
   MLR_CHECK(device != nullptr);
+  if (registry_ == nullptr) {
+    registry_ = std::make_shared<encoder::EncoderRegistry>(
+        encoder::EncoderConfig{.input_hw = cfg_.encoder_hw,
+                               .embed_dim = cfg_.key_dim});
+  }
   if (cfg_.enable) {
     MLR_CHECK_MSG(db != nullptr, "memoization enabled but no MemoDb");
     const auto& g = ops_.geometry();
@@ -76,9 +82,9 @@ std::vector<float> MemoizedLamino::encode_chunk(
   MLR_CHECK(i64(in.size()) == spec.count * rows * cols);
   const auto plane = encoder::average_slab(in, spec.count, rows, cols);
   const encoder::ChunkImage img{rows, cols, plane};
-  return cfg_.quantized_encoder && enc_.quantized()
-             ? enc_.encode_quantized(img)
-             : enc_.encode(img);
+  const auto& enc = registry_->encoder();
+  return cfg_.quantized_encoder && enc.quantized() ? enc.encode_quantized(img)
+                                                   : enc.encode(img);
 }
 
 double MemoizedLamino::compute_chunk(OpKind kind, const StageChunk& c,
@@ -119,38 +125,18 @@ StageReport MemoizedLamino::run_stage(OpKind kind,
 double MemoizedLamino::train_encoder(
     const std::vector<std::vector<cfloat>>& samples, i64 rows, i64 cols,
     int steps) {
-  const double loss = enc_.train(samples, rows, cols, steps);
-  if (cfg_.quantized_encoder) enc_.quantize();
+  auto& enc = registry_->encoder();
+  const double loss = enc.train(samples, rows, cols, steps);
+  if (cfg_.quantized_encoder) enc.quantize();
   return loss;
 }
 
 std::size_t MemoizedLamino::collected_samples() const {
-  return samples_.size();
+  return registry_->collected();
 }
 
 double MemoizedLamino::train_encoder_from_collected(int steps) {
-  if (samples_.size() < 2) return 0.0;
-  Rng rng(97);
-  double tail = 0;
-  int tail_n = 0;
-  for (int s = 0; s < steps; ++s) {
-    const auto i = size_t(rng.uniform_int(0, i64(samples_.size()) - 1));
-    auto j = size_t(rng.uniform_int(0, i64(samples_.size()) - 2));
-    if (j >= i) ++j;
-    // Pairs must share a shape for the chunk-L2 ground truth; skip others.
-    if (samples_[i].rows != samples_[j].rows ||
-        samples_[i].cols != samples_[j].cols)
-      continue;
-    const double loss = enc_.train_pair(
-        {samples_[i].rows, samples_[i].cols, samples_[i].plane},
-        {samples_[j].rows, samples_[j].cols, samples_[j].plane});
-    if (s >= steps * 3 / 4) {
-      tail += loss;
-      ++tail_n;
-    }
-  }
-  if (cfg_.quantized_encoder) enc_.quantize();
-  return tail_n ? tail / tail_n : 0.0;
+  return registry_->train_from_collected(steps, cfg_.quantized_encoder);
 }
 
 }  // namespace mlr::memo

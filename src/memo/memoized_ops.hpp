@@ -107,9 +107,14 @@ class StageExecutor;
 
 class MemoizedLamino {
  public:
-  /// `db` may be null when cfg.enable is false.
+  /// `db` may be null when cfg.enable is false. `registry` is the shared
+  /// key-encoder owner (ExecutionContext/Cluster pass one registry to every
+  /// device wrapper so multi-GPU runs train a single encoder); when null the
+  /// wrapper creates a private registry, so standalone wrappers keep
+  /// working unchanged.
   MemoizedLamino(const lamino::Operators& ops, MemoConfig cfg,
-                 sim::Device* device, MemoDb* db);
+                 sim::Device* device, MemoDb* db,
+                 std::shared_ptr<encoder::EncoderRegistry> registry = nullptr);
   ~MemoizedLamino();
 
   /// Execute one operator stage (a set of independent chunks) starting at
@@ -131,12 +136,12 @@ class MemoizedLamino {
 
   /// Calibration flow: while bypass is on, stages run the plain compute path
   /// and (optionally) record their chunk planes as encoder training samples
-  /// — the warmup iteration mLR uses to train the CNN on real data.
+  /// — the warmup iteration mLR uses to train the CNN on real data. Samples
+  /// land in the shared registry in global chunk order (see StageExecutor).
   void set_bypass(bool bypass) { bypass_ = bypass; }
   [[nodiscard]] bool bypass() const { return bypass_; }
   void set_collect_samples(bool collect, std::size_t cap_per_kind = 128) {
-    collect_ = collect;
-    sample_cap_ = cap_per_kind;
+    registry_->set_collect(collect, cap_per_kind * kNumOpKinds);
   }
   /// Contrastive-train on everything collected so far and freeze to INT8.
   /// Returns tail loss; no-op (returns 0) when fewer than 2 samples exist.
@@ -147,7 +152,11 @@ class MemoizedLamino {
   [[nodiscard]] const MemoConfig& config() const { return cfg_; }
   [[nodiscard]] const MemoCounters& counters() const { return counters_; }
   [[nodiscard]] const MemoCache* cache() const { return cache_.get(); }
-  [[nodiscard]] const encoder::CnnEncoder& key_encoder() const { return enc_; }
+  [[nodiscard]] const encoder::CnnEncoder& key_encoder() const {
+    return registry_->encoder();
+  }
+  /// The shared (or private) encoder owner backing this wrapper.
+  [[nodiscard]] encoder::EncoderRegistry& registry() { return *registry_; }
   [[nodiscard]] MemoDb* db() const { return db_; }
 
   /// Encode a chunk into a key (exposed for characterization benches).
@@ -188,20 +197,13 @@ class MemoizedLamino {
   MemoConfig cfg_;
   sim::Device* device_;
   MemoDb* db_;
-  encoder::CnnEncoder enc_;
+  // Shared across the run's wrappers (or private to this one); planes of
+  // different kinds share the encoder, which pools to a fixed resolution.
+  std::shared_ptr<encoder::EncoderRegistry> registry_;
   std::unique_ptr<MemoCache> cache_;
   MemoCounters counters_;
   std::vector<ChunkRecord>* sink_ = nullptr;
   bool bypass_ = false;
-  bool collect_ = false;
-  std::size_t sample_cap_ = 128;
-  // Collected (plane, rows, cols) samples; planes of different kinds share
-  // the encoder, which pools to a fixed resolution anyway.
-  struct Sample {
-    std::vector<cfloat> plane;
-    i64 rows, cols;
-  };
-  std::vector<Sample> samples_;
   std::unique_ptr<StageExecutor> exec_;
 };
 

@@ -51,9 +51,16 @@ void StageExecutor::set_collect_samples(bool collect,
 }
 
 double StageExecutor::train_encoder_from_collected(int steps) {
+  // A registry shared by several wrappers is trained exactly once.
+  std::vector<const encoder::EncoderRegistry*> seen;
   double loss = 0;
-  for (auto* w : wrappers_) loss += w->train_encoder_from_collected(steps);
-  return loss / double(wrappers_.size());
+  for (auto* w : wrappers_) {
+    const auto* r = &w->registry();
+    if (std::find(seen.begin(), seen.end(), r) != seen.end()) continue;
+    seen.push_back(r);
+    loss += w->train_encoder_from_collected(steps);
+  }
+  return loss / double(seen.size());
 }
 
 double StageExecutor::device_transfer_busy() const {
@@ -69,6 +76,20 @@ StageReport StageExecutor::run_stage(OpKind kind,
   report.records.resize(chunks.size());
   report.done = ready;
   const std::size_t G = wrappers_.size();
+  // Encoder-training sample collection runs above the device distribution,
+  // serial in global chunk order: wrappers sharing one EncoderRegistry
+  // deposit exactly the training set a single-GPU run collects, so the
+  // trained encoder — and every downstream hit pattern — matches.
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    MemoizedLamino& ml = *wrappers_[c % G];
+    if (ml.cfg_.enable && !ml.bypass_) continue;  // collection is a bypass-
+                                                  // path (warmup) activity
+    if (!ml.registry_->wants_samples()) continue;
+    const auto [rows, cols] = ml.chunk_plane_dims(kind);
+    ml.registry_->add_sample(
+        encoder::average_slab(chunks[c].in, chunks[c].spec.count, rows, cols),
+        rows, cols);
+  }
   if (G == 1) {
     run_wrapper_stage(*wrappers_[0], kind, chunks, ready, report.records,
                       &report.done);
@@ -116,16 +137,8 @@ void StageExecutor::run_bypass(MemoizedLamino& ml, OpKind kind,
                                std::span<ChunkRecord> records,
                                sim::VTime* done) {
   // Fast path: memoization disabled or bypassed (warmup) — the Fig 1
-  // pipeline (H2D / kernel / D2H with copy-compute overlap).
-  if (ml.collect_) {
-    // Sample collection stays serial so the training set is order-stable.
-    const auto [rows, cols] = ml.chunk_plane_dims(kind);
-    for (const auto& c : chunks) {
-      if (ml.samples_.size() >= ml.sample_cap_ * kNumOpKinds) break;
-      ml.samples_.push_back(
-          {encoder::average_slab(c.in, c.spec.count, rows, cols), rows, cols});
-    }
-  }
+  // pipeline (H2D / kernel / D2H with copy-compute overlap). Encoder sample
+  // collection already happened in run_stage's global-chunk-order pass.
   // Parallel phase: the real FFT numerics of every chunk at once.
   std::vector<double> flops(chunks.size(), 0.0);
   parallel_for(pool(), 0, i64(chunks.size()), [&](i64 i) {
@@ -163,7 +176,8 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
                                  std::span<ChunkRecord> records,
                                  sim::VTime* done) {
   const std::size_t n = chunks.size();
-  const double encode_s = ml.enc_.encode_flops() / ml.cfg_.host_flops;
+  const double encode_s =
+      ml.registry_->encoder().encode_flops() / ml.cfg_.host_flops;
   std::vector<std::vector<float>> keys(n);
   std::vector<double> norms(n, 1.0);
   std::vector<std::vector<cfloat>> probes(n);
@@ -220,21 +234,78 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
   }
   stage_done = std::max(stage_done, host_t);
 
-  // Phase 3: ONE coalesced batch query against the memoization database for
-  // everything the cache could not serve.
+  // Phase 3+4: resolve everything the cache could not serve against the
+  // memoization DB. With overlap_slices ≥ 2 the request batch drives the
+  // DB's async service in slices: slice k+1's ANN scoring runs on the pool
+  // (submit_slice) while slice k's hits copy their values and slice k's
+  // misses compute their real FFTs — the DB round-trip hides behind local
+  // work. Slicing never touches the virtual clock: finalize() replays the
+  // exact schedule of the barriered single-batch path.
   std::vector<QueryReply> replies;
-  if (!reqs.empty()) replies = ml.db_->query_batch(reqs, host_t);
-  // Copy retrieved values into their chunk outputs in parallel…
-  parallel_for(pool(), 0, i64(replies.size()), [&](i64 rr) {
-    const auto r = size_t(rr);
-    if (!replies[r].hit) return;
-    auto& c = chunks[req_chunk[r]];
-    MLR_CHECK(replies[r].value.size() == c.out.size());
-    std::copy(replies[r].value.begin(), replies[r].value.end(),
-              c.out.begin());
-  });
-  // …then account timing and refill the local cache serially, in chunk
-  // order, so FIFO eviction order stays deterministic.
+  std::vector<double> flops(n, 0.0);
+  const i64 cfg_slices =
+      ml.db_ != nullptr ? ml.db_->config().overlap_slices : 0;
+  const std::size_t nslices = std::min<std::size_t>(
+      std::size_t(std::max<i64>(cfg_slices, 0)), reqs.size());
+  const bool sliced = nslices >= 2;
+  if (sliced) {
+    ml.db_->begin_batch();
+    const std::size_t per = (reqs.size() + nslices - 1) / nslices;
+    // Rounding per up can leave trailing slices empty (e.g. 5 requests in 4
+    // slices → 2+2+1): the real slice count is how many `per`-sized cuts the
+    // batch actually fills.
+    const std::size_t cuts = (reqs.size() + per - 1) / per;
+    // Each slice takes ownership of its requests (the post-round accounting
+    // below only reads replies/req_chunk, never reqs).
+    auto slice_reqs = [&](std::size_t s) {
+      const std::size_t off = s * per;
+      const std::size_t len = std::min(per, reqs.size() - off);
+      return std::vector<QueryRequest>(
+          std::make_move_iterator(reqs.begin() + i64(off)),
+          std::make_move_iterator(reqs.begin() + i64(off + len)));
+    };
+    std::vector<MemoDb::SliceTicket> tickets(cuts);
+    try {
+      tickets[0] = ml.db_->submit_slice(slice_reqs(0), &pool());
+      for (std::size_t s = 0; s < cuts; ++s) {
+        if (s + 1 < cuts)
+          tickets[s + 1] = ml.db_->submit_slice(slice_reqs(s + 1), &pool());
+        const auto scored = ml.db_->collect(tickets[s]);
+        const std::size_t off = s * per;
+        parallel_for(pool(), 0, i64(scored.size()), [&](i64 q) {
+          const std::size_t r = off + std::size_t(q);
+          auto& c = chunks[req_chunk[r]];
+          if (scored[size_t(q)].hit) {
+            MLR_CHECK(scored[size_t(q)].value.size() == c.out.size());
+            std::copy(scored[size_t(q)].value.begin(),
+                      scored[size_t(q)].value.end(), c.out.begin());
+          } else {
+            ml.compute_chunk(kind, c, &flops[req_chunk[r]]);
+          }
+        });
+      }
+      replies = ml.db_->finalize(host_t);
+    } catch (...) {
+      ml.db_->abort_round();  // drain workers, close the round, keep the DB usable
+      throw;
+    }
+  } else if (!reqs.empty()) {
+    // Barriered path (overlap_slices ≤ 1): ONE coalesced batch query for
+    // everything at once — scored serially, the legacy behaviour — with all
+    // miss FFTs afterwards.
+    replies = ml.db_->query_batch(reqs, host_t);
+    // Copy retrieved values into their chunk outputs in parallel.
+    parallel_for(pool(), 0, i64(replies.size()), [&](i64 rr) {
+      const auto r = size_t(rr);
+      if (!replies[r].hit) return;
+      auto& c = chunks[req_chunk[r]];
+      MLR_CHECK(replies[r].value.size() == c.out.size());
+      std::copy(replies[r].value.begin(), replies[r].value.end(),
+                c.out.begin());
+    });
+  }
+  // Account timing and refill the local cache serially, in chunk order, so
+  // FIFO eviction order stays deterministic.
   for (std::size_t r = 0; r < replies.size(); ++r) {
     const std::size_t i = req_chunk[r];
     auto& c = chunks[i];
@@ -257,17 +328,21 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
     }
   }
 
-  // Phase 4: every miss computes its real FFT in parallel…
+  // Every miss computes its real FFT in parallel (already done slice by
+  // slice on the overlapped path)…
   std::vector<std::size_t> misses;
   for (std::size_t i = 0; i < n; ++i)
     if (state[i] == 3) misses.push_back(i);
-  std::vector<double> flops(n, 0.0);
-  parallel_for(pool(), 0, i64(misses.size()), [&](i64 mm) {
-    const std::size_t i = misses[size_t(mm)];
-    ml.compute_chunk(kind, chunks[i], &flops[i]);
-  });
+  if (!sliced) {
+    parallel_for(pool(), 0, i64(misses.size()), [&](i64 mm) {
+      const std::size_t i = misses[size_t(mm)];
+      ml.compute_chunk(kind, chunks[i], &flops[i]);
+    });
+  }
   // …and is scheduled on the simulated GPU + inserted into DB and cache in
-  // chunk order (async insertion never gates the caller).
+  // chunk order (async insertion never gates the caller; deferring the
+  // inserts to this point also guarantees the round's scoring never saw
+  // them, matching the barriered path's semantics).
   for (const std::size_t i : misses) {
     auto& c = chunks[i];
     auto& rec = records[i];

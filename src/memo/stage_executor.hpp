@@ -9,20 +9,30 @@
 //   phase 2  probe     the local memoization cache for every key in
 //                      parallel (caches are thread-safe; hits copy their
 //                      stored value straight into the chunk output)
-//   phase 3  query     ONE coalesced batch lookup against the distributed
-//                      MemoDb for every chunk the cache could not serve
-//   phase 4  compute   all remaining misses' FFT numerics in parallel,
-//                      then insert the fresh values into DB + cache
+//   phase 3+4 resolve  chunks the cache could not serve go to the MemoDb's
+//                      async batch-query service in `overlap_slices` slices:
+//                      while slice k+1's ANN scoring runs on the pool
+//                      (submit_slice), slice k's hits copy their values and
+//                      slice k's misses compute their real FFTs — the DB
+//                      round-trip hides behind local work. With
+//                      overlap_slices ≤ 1 the phases barrier as before
+//                      (ONE coalesced query_batch, then all miss FFTs).
+//                      Fresh values are inserted into DB + cache only after
+//                      the round finalizes.
 //
 // Wall-clock parallelism never touches the virtual clock: device/link/node
-// timelines are scheduled in a deterministic serial pass in chunk order, so
+// timelines are scheduled in a deterministic serial pass in chunk order
+// (MemoDb::finalize replays the exact schedule of the barriered batch), so
 // reported virtual times, ChunkRecords (Fig 10/12) and cache FIFO contents
-// are bit-identical for any `threads` setting.
+// are bit-identical for any `threads` or `overlap_slices` setting.
 //
 // The engine also owns multi-device distribution: constructed over several
 // MemoizedLamino wrappers (one per simulated GPU) it round-robins chunks
 // across them — the single code path shared by core::Reconstructor and
-// cluster::Cluster.
+// cluster::Cluster. Encoder-training samples are collected ABOVE the device
+// distribution, in global chunk order, into each wrapper's EncoderRegistry:
+// wrappers sharing one registry (multi-GPU) therefore assemble exactly the
+// training set a single-GPU run sees and train one shared encoder.
 #pragma once
 
 #include <span>
@@ -64,8 +74,10 @@ class StageExecutor {
   [[nodiscard]] CacheStats cache_stats() const;
   void set_bypass(bool bypass);
   void set_collect_samples(bool collect, std::size_t cap_per_kind = 128);
-  /// Contrastive-train each wrapper's encoder on its collected samples and
-  /// freeze to INT8. Returns the mean tail loss across wrappers.
+  /// Contrastive-train the wrappers' encoders on their collected samples and
+  /// freeze to INT8. Wrappers sharing one EncoderRegistry (the multi-GPU
+  /// configuration) train it exactly once — one cross-device encoder — and
+  /// the mean tail loss across distinct registries is returned.
   double train_encoder_from_collected(int steps);
   /// Cumulative CPU↔GPU copy-engine busy seconds over every device.
   [[nodiscard]] double device_transfer_busy() const;

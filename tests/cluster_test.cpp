@@ -120,6 +120,38 @@ TEST(Cluster, MemoizedClusterSharesOneDatabase) {
   EXPECT_EQ(c.db().entries(memo::OpKind::Fu1D) + hits, chunks.size());
 }
 
+TEST(Cluster, GpusShareOneEncoderRegistry) {
+  // Every wrapper keys (and trains) through the same EncoderRegistry, so a
+  // multi-GPU run trains ONE encoder and reproduces single-GPU hit
+  // patterns: collected samples pool in one place and training on any
+  // wrapper quantizes the encoder every other wrapper sees.
+  Fixture f;
+  Cluster c(f.ops, f.spec(3),
+            {.enable = true, .tau = 0.9, .key_dim = 16, .encoder_hw = 16},
+            {.key_dim = 16, .tau = 0.9, .ivf = {.nlist = 2, .train_size = 8}});
+  for (int g = 1; g < 3; ++g)
+    EXPECT_EQ(&c.wrapper(0).key_encoder(), &c.wrapper(g).key_encoder());
+
+  c.executor().set_bypass(true);
+  c.executor().set_collect_samples(true, 64);
+  const auto& geom = f.geom;
+  Array3D<cfloat> u1(geom.u1_shape());
+  auto chunks = lamino::make_chunks(geom.n1, 2);
+  std::vector<memo::StageChunk> work;
+  for (const auto& spec : chunks)
+    work.push_back({spec, f.u.slices(spec.begin, spec.count),
+                    u1.slices(spec.begin, spec.count)});
+  (void)c.run_stage(memo::OpKind::Fu1D, work, 0.0);
+  // Collection is global-chunk-ordered into the one registry: each wrapper
+  // reports the same pooled count — the whole stage, not a per-GPU share.
+  EXPECT_EQ(c.wrapper(0).collected_samples(), chunks.size());
+  EXPECT_EQ(c.wrapper(1).collected_samples(), chunks.size());
+  c.executor().set_collect_samples(false);
+  (void)c.executor().train_encoder_from_collected(8);
+  for (int g = 0; g < 3; ++g)
+    EXPECT_TRUE(c.wrapper(g).key_encoder().quantized());
+}
+
 TEST(Cluster, FabricUtilizationGrowsWithGpus) {
   // More GPUs → more memoization + redistribution traffic on the shared
   // fabric (Fig 15).

@@ -1,13 +1,16 @@
 // Concurrency tests for the batched stage-execution engine's shared state:
 // the memoization caches and the KvStore are hammered from many threads and
 // must neither lose counter updates nor corrupt entries; the StageExecutor
-// must produce bit-identical results and virtual times for any pool width.
+// must produce bit-identical results, records, cache contents and virtual
+// times for any pool width AND any overlap_slices setting (the async sliced
+// MemoDb service); ann::Index::search_batch must match looped search.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <thread>
 #include <vector>
 
+#include "ann/ann.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "kvstore/kvstore.hpp"
@@ -200,6 +203,192 @@ TEST(Concurrency, StageExecutorDeterministicAcrossPoolWidths) {
   // …and bit-identical virtual times.
   EXPECT_EQ(s_done1, p_done1);
   EXPECT_EQ(s_done2, p_done2);
+}
+
+// The async-service contract: for every overlap_slices setting and pool
+// width, outputs, per-chunk records, cache FIFO contents and virtual times
+// are bit-identical to the barriered overlap_slices = 0 path.
+TEST(Concurrency, StageExecutorDeterministicAcrossOverlapSlices) {
+  // cube(10) with chunk size 2 yields 5 chunks → 5 DB requests: a count
+  // that does NOT divide evenly into 2, 4 or 8 slices, so the ragged-tail
+  // partition (ceil-sized slices leaving trailing cuts empty) is exercised.
+  lamino::Operators ops{lamino::Geometry::cube(10)};
+  const auto& g = ops.geometry();
+  auto u = lamino::to_complex(lamino::make_phantom(
+      g.object_shape(), lamino::PhantomKind::BrainTissue, 9));
+  // Churn volume: odd chunks of the second pass read from here, so that
+  // pass mixes DB hits (even chunks) with misses (odd chunks) — the
+  // workload the sliced pipeline actually reorders in wall-clock time.
+  Array3D<cfloat> churn(g.u1_shape());
+  {
+    Rng rng(77);
+    for (i64 i = 0; i < churn.size(); ++i)
+      churn.data()[i] = cfloat(float(rng.normal()), float(rng.normal()));
+  }
+  auto chunks = lamino::make_chunks(g.n1, 2);
+
+  struct Run {
+    Array3D<cfloat> out1, out2;
+    std::vector<ChunkRecord> rec1, rec2;
+    sim::VTime done1 = 0, done2 = 0;
+    u64 cache_fp = 0;
+    u64 db_entries = 0;
+  };
+  auto run_cfg = [&](unsigned threads, i64 overlap) {
+    Run run{Array3D<cfloat>(g.u1_shape()), Array3D<cfloat>(g.u1_shape()),
+            {}, {}, 0, 0, 0, 0};
+    sim::Device dev{0};
+    sim::Interconnect net;
+    sim::MemoryNode node;
+    MemoDb db{{.key_dim = 16, .tau = 0.92, .overlap_slices = overlap,
+               .ivf = {.nlist = 2, .train_size = 8}},
+              &net, &node};
+    MemoizedLamino ml(ops, {.enable = true, .tau = 0.92, .key_dim = 16,
+                            .encoder_hw = 16},
+                      &dev, &db);
+    ThreadPool pool(threads);
+    ml.executor().set_pool(&pool);
+    auto make_work = [&](Array3D<cfloat>& dst, bool mixed) {
+      std::vector<StageChunk> w;
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        const auto& spec = chunks[c];
+        const auto& src = (mixed && c % 2 == 1) ? churn : u;
+        w.push_back({spec, src.slices(spec.begin, spec.count),
+                     dst.slices(spec.begin, spec.count)});
+      }
+      return w;
+    };
+    auto w1 = make_work(run.out1, false);
+    auto rep1 = ml.run_stage(OpKind::Fu1D, w1, 0.0);  // all misses
+    auto w2 = make_work(run.out2, true);
+    auto rep2 = ml.run_stage(OpKind::Fu1D, w2, rep1.done);  // hit/miss mix
+    run.rec1 = rep1.records;
+    run.rec2 = rep2.records;
+    run.done1 = rep1.done;
+    run.done2 = rep2.done;
+    run.cache_fp = ml.cache() != nullptr ? ml.cache()->fingerprint() : 0;
+    run.db_entries = db.total_entries();
+    return run;
+  };
+
+  const Run ref = run_cfg(1, 0);  // serial, barriered — the legacy path
+  // The mixed pass must really mix outcomes or the overlap test is vacuous.
+  u64 hits = 0, misses = 0;
+  for (const auto& r : ref.rec2) {
+    hits += r.outcome == MemoOutcome::DbHit || r.outcome == MemoOutcome::CacheHit;
+    misses += r.outcome == MemoOutcome::Miss;
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(misses, 0u);
+
+  auto expect_same_records = [](const std::vector<ChunkRecord>& a,
+                                const std::vector<ChunkRecord>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(int(a[i].kind), int(b[i].kind)) << i;
+      EXPECT_EQ(int(a[i].outcome), int(b[i].outcome)) << i;
+      EXPECT_EQ(a[i].location, b[i].location) << i;
+      EXPECT_EQ(a[i].encode_s, b[i].encode_s) << i;
+      EXPECT_EQ(a[i].db_s, b[i].db_s) << i;
+      EXPECT_EQ(a[i].compute_s, b[i].compute_s) << i;
+      EXPECT_EQ(a[i].copy_s, b[i].copy_s) << i;
+    }
+  };
+  for (const unsigned threads : {1u, 4u}) {
+    for (const i64 overlap : {i64(0), i64(2), i64(4), i64(8)}) {
+      const Run got = run_cfg(threads, overlap);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " overlap=" + std::to_string(overlap));
+      for (i64 i = 0; i < ref.out1.size(); ++i) {
+        ASSERT_EQ(ref.out1.data()[i], got.out1.data()[i]);
+        ASSERT_EQ(ref.out2.data()[i], got.out2.data()[i]);
+      }
+      expect_same_records(ref.rec1, got.rec1);
+      expect_same_records(ref.rec2, got.rec2);
+      EXPECT_EQ(ref.done1, got.done1);
+      EXPECT_EQ(ref.done2, got.done2);
+      EXPECT_EQ(ref.cache_fp, got.cache_fp);
+      EXPECT_EQ(ref.db_entries, got.db_entries);
+    }
+  }
+}
+
+// search_batch must be result- and count-equivalent to looping search, for
+// every index type and any pool width.
+TEST(Concurrency, SearchBatchMatchesLoopedSearch) {
+  constexpr i64 kDim = 12;
+  constexpr i64 kAdds = 200;
+  constexpr i64 kQueries = 64;
+  constexpr i64 kK = 3;
+  auto fill = [&](ann::Index& idx, u64 seed) {
+    Rng rng(seed);
+    for (i64 i = 0; i < kAdds; ++i) {
+      std::vector<float> v(static_cast<size_t>(kDim));
+      for (auto& x : v) x = float(rng.normal());
+      idx.add(u64(i), v);
+    }
+  };
+  std::vector<float> queries(static_cast<size_t>(kQueries * kDim));
+  {
+    Rng rng(55);
+    for (auto& x : queries) x = float(rng.normal());
+  }
+  ThreadPool pool(4);
+  auto check = [&](ann::Index& a, ann::Index& b, const char* name) {
+    SCOPED_TRACE(name);
+    fill(a, 7);
+    fill(b, 7);
+    ASSERT_EQ(a.distance_evals(), b.distance_evals());
+    auto batched = a.search_batch(queries, kK, &pool);
+    std::vector<std::vector<ann::Neighbor>> looped;
+    for (i64 q = 0; q < kQueries; ++q)
+      looped.push_back(b.search(
+          {queries.data() + size_t(q * kDim), size_t(kDim)}, kK));
+    ASSERT_EQ(batched.size(), looped.size());
+    for (std::size_t q = 0; q < batched.size(); ++q) {
+      ASSERT_EQ(batched[q].size(), looped[q].size()) << q;
+      for (std::size_t j = 0; j < batched[q].size(); ++j) {
+        EXPECT_EQ(batched[q][j].id, looped[q][j].id) << q;
+        EXPECT_EQ(batched[q][j].dist, looped[q][j].dist) << q;
+      }
+    }
+    // Per-query accumulation must not lose or double-count evaluations.
+    EXPECT_EQ(a.distance_evals(), b.distance_evals());
+  };
+  {
+    ann::FlatIndex a(kDim), b(kDim);
+    check(a, b, "flat");
+  }
+  {
+    ann::IvfFlatIndex a(kDim, {.nlist = 4, .train_size = 32});
+    ann::IvfFlatIndex b(kDim, {.nlist = 4, .train_size = 32});
+    check(a, b, "ivf");
+  }
+  {
+    ann::NswIndex a(kDim), b(kDim);
+    check(a, b, "nsw");
+  }
+}
+
+// Concurrent batched searches against one shared index: the satellite data
+// race on dist_evals_ (mutated from const search paths) is fixed — counts
+// must survive exactly.
+TEST(Concurrency, SharedIndexParallelSearchCountsEveryEval) {
+  constexpr i64 kDim = 8;
+  ann::FlatIndex idx(kDim);
+  Rng rng(3);
+  for (i64 i = 0; i < 64; ++i) {
+    std::vector<float> v(static_cast<size_t>(kDim));
+    for (auto& x : v) x = float(rng.normal());
+    idx.add(u64(i), v);
+  }
+  const u64 before = idx.distance_evals();
+  std::vector<float> queries(size_t(128 * kDim));
+  for (auto& x : queries) x = float(rng.normal());
+  ThreadPool pool(8);
+  (void)idx.search_batch(queries, 1, &pool);
+  // Flat search evaluates every resident vector once per query.
+  EXPECT_EQ(idx.distance_evals() - before, u64(128 * 64));
 }
 
 }  // namespace
