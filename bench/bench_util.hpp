@@ -27,6 +27,10 @@ class Args {
     const char* v = find(flag);
     return v != nullptr ? std::atof(v) : def;
   }
+  [[nodiscard]] const char* get_str(const char* flag, const char* def) const {
+    const char* v = find(flag);
+    return v != nullptr ? v : def;
+  }
   /// Engine worker threads (`--threads N`); negatives clamp to 0 (= share
   /// the process-global pool). One parse point for every bench.
   [[nodiscard]] unsigned threads() const {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, run the full test suite.
-#   ./scripts/check.sh          release build + ctest
-#   ./scripts/check.sh tsan     ThreadSanitizer build + ctest (concurrency
-#                               tests under TSan; slower)
+# Tier-1 verify: configure, build, run the full test suite, then smoke the
+# serving path (bench_serve_traffic exits non-zero if job outputs are not
+# bit-identical across scheduling policies).
+#   ./scripts/check.sh          release build + ctest + serving smoke
+#   ./scripts/check.sh tsan     ThreadSanitizer build + ctest + serving
+#                               smoke (concurrency tests under TSan; slower)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,8 +13,10 @@ if [[ "$preset" == "tsan" ]]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)"
   ctest --preset tsan -j "$(nproc)"
+  ./build-tsan/bench_serve_traffic --jobs 8 --n small
 else
   cmake -B build -S .
   cmake --build build -j "$(nproc)"
   (cd build && ctest --output-on-failure -j "$(nproc)")
+  ./build/bench_serve_traffic --jobs 8 --n small
 fi

@@ -369,6 +369,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     st.memo_delta.miss = memo1.miss - memo0.miss;
     st.memo_delta.db_hit = memo1.db_hit - memo0.db_hit;
     st.memo_delta.cache_hit = memo1.cache_hit - memo0.cache_hit;
+    st.memo_delta.db_hit_shared = memo1.db_hit_shared - memo0.db_hit_shared;
     st.loss += cfg_.alpha * tv_norm(gu);
     result.iterations.push_back(st);
     if (hook_) hook_(iter, u);

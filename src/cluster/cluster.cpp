@@ -16,12 +16,17 @@ Cluster::Cluster(const lamino::Operators& ops, ClusterSpec spec,
   MLR_CHECK(spec.gpus >= 1 && spec.gpus_per_node >= 1);
   if (memo_cfg.enable) {
     db_ = std::make_unique<memo::MemoDb>(db_cfg, &fabric_, &memnode_);
+    if (spec_.db_seed != nullptr) db_->import_entries(*spec_.db_seed);
   }
   // All GPUs key through one shared encoder (see core::ExecutionContext):
-  // cluster hit patterns match the single-GPU run for any gpu count.
-  auto registry = std::make_shared<encoder::EncoderRegistry>(
-      encoder::EncoderConfig{.input_hw = memo_cfg.encoder_hw,
-                             .embed_dim = memo_cfg.key_dim});
+  // cluster hit patterns match the single-GPU run for any gpu count. A
+  // serving session shares the service's registry across every job instead.
+  auto registry = spec_.registry != nullptr
+                      ? spec_.registry
+                      : std::make_shared<encoder::EncoderRegistry>(
+                            encoder::EncoderConfig{
+                                .input_hw = memo_cfg.encoder_hw,
+                                .embed_dim = memo_cfg.key_dim});
   for (int g = 0; g < spec_.gpus; ++g) {
     devices_.push_back(std::make_unique<sim::Device>(g, spec_.device));
     wrappers_.push_back(std::make_unique<memo::MemoizedLamino>(

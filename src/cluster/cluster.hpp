@@ -29,6 +29,11 @@ struct ClusterSpec {
   sim::DeviceSpec device{};
   sim::LinkSpec fabric{};           ///< Slingshot: inter-node + memory node
   sim::MemoryNodeSpec memory_node{};
+  /// Shared-memo session wiring (see ExecutionOptions): a serving job that
+  /// spans several GPUs runs on a Cluster seeded with the service's shared
+  /// tier and keying through the service's one cross-job encoder.
+  std::shared_ptr<encoder::EncoderRegistry> registry{};
+  const std::vector<memo::MemoDb::Entry>* db_seed = nullptr;
 };
 
 /// A set of simulated GPUs plus the shared fabric and memory node, executing

@@ -1,0 +1,29 @@
+// FNV-1a — the one byte-hash the codebase fingerprints with (cache FIFO
+// fingerprints, serving-job output identity). Chainable: fold multiple
+// fields into one digest by passing the running value back in.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace mlr {
+
+inline constexpr u64 kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+/// Fold `len` bytes into running digest `h`.
+inline u64 fnv1a(u64 h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// One-shot digest of a byte range.
+inline u64 fnv1a_bytes(const void* data, std::size_t len) {
+  return fnv1a(kFnvOffsetBasis, data, len);
+}
+
+}  // namespace mlr

@@ -53,6 +53,23 @@ double Samples::mean() const {
   return s / double(xs_.size());
 }
 
+void Samples::merge(const Samples& other) {
+  xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+  sorted_ = false;
+}
+
+SampleSummary summarize(const Samples& s) {
+  SampleSummary out;
+  out.n = s.count();
+  if (out.n == 0) return out;
+  out.mean = s.mean();
+  out.p50 = s.percentile(0.50);
+  out.p90 = s.percentile(0.90);
+  out.p99 = s.percentile(0.99);
+  out.max = s.percentile(1.0);
+  return out;
+}
+
 double Samples::cdf_at(double x) const {
   if (xs_.empty()) return 0.0;
   ensure_sorted();

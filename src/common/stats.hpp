@@ -33,7 +33,10 @@ class RunningStat {
 /// are exact rather than sketched.
 class Samples {
  public:
-  void add(double x) { xs_.push_back(x); }
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;  // a percentile may already have sorted the reservoir
+  }
   [[nodiscard]] std::size_t count() const { return xs_.size(); }
   /// q in [0,1]; linear interpolation between order statistics.
   [[nodiscard]] double percentile(double q) const;
@@ -44,6 +47,9 @@ class Samples {
   [[nodiscard]] std::vector<std::pair<double, double>> cdf(
       std::size_t points = 32) const;
   [[nodiscard]] const std::vector<double>& raw() const { return xs_; }
+  /// Append every sample of `other` (distribution union, order-insensitive
+  /// for every accessor here since percentiles sort).
+  void merge(const Samples& other);
   void clear() { xs_.clear(); }
 
  private:
@@ -69,5 +75,13 @@ class Histogram {
 
 /// Render a simple ASCII bar, used by bench binaries to sketch figures.
 std::string ascii_bar(double fraction, std::size_t width = 40);
+
+/// Compact percentile summary of a sample set — the row format of the
+/// serving-latency tables (queue wait / turnaround CDF tails).
+struct SampleSummary {
+  std::size_t n = 0;
+  double mean = 0, p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+SampleSummary summarize(const Samples& s);
 
 }  // namespace mlr

@@ -10,13 +10,17 @@ ExecutionContext::ExecutionContext(const lamino::Operators& ops,
   MLR_CHECK(opt_.gpus >= 1);
   if (opt_.memo.enable) {
     db_ = std::make_unique<memo::MemoDb>(opt_.db, &net_, &memnode_);
+    if (opt_.db_seed != nullptr) db_->import_entries(*opt_.db_seed);
   }
   // One key encoder for the whole run: every device wrapper keys (and
   // trains) through the same registry, so gpus>1 reproduces the single-GPU
-  // hit patterns.
-  registry_ = std::make_shared<encoder::EncoderRegistry>(
-      encoder::EncoderConfig{.input_hw = opt_.memo.encoder_hw,
-                             .embed_dim = opt_.memo.key_dim});
+  // hit patterns. A serving session goes one step further and shares the
+  // service's registry across every job.
+  registry_ = opt_.registry != nullptr
+                  ? opt_.registry
+                  : std::make_shared<encoder::EncoderRegistry>(
+                        encoder::EncoderConfig{.input_hw = opt_.memo.encoder_hw,
+                                               .embed_dim = opt_.memo.key_dim});
   for (int g = 0; g < opt_.gpus; ++g) {
     devices_.push_back(std::make_unique<sim::Device>(g, opt_.device));
     wrappers_.push_back(std::make_unique<memo::MemoizedLamino>(
@@ -26,12 +30,16 @@ ExecutionContext::ExecutionContext(const lamino::Operators& ops,
   ptrs.reserve(wrappers_.size());
   for (auto& w : wrappers_) ptrs.push_back(w.get());
   exec_ = std::make_unique<memo::StageExecutor>(std::move(ptrs));
-  if (opt_.threads > 0) {
+  ThreadPool* pool = opt_.shared_pool;
+  if (pool == nullptr && opt_.threads > 0) {
     pool_ = std::make_unique<ThreadPool>(opt_.threads);
-    exec_->set_pool(pool_.get());
+    pool = pool_.get();
+  }
+  if (pool != nullptr) {
+    exec_->set_pool(pool);
     // The wrappers' built-in engines follow the same pool so direct
     // wrapper.run_stage() calls behave identically.
-    for (auto& w : wrappers_) w->executor().set_pool(pool_.get());
+    for (auto& w : wrappers_) w->executor().set_pool(pool);
   }
 }
 

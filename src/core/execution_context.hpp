@@ -35,6 +35,22 @@ struct ExecutionOptions {
   sim::DeviceSpec device{};
   sim::LinkSpec link{};
   sim::MemoryNodeSpec memory_node{};
+
+  // --- Shared-memo session wiring (serve::ReconService) -------------------
+  // A serving session is an ExecutionContext whose expensive shared state is
+  // handed in instead of built: the service's one cross-job encoder, a seed
+  // snapshot of the shared memo tier, and the service-wide worker pool.
+
+  /// Use this (typically pre-trained) key-encoder registry instead of
+  /// creating a private one, so many contexts key through ONE encoder.
+  std::shared_ptr<encoder::EncoderRegistry> registry{};
+  /// Seed the context's fresh MemoDb from a snapshot before first use (see
+  /// MemoDb::import_entries); only read when memo.enable. The pointee must
+  /// outlive construction (the entries are copied into the DB).
+  const std::vector<memo::MemoDb::Entry>* db_seed = nullptr;
+  /// Borrow an existing worker pool instead of owning one (all job sessions
+  /// of a service share the service pool). Overrides `threads` when set.
+  ThreadPool* shared_pool = nullptr;
 };
 
 class ExecutionContext {

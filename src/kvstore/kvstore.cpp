@@ -97,6 +97,11 @@ bool KvStore::erase(u64 key) {
   return true;
 }
 
+Samples KvStore::get_latencies() const {
+  std::lock_guard lk(lat_mu_);
+  return get_lat_;
+}
+
 std::size_t KvStore::size() const {
   std::size_t n = 0;
   for (const auto& sh : shards_) {

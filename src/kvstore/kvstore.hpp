@@ -49,8 +49,10 @@ class KvStore {
   /// Total bytes of stored values.
   [[nodiscard]] std::size_t bytes() const;
   /// Latency samples of get() calls in microseconds (host wall time — used
-  /// for self-characterization tests, not the virtual clock).
-  [[nodiscard]] const Samples& get_latencies() const { return get_lat_; }
+  /// for self-characterization tests, not the virtual clock). Returns a
+  /// snapshot taken under the latency lock: concurrent get() calls keep
+  /// appending samples, so handing out a reference would race the writers.
+  [[nodiscard]] Samples get_latencies() const;
 
  private:
   struct Shard {

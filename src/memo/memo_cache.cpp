@@ -4,6 +4,7 @@
 
 #include "common/array.hpp"
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace mlr::memo {
 
@@ -20,22 +21,13 @@ i64 PrivateCache::slot(OpKind kind, i64 location) const {
 }
 
 namespace {
-// FNV-1a over an entry's bits; order sensitivity comes from folding the
-// running digest into each entry's hash.
-u64 hash_bytes(u64 h, const void* data, std::size_t len) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
+// FNV-1a (common/hash.hpp) over an entry's bits; order sensitivity comes
+// from folding the running digest into each entry's hash.
 u64 hash_entry(u64 h, const CacheEntry& e) {
-  h = hash_bytes(h, e.key.data(), e.key.size() * sizeof(float));
-  h = hash_bytes(h, e.value.data(), e.value.size() * sizeof(cfloat));
-  h = hash_bytes(h, &e.norm, sizeof(e.norm));
-  h = hash_bytes(h, e.probe.data(), e.probe.size() * sizeof(cfloat));
+  h = fnv1a(h, e.key.data(), e.key.size() * sizeof(float));
+  h = fnv1a(h, e.value.data(), e.value.size() * sizeof(cfloat));
+  h = fnv1a(h, &e.norm, sizeof(e.norm));
+  h = fnv1a(h, e.probe.data(), e.probe.size() * sizeof(cfloat));
   return h;
 }
 
@@ -96,11 +88,11 @@ std::size_t PrivateCache::bytes() const {
 }
 
 u64 PrivateCache::fingerprint() const {
-  u64 h = 0xcbf29ce484222325ull;
+  u64 h = kFnvOffsetBasis;
   for (i64 s = 0; s < i64(slots_.size()); ++s) {
     std::lock_guard lk(stripe(s));
     const auto& e = slots_[size_t(s)];
-    h = hash_bytes(h, &s, sizeof(s));
+    h = fnv1a(h, &s, sizeof(s));
     if (e) h = hash_entry(h, *e);
   }
   return h;
@@ -174,12 +166,12 @@ std::size_t GlobalCache::bytes() const {
 }
 
 u64 GlobalCache::fingerprint() const {
-  u64 h = 0xcbf29ce484222325ull;
+  u64 h = kFnvOffsetBasis;
   for (const auto& sh : shards_) {
     std::lock_guard lk(sh.mu);
     for (const auto& t : sh.pool) {  // FIFO order within the shard
       const int k = int(t.kind);
-      h = hash_bytes(h, &k, sizeof(k));
+      h = fnv1a(h, &k, sizeof(k));
       h = hash_entry(h, t.entry);
     }
   }

@@ -297,14 +297,12 @@ void MemoDb::abort_round() {
   round_open_ = false;
 }
 
-void MemoDb::insert(OpKind kind, std::span<const float> key,
-                    std::span<const cfloat> value, sim::VTime ready,
-                    double norm, std::vector<cfloat> probe) {
+u64 MemoDb::store_entry(OpKind kind, std::span<const float> key,
+                        std::span<const cfloat> value, double norm,
+                        std::vector<cfloat> probe, bool async) {
   MLR_CHECK(i64(key.size()) == cfg_.key_dim);
-  // Service contract: a round's scoring must never observe the insertions
-  // its caller is about to make (slice boundaries would leak into results).
-  MLR_CHECK_MSG(!round_open_, "insert inside an open async query round");
   const u64 id = make_id(kind);
+  id_log_.push_back(kind);
   index_[size_t(int(kind))]->add(id, key);
   norms_[id] = norm;
   if (!probe.empty()) probes_[id] = std::move(probe);
@@ -316,14 +314,70 @@ void MemoDb::insert(OpKind kind, std::span<const float> key,
     c = (d % 2 == 0) ? cfloat(key[d], c.imag()) : cfloat(c.real(), key[d]);
   }
   std::copy(value.begin(), value.end(), packed.begin() + i64(key_cf));
-  values_.put_async(id, kvstore::to_blob(packed));
+  if (async) {
+    values_.put_async(id, kvstore::to_blob(packed));
+  } else {
+    values_.put(id, kvstore::to_blob(packed));
+  }
+  return id;
+}
+
+void MemoDb::insert(OpKind kind, std::span<const float> key,
+                    std::span<const cfloat> value, sim::VTime ready,
+                    double norm, std::vector<cfloat> probe) {
+  // Service contract: a round's scoring must never observe the insertions
+  // its caller is about to make (slice boundaries would leak into results).
+  MLR_CHECK_MSG(!round_open_, "insert inside an open async query round");
+  (void)store_entry(kind, key, value, norm, std::move(probe), /*async=*/true);
   // Virtual-time: the store travels over the link and lands in DRAM, but
   // asynchronously — nothing waits on the returned completion time.
+  const std::size_t key_cf = (key.size() + 1) / 2;
   const double bytes =
-      double(packed.size()) * sizeof(cfloat) * cfg_.value_scale;
+      double(key_cf + value.size()) * sizeof(cfloat) * cfg_.value_scale;
   const sim::VTime arrived = net_->transfer(ready, bytes);
   (void)node_->serve_value(arrived, bytes);
   node_->dram().alloc("memo_values", double(values_.bytes()) + bytes, arrived);
+}
+
+std::vector<MemoDb::Entry> MemoDb::export_entries(u64 from_seq) {
+  MLR_CHECK_MSG(!round_open_, "export_entries inside an open async round");
+  values_.drain();  // pending async insertions become part of the snapshot
+  std::vector<Entry> out;
+  out.reserve(from_seq < next_id_ ? size_t(next_id_ - from_seq) : 0);
+  for (u64 seq = from_seq; seq < next_id_; ++seq) {
+    const OpKind kind = id_log_[size_t(seq)];
+    const u64 id = (u64(kind) << 56) | seq;
+    auto blob = values_.get(id);
+    MLR_CHECK(blob.has_value());
+    auto stored = kvstore::from_blob(*blob);
+    const std::size_t key_cf = (size_t(cfg_.key_dim) + 1) / 2;
+    Entry e;
+    e.kind = kind;
+    e.key.resize(size_t(cfg_.key_dim));
+    for (i64 d = 0; d < cfg_.key_dim; ++d) {
+      const auto c = stored[size_t(d / 2)];
+      e.key[size_t(d)] = (d % 2 == 0) ? c.real() : c.imag();
+    }
+    e.value.assign(stored.begin() + i64(key_cf), stored.end());
+    const auto nit = norms_.find(id);
+    e.norm = nit != norms_.end() ? nit->second : 1.0;
+    const auto pit = probes_.find(id);
+    if (pit != probes_.end()) e.probe = pit->second;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void MemoDb::import_entries(std::span<const Entry> entries) {
+  MLR_CHECK_MSG(next_id_ == 0 && !round_open_,
+                "import_entries requires a fresh database");
+  // Replay in snapshot order: ids (and therefore the IVF training set and
+  // every downstream hit decision) come out identical for every session
+  // seeded from the same snapshot.
+  for (const auto& e : entries)
+    (void)store_entry(e.kind, e.key, e.value, e.norm, e.probe,
+                      /*async=*/false);
+  shared_boundary_ = next_id_;
 }
 
 std::size_t MemoDb::entries(OpKind kind) const {

@@ -181,6 +181,47 @@ class MemoDb {
               std::span<const cfloat> value, sim::VTime ready,
               double norm = 1.0, std::vector<cfloat> probe = {});
 
+  // --- Snapshots / shared-memo sessions ------------------------------------
+  // The serving layer (serve::ReconService) keeps one *shared memo tier* per
+  // service and seeds every job's session database from it: entries below
+  // the shared boundary were produced by other jobs (or the priming pass),
+  // so a hit on one of them is cross-job reuse — the effect the paper's
+  // economics depend on and MemoCounters::db_hit_shared measures.
+
+  /// One exported (key, value) record in insertion order — the unit a
+  /// snapshot is made of. `kind` partitions the key/value space exactly as
+  /// the live index does.
+  struct Entry {
+    OpKind kind{};
+    std::vector<float> key;
+    double norm = 1.0;
+    std::vector<cfloat> probe;
+    std::vector<cfloat> value;
+  };
+
+  /// Export entries in insertion order, starting at insertion sequence
+  /// `from_seq` (pending async insertions are drained first);
+  /// export_entries(shared_seq_boundary()) is "what this session inserted
+  /// on top of its seed". Must not be called inside an open async round.
+  [[nodiscard]] std::vector<Entry> export_entries(u64 from_seq = 0);
+  /// Seed an EMPTY database from a snapshot: entries replay synchronously in
+  /// order (no virtual-clock charges — the snapshot's traffic was paid when
+  /// the entries were first inserted) and the shared boundary is set to the
+  /// seed size so seeded hits are distinguishable from hits on this
+  /// session's own insertions.
+  void import_entries(std::span<const Entry> entries);
+  /// Insertion sequence below which entries came from import_entries().
+  [[nodiscard]] u64 shared_seq_boundary() const { return shared_boundary_; }
+  /// True when `match_id` (a QueryReply::match_id) refers to a seeded —
+  /// i.e. cross-job — entry.
+  [[nodiscard]] bool is_shared_entry(u64 id) const {
+    return (id & kSeqMask) < shared_boundary_;
+  }
+
+  /// Low 56 bits of an entry id hold its insertion sequence number (the high
+  /// byte is the OpKind, see make_id).
+  static constexpr u64 kSeqMask = (u64(1) << 56) - 1;
+
   [[nodiscard]] std::size_t entries(OpKind kind) const;
   [[nodiscard]] std::size_t total_entries() const;
   [[nodiscard]] std::size_t value_bytes() const { return values_.bytes(); }
@@ -191,6 +232,14 @@ class MemoDb {
 
  private:
   u64 make_id(OpKind kind) { return (u64(kind) << 56) | next_id_++; }
+
+  /// Store one entry (index add, norm/probe bookkeeping, packed value blob)
+  /// without touching any virtual timeline. insert() layers the async write
+  /// and the link/node charges on top; import_entries() replays a snapshot
+  /// through the synchronous write path.
+  u64 store_entry(OpKind kind, std::span<const float> key,
+                  std::span<const cfloat> value, double norm,
+                  std::vector<cfloat> probe, bool async);
 
   /// Scoring half: ANN search (search_batch on `pool`), value fetch and the
   /// τ gate for every request. Touches no timeline and mutates no DB state,
@@ -224,7 +273,9 @@ class MemoDb {
   kvstore::KvStore values_;
   std::unordered_map<u64, double> norms_;  // id → stored chunk norm
   std::unordered_map<u64, std::vector<cfloat>> probes_;  // id → pooled input
+  std::vector<OpKind> id_log_;  // seq → kind; drives export order
   u64 next_id_ = 0;
+  u64 shared_boundary_ = 0;
   u64 messages_ = 0;
   DbTiming timing_;
   std::vector<std::shared_ptr<Slice>> slices_;  // current async round

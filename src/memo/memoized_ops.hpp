@@ -98,9 +98,15 @@ struct StageReport {
 
 struct MemoCounters {
   u64 computed = 0, miss = 0, db_hit = 0, cache_hit = 0;
+  /// Of db_hit: hits served by entries seeded from a shared snapshot (see
+  /// MemoDb::import_entries) — i.e. another job's work. The cross-job reuse
+  /// the serving layer (serve::ReconService) charges per job.
+  u64 db_hit_shared = 0;
   [[nodiscard]] u64 total() const {
     return computed + miss + db_hit + cache_hit;
   }
+  /// Lookups that reached memoization (everything but plain compute).
+  [[nodiscard]] u64 lookups() const { return miss + db_hit + cache_hit; }
 };
 
 class StageExecutor;

@@ -25,6 +25,7 @@ MemoCounters StageExecutor::counters() const {
     total.miss += c.miss;
     total.db_hit += c.db_hit;
     total.cache_hit += c.cache_hit;
+    total.db_hit_shared += c.db_hit_shared;
   }
   return total;
 }
@@ -319,6 +320,8 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
         ml.cache_->insert(kind, c.spec.index, keys[i], c.out, norms[i],
                           probes[i]);
       ++ml.counters_.db_hit;
+      if (ml.db_->is_shared_entry(replies[r].match_id))
+        ++ml.counters_.db_hit_shared;
       state[i] = 2;
       stage_done = std::max(stage_done, replies[r].value_ready + rec.copy_s);
     } else {

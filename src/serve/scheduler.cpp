@@ -1,0 +1,91 @@
+#include "serve/scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace mlr::serve {
+
+const char* policy_name(SchedulerPolicy p) {
+  switch (p) {
+    case SchedulerPolicy::Fifo: return "fifo";
+    case SchedulerPolicy::Priority: return "priority";
+    case SchedulerPolicy::FairShare: return "fair";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared (arrival, id) tie-break: true when a should run before b.
+bool fifo_before(const JobRequest& a, const JobRequest& b) {
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+std::size_t FifoScheduler::pick(std::span<const QueuedJob> waiting,
+                                sim::VTime) {
+  MLR_CHECK(!waiting.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < waiting.size(); ++i)
+    if (fifo_before(*waiting[i].req, *waiting[best].req)) best = i;
+  return best;
+}
+
+std::size_t PriorityScheduler::pick(std::span<const QueuedJob> waiting,
+                                    sim::VTime) {
+  MLR_CHECK(!waiting.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < waiting.size(); ++i) {
+    const auto& a = *waiting[i].req;
+    const auto& b = *waiting[best].req;
+    if (a.priority != b.priority ? a.priority > b.priority
+                                 : fifo_before(a, b))
+      best = i;
+  }
+  return best;
+}
+
+std::size_t FairShareScheduler::pick(std::span<const QueuedJob> waiting,
+                                     sim::VTime) {
+  MLR_CHECK(!waiting.empty());
+  auto vrun_of = [&](const JobRequest& j) {
+    const auto it = vrun_.find(j.tenant);
+    return it != vrun_.end() ? it->second : 0.0;
+  };
+  std::size_t best = 0;
+  double best_v = vrun_of(*waiting[0].req);
+  for (std::size_t i = 1; i < waiting.size(); ++i) {
+    const double v = vrun_of(*waiting[i].req);
+    if (v < best_v ||
+        (v == best_v && fifo_before(*waiting[i].req, *waiting[best].req))) {
+      best = i;
+      best_v = v;
+    }
+  }
+  return best;
+}
+
+void FairShareScheduler::on_dispatch(const JobRequest& job, sim::VTime,
+                                     double run_vtime) {
+  const double w = job.tenant_weight > 0 ? job.tenant_weight : 1.0;
+  vrun_[job.tenant] += run_vtime / w;
+}
+
+double FairShareScheduler::tenant_vruntime(const std::string& tenant) const {
+  const auto it = vrun_.find(tenant);
+  return it != vrun_.end() ? it->second : 0.0;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerPolicy p) {
+  switch (p) {
+    case SchedulerPolicy::Fifo: return std::make_unique<FifoScheduler>();
+    case SchedulerPolicy::Priority:
+      return std::make_unique<PriorityScheduler>();
+    case SchedulerPolicy::FairShare:
+      return std::make_unique<FairShareScheduler>();
+  }
+  return nullptr;
+}
+
+}  // namespace mlr::serve

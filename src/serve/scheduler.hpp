@@ -1,0 +1,85 @@
+// serve/scheduler — pluggable dispatch-order policies for the reconstruction
+// service's job queue.
+//
+// The service calls pick() whenever an execution slot frees at virtual time
+// `now`, passing every admitted job whose arrival ≤ now; the scheduler
+// returns the index to dispatch. Because sessions are hermetic, a job's run
+// vtime is already known when it starts, so on_dispatch() charges usage
+// accounting exactly (no estimates): the weighted-fair-share policy is
+// classic stride scheduling over per-tenant virtual runtime. Every policy
+// breaks ties by (arrival, id), so schedules are deterministic and
+// hand-computable — the property tests/serve_test.cpp pins down.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "serve/job.hpp"
+
+namespace mlr::serve {
+
+enum class SchedulerPolicy { Fifo, Priority, FairShare };
+inline constexpr int kNumPolicies = 3;
+
+const char* policy_name(SchedulerPolicy p);
+
+/// One waiting (admitted, arrived) job as the scheduler sees it.
+struct QueuedJob {
+  const JobRequest* req = nullptr;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Choose which of `waiting` (non-empty; all arrived by `now`) to run.
+  [[nodiscard]] virtual std::size_t pick(std::span<const QueuedJob> waiting,
+                                         sim::VTime now) = 0;
+  /// The chosen job starts at `start` and will run for `run_vtime` virtual
+  /// seconds — exact, not an estimate (see header comment).
+  virtual void on_dispatch(const JobRequest& job, sim::VTime start,
+                           double run_vtime) {}
+};
+
+/// First-come-first-served: earliest arrival, ties by id.
+class FifoScheduler : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "fifo"; }
+  [[nodiscard]] std::size_t pick(std::span<const QueuedJob> waiting,
+                                 sim::VTime now) override;
+};
+
+/// Strict priority classes: highest priority first, FIFO within a class.
+class PriorityScheduler : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "priority"; }
+  [[nodiscard]] std::size_t pick(std::span<const QueuedJob> waiting,
+                                 sim::VTime now) override;
+};
+
+/// Weighted fair share via per-tenant virtual-runtime (stride) accounting:
+/// dispatching a job advances its tenant's vruntime by run_vtime / weight;
+/// pick() always serves the waiting job whose tenant has the smallest
+/// vruntime. A tenant with weight w therefore converges to w× the busy
+/// share of a weight-1 tenant under saturation. Tenants start at vruntime 0
+/// (documented, hand-computable; a long-idle tenant re-enters with whatever
+/// credit it accumulated).
+class FairShareScheduler : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "fair"; }
+  [[nodiscard]] std::size_t pick(std::span<const QueuedJob> waiting,
+                                 sim::VTime now) override;
+  void on_dispatch(const JobRequest& job, sim::VTime start,
+                   double run_vtime) override;
+  /// Accumulated virtual runtime of a tenant (0 when never dispatched).
+  [[nodiscard]] double tenant_vruntime(const std::string& tenant) const;
+
+ private:
+  std::unordered_map<std::string, double> vrun_;
+};
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerPolicy p);
+
+}  // namespace mlr::serve

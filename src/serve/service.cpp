@@ -1,0 +1,240 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/cluster.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace mlr::serve {
+
+ReconService::ReconService(ServiceConfig cfg)
+    : cfg_(cfg), geom_(lamino::Geometry::cube(cfg.n)), ops_(geom_) {
+  MLR_CHECK(cfg_.n >= 8 && cfg_.chunk_size >= 1);
+  MLR_CHECK(cfg_.slots >= 1 && cfg_.gpus_per_job >= 1);
+  MLR_CHECK_MSG(cfg_.max_queue >= 1, "admission needs room for one waiter");
+  const memo::MemoConfig mc{};  // encoder geometry defaults (key_dim, hw)
+  registry_ = std::make_shared<encoder::EncoderRegistry>(
+      encoder::EncoderConfig{.input_hw = mc.encoder_hw,
+                             .embed_dim = mc.key_dim});
+  if (cfg_.threads > 0) pool_ = std::make_unique<ThreadPool>(cfg_.threads);
+  slot_free_.assign(std::size_t(cfg_.slots), 0.0);
+  sched_ = make_scheduler(cfg_.policy);
+}
+
+ReconService::~ReconService() = default;
+
+const ReconService::Problem& ReconService::problem_for(Scenario s, u64 seed) {
+  const auto key = std::make_pair(int(s), seed);
+  auto it = problems_.find(key);
+  if (it != problems_.end()) return it->second;
+  const auto prof = scenario_profile(s);
+  Problem pb;
+  pb.truth = lamino::to_complex(
+      lamino::make_phantom(geom_.object_shape(), prof.phantom, seed));
+  pb.d = lamino::simulate_projections(ops_, pb.truth, prof.noise, seed + 1);
+  return problems_.emplace(key, std::move(pb)).first->second;
+}
+
+const Array3D<cfloat>& ReconService::ground_truth(Scenario s, u64 seed) {
+  return problem_for(s, seed).truth;
+}
+
+JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
+                               std::vector<memo::MemoDb::Entry>* own_entries) {
+  const auto prof = scenario_profile(req.scenario);
+  const auto& pb = problem_for(req.scenario, req.seed);
+  const double s = double(prof.paper_n) / double(cfg_.n);
+  const double ws = s * s * s;
+
+  memo::MemoConfig mc;
+  mc.enable = cfg_.memoize;
+  mc.tau = prof.tau;
+  mc.cache = cfg_.cache;
+  mc.cache_shards = cfg_.cache_shards;
+  mc.work_scale = ws;
+  memo::MemoDbConfig dbc;
+  dbc.tau = prof.tau;
+  dbc.value_scale = ws;
+  dbc.overlap_slices = cfg_.overlap_slices;
+
+  admm::AdmmConfig ac;
+  ac.outer_iters =
+      cfg_.iters_cap > 0 ? std::min(prof.iters, cfg_.iters_cap) : prof.iters;
+  ac.inner_iters = prof.inner_iters;
+  ac.alpha = prof.alpha;
+  ac.chunk_size = cfg_.chunk_size;
+  ac.work_scale = ws;
+  ac.encoder_train_steps = cfg_.encoder_train_steps;
+
+  JobStats st;
+  st.id = req.id;
+  st.tenant = req.tenant;
+  st.scenario = req.scenario;
+  st.priority = req.priority;
+  st.arrival = req.arrival;
+  st.start = start;
+
+  // Hermetic session: fresh devices/net/memory node (virtual time starts at
+  // 0 inside the session; the service adds `start`), the service's one
+  // encoder, and a MemoDb seeded from the shared tier.
+  const std::vector<memo::MemoDb::Entry>* seed =
+      cfg_.memoize && !base_.empty() ? &base_ : nullptr;
+  std::unique_ptr<ExecutionContext> ctx;
+  std::unique_ptr<cluster::Cluster> clu;
+  memo::StageExecutor* exec = nullptr;
+  memo::MemoDb* db = nullptr;
+  if (cfg_.gpus_per_job <= 1) {
+    ExecutionOptions eo;
+    eo.gpus = 1;
+    eo.memo = mc;
+    eo.db = dbc;
+    eo.registry = registry_;
+    eo.db_seed = seed;
+    eo.shared_pool = pool_.get();
+    ctx = std::make_unique<ExecutionContext>(ops_, eo);
+    exec = &ctx->executor();
+    db = ctx->db();
+  } else {
+    cluster::ClusterSpec cs;
+    cs.gpus = cfg_.gpus_per_job;
+    cs.registry = registry_;
+    cs.db_seed = seed;
+    clu = std::make_unique<cluster::Cluster>(ops_, cs, mc, dbc);
+    if (pool_ != nullptr) clu->executor().set_pool(pool_.get());
+    exec = &clu->executor();
+    db = cfg_.memoize ? &clu->db() : nullptr;
+  }
+
+  admm::Solver solver(*exec, ac);
+  const auto res = solver.solve(pb.d);
+
+  st.run_vtime = res.total_vtime;
+  st.finish = start + res.total_vtime;
+  st.deadline_met = req.deadline <= 0 || st.finish <= req.deadline;
+  st.memo = exec->counters();
+  st.cache_hit_rate = exec->cache_stats().hit_rate();
+  st.error_vs_truth = relative_error<cfloat>(pb.truth.span(), res.u.span());
+  st.output_fingerprint = fnv1a_bytes(res.u.data(), std::size_t(res.u.bytes()));
+  if (own_entries != nullptr && db != nullptr)
+    *own_entries = db->export_entries(db->shared_seq_boundary());
+  return st;
+}
+
+void ReconService::promote(std::vector<memo::MemoDb::Entry> entries) {
+  for (auto& e : entries) {
+    if (base_.size() >= cfg_.max_shared_entries) {
+      stats_.promotion_dropped += 1;
+      continue;
+    }
+    base_.push_back(std::move(e));
+    stats_.promoted += 1;
+  }
+}
+
+std::vector<JobStats> ReconService::prime(std::span<const JobRequest> warm) {
+  std::vector<JobStats> out;
+  out.reserve(warm.size());
+  for (const auto& w : warm) {
+    JobRequest req = w;
+    req.id = next_id_++;
+    std::vector<memo::MemoDb::Entry> own;
+    auto st = run_job(req, 0.0, cfg_.memoize ? &own : nullptr);
+    if (cfg_.memoize) promote(std::move(own));
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+u64 ReconService::submit(JobRequest req) {
+  req.id = next_id_++;
+  ++stats_.submitted;
+  queue_.push_back(std::move(req));
+  return queue_.back().id;
+}
+
+void ReconService::account(const JobStats& st) {
+  ++stats_.completed;
+  stats_.queue_wait.add(st.queue_wait());
+  stats_.turnaround.add(st.turnaround());
+  stats_.run_vtime.add(st.run_vtime);
+  stats_.lookups += st.memo.lookups();
+  stats_.cache_hits += st.memo.cache_hit;
+  stats_.db_hits += st.memo.db_hit;
+  stats_.shared_hits += st.memo.db_hit_shared;
+  stats_.misses += st.memo.miss;
+  stats_.makespan = std::max(stats_.makespan, st.finish);
+  stats_.busy_s += st.run_vtime;
+  if (!st.deadline_met) ++stats_.deadline_missed;
+  auto& ten = stats_.tenants[st.tenant];
+  ++ten.jobs;
+  ten.busy_s += st.run_vtime;
+  ten.queue_wait.add(st.queue_wait());
+}
+
+std::vector<JobStats> ReconService::drain() {
+  MLR_CHECK_MSG(!cfg_.memoize || registry_->encoder().quantized(),
+                "prime() the service before drain(): the cross-job encoder "
+                "must be trained once, not by whichever job runs first");
+  std::vector<JobRequest> arr = std::move(queue_);
+  queue_.clear();
+  std::sort(arr.begin(), arr.end(),
+            [](const JobRequest& a, const JobRequest& b) {
+              return a.arrival != b.arrival ? a.arrival < b.arrival
+                                            : a.id < b.id;
+            });
+  std::vector<JobStats> out;
+  out.reserve(arr.size());
+  // Session insertions, promoted at the end in job-id order: the shared
+  // tier's evolution is identical for every scheduling policy.
+  std::map<u64, std::vector<memo::MemoDb::Entry>> own;
+  std::vector<QueuedJob> waiting;
+  std::size_t next = 0;
+  while (next < arr.size() || !waiting.empty()) {
+    // Earliest-free slot (ties: lowest index) sets the dispatch time.
+    std::size_t slot = 0;
+    for (std::size_t s2 = 1; s2 < slot_free_.size(); ++s2)
+      if (slot_free_[s2] < slot_free_[slot]) slot = s2;
+    sim::VTime t = slot_free_[slot];
+    if (waiting.empty()) t = std::max(t, arr[next].arrival);
+    // Admission at arrival: everything that arrived by t joins the queue in
+    // arrival order; arrivals past the backlog cap are rejected.
+    while (next < arr.size() && arr[next].arrival <= t) {
+      const JobRequest& jr = arr[next];
+      if (waiting.size() >= cfg_.max_queue) {
+        JobStats rej;
+        rej.id = jr.id;
+        rej.tenant = jr.tenant;
+        rej.scenario = jr.scenario;
+        rej.priority = jr.priority;
+        rej.admitted = false;
+        rej.arrival = rej.start = rej.finish = jr.arrival;
+        rej.deadline_met = jr.deadline <= 0;
+        ++stats_.rejected;
+        out.push_back(std::move(rej));
+      } else {
+        waiting.push_back({&jr});
+      }
+      ++next;
+    }
+    const std::size_t pi = sched_->pick(waiting, t);
+    const JobRequest req = *waiting[pi].req;
+    waiting.erase(waiting.begin() + i64(pi));
+    std::vector<memo::MemoDb::Entry> mine;
+    const bool collect = cfg_.memoize && cfg_.promote_after_drain;
+    JobStats st = run_job(req, t, collect ? &mine : nullptr);
+    st.slot = int(slot);
+    sched_->on_dispatch(req, t, st.run_vtime);
+    slot_free_[slot] = st.finish;
+    if (collect) own.emplace(req.id, std::move(mine));
+    account(st);
+    out.push_back(std::move(st));
+  }
+  for (auto& [id, es] : own) promote(std::move(es));
+  std::sort(out.begin(), out.end(),
+            [](const JobStats& a, const JobStats& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace mlr::serve

@@ -1,0 +1,161 @@
+// serve/service — ReconService, the multi-tenant reconstruction service.
+//
+// The serving model (README "Serving model" has the long form):
+//
+//   * One service = one shared geometry + ONE cross-job key encoder + a
+//     *shared memo tier* (a MemoDb snapshot) + `slots` execution slots
+//     (one simulated GPU each, or `gpus_per_job` GPUs via cluster::Cluster)
+//     + a host worker pool every session shares.
+//   * Lifecycle: configure → prime() → submit()* → drain(). prime() trains
+//     the encoder and seeds the shared tier by running a canonical warm-up
+//     workload back-to-back; drain() runs the event loop on the sim virtual
+//     clock: jobs arrive, pass admission control (waiting jobs beyond
+//     max_queue are rejected), wait in the JobQueue, and are dispatched by
+//     the pluggable Scheduler whenever a slot frees.
+//   * Shared-memo sessions: every dispatched job runs in a hermetic session
+//     — a fresh ExecutionContext whose MemoDb is seeded from the shared
+//     tier and which keys through the service's one encoder. Hits on seeded
+//     entries are cross-job reuse (MemoCounters::db_hit_shared); the job's
+//     own insertions stay private until drain() promotes them back into the
+//     shared tier in job-id order. Hermetic sessions are what make serving
+//     reproducible: a job's output and run vtime depend only on (request,
+//     shared tier), never on scheduling policy, thread count or queue
+//     neighbours — so latency CDFs are comparable across policies while
+//     outputs stay bit-identical.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "admm/solver.hpp"
+#include "common/stats.hpp"
+#include "core/execution_context.hpp"
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+
+namespace mlr::serve {
+
+struct ServiceConfig {
+  // Shared problem geometry: every job of one service reconstructs on the
+  // same grid and chunking, so keys/values are comparable across jobs.
+  i64 n = 14;
+  i64 chunk_size = 4;
+
+  // Capacity.
+  int slots = 2;           ///< jobs running concurrently (virtual time)
+  int gpus_per_job = 1;    ///< >1: each session is a cluster::Cluster
+  unsigned threads = 0;    ///< host worker pool shared by all sessions
+  i64 overlap_slices = 4;  ///< DB/compute overlap inside each session
+
+  // Memo tier.
+  bool memoize = true;
+  memo::CacheKind cache = memo::CacheKind::Private;
+  i64 cache_shards = 1;
+  int encoder_train_steps = 120;
+
+  // Admission control + shared-tier growth.
+  std::size_t max_queue = 64;       ///< waiting jobs beyond this are rejected
+  std::size_t max_shared_entries = 1u << 20;  ///< promotion cap
+  bool promote_after_drain = true;
+
+  // Scheduling.
+  SchedulerPolicy policy = SchedulerPolicy::Fifo;
+
+  /// >0 caps every scenario's outer iterations (tests / CI smoke).
+  int iters_cap = 0;
+};
+
+struct TenantStats {
+  u64 jobs = 0;
+  double busy_s = 0;   ///< virtual seconds of slot time consumed
+  Samples queue_wait;
+};
+
+/// Aggregate serving metrics (cumulative across drains).
+struct ServiceStats {
+  u64 submitted = 0, completed = 0, rejected = 0, deadline_missed = 0;
+  Samples queue_wait, turnaround, run_vtime;  // admitted jobs only
+  // Memoization outcomes summed over completed jobs.
+  u64 lookups = 0, cache_hits = 0, db_hits = 0, shared_hits = 0, misses = 0;
+  sim::VTime makespan = 0;  ///< latest finish seen
+  double busy_s = 0;        ///< sum of run vtimes across slots
+  u64 promoted = 0;             ///< entries promoted into the shared tier
+  u64 promotion_dropped = 0;    ///< entries dropped by max_shared_entries
+  std::map<std::string, TenantStats> tenants;
+
+  /// Fraction of memo lookups served by another job's work.
+  [[nodiscard]] double cross_job_hit_rate() const {
+    return lookups > 0 ? double(shared_hits) / double(lookups) : 0.0;
+  }
+  [[nodiscard]] double utilization(int slots) const {
+    return makespan > 0 ? busy_s / (double(slots) * makespan) : 0.0;
+  }
+};
+
+class ReconService {
+ public:
+  explicit ReconService(ServiceConfig cfg);
+  ~ReconService();
+
+  ReconService(const ReconService&) = delete;
+  ReconService& operator=(const ReconService&) = delete;
+
+  /// Build the shared tier: run `warm` back-to-back (request order, virtual
+  /// time 0) with immediate promotion, training the cross-job encoder on
+  /// the first job. Required before drain() when memoize is on — otherwise
+  /// the first scheduled job would train the encoder and outputs would
+  /// depend on dispatch order. Returns the warm jobs' stats (not counted in
+  /// stats()).
+  std::vector<JobStats> prime(std::span<const JobRequest> warm);
+
+  /// Enqueue a job for the next drain(); assigns and returns its id.
+  /// Admission control runs at *arrival* (virtual time) inside drain(), not
+  /// here — a submitted job can still be rejected if the queue is full when
+  /// it arrives.
+  u64 submit(JobRequest req);
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Run the event loop until the queue is empty; returns per-job stats in
+  /// id order (rejected jobs included, admitted=false). Session insertions
+  /// are promoted into the shared tier afterwards in job-id order —
+  /// deterministic for every scheduling policy.
+  std::vector<JobStats> drain();
+
+  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t shared_entries() const { return base_.size(); }
+  [[nodiscard]] Scheduler& scheduler() { return *sched_; }
+  [[nodiscard]] const lamino::Operators& ops() const { return ops_; }
+  /// Ground truth for a scenario/seed (error accounting, tests).
+  const Array3D<cfloat>& ground_truth(Scenario s, u64 seed);
+
+ private:
+  struct Problem {
+    Array3D<cfloat> truth;
+    Array3D<cfloat> d;  ///< simulated projections
+  };
+  const Problem& problem_for(Scenario s, u64 seed);
+  /// Execute one job in a hermetic session starting at virtual `start`;
+  /// `own_entries` (nullable) receives the session's own DB insertions.
+  JobStats run_job(const JobRequest& req, sim::VTime start,
+                   std::vector<memo::MemoDb::Entry>* own_entries);
+  void promote(std::vector<memo::MemoDb::Entry> entries);
+  void account(const JobStats& st);
+
+  ServiceConfig cfg_;
+  lamino::Geometry geom_;
+  lamino::Operators ops_;
+  std::shared_ptr<encoder::EncoderRegistry> registry_;
+  std::unique_ptr<ThreadPool> pool_;  ///< shared by sessions (null = global)
+  std::vector<memo::MemoDb::Entry> base_;  ///< the shared memo tier
+  std::vector<JobRequest> queue_;          ///< submitted, not yet drained
+  std::vector<sim::VTime> slot_free_;      ///< per-slot next-free vtime
+  u64 next_id_ = 1;
+  std::unique_ptr<Scheduler> sched_;
+  ServiceStats stats_;
+  std::map<std::pair<int, u64>, Problem> problems_;  ///< (scenario,seed) →
+};
+
+}  // namespace mlr::serve

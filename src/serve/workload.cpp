@@ -1,0 +1,99 @@
+#include "serve/workload.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mlr::serve {
+
+namespace {
+
+/// Draw an index from a share table (cumulative inversion).
+std::size_t draw_share(const std::vector<double>& shares, double total,
+                       Rng& rng) {
+  const double x = rng.uniform(0.0, total);
+  double acc = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    acc += shares[i];
+    if (x < acc) return i;
+  }
+  return shares.size() - 1;
+}
+
+std::vector<std::pair<Scenario, double>> effective_mix(
+    const WorkloadConfig& cfg) {
+  if (!cfg.mix.empty()) return cfg.mix;
+  std::vector<std::pair<Scenario, double>> mix;
+  for (int s = 0; s < kNumScenarios; ++s) mix.push_back({Scenario(s), 1.0});
+  return mix;
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig cfg)
+    : cfg_(std::move(cfg)) {
+  MLR_CHECK(cfg_.jobs >= 1 && cfg_.mean_interarrival > 0);
+  MLR_CHECK(cfg_.burst_size >= 1 && cfg_.distinct_objects >= 1);
+}
+
+std::vector<JobRequest> WorkloadGenerator::generate() {
+  Rng rng(cfg_.seed);
+  const auto mix = effective_mix(cfg_);
+  std::vector<double> mshare;
+  double mix_total = 0;
+  for (const auto& [s, w] : mix) {
+    mshare.push_back(w);
+    mix_total += w;
+  }
+  std::vector<TenantSpec> tenants = cfg_.tenants;
+  if (tenants.empty()) tenants.push_back(TenantSpec{});
+  std::vector<double> tshare;
+  double tshare_total = 0;
+  for (const auto& t : tenants) {
+    tshare.push_back(t.traffic_share);
+    tshare_total += t.traffic_share;
+  }
+
+  std::vector<JobRequest> out;
+  out.reserve(cfg_.jobs);
+  sim::VTime t = 0;
+  for (std::size_t j = 0; j < cfg_.jobs; ++j) {
+    if (cfg_.bursty) {
+      if (j % cfg_.burst_size == 0 && j > 0)
+        t += rng.exponential(cfg_.mean_interarrival *
+                             double(cfg_.burst_size));
+    } else if (j > 0) {
+      t += rng.exponential(cfg_.mean_interarrival);
+    }
+    const auto& ten = tenants[draw_share(tshare, tshare_total, rng)];
+    const Scenario sc = mix[draw_share(mshare, mix_total, rng)].first;
+    JobRequest req;
+    req.tenant = ten.name;
+    req.tenant_weight = ten.weight;
+    req.priority = ten.priority;
+    req.arrival = t;
+    if (cfg_.deadline_slack > 0) req.deadline = t + cfg_.deadline_slack;
+    req.scenario = sc;
+    // Object identity: a small pool per scenario, so similar jobs recur —
+    // the traffic shape the paper's memoization economics assume.
+    req.seed = 100 * u64(sc) +
+               u64(rng.uniform_int(0, i64(cfg_.distinct_objects) - 1));
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+std::vector<JobRequest> WorkloadGenerator::priming_set() const {
+  const auto mix = effective_mix(cfg_);
+  std::vector<JobRequest> out;
+  for (const auto& [sc, share] : mix) {
+    if (share <= 0) continue;
+    JobRequest req;
+    req.tenant = "prime";
+    req.scenario = sc;
+    req.seed = 100 * u64(sc);  // object 0 of the scenario's pool
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+}  // namespace mlr::serve

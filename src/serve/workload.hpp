@@ -1,0 +1,60 @@
+// serve/workload — deterministic traffic generation for the reconstruction
+// service: Poisson or bursty arrivals over a heterogeneous scenario mix and
+// a weighted tenant population. Everything derives from one seed, so a
+// workload can be replayed against every scheduling policy (the per-policy
+// comparison bench_serve_traffic runs) and across processes.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace mlr::serve {
+
+struct TenantSpec {
+  std::string name = "default";
+  double weight = 1.0;        ///< fair-share weight
+  int priority = 1;           ///< priority class of this tenant's jobs
+  double traffic_share = 1.0; ///< relative share of generated jobs
+};
+
+struct WorkloadConfig {
+  u64 seed = 7;
+  std::size_t jobs = 32;
+  /// Mean virtual seconds between arrivals (Poisson rate 1/mean).
+  double mean_interarrival = 30.0;
+  /// Bursty arrivals: groups of burst_size jobs land at the same instant,
+  /// with exponential gaps of mean burst_size·mean_interarrival between
+  /// groups (same offered load, spikier queue).
+  bool bursty = false;
+  std::size_t burst_size = 4;
+  /// Deadline = arrival + slack virtual seconds; 0 = no deadlines.
+  double deadline_slack = 0.0;
+  /// Jobs of one scenario draw their object (phantom seed) from this many
+  /// distinct objects — the knob for how much cross-job similarity the
+  /// traffic carries.
+  std::size_t distinct_objects = 4;
+  /// Scenario → relative traffic share. Empty = even mix of all scenarios.
+  std::vector<std::pair<Scenario, double>> mix;
+  /// Tenant population. Empty = one weight-1 "default" tenant.
+  std::vector<TenantSpec> tenants;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig cfg);
+
+  /// The jobs in arrival order (ids left 0 — ReconService::submit assigns).
+  [[nodiscard]] std::vector<JobRequest> generate();
+
+  /// Canonical priming set for ReconService::prime(): one job per scenario
+  /// in the mix, object seed 0 of each — enough to train the encoder and
+  /// seed the shared tier with every scenario's key/value classes.
+  [[nodiscard]] std::vector<JobRequest> priming_set() const;
+
+ private:
+  WorkloadConfig cfg_;
+};
+
+}  // namespace mlr::serve

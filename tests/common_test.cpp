@@ -129,6 +129,34 @@ TEST(Samples, Percentiles) {
   EXPECT_NEAR(s.percentile(0.99), 99.01, 0.05);
 }
 
+TEST(Samples, AddAfterPercentileKeepsOrderCorrect) {
+  // percentile() sorts the reservoir lazily; a later add() must invalidate
+  // the sorted flag or an out-of-order sample would corrupt percentiles.
+  Samples s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_NEAR(s.percentile(1.0), 5.0, 1e-12);
+  s.add(3.0);
+  EXPECT_NEAR(s.percentile(0.5), 3.0, 1e-12);
+  EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-12);
+}
+
+TEST(Samples, MergeAndSummarize) {
+  Samples a, b;
+  for (int i = 1; i <= 50; ++i) a.add(double(i));
+  for (int i = 51; i <= 100; ++i) b.add(double(i));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  const auto sum = summarize(a);
+  EXPECT_EQ(sum.n, 100u);
+  EXPECT_NEAR(sum.mean, 50.5, 1e-9);
+  EXPECT_NEAR(sum.p50, 50.5, 1e-9);
+  EXPECT_NEAR(sum.max, 100.0, 1e-12);
+  const auto empty = summarize(Samples{});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_EQ(empty.mean, 0.0);
+}
+
 TEST(Samples, CdfMonotone) {
   Samples s;
   Rng rng(1);

@@ -81,6 +81,25 @@ TEST(KvStore, LatencyStatsRecorded) {
   EXPECT_GE(kv.get_latencies().percentile(0.99), 0.0);
 }
 
+TEST(KvStore, LatencySnapshotIsolatedFromLaterGets) {
+  // get_latencies() returns a copy taken under the latency lock — a reader
+  // holding the snapshot must not observe (or race) samples appended by
+  // concurrent get() calls afterwards.
+  KvStore kv;
+  kv.put(1, Blob(16));
+  for (int i = 0; i < 10; ++i) (void)kv.get(1);
+  const Samples snap = kv.get_latencies();
+  EXPECT_EQ(snap.count(), 10u);
+  std::vector<std::thread> ts;
+  for (int w = 0; w < 4; ++w)
+    ts.emplace_back([&kv] {
+      for (int i = 0; i < 200; ++i) (void)kv.get(1);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(snap.count(), 10u);  // snapshot unchanged
+  EXPECT_EQ(kv.get_latencies().count(), 810u);
+}
+
 TEST(KvStoreBlob, ComplexRoundtrip) {
   Rng rng(5);
   std::vector<cfloat> v(33);

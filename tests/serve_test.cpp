@@ -1,0 +1,360 @@
+// Tests for the multi-tenant reconstruction service: scheduler policies
+// against hand-computed orders, the service event loop's schedule equations,
+// admission control, deadline accounting, shared-tier cross-job reuse, and
+// the acceptance property of the serving model — per-job outputs and run
+// vtimes are bit-identical across scheduling policies, thread counts,
+// overlap settings and (for a fixed gpus_per_job) session width.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "serve/scheduler.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+
+namespace mlr::serve {
+namespace {
+
+JobRequest make_req(u64 id, sim::VTime arrival, int priority = 1,
+                    std::string tenant = "default", double weight = 1.0) {
+  JobRequest r;
+  r.id = id;
+  r.arrival = arrival;
+  r.priority = priority;
+  r.tenant = std::move(tenant);
+  r.tenant_weight = weight;
+  return r;
+}
+
+std::vector<QueuedJob> views(const std::vector<JobRequest>& reqs) {
+  std::vector<QueuedJob> v;
+  for (const auto& r : reqs) v.push_back({&r});
+  return v;
+}
+
+// --- Scheduler unit tests (hand-computed pick orders) -----------------------
+
+TEST(Scheduler, FifoPicksEarliestArrivalThenId) {
+  FifoScheduler s;
+  const std::vector<JobRequest> reqs = {make_req(3, 5.0), make_req(1, 2.0),
+                                        make_req(2, 2.0)};
+  auto w = views(reqs);
+  EXPECT_EQ(s.pick(w, 10.0), 1u);  // arrival 2.0, id 1
+  w.erase(w.begin() + 1);
+  EXPECT_EQ(s.pick(w, 10.0), 1u);  // arrival 2.0, id 2
+  w.erase(w.begin() + 1);
+  EXPECT_EQ(s.pick(w, 10.0), 0u);
+}
+
+TEST(Scheduler, PriorityClassesThenFifoWithin) {
+  PriorityScheduler s;
+  const std::vector<JobRequest> reqs = {
+      make_req(1, 0.0, /*priority=*/1), make_req(2, 1.0, /*priority=*/3),
+      make_req(3, 0.5, /*priority=*/3), make_req(4, 0.0, /*priority=*/2)};
+  auto w = views(reqs);
+  // Highest class first; within class 3 the earlier arrival (id 3) wins.
+  EXPECT_EQ(s.pick(w, 10.0), 2u);
+  w.erase(w.begin() + 2);
+  EXPECT_EQ(s.pick(w, 10.0), 1u);  // id 2 (class 3)
+  w.erase(w.begin() + 1);
+  EXPECT_EQ(s.pick(w, 10.0), 1u);  // id 4 (class 2)
+  w.erase(w.begin() + 1);
+  EXPECT_EQ(s.pick(w, 10.0), 0u);  // id 1
+}
+
+TEST(Scheduler, FairShareStrideAccounting) {
+  // Tenants A (weight 1) and B (weight 3), all jobs arrive at 0, equal run
+  // vtime 9. Hand-computed virtual runtimes:
+  //   dispatch A1 → vrun(A)=9; B jobs run at cost 9/3=3 each, so B2, B4, B6
+  //   run before A's vruntime is matched; then the (arrival, id) tie-break
+  //   resumes A3, A5.
+  FairShareScheduler s;
+  std::vector<JobRequest> reqs = {
+      make_req(1, 0, 1, "A", 1.0), make_req(2, 0, 1, "B", 3.0),
+      make_req(3, 0, 1, "A", 1.0), make_req(4, 0, 1, "B", 3.0),
+      make_req(5, 0, 1, "A", 1.0), make_req(6, 0, 1, "B", 3.0)};
+  auto w = views(reqs);
+  std::vector<u64> order;
+  while (!w.empty()) {
+    const auto i = s.pick(w, 0.0);
+    order.push_back(w[i].req->id);
+    s.on_dispatch(*w[i].req, 0.0, 9.0);
+    w.erase(w.begin() + i64(i));
+  }
+  EXPECT_EQ(order, (std::vector<u64>{1, 2, 4, 6, 3, 5}));
+  EXPECT_DOUBLE_EQ(s.tenant_vruntime("A"), 27.0);
+  EXPECT_DOUBLE_EQ(s.tenant_vruntime("B"), 9.0);
+  EXPECT_DOUBLE_EQ(s.tenant_vruntime("never-seen"), 0.0);
+}
+
+// --- Service-level scheduling ------------------------------------------------
+
+ServiceConfig tiny_config(SchedulerPolicy policy, int slots = 1) {
+  ServiceConfig sc;
+  sc.n = 10;
+  sc.chunk_size = 4;
+  sc.slots = slots;
+  sc.threads = 1;
+  sc.overlap_slices = 0;
+  sc.iters_cap = 2;
+  sc.encoder_train_steps = 40;
+  sc.policy = policy;
+  return sc;
+}
+
+std::vector<JobRequest> warm_set() {
+  JobRequest w;
+  w.scenario = Scenario::BrainScan;
+  w.seed = 200;  // object 0 of the brain pool (see WorkloadGenerator)
+  return {w};
+}
+
+TEST(ReconService, FifoScheduleMatchesRecurrence) {
+  // One slot, FIFO: start_i = max(arrival_i, finish_{i-1}) in arrival
+  // order. run_vtime is policy-invariant, so the whole schedule is exactly
+  // recomputable from the observed run times.
+  ReconService svc(tiny_config(SchedulerPolicy::Fifo));
+  auto warm = warm_set();
+  svc.prime(warm);
+  for (int j = 0; j < 4; ++j) {
+    JobRequest r;
+    r.arrival = 50.0 * j;
+    r.scenario = Scenario::BrainScan;
+    r.seed = 200 + u64(j % 2);
+    svc.submit(r);
+  }
+  const auto stats = svc.drain();
+  ASSERT_EQ(stats.size(), 4u);
+  sim::VTime prev_finish = 0;
+  for (const auto& st : stats) {
+    EXPECT_TRUE(st.admitted);
+    EXPECT_DOUBLE_EQ(st.start, std::max(st.arrival, prev_finish));
+    EXPECT_DOUBLE_EQ(st.finish, st.start + st.run_vtime);
+    prev_finish = st.finish;
+  }
+}
+
+TEST(ReconService, PriorityPolicyRunsHighClassFirst) {
+  ReconService svc(tiny_config(SchedulerPolicy::Priority));
+  auto warm = warm_set();
+  svc.prime(warm);
+  // All arrive at 0; priorities 1..4 submitted in increasing-priority order.
+  std::map<u64, int> prio_of;
+  for (int p = 1; p <= 4; ++p) {
+    JobRequest r;
+    r.arrival = 0;
+    r.priority = p;
+    r.scenario = Scenario::BrainScan;
+    r.seed = 200;
+    prio_of[svc.submit(r)] = p;
+  }
+  auto stats = svc.drain();
+  ASSERT_EQ(stats.size(), 4u);
+  std::sort(stats.begin(), stats.end(),
+            [](const JobStats& a, const JobStats& b) {
+              return a.start < b.start;
+            });
+  for (std::size_t i = 1; i < stats.size(); ++i)
+    EXPECT_LT(prio_of[stats[i].id], prio_of[stats[i - 1].id]);
+}
+
+TEST(ReconService, AdmissionRejectsBeyondBacklogCap) {
+  auto cfg = tiny_config(SchedulerPolicy::Fifo);
+  cfg.max_queue = 1;
+  ReconService svc(cfg);
+  auto warm = warm_set();
+  svc.prime(warm);
+  // Job 1 runs long; job 2 queues; jobs 3 and 4 arrive while the single
+  // queue slot is taken and are rejected at arrival.
+  for (int j = 0; j < 4; ++j) {
+    JobRequest r;
+    r.arrival = 10.0 * j;
+    r.scenario = Scenario::BrainScan;
+    r.seed = 200;
+    svc.submit(r);
+  }
+  const auto stats = svc.drain();
+  ASSERT_EQ(stats.size(), 4u);
+  EXPECT_TRUE(stats[0].admitted);
+  EXPECT_TRUE(stats[1].admitted);
+  EXPECT_FALSE(stats[2].admitted);
+  EXPECT_FALSE(stats[3].admitted);
+  EXPECT_EQ(svc.stats().completed, 2u);
+  EXPECT_EQ(svc.stats().rejected, 2u);
+}
+
+TEST(ReconService, DeadlineAccounting) {
+  ReconService svc(tiny_config(SchedulerPolicy::Fifo));
+  auto warm = warm_set();
+  svc.prime(warm);
+  JobRequest relaxed;
+  relaxed.scenario = Scenario::BrainScan;
+  relaxed.seed = 200;
+  relaxed.deadline = 1e12;
+  JobRequest impossible = relaxed;
+  impossible.deadline = 1e-6;
+  svc.submit(relaxed);
+  svc.submit(impossible);
+  const auto stats = svc.drain();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_TRUE(stats[0].deadline_met);
+  EXPECT_FALSE(stats[1].deadline_met);
+  EXPECT_EQ(svc.stats().deadline_missed, 1u);
+}
+
+TEST(ReconService, DrainWithoutPrimeThrowsWhenMemoized) {
+  ReconService svc(tiny_config(SchedulerPolicy::Fifo));
+  JobRequest r;
+  r.scenario = Scenario::BrainScan;
+  svc.submit(r);
+  EXPECT_THROW(svc.drain(), mlr::Error);
+}
+
+// --- Shared-memo sessions ----------------------------------------------------
+
+TEST(ReconService, SharedTierServesCrossJobHits) {
+  ReconService svc(tiny_config(SchedulerPolicy::Fifo));
+  auto warm = warm_set();
+  svc.prime(warm);
+  const auto seeded = svc.shared_entries();
+  EXPECT_GT(seeded, 0u);
+  JobRequest r;
+  r.scenario = Scenario::BrainScan;
+  r.seed = 200;  // the primed object: maximal similarity
+  svc.submit(r);
+  const auto stats = svc.drain();
+  ASSERT_EQ(stats.size(), 1u);
+  // The job reuses another job's work (the priming pass) …
+  EXPECT_GT(stats[0].memo.db_hit_shared, 0u);
+  EXPECT_LE(stats[0].memo.db_hit_shared, stats[0].memo.db_hit);
+  EXPECT_GT(svc.stats().cross_job_hit_rate(), 0.0);
+  // … and its own insertions are promoted for the next epoch.
+  EXPECT_GT(svc.shared_entries(), seeded);
+}
+
+TEST(ReconService, PromotionRespectsCap) {
+  auto cfg = tiny_config(SchedulerPolicy::Fifo);
+  cfg.max_shared_entries = 4;
+  ReconService svc(cfg);
+  auto warm = warm_set();
+  svc.prime(warm);
+  EXPECT_EQ(svc.shared_entries(), 4u);
+  EXPECT_GT(svc.stats().promotion_dropped, 0u);
+}
+
+// --- The acceptance property -------------------------------------------------
+
+struct RunSummary {
+  std::map<u64, u64> fingerprint;
+  std::map<u64, double> run_vtime;
+  std::map<u64, double> queue_wait;
+};
+
+RunSummary run_workload(ServiceConfig cfg,
+                        const std::vector<JobRequest>& jobs,
+                        const std::vector<JobRequest>& warm) {
+  ReconService svc(cfg);
+  svc.prime(warm);
+  for (const auto& j : jobs) svc.submit(j);
+  RunSummary out;
+  for (const auto& st : svc.drain()) {
+    out.fingerprint[st.id] = st.output_fingerprint;
+    out.run_vtime[st.id] = st.run_vtime;
+    out.queue_wait[st.id] = st.queue_wait();
+  }
+  return out;
+}
+
+TEST(ReconService, OutputsIdenticalAcrossPoliciesAndEngineKnobs) {
+  WorkloadConfig wc;
+  wc.jobs = 5;
+  wc.mean_interarrival = 40.0;
+  wc.mix = {{Scenario::PcbInspection, 1.0}, {Scenario::BrainScan, 1.0}};
+  wc.distinct_objects = 2;
+  wc.tenants = {{"A", 1.0, 1, 1.0}, {"B", 2.0, 2, 1.0}};
+  WorkloadGenerator gen(wc);
+  const auto jobs = gen.generate();
+  const auto warm = gen.priming_set();
+
+  auto fifo = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  auto prio = tiny_config(SchedulerPolicy::Priority, /*slots=*/2);
+  prio.threads = 3;        // engine knobs must not change anything either
+  prio.overlap_slices = 4;
+  auto fair = tiny_config(SchedulerPolicy::FairShare, /*slots=*/2);
+  fair.threads = 2;
+
+  const auto a = run_workload(fifo, jobs, warm);
+  const auto b = run_workload(prio, jobs, warm);
+  const auto c = run_workload(fair, jobs, warm);
+
+  // Hermetic sessions: outputs and run vtimes are bit-identical for every
+  // policy / thread count / overlap setting; only queue waits may differ.
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.fingerprint, c.fingerprint);
+  EXPECT_EQ(a.run_vtime, b.run_vtime);
+  EXPECT_EQ(a.run_vtime, c.run_vtime);
+
+  // Same policy + same knobs ⇒ the whole schedule reproduces bit-identically
+  // (the latency-CDF reproducibility claim).
+  auto fifo2 = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  fifo2.threads = 2;
+  fifo2.overlap_slices = 4;
+  const auto a2 = run_workload(fifo2, jobs, warm);
+  EXPECT_EQ(a.fingerprint, a2.fingerprint);
+  EXPECT_EQ(a.run_vtime, a2.run_vtime);
+  EXPECT_EQ(a.queue_wait, a2.queue_wait);
+}
+
+TEST(ReconService, ClusterSessionsIdenticalAcrossPolicies) {
+  // gpus_per_job > 1 routes sessions through cluster::Cluster; the identity
+  // guarantee must hold there too.
+  WorkloadConfig wc;
+  wc.jobs = 3;
+  wc.mean_interarrival = 30.0;
+  wc.mix = {{Scenario::BrainScan, 1.0}};
+  wc.distinct_objects = 1;
+  WorkloadGenerator gen(wc);
+  const auto jobs = gen.generate();
+  const auto warm = gen.priming_set();
+
+  auto fifo = tiny_config(SchedulerPolicy::Fifo);
+  fifo.gpus_per_job = 2;
+  auto fair = tiny_config(SchedulerPolicy::FairShare);
+  fair.gpus_per_job = 2;
+  fair.threads = 2;
+  const auto a = run_workload(fifo, jobs, warm);
+  const auto b = run_workload(fair, jobs, warm);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.run_vtime, b.run_vtime);
+}
+
+// --- Workload generation -----------------------------------------------------
+
+TEST(WorkloadGenerator, DeterministicAndShaped) {
+  WorkloadConfig wc;
+  wc.jobs = 64;
+  wc.seed = 42;
+  wc.bursty = true;
+  wc.burst_size = 4;
+  wc.deadline_slack = 100.0;
+  WorkloadGenerator g1(wc), g2(wc);
+  const auto a = g1.generate(), b = g2.generate();
+  ASSERT_EQ(a.size(), 64u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(int(a[i].scenario), int(b[i].scenario));
+    EXPECT_DOUBLE_EQ(a[i].deadline, a[i].arrival + 100.0);
+  }
+  // Bursts: members of one burst share an arrival instant.
+  for (std::size_t i = 0; i < a.size(); i += 4)
+    for (std::size_t j = 1; j < 4; ++j)
+      EXPECT_EQ(a[i].arrival, a[i + j].arrival);
+  // Arrivals are non-decreasing.
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+}
+
+}  // namespace
+}  // namespace mlr::serve
