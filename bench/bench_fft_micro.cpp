@@ -1,9 +1,16 @@
 // google-benchmark microbenchmarks of the from-scratch FFT/NUFFT kernels —
 // the substrate under every F_u*D operator. Not a paper figure; documents
 // the real cost structure of the numerical core on this host.
+//
+// The `allocs/op` counter reports scratch-arena heap allocations per
+// transform (see common/scratch.hpp). Every kernel is warmed once before
+// the timing loop, so the steady-state value must be exactly 0 — the
+// allocation-free hot path the stage-execution engine's miss-compute phase
+// relies on.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "common/scratch.hpp"
 #include "fft/fft.hpp"
 #include "fft/nufft.hpp"
 
@@ -18,14 +25,32 @@ std::vector<cfloat> signal(i64 n, u64 seed) {
   return v;
 }
 
+/// Counts scratch-arena heap allocations across the timing loop and reports
+/// them per op; steady state (post-warmup) must be zero.
+class AllocCounter {
+ public:
+  AllocCounter() : start_(scratch_heap_allocs()) {}
+  void report(benchmark::State& state) const {
+    state.counters["allocs/op"] =
+        benchmark::Counter(double(scratch_heap_allocs() - start_),
+                           benchmark::Counter::kAvgIterations);
+  }
+
+ private:
+  u64 start_;
+};
+
 void BM_FftPow2(benchmark::State& state) {
   const i64 n = state.range(0);
   fft::Plan1D plan(n);
   auto x = signal(n, 1);
+  plan.forward(x);  // warm the plan's per-thread scratch
+  AllocCounter allocs;
   for (auto _ : state) {
     plan.forward(x);
     benchmark::DoNotOptimize(x.data());
   }
+  allocs.report(state);
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_FftPow2)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
@@ -34,10 +59,13 @@ void BM_FftBluestein(benchmark::State& state) {
   const i64 n = state.range(0);
   fft::Plan1D plan(n);
   auto x = signal(n, 2);
+  plan.forward(x);  // warm the Bluestein convolution scratch
+  AllocCounter allocs;
   for (auto _ : state) {
     plan.forward(x);
     benchmark::DoNotOptimize(x.data());
   }
+  allocs.report(state);
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_FftBluestein)->Arg(60)->Arg(250)->Arg(1000);
@@ -47,10 +75,13 @@ void BM_Fft2D(benchmark::State& state) {
   Array2D<cfloat> a(n, n);
   Rng rng(3);
   for (auto& v : a) v = cfloat(float(rng.normal()), float(rng.normal()));
+  fft::fft2d(a, false);  // warm the per-thread plan cache + strided scratch
+  AllocCounter allocs;
   for (auto _ : state) {
     fft::fft2d(a, false);
     benchmark::DoNotOptimize(a.data());
   }
+  allocs.report(state);
   state.SetItemsProcessed(state.iterations() * n * n);
 }
 BENCHMARK(BM_Fft2D)->Arg(32)->Arg(64)->Arg(128);
@@ -63,10 +94,13 @@ void BM_Nufft1DType2(benchmark::State& state) {
   for (auto& v : nu) v = rng.uniform(-double(n) / 2, double(n) / 2);
   auto f = signal(n, 5);
   std::vector<cfloat> out(static_cast<size_t>(n));
+  plan.type2(nu, f, out, -1);  // warm the fine-grid scratch
+  AllocCounter allocs;
   for (auto _ : state) {
     plan.type2(nu, f, out, -1);
     benchmark::DoNotOptimize(out.data());
   }
+  allocs.report(state);
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_Nufft1DType2)->Arg(64)->Arg(256)->Arg(1024);
@@ -83,10 +117,13 @@ void BM_Nufft2DType2(benchmark::State& state) {
   }
   auto f = signal(pts, 7);
   std::vector<cfloat> out(static_cast<size_t>(pts));
+  plan.type2(nr, nc, f, out, -1);  // warm the fine-grid + column scratch
+  AllocCounter allocs;
   for (auto _ : state) {
     plan.type2(nr, nc, f, out, -1);
     benchmark::DoNotOptimize(out.data());
   }
+  allocs.report(state);
   state.SetItemsProcessed(state.iterations() * pts);
 }
 BENCHMARK(BM_Nufft2DType2)->Arg(16)->Arg(32);

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     ReconstructionConfig cfg;
     cfg.threads = args.threads();
     cfg.overlap_slices = args.overlap();
+    cfg.pipeline_depth = args.pipeline();
     cfg.dataset = Dataset::small(n);
     cfg.iters = iters;
     cfg.memoize = false;

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   ReconstructionConfig cfg;
   cfg.threads = args.threads();
   cfg.overlap_slices = args.overlap();
+  cfg.pipeline_depth = args.pipeline();
   cfg.dataset = ds;
   cfg.iters = 4;
   cfg.inner_iters = 4;

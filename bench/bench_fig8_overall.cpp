@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     ReconstructionConfig base;
     base.threads = args.threads();
     base.overlap_slices = args.overlap();
+    base.pipeline_depth = args.pipeline();
     base.dataset = ds;
     base.iters = iters;
     base.memoize = false;

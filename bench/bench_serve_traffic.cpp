@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
     sc.gpus_per_job = gpus_per_job;
     sc.threads = args.threads();
     sc.overlap_slices = args.overlap();
+    sc.pipeline_depth = args.pipeline();
     sc.iters_cap = iters_cap;
     sc.policy = policy;
     ReconService svc(sc);
@@ -149,6 +150,41 @@ int main(int argc, char** argv) {
   std::printf("shared tier: %llu promoted, cross-job hit rate %.1f%% (fifo)\n",
               (unsigned long long)results[0].stats.promoted,
               100.0 * results[0].stats.cross_job_hit_rate());
+
+  // Machine-readable trajectory point: configuration, per-policy wall/virtual
+  // results and memo outcome counts (--json BENCH_serve_traffic.json).
+  bench::JsonObject json;
+  json.set("bench", "serve_traffic");
+  json.set("n", n);
+  json.set("jobs", jobs);
+  json.set("slots", i64(slots));
+  json.set("gpus_per_job", i64(gpus_per_job));
+  json.set("threads", i64(args.threads()));
+  json.set("overlap_slices", args.overlap());
+  json.set("pipeline_depth", args.pipeline());
+  json.set("identical_outputs", identical);
+  for (const auto& pr : results) {
+    const auto& st = pr.stats;
+    const auto qw = summarize(st.queue_wait);
+    const auto ta = summarize(st.turnaround);
+    auto& row = json.row("policies");
+    row.set("policy", pr.name);
+    row.set("completed", st.completed);
+    row.set("rejected", st.rejected);
+    row.set("deadline_missed", st.deadline_missed);
+    row.set("queue_wait_p50_s", qw.p50);
+    row.set("queue_wait_p99_s", qw.p99);
+    row.set("turnaround_p50_s", ta.p50);
+    row.set("turnaround_p99_s", ta.p99);
+    row.set("utilization", st.utilization(slots));
+    row.set("lookups", st.lookups);
+    row.set("cache_hits", st.cache_hits);
+    row.set("db_hits", st.db_hits);
+    row.set("shared_hits", st.shared_hits);
+    row.set("misses", st.misses);
+  }
+  json.set("wall_s", wall.seconds());
+  if (!bench::write_json(args.json_path(), json)) return 1;
   bench::footer(wall.seconds());
   return identical ? 0 : 1;
 }

@@ -1,21 +1,29 @@
 // Stage-throughput microbench for the StageExecutor engine: memoized
 // operator stages executed with increasing worker-pool widths, with the
-// MemoDb driven in barriered (--overlap 0 semantics) AND overlapped (async
-// sliced) mode at every width.
+// MemoDb driven in three modes at every width —
 //
-// The workload alternates hit and miss chunks per pass (half of each stage's
-// chunks re-use the base phantom — DB hits whose scoring/value fetch is the
-// round-trip to hide — and half carry fresh churn planes whose FFTs are the
-// local work to hide it behind). Host wall time is measured; the virtual
-// clock is bit-identical between the two modes and across widths — that is
-// asserted by tests/concurrency_test.cpp. The `overlapx` column is what the
-// async sliced service (parallel ANN scoring + slice/compute pipelining)
-// buys over the legacy barriered path on this machine: expect ≥1.2× at
-// --threads 8 on a ≥8-core host (the legacy path scores its ANN batch
-// serially); a 1-core container degrades gracefully to ~1×.
+//   barrier   — legacy path (one serially-scored query_batch per stage,
+//               then all miss FFTs, inserts inline at stage end)
+//   overlap   — PR-2 async sliced service (parallel ANN scoring, slice
+//               k+1's scoring under slice k's miss FFTs), per-stage barrier
+//   pipelined — overlap PLUS cross-stage pipelining (--pipeline ≥ 2):
+//               stage s's DB insertions and cache refills drain on the
+//               serial tail runner underneath stage s+1's encode/probe/
+//               score phases
+//
+// The workload alternates operator kinds per pass (Fu1D / Fu1DAdj — the
+// adjacency the cross-stage pipeline exploits, exactly like the ADMM loop)
+// and alternates hit and miss chunks within each pass (even chunks re-use
+// the base volumes — DB hits whose round-trip is hidden — and odd chunks
+// carry fresh churn planes whose FFTs and insertions are the local work to
+// hide it behind). Host wall time is measured; the virtual clock is
+// bit-identical across all three modes and every width (asserted by
+// tests/concurrency_test.cpp). Expect pipelined ≥ overlap ≥ barrier on a
+// multi-core host; a 1-core container degrades gracefully to ~1×.
 //
 //   ./bench_stage_scaling [--n 20] [--chunk 1] [--reps 6] [--threads 8]
-//                         [--overlap 4]
+//                         [--overlap 4] [--pipeline 2]
+//                         [--json BENCH_stage_scaling.json]
 #include <cstdio>
 #include <vector>
 
@@ -36,9 +44,11 @@ int main(int argc, char** argv) {
   const i64 chunk = args.get_i64("--chunk", 1);
   const i64 reps = args.get_i64("--reps", 6);
   const i64 max_threads = std::max<i64>(1, args.get_i64("--threads", 8));
-  // Honored as-is per the shared --overlap contract: 0/1 makes the second
-  // column barriered too (overlapx ~1.0 by construction).
+  // Honored as-is per the shared flag contracts: --overlap 0/1 makes the
+  // overlap column barriered too; --pipeline 0/1 makes the pipelined column
+  // equal to the overlap column.
   const i64 overlap = args.overlap();
+  const i64 pipeline = args.pipeline();
 
   lamino::Operators ops{lamino::Geometry::cube(n)};
   const auto& g = ops.geometry();
@@ -46,29 +56,44 @@ int main(int argc, char** argv) {
       g.object_shape(), lamino::PhantomKind::BrainTissue, 21));
   auto chunks = lamino::make_chunks(g.n1, chunk);
 
-  // Per-pass churn volumes: chunks with odd index read from these instead of
-  // the base phantom, so every pass after the first mixes DB hits (even
-  // chunks) with misses (odd chunks) — the workload the sliced pipeline is
-  // built for. Identical across modes/widths by construction.
-  std::vector<Array3D<cfloat>> churn;
+  // Base + per-pass churn volumes for BOTH kinds: chunks with odd index
+  // read from the rep's churn volume instead of the base, so every pass
+  // after the warm-up pair mixes DB hits (even chunks) with misses (odd
+  // chunks). Identical across modes/widths by construction.
+  Array3D<cfloat> base_u1(g.u1_shape());
+  std::vector<Array3D<cfloat>> churn_obj, churn_u1;
+  {
+    Rng rng(99);
+    for (i64 i = 0; i < base_u1.size(); ++i)
+      base_u1.data()[i] = cfloat(float(rng.normal()), float(rng.normal()));
+  }
   for (i64 r = 0; r < reps; ++r) {
-    churn.emplace_back(g.u1_shape());
+    churn_obj.emplace_back(g.object_shape());
+    churn_u1.emplace_back(g.u1_shape());
     Rng rng(u64(100 + r));
-    for (i64 i = 0; i < churn.back().size(); ++i)
-      churn.back().data()[i] =
+    for (i64 i = 0; i < churn_obj.back().size(); ++i)
+      churn_obj.back().data()[i] =
+          cfloat(float(rng.normal()), float(rng.normal()));
+    for (i64 i = 0; i < churn_u1.back().size(); ++i)
+      churn_u1.back().data()[i] =
           cfloat(float(rng.normal()), float(rng.normal()));
   }
 
-  std::printf("stage-execution engine scaling — %lld^3 volume, %zu chunks, "
-              "%lld mixed hit/miss passes after 1 miss pass, %lld slices\n\n",
-              (long long)n, chunks.size(), (long long)reps,
-              (long long)overlap);
-  std::printf("%-9s %-12s %-12s %-10s %-9s\n", "threads", "barrier(s)",
-              "overlap(s)", "overlapx", "vs-1thr");
+  std::printf(
+      "stage-execution engine scaling — %lld^3 volume, %zu chunks/stage, "
+      "kind-alternating Fu1D/Fu1DAdj, %lld mixed pass pairs after 1 miss "
+      "pair, %lld slices, depth %lld\n\n",
+      (long long)n, chunks.size(), (long long)reps, (long long)overlap,
+      (long long)pipeline);
+  std::printf("%-9s %-11s %-11s %-11s %-9s %-9s %-9s\n", "threads",
+              "barrier(s)", "overlap(s)", "pipeline(s)", "overlapx", "pipex",
+              "vs-1thr");
 
-  // One full measurement: miss pass on the base phantom, then `reps` mixed
-  // passes. overlap_slices selects barriered vs async sliced execution.
-  auto run_mode = [&](i64 threads, i64 overlap_slices) {
+  // One full measurement: a miss pass per kind on the base volumes, then
+  // `reps` mixed kind-alternating pass pairs. overlap_slices selects
+  // barriered vs async sliced scoring; depth selects per-stage barrier vs
+  // cross-stage pipelined tails.
+  auto run_mode = [&](i64 threads, i64 overlap_slices, i64 depth) {
     sim::Device dev{0};
     sim::Interconnect net;
     sim::MemoryNode node;
@@ -83,50 +108,86 @@ int main(int argc, char** argv) {
         &dev, &db);
     ThreadPool pool{unsigned(threads)};
     ml.executor().set_pool(&pool);
+    ml.executor().set_pipeline_depth(depth);
 
-    Array3D<cfloat> out(g.u1_shape());
-    auto make_work = [&](const Array3D<cfloat>* alt) {
+    Array3D<cfloat> out_u1(g.u1_shape()), out_obj(g.object_shape());
+    auto make_work = [&](memo::OpKind kind, const Array3D<cfloat>* alt) {
+      const bool adj = kind == memo::OpKind::Fu1DAdj;
+      const Array3D<cfloat>& src = adj ? base_u1 : u;
+      Array3D<cfloat>& dst = adj ? out_obj : out_u1;
       std::vector<memo::StageChunk> w;
       for (std::size_t c = 0; c < chunks.size(); ++c) {
         const auto& spec = chunks[c];
-        const auto& src = (alt != nullptr && c % 2 == 1) ? *alt : u;
-        w.push_back({spec, src.slices(spec.begin, spec.count),
-                     out.slices(spec.begin, spec.count)});
+        const auto& in = (alt != nullptr && c % 2 == 1) ? *alt : src;
+        w.push_back({spec, in.slices(spec.begin, spec.count),
+                     dst.slices(spec.begin, spec.count)});
       }
       return w;
     };
 
     WallTimer wall;
-    auto w0 = make_work(nullptr);
-    auto rep = ml.executor().run_stage(memo::OpKind::Fu1D, w0, 0.0);
-    for (i64 r = 0; r < reps; ++r) {
-      auto w = make_work(&churn[size_t(r)]);
-      rep = ml.executor().run_stage(memo::OpKind::Fu1D, w, rep.done);
+    sim::VTime t = 0;
+    for (const auto kind : {memo::OpKind::Fu1D, memo::OpKind::Fu1DAdj}) {
+      auto w = make_work(kind, nullptr);
+      t = ml.executor().run_stage(kind, w, t).done;
     }
+    for (i64 r = 0; r < reps; ++r) {
+      auto wa = make_work(memo::OpKind::Fu1D, &churn_obj[size_t(r)]);
+      t = ml.executor().run_stage(memo::OpKind::Fu1D, wa, t).done;
+      auto wb = make_work(memo::OpKind::Fu1DAdj, &churn_u1[size_t(r)]);
+      t = ml.executor().run_stage(memo::OpKind::Fu1DAdj, wb, t).done;
+    }
+    ml.executor().settle();  // close the pipelined round inside the timing
     return std::pair{wall.seconds(), ml.counters()};
   };
 
-  double t1_overlap = 0;
+  bench::JsonObject json;
+  json.set("bench", "stage_scaling");
+  json.set("n", n);
+  json.set("chunk", chunk);
+  json.set("chunks_per_stage", i64(chunks.size()));
+  json.set("reps", reps);
+  json.set("overlap_slices", overlap);
+  json.set("pipeline_depth", pipeline);
+
+  double t1_pipe = 0;
   memo::MemoCounters counters;
+  bool mismatch = false;
   for (i64 threads = 1; threads <= max_threads; threads *= 2) {
-    const auto [barrier_s, cb] = run_mode(threads, 0);
-    const auto [overlap_s, co] = run_mode(threads, overlap);
-    if (threads == 1) t1_overlap = overlap_s;
-    counters = co;
-    if (cb.db_hit != co.db_hit || cb.miss != co.miss)
+    const auto [barrier_s, cb] = run_mode(threads, 0, 0);
+    const auto [overlap_s, co] = run_mode(threads, overlap, 0);
+    const auto [pipe_s, cp] = run_mode(threads, overlap, pipeline);
+    if (threads == 1) t1_pipe = pipe_s;
+    counters = cp;
+    if (cb.db_hit != co.db_hit || cb.miss != co.miss ||
+        cb.db_hit != cp.db_hit || cb.miss != cp.miss) {
       std::printf("!! outcome mismatch between modes\n");
-    char ratio[16], scale[16];
-    std::snprintf(ratio, sizeof ratio, "%.2fx", barrier_s / overlap_s);
-    std::snprintf(scale, sizeof scale, "%.2fx", t1_overlap / overlap_s);
-    std::printf("%-9lld %-12.3f %-12.3f %-10s %-9s\n", (long long)threads,
-                barrier_s, overlap_s, ratio, scale);
+      mismatch = true;
+    }
+    char r_ov[16], r_pipe[16], scale[16];
+    std::snprintf(r_ov, sizeof r_ov, "%.2fx", barrier_s / overlap_s);
+    std::snprintf(r_pipe, sizeof r_pipe, "%.2fx", barrier_s / pipe_s);
+    std::snprintf(scale, sizeof scale, "%.2fx", t1_pipe / pipe_s);
+    std::printf("%-9lld %-11.3f %-11.3f %-11.3f %-9s %-9s %-9s\n",
+                (long long)threads, barrier_s, overlap_s, pipe_s, r_ov,
+                r_pipe, scale);
+    auto& row = json.row("rows");
+    row.set("threads", threads);
+    row.set("barrier_s", barrier_s);
+    row.set("overlap_s", overlap_s);
+    row.set("pipelined_s", pipe_s);
   }
 
-  std::printf("\nmemo outcomes per mode: %llu db hits, %llu misses — the\n"
-              "overlapx column is the async sliced DB service (parallel ANN\n"
-              "scoring, slice k+1 scoring under slice k miss FFTs) vs the\n"
-              "legacy barriered query.\n",
-              (unsigned long long)counters.db_hit,
-              (unsigned long long)counters.miss);
-  return 0;
+  std::printf(
+      "\nmemo outcomes per mode: %llu db hits, %llu misses — overlapx is\n"
+      "the async sliced DB service vs the legacy barriered query; pipex\n"
+      "adds cross-stage tails (stage s inserts under stage s+1\n"
+      "encode/probe/score).\n",
+      (unsigned long long)counters.db_hit, (unsigned long long)counters.miss);
+
+  json.set("db_hits", counters.db_hit);
+  json.set("misses", counters.miss);
+  json.set("outcome_mismatch", mismatch);
+  if (!bench::write_json(args.json_path(), json)) return 1;
+  return mismatch ? 1 : 0;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   ReconstructionConfig base;
   base.threads = args.threads();
   base.overlap_slices = args.overlap();
+  base.pipeline_depth = args.pipeline();
   base.dataset = Dataset::small(n);
   base.dataset.noise = 0.02;
   base.iters = iters;

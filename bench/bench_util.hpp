@@ -7,7 +7,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <variant>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/timer.hpp"
@@ -41,6 +44,16 @@ class Args {
   /// 0 = legacy barriered path). One parse point for every bench.
   [[nodiscard]] i64 overlap() const {
     return std::max<i64>(0, get_i64("--overlap", 4));
+  }
+  /// Cross-stage pipeline depth (`--pipeline N`, default on at depth 2;
+  /// 0/1 = per-stage barrier). One parse point for every bench.
+  [[nodiscard]] i64 pipeline() const {
+    return std::max<i64>(0, get_i64("--pipeline", 2));
+  }
+  /// Output path for the machine-readable result (`--json <path>`); null
+  /// when not requested.
+  [[nodiscard]] const char* json_path() const {
+    return get_str("--json", nullptr);
   }
   [[nodiscard]] bool has(const char* flag) const {
     for (int i = 1; i < argc_; ++i)
@@ -76,6 +89,106 @@ inline void bar_row(const char* label, double value, double max_value,
                     const char* unit = "") {
   std::printf("  %-26s %10.3f %-3s |%s\n", label, value, unit,
               ascii_bar(max_value > 0 ? value / max_value : 0, 36).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results (`--json <path>`): a minimal ordered JSON object
+// writer so benches can emit their configuration, wall times and memo
+// outcome counts as BENCH_*.json — the perf trajectory future PRs diff.
+//
+//   JsonObject j;
+//   j.set("bench", "stage_scaling");
+//   j.set("threads", i64(8));
+//   auto& row = j.row("rows");           // append an object to array "rows"
+//   row.set("barrier_s", 0.31);
+//   write_json(path, j);                 // pretty-printed, trailing newline
+
+class JsonObject {
+ public:
+  void set(const char* key, const std::string& v) { fields_.push_back({key, v}); }
+  void set(const char* key, const char* v) { set(key, std::string(v)); }
+  void set(const char* key, double v) { fields_.push_back({key, v}); }
+  void set(const char* key, i64 v) { fields_.push_back({key, v}); }
+  void set(const char* key, u64 v) { fields_.push_back({key, i64(v)}); }
+  void set(const char* key, bool v) { fields_.push_back({key, v}); }
+  /// Append one object to the array field `key` (created on first use) and
+  /// return it for population. References stay valid (nodes are pointers).
+  JsonObject& row(const char* key) {
+    for (auto& f : fields_) {
+      if (f.key == key && std::holds_alternative<Array>(f.value)) {
+        auto& arr = std::get<Array>(f.value);
+        arr.push_back(std::make_unique<JsonObject>());
+        return *arr.back();
+      }
+    }
+    fields_.push_back({key, Array{}});
+    auto& arr = std::get<Array>(fields_.back().value);
+    arr.push_back(std::make_unique<JsonObject>());
+    return *arr.back();
+  }
+
+  void dump(std::string& out, int indent = 0) const {
+    const std::string pad(std::size_t(indent) * 2, ' ');
+    const std::string pad1(std::size_t(indent + 1) * 2, ' ');
+    out += "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      const auto& f = fields_[i];
+      out += pad1 + "\"" + escape(f.key) + "\": ";
+      if (const auto* s = std::get_if<std::string>(&f.value)) {
+        out += "\"" + escape(*s) + "\"";
+      } else if (const auto* d = std::get_if<double>(&f.value)) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", *d);
+        out += buf;
+      } else if (const auto* n = std::get_if<i64>(&f.value)) {
+        out += std::to_string(*n);
+      } else if (const auto* b = std::get_if<bool>(&f.value)) {
+        out += *b ? "true" : "false";
+      } else if (const auto* arr = std::get_if<Array>(&f.value)) {
+        out += "[";
+        for (std::size_t r = 0; r < arr->size(); ++r) {
+          out += (r == 0 ? "\n" : ",\n") + pad1 + "  ";
+          (*arr)[r]->dump(out, indent + 2);
+        }
+        out += "\n" + pad1 + "]";
+      }
+      out += i + 1 < fields_.size() ? ",\n" : "\n";
+    }
+    out += pad + "}";
+  }
+
+ private:
+  using Array = std::vector<std::unique_ptr<JsonObject>>;
+  struct Field {
+    std::string key;
+    std::variant<std::string, double, i64, bool, Array> value;
+  };
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  std::vector<Field> fields_;
+};
+
+/// Write `obj` to `path` (no-op when path is null); returns success.
+inline bool write_json(const char* path, const JsonObject& obj) {
+  if (path == nullptr) return true;
+  std::string text;
+  obj.dump(text);
+  text += "\n";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("[json written to %s]\n", path);
+  return true;
 }
 
 }  // namespace mlr::bench

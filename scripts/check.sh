@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, run the full test suite, then smoke the
-# serving path (bench_serve_traffic exits non-zero if job outputs are not
-# bit-identical across scheduling policies).
-#   ./scripts/check.sh          release build + ctest + serving smoke
-#   ./scripts/check.sh tsan     ThreadSanitizer build + ctest + serving
-#                               smoke (concurrency tests under TSan; slower)
+# hot paths —
+#   * bench_serve_traffic exits non-zero if job outputs are not
+#     bit-identical across scheduling policies,
+#   * bench_stage_scaling exits non-zero if barrier/overlap/pipelined modes
+#     resolve different memo outcomes, and emits the BENCH_*.json
+#     perf-trajectory point.
+# The TSan preset additionally re-runs the cross-stage determinism matrix
+# explicitly (the pipelined tail handoff is exactly where the PR-2 cv race
+# hid) before the smokes.
+#   ./scripts/check.sh          release build + ctest + smokes
+#   ./scripts/check.sh tsan     ThreadSanitizer build + ctest + matrix +
+#                               smokes (slower)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,10 +20,19 @@ if [[ "$preset" == "tsan" ]]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)"
   ctest --preset tsan -j "$(nproc)"
+  ./build-tsan/concurrency_test \
+    --gtest_filter='Concurrency.PipelinedCrossStageDeterminismMatrix:Concurrency.StageExecutorDeterministic*'
+  ./build-tsan/serve_test \
+    --gtest_filter='ReconService.OutputsIdenticalAcrossPipelineDepths'
+  ./build-tsan/bench_stage_scaling --n 12 --reps 2 --threads 2 \
+    --json /tmp/BENCH_stage_scaling.tsan.json
   ./build-tsan/bench_serve_traffic --jobs 8 --n small
 else
   cmake -B build -S .
   cmake --build build -j "$(nproc)"
   (cd build && ctest --output-on-failure -j "$(nproc)")
-  ./build/bench_serve_traffic --jobs 8 --n small
+  ./build/bench_stage_scaling --n 12 --reps 2 --threads 2 \
+    --json /tmp/BENCH_stage_scaling.smoke.json
+  ./build/bench_serve_traffic --jobs 8 --n small \
+    --json /tmp/BENCH_serve_traffic.smoke.json
 fi

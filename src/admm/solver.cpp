@@ -229,6 +229,20 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
   SolveResult result;
   sim::VTime t = 0;
   const double dev_xfer0 = exec_.device_transfer_busy();
+  // The solver's back-to-back run_stage calls form one pipelined round on
+  // the engine (pipeline_depth ≥ 2 lets stage s's DB insertions and cache
+  // refills drain under stage s+1's encode/probe/score phases). The round
+  // must close with the solve: settle on every exit path so callers can
+  // read DB entries, cache contents and counters immediately after.
+  struct SettleGuard {
+    memo::StageExecutor& exec;
+    ~SettleGuard() {
+      try {
+        exec.settle();
+      } catch (...) {  // NOLINT(bugprone-empty-catch) — unwinding already
+      }
+    }
+  } settle_guard{exec_};
 
   if (obs_ != nullptr) obs_->phase_begin(Phase::Init, t);
   if (lip_ == 0.0) {
@@ -381,6 +395,9 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
   mem_.release("g", t);
   mem_.release("u", t);
   mem_.release("d", t);
+  // Close the pipelined round before reading transfer stats; rethrows any
+  // deferred tail error (the guard's settle then finds nothing left).
+  exec_.settle();
   result.total_vtime = t;
   const double xfer = exec_.device_transfer_busy() - dev_xfer0;
   result.transfer_share = t > 0 ? xfer / t : 0.0;

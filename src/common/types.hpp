@@ -14,6 +14,7 @@ using cfloat = std::complex<float>;
 using cdouble = std::complex<double>;
 
 using i64 = std::int64_t;
+using u32 = std::uint32_t;
 using u64 = std::uint64_t;
 
 /// Shape of a 3-D array in (n1, n0, n2) order following the paper:

@@ -30,6 +30,10 @@ struct ExecutionOptions {
   unsigned threads = 0;
   /// Simulated devices; chunks are distributed round-robin across them.
   int gpus = 1;
+  /// Cross-stage pipeline depth for the engine (see
+  /// StageExecutor::set_pipeline_depth): stages that may be in flight at
+  /// once. 0/1 = per-stage barrier. Bit-identical results for any value.
+  i64 pipeline_depth = 2;
   memo::MemoConfig memo{};   ///< wrapper config, shared by every device
   memo::MemoDbConfig db{};   ///< memoization DB config (used when memo.enable)
   sim::DeviceSpec device{};

@@ -86,6 +86,12 @@ struct ReconstructionConfig {
   /// 0 or 1 = the legacy barriered path. Outputs, records and virtual times
   /// are bit-identical for every value — only host wall time changes.
   i64 overlap_slices = 4;
+  /// Cross-stage pipelining: consecutive operator stages that may be in
+  /// flight at once — stage s's DB insertions and cache refills drain under
+  /// stage s+1's encode/probe/scoring phases. 0 or 1 = per-stage barrier.
+  /// Outputs, records, cache contents and virtual times are bit-identical
+  /// for every value — only host wall time changes.
+  i64 pipeline_depth = 2;
 };
 
 struct Report {

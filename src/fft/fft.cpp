@@ -1,7 +1,10 @@
 #include "fft/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numbers>
+#include <unordered_map>
 
 #include "common/error.hpp"
 
@@ -116,7 +119,8 @@ void Plan1D::execute_pow2(std::span<cfloat> data, bool inverse) const {
 
 void Plan1D::execute_bluestein(std::span<cfloat> data, bool inverse) const {
   // Inverse transform = conj(forward(conj(x)))/n.
-  std::vector<cfloat> a(size_t(m_), cfloat{});
+  auto a = bluestein_scratch_.buffer(size_t(m_));
+  std::fill(a.begin() + n_, a.end(), cfloat{});  // zero-pad [n, m)
   if (inverse) {
     for (i64 k = 0; k < n_; ++k)
       a[size_t(k)] = std::conj(data[size_t(k)]) * chirp_[size_t(k)];
@@ -143,17 +147,24 @@ void Plan1D::execute_strided(cfloat* data, i64 stride, bool inverse) const {
     execute({data, size_t(n_)}, inverse);
     return;
   }
-  std::vector<cfloat> tmp(static_cast<size_t>(n_));
+  auto tmp = strided_scratch_.buffer(static_cast<size_t>(n_));
   for (i64 i = 0; i < n_; ++i) tmp[size_t(i)] = data[i * stride];
-  execute({tmp.data(), size_t(n_)}, inverse);
+  execute(tmp, inverse);
   for (i64 i = 0; i < n_; ++i) data[i * stride] = tmp[size_t(i)];
+}
+
+const Plan1D& thread_plan(i64 n) {
+  thread_local std::unordered_map<i64, std::unique_ptr<Plan1D>> plans;
+  auto& slot = plans[n];
+  if (slot == nullptr) slot = std::make_unique<Plan1D>(n);
+  return *slot;
 }
 
 void fft2d_span(std::span<cfloat> a, i64 rows, i64 cols, bool inverse,
                 bool unitary) {
   MLR_CHECK(i64(a.size()) == rows * cols);
-  Plan1D row_plan(cols);
-  Plan1D col_plan(rows);
+  const Plan1D& row_plan = thread_plan(cols);
+  const Plan1D& col_plan = thread_plan(rows);
   for (i64 r = 0; r < rows; ++r) {
     row_plan.execute(a.subspan(size_t(r * cols), size_t(cols)), inverse);
   }

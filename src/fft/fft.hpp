@@ -15,12 +15,15 @@
 #include <vector>
 
 #include "common/array.hpp"
+#include "common/scratch.hpp"
 #include "common/types.hpp"
 
 namespace mlr::fft {
 
 /// Reusable 1-D transform plan for a fixed length. Thread-safe for concurrent
-/// execute() calls (scratch is allocated per call for non-pow2 lengths).
+/// execute() calls; non-pow2 (Bluestein) and strided execution run out of
+/// plan-owned per-thread scratch arenas, so a steady-state transform performs
+/// zero heap allocations.
 class Plan1D {
  public:
   explicit Plan1D(i64 n);
@@ -51,7 +54,18 @@ class Plan1D {
   std::vector<cfloat> chirp_fft_;      // FFT of the padded conjugate chirp
   std::vector<cfloat> mtw_;            // twiddles for the length-m FFT
   std::vector<u64> mbitrev_;
+  // Per-thread working storage: the length-m Bluestein convolution buffer
+  // and the gather/scatter temporary of execute_strided.
+  PerThreadScratch<cfloat> bluestein_scratch_;
+  PerThreadScratch<cfloat> strided_scratch_;
 };
+
+/// Per-thread cache of Plan1D instances keyed by length — for call sites
+/// that transform many different row/column lengths without owning plans
+/// (fft2d_span). Plans are built once per (thread, length) and reused, so
+/// repeated 2-D transforms stop re-deriving twiddles and bit-reversal
+/// tables on every call.
+const Plan1D& thread_plan(i64 n);
 
 /// Centered ("fftshift-ed") index helper: maps centered index k̃ ∈ [−n/2,n/2)
 /// to storage index in [0, n).

@@ -1,5 +1,6 @@
 #include "fft/nufft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -89,7 +90,8 @@ void Nufft1D::type2(std::span<const double> nu, std::span<const cfloat> f,
   const double tau = params_.tau();
   // 1) deconvolve and zero-pad into the fine grid (storage order: index
   //    k̃ mod m).
-  std::vector<cfloat> g(size_t(m_), cfloat{});
+  auto g = grid_scratch_.buffer(size_t(m_));
+  std::fill(g.begin(), g.end(), cfloat{});
   for (i64 k = 0; k < n_; ++k) {
     const i64 kc = to_centered(k, n_);
     g[size_t(from_centered(kc, m_))] = f[size_t(k)] * deconv_[size_t(k)];
@@ -113,7 +115,8 @@ void Nufft1D::type1(std::span<const double> nu, std::span<const cfloat> q,
   MLR_CHECK(i64(out.size()) == n_);
   const double tau = params_.tau();
   // 1) spread onto the fine grid.
-  std::vector<cfloat> g(size_t(m_), cfloat{});
+  auto g = grid_scratch_.buffer(size_t(m_));
+  std::fill(g.begin(), g.end(), cfloat{});
   const auto sigma = double(params_.sigma);
   for (std::size_t j = 0; j < nu.size(); ++j) {
     const double p = wrap(sigma * nu[j], double(m_));
@@ -151,7 +154,7 @@ Nufft2D::Nufft2D(i64 rows, i64 cols, GriddingParams params)
 void Nufft2D::fine_fft2d(std::span<cfloat> g, int sign) const {
   for (i64 r = 0; r < mr_; ++r)
     dft_sign(*fine_plan_c_, g.subspan(size_t(r * mc_), size_t(mc_)), sign);
-  std::vector<cfloat> col(static_cast<size_t>(mr_));
+  auto col = col_scratch_.buffer(static_cast<size_t>(mr_));
   for (i64 c = 0; c < mc_; ++c) {
     for (i64 r = 0; r < mr_; ++r) col[size_t(r)] = g[size_t(r * mc_ + c)];
     dft_sign(*fine_plan_r_, {col.data(), size_t(mr_)}, sign);
@@ -166,7 +169,8 @@ void Nufft2D::type2(std::span<const double> nu_r,
   MLR_CHECK(i64(f.size()) == rows_ * cols_);
   MLR_CHECK(nu_r.size() == nu_c.size() && out.size() == nu_r.size());
   const double tau = params_.tau();
-  std::vector<cfloat> g(size_t(mr_ * mc_), cfloat{});
+  auto g = grid_scratch_.buffer(size_t(mr_ * mc_));
+  std::fill(g.begin(), g.end(), cfloat{});
   for (i64 r = 0; r < rows_; ++r) {
     const i64 rf = from_centered(to_centered(r, rows_), mr_);
     for (i64 c = 0; c < cols_; ++c) {
@@ -200,7 +204,8 @@ void Nufft2D::type1(std::span<const double> nu_r,
   MLR_CHECK(nu_r.size() == nu_c.size() && q.size() == nu_r.size());
   MLR_CHECK(i64(out.size()) == rows_ * cols_);
   const double tau = params_.tau();
-  std::vector<cfloat> g(size_t(mr_ * mc_), cfloat{});
+  auto g = grid_scratch_.buffer(size_t(mr_ * mc_));
+  std::fill(g.begin(), g.end(), cfloat{});
   const auto sigma = double(params_.sigma);
   for (std::size_t j = 0; j < nu_r.size(); ++j) {
     const double pr = wrap(sigma * nu_r[j], double(mr_));

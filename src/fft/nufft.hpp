@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "common/scratch.hpp"
 #include "common/types.hpp"
 
 namespace mlr::fft {
@@ -57,9 +58,12 @@ class Nufft1D {
   i64 n_, m_;
   GriddingParams params_;
   std::vector<float> deconv_;  // 1/ψ̂(k̃) for each uniform mode (storage order)
-  // Plan for the fine-grid FFT is built lazily per call to stay thread-safe;
-  // it is cached here because Plan1D execute() is const-thread-safe.
+  // Plan1D execute() is const-thread-safe, so one fine-grid plan serves
+  // every calling thread.
   std::shared_ptr<const class Plan1D> fine_plan_;
+  // Per-thread fine-grid working buffer (length m): type1/type2 zero and
+  // fill it per call instead of heap-allocating.
+  PerThreadScratch<cfloat> grid_scratch_;
 };
 
 /// 2-D NUFFT plan over an (rows × cols) uniform grid; nonuniform points are
@@ -87,6 +91,10 @@ class Nufft2D {
   GriddingParams params_;
   std::vector<float> deconv_r_, deconv_c_;
   std::shared_ptr<const class Plan1D> fine_plan_r_, fine_plan_c_;
+  // Per-thread working storage: the mr×mc fine grid and the column gather
+  // buffer of fine_fft2d.
+  PerThreadScratch<cfloat> grid_scratch_;
+  PerThreadScratch<cfloat> col_scratch_;
 
   void fine_fft2d(std::span<cfloat> g, int sign) const;
 };

@@ -41,8 +41,8 @@ void Operators::fu1d_chunk(const ChunkSpec& spec, std::span<const cfloat> in,
   const i64 n0 = geom_.n0, n2 = geom_.n2, h = geom_.h;
   MLR_CHECK(i64(in.size()) == spec.count * n0 * n2);
   MLR_CHECK(i64(out.size()) == spec.count * h * n2);
-  std::vector<cfloat> col(static_cast<size_t>(n0));
-  std::vector<cfloat> res(static_cast<size_t>(h));
+  auto col = col_scratch_.buffer(static_cast<size_t>(n0));
+  auto res = res_scratch_.buffer(static_cast<size_t>(h));
   for (i64 s = 0; s < spec.count; ++s) {
     for (i64 i2 = 0; i2 < n2; ++i2) {
       for (i64 i0 = 0; i0 < n0; ++i0)
@@ -60,8 +60,8 @@ void Operators::fu1d_adj_chunk(const ChunkSpec& spec,
   const i64 n0 = geom_.n0, n2 = geom_.n2, h = geom_.h;
   MLR_CHECK(i64(in.size()) == spec.count * h * n2);
   MLR_CHECK(i64(out.size()) == spec.count * n0 * n2);
-  std::vector<cfloat> q(static_cast<size_t>(h));
-  std::vector<cfloat> res(static_cast<size_t>(n0));
+  auto q = col_scratch_.buffer(static_cast<size_t>(h));
+  auto res = res_scratch_.buffer(static_cast<size_t>(n0));
   for (i64 s = 0; s < spec.count; ++s) {
     for (i64 i2 = 0; i2 < n2; ++i2) {
       for (i64 kv = 0; kv < h; ++kv)

@@ -68,6 +68,12 @@ class MemoCache {
   }
   /// Total resident bytes.
   [[nodiscard]] virtual std::size_t bytes() const = 0;
+  /// True when entries of different OpKinds can never interact — neither
+  /// matching nor evicting one another. The cross-stage pipeline may then
+  /// run kind-A inserts under kind-B probes without changing any outcome;
+  /// a kind-coupled cache forces the engine to settle every pending tail at
+  /// stage entry instead.
+  [[nodiscard]] virtual bool kind_isolated() const = 0;
   /// Order-sensitive digest of the resident entries (keys, values, norms,
   /// FIFO order). Two caches that went through the same insert sequence
   /// produce the same fingerprint — the determinism tests compare the
@@ -97,6 +103,8 @@ class PrivateCache : public MemoCache {
               std::span<const cfloat> probe = {}) override;
   [[nodiscard]] std::size_t bytes() const override;
   [[nodiscard]] u64 fingerprint() const override;
+  /// One single-entry slot per (kind, location): kinds never interact.
+  [[nodiscard]] bool kind_isolated() const override { return true; }
 
  private:
   static constexpr std::size_t kLockStripes = 64;
@@ -130,6 +138,9 @@ class GlobalCache : public MemoCache {
   [[nodiscard]] u64 fingerprint() const override;
 
   [[nodiscard]] i64 shards() const { return i64(shards_.size()); }
+  /// Shards mix kinds and FIFO eviction crosses them, so a kind-A insert
+  /// can evict a kind-B resident: kinds are coupled.
+  [[nodiscard]] bool kind_isolated() const override { return false; }
 
  private:
   struct Tagged {

@@ -103,12 +103,14 @@ void MemoDb::score_requests(std::span<const QueryRequest> reqs,
       const auto c = stored[size_t(d / 2)];
       stored_key[size_t(d)] = (d % 2 == 0) ? c.real() : c.imag();
     }
-    const auto nit = norms_.find(nn[i]->id);
-    const double ndb = nit != norms_.end() ? nit->second : rq.norm;
+    const auto& norms = norms_[size_t(int(rq.kind))];
+    const auto& probes = probes_[size_t(int(rq.kind))];
+    const auto nit = norms.find(nn[i]->id);
+    const double ndb = nit != norms.end() ? nit->second : rq.norm;
     const double tau = rq.tau > 0.0 ? rq.tau : cfg_.tau;
     double cs;
-    const auto pit = probes_.find(nn[i]->id);
-    if (cfg_.oracle_similarity && !rq.probe.empty() && pit != probes_.end() &&
+    const auto pit = probes.find(nn[i]->id);
+    if (cfg_.oracle_similarity && !rq.probe.empty() && pit != probes.end() &&
         pit->second.size() == rq.probe.size()) {
       // Oracle: true cosine of the pooled input planes (Eq. 3 computed on
       // the chunks the keys stand for).
@@ -199,10 +201,16 @@ std::vector<QueryReply> MemoDb::query_batch(
   MLR_CHECK_MSG(!round_open_, "query_batch inside an open async round");
   std::vector<QueryReply> replies(reqs.size());
   if (reqs.empty()) return replies;
+  // Guard the scored kinds against concurrent pipelined stores for the
+  // duration of the scoring read.
+  u32 kinds = 0;
+  for (const auto& r : reqs) kinds |= u32(1) << int(r.kind);
+  round_kinds_.store(kinds, std::memory_order_release);
   // Asynchronous insertions complete before the next round of queries (they
   // overlap the intervening iteration's compute).
   values_.drain();
   score_requests(reqs, replies, pool);
+  round_kinds_.store(0, std::memory_order_release);
   schedule_replies(replies, ready);
   return replies;
 }
@@ -211,12 +219,16 @@ void MemoDb::begin_batch() {
   MLR_CHECK_MSG(!round_open_, "begin_batch while a round is already open");
   values_.drain();
   slices_.clear();
+  round_kinds_.store(0, std::memory_order_release);
   round_open_ = true;
 }
 
 MemoDb::SliceTicket MemoDb::submit_slice(std::vector<QueryRequest> reqs,
                                          ThreadPool* pool) {
   MLR_CHECK_MSG(round_open_, "submit_slice outside begin_batch/finalize");
+  u32 kinds = 0;
+  for (const auto& r : reqs) kinds |= u32(1) << int(r.kind);
+  round_kinds_.fetch_or(kinds, std::memory_order_acq_rel);
   auto s = std::make_shared<Slice>();
   s->reqs = std::move(reqs);
   s->scored.resize(s->reqs.size());
@@ -275,6 +287,7 @@ std::vector<QueryReply> MemoDb::finalize(sim::VTime ready) {
     }
     schedule_replies(replies, ready);
     slices_.clear();
+    round_kinds_.store(0, std::memory_order_release);
     round_open_ = false;
     return replies;
   } catch (...) {
@@ -294,6 +307,7 @@ void MemoDb::abort_round() {
     s->cv.wait(lk, [&] { return s->done; });
   }
   slices_.clear();
+  round_kinds_.store(0, std::memory_order_release);
   round_open_ = false;
 }
 
@@ -301,11 +315,12 @@ u64 MemoDb::store_entry(OpKind kind, std::span<const float> key,
                         std::span<const cfloat> value, double norm,
                         std::vector<cfloat> probe, bool async) {
   MLR_CHECK(i64(key.size()) == cfg_.key_dim);
+  std::lock_guard store_lk(store_mu_);
   const u64 id = make_id(kind);
   id_log_.push_back(kind);
   index_[size_t(int(kind))]->add(id, key);
-  norms_[id] = norm;
-  if (!probe.empty()) probes_[id] = std::move(probe);
+  norms_[size_t(int(kind))][id] = norm;
+  if (!probe.empty()) probes_[size_t(int(kind))][id] = std::move(probe);
   // Pack key + value into one blob (key padded into cfloat pairs).
   const std::size_t key_cf = (key.size() + 1) / 2;
   std::vector<cfloat> packed(key_cf + value.size());
@@ -328,23 +343,47 @@ void MemoDb::insert(OpKind kind, std::span<const float> key,
   // Service contract: a round's scoring must never observe the insertions
   // its caller is about to make (slice boundaries would leak into results).
   MLR_CHECK_MSG(!round_open_, "insert inside an open async query round");
-  (void)store_entry(kind, key, value, norm, std::move(probe), /*async=*/true);
+  (void)store_insert(kind, key, value, norm, std::move(probe));
+  charge_insert(key.size(), value.size(), ready);
+}
+
+u64 MemoDb::store_insert(OpKind kind, std::span<const float> key,
+                         std::span<const cfloat> value, double norm,
+                         std::vector<cfloat> probe) {
+  // The engine's same-kind settle rule makes this impossible; assert it so
+  // a future caller cannot silently leak stores into a round that scores
+  // the same key space.
+  MLR_CHECK_MSG((round_kinds_.load(std::memory_order_acquire) &
+                 (u32(1) << int(kind))) == 0,
+                "store_insert for a kind the open round is scoring");
+  return store_entry(kind, key, value, norm, std::move(probe), /*async=*/true);
+}
+
+void MemoDb::charge_insert(std::size_t key_floats, std::size_t value_floats,
+                           sim::VTime ready) {
   // Virtual-time: the store travels over the link and lands in DRAM, but
-  // asynchronously — nothing waits on the returned completion time.
-  const std::size_t key_cf = (key.size() + 1) / 2;
-  const double bytes =
-      double(key_cf + value.size()) * sizeof(cfloat) * cfg_.value_scale;
-  const sim::VTime arrived = net_->transfer(ready, bytes);
-  (void)node_->serve_value(arrived, bytes);
-  node_->dram().alloc("memo_values", double(values_.bytes()) + bytes, arrived);
+  // asynchronously — nothing waits on the returned completion time. DRAM
+  // growth is accounted in charge order (not from values_.bytes(), which
+  // trails the async writer and any deferred pipelined stores), so the
+  // footprint curve is deterministic for every depth/slices/threads setting.
+  const std::size_t key_cf = (key_floats + 1) / 2;
+  const double blob_bytes = double(key_cf + value_floats) * sizeof(cfloat);
+  const double wire_bytes = blob_bytes * cfg_.value_scale;
+  const sim::VTime arrived = net_->transfer(ready, wire_bytes);
+  (void)node_->serve_value(arrived, wire_bytes);
+  node_->dram().alloc("memo_values", accounted_store_bytes_ + wire_bytes,
+                      arrived);
+  accounted_store_bytes_ += blob_bytes;
 }
 
 std::vector<MemoDb::Entry> MemoDb::export_entries(u64 from_seq) {
   MLR_CHECK_MSG(!round_open_, "export_entries inside an open async round");
   values_.drain();  // pending async insertions become part of the snapshot
+  std::lock_guard store_lk(store_mu_);
+  const u64 end_seq = next_id_.load(std::memory_order_acquire);
   std::vector<Entry> out;
-  out.reserve(from_seq < next_id_ ? size_t(next_id_ - from_seq) : 0);
-  for (u64 seq = from_seq; seq < next_id_; ++seq) {
+  out.reserve(from_seq < end_seq ? size_t(end_seq - from_seq) : 0);
+  for (u64 seq = from_seq; seq < end_seq; ++seq) {
     const OpKind kind = id_log_[size_t(seq)];
     const u64 id = (u64(kind) << 56) | seq;
     auto blob = values_.get(id);
@@ -359,17 +398,19 @@ std::vector<MemoDb::Entry> MemoDb::export_entries(u64 from_seq) {
       e.key[size_t(d)] = (d % 2 == 0) ? c.real() : c.imag();
     }
     e.value.assign(stored.begin() + i64(key_cf), stored.end());
-    const auto nit = norms_.find(id);
-    e.norm = nit != norms_.end() ? nit->second : 1.0;
-    const auto pit = probes_.find(id);
-    if (pit != probes_.end()) e.probe = pit->second;
+    const auto& norms = norms_[size_t(int(kind))];
+    const auto& probes = probes_[size_t(int(kind))];
+    const auto nit = norms.find(id);
+    e.norm = nit != norms.end() ? nit->second : 1.0;
+    const auto pit = probes.find(id);
+    if (pit != probes.end()) e.probe = pit->second;
     out.push_back(std::move(e));
   }
   return out;
 }
 
 void MemoDb::import_entries(std::span<const Entry> entries) {
-  MLR_CHECK_MSG(next_id_ == 0 && !round_open_,
+  MLR_CHECK_MSG(next_id_.load() == 0 && !round_open_,
                 "import_entries requires a fresh database");
   // Replay in snapshot order: ids (and therefore the IVF training set and
   // every downstream hit decision) come out identical for every session
@@ -377,7 +418,10 @@ void MemoDb::import_entries(std::span<const Entry> entries) {
   for (const auto& e : entries)
     (void)store_entry(e.kind, e.key, e.value, e.norm, e.probe,
                       /*async=*/false);
-  shared_boundary_ = next_id_;
+  shared_boundary_ = next_id_.load();
+  // Seed blobs are resident before the session runs; account them so the
+  // first pipelined charge continues from the real footprint.
+  accounted_store_bytes_ = double(values_.bytes());
 }
 
 std::size_t MemoDb::entries(OpKind kind) const {

@@ -34,20 +34,40 @@
 //     submission order and returns the completed replies — bit-identical to
 //     one query_batch over the concatenated requests.
 //
-// Service contract: between begin_batch() and finalize() the caller must not
-// insert() — a stage's own insertions are deferred until its queries have
-// resolved (the barriered path satisfies this trivially; the sliced
-// StageExecutor defers its miss insertions), so scoring results never depend
-// on slice boundaries. Slices own their requests (moved in), so in-flight
-// scoring never references caller storage; if collect()/finalize() rethrow a
-// scoring error, call abort_round() before reusing the database.
+// Multi-stage (pipelined) round lifecycle: an insertion is two halves that
+// the engine may split across threads —
+//
+//   * charge_insert() — the virtual-clock half: link/node charges and the
+//     deterministic DRAM accounting. Always called on the scheduling thread,
+//     in insertion order, so the virtual timelines replay the barriered
+//     schedule exactly.
+//   * store_insert() — the data half: index add, norm/probe bookkeeping and
+//     the packed key+value blob. The cross-stage pipeline runs stage s's
+//     stores on a worker while stage s+1 is already encoding, probing its
+//     cache and scoring its own round. That is safe because key/value spaces
+//     are partitioned by OpKind end to end (per-kind ANN index AND per-kind
+//     norm/probe maps, thread-safe KvStore): a store of kind A can neither
+//     change nor tear the scoring of a round that only queries kind B.
+//
+// Service contract: a round must never score requests of a kind that still
+// has stores in flight — the StageExecutor enforces this by settling
+// same-kind tail work before a stage touches the DB, and store_insert
+// asserts the open round queries no request of its kind. The plain
+// insert() (= charge + store on one thread) keeps the stricter legacy
+// contract: never inside an open round. Slices own their requests (moved
+// in), so in-flight scoring never references caller storage; if
+// collect()/finalize() rethrow a scoring error, call abort_round() before
+// reusing the database.
 //
 // Insertions are asynchronous — they occupy the link/node timelines but
 // never gate the caller's ready time (the paper hides insertion behind the
 // next iteration); they become visible to queries at the next round's
-// begin_batch()/query_batch().
+// begin_batch()/query_batch() (for a pipelined caller: at the engine's
+// same-kind settle point, which precedes that round by construction).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <memory>
@@ -177,9 +197,30 @@ class MemoDb {
 
   /// Asynchronous insertion of (key, value): charged to the link/node
   /// timelines, never blocks the caller. `norm` is the raw chunk L2 norm.
+  /// Equivalent to charge_insert() + store_insert() back to back; must not
+  /// be called inside an open async round.
   void insert(OpKind kind, std::span<const float> key,
               std::span<const cfloat> value, sim::VTime ready,
               double norm = 1.0, std::vector<cfloat> probe = {});
+
+  // --- Split insertion (cross-stage pipelining) ----------------------------
+  // See the header comment's multi-stage round lifecycle. charge_insert
+  // calls must happen in insertion order on the scheduling thread; each must
+  // be paired with exactly one store_insert (same order) before the next
+  // same-kind round scores.
+
+  /// Virtual-clock half of one insertion of a `key_floats`-float key and a
+  /// `value_floats`-cfloat value: link transfer, value-node service and the
+  /// deterministic DRAM accounting. Never blocks and never touches entry
+  /// data.
+  void charge_insert(std::size_t key_floats, std::size_t value_floats,
+                     sim::VTime ready);
+  /// Data half: store the entry (index add, norm/probe, packed blob),
+  /// assigning the next insertion sequence number. Safe on a worker thread
+  /// while a round of a *different* kind is in flight (asserted).
+  u64 store_insert(OpKind kind, std::span<const float> key,
+                   std::span<const cfloat> value, double norm = 1.0,
+                   std::vector<cfloat> probe = {});
 
   // --- Snapshots / shared-memo sessions ------------------------------------
   // The serving layer (serve::ReconService) keeps one *shared memo tier* per
@@ -271,13 +312,30 @@ class MemoDb {
   sim::MemoryNode* node_;
   std::vector<std::unique_ptr<ann::IvfFlatIndex>> index_;  // one per OpKind
   kvstore::KvStore values_;
-  std::unordered_map<u64, double> norms_;  // id → stored chunk norm
-  std::unordered_map<u64, std::vector<cfloat>> probes_;  // id → pooled input
+  // Norm/probe bookkeeping is sharded by OpKind, mirroring the per-kind ANN
+  // indexes: a pipelined store of kind A mutates only shard A while a round
+  // of kind B reads shard B — no shared map to rehash under a reader.
+  std::array<std::unordered_map<u64, double>, kNumOpKinds> norms_;
+  std::array<std::unordered_map<u64, std::vector<cfloat>>, kNumOpKinds>
+      probes_;
   std::vector<OpKind> id_log_;  // seq → kind; drives export order
-  u64 next_id_ = 0;
+  /// Serializes entry stores against snapshot export. Stores are already
+  /// serial in correct usage (one drainer, or the caller thread), so the
+  /// lock is uncontended; it turns a caller forgetting the settle-before-
+  /// export contract into a consistent read instead of a torn id_log_.
+  std::mutex store_mu_;
+  std::atomic<u64> next_id_{0};
   u64 shared_boundary_ = 0;
   u64 messages_ = 0;
+  /// Store bytes accounted in charge order — the DRAM footprint the virtual
+  /// clock sees. Decoupled from values_.bytes() (which trails the async
+  /// writer and, under pipelining, the deferred stores) so the accounting is
+  /// deterministic for every depth/slices/threads setting.
+  double accounted_store_bytes_ = 0;
   DbTiming timing_;
+  /// Kinds the open round queries (bitmask by OpKind); store_insert asserts
+  /// its kind is not among them. Atomic: stores run on worker threads.
+  std::atomic<u32> round_kinds_{0};
   std::vector<std::shared_ptr<Slice>> slices_;  // current async round
   bool round_open_ = false;
 };

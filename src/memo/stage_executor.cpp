@@ -17,6 +17,123 @@ StageExecutor::StageExecutor(std::vector<MemoizedLamino*> wrappers)
   for (auto* w : wrappers_) MLR_CHECK(w != nullptr);
 }
 
+StageExecutor::~StageExecutor() {
+  // A dangling drainer job captures `this`; never let the engine die with
+  // tails in flight. Errors were already lost to the caller at this point.
+  try {
+    settle();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+// --- Cross-stage data tails --------------------------------------------------
+
+void StageExecutor::run_tail_items(StageTail& tail) {
+  MemoizedLamino& ml = *tail.ml;
+  for (auto& it : tail.items) {
+    // Cache refill first (it copies from the item), then the DB store moves
+    // the buffers out. Within one item the order is unobservable; across
+    // items the serial drainer replays the exact barriered sequence.
+    if (ml.cache_ != nullptr)
+      ml.cache_->insert(tail.kind, it.location, it.key, it.value, it.norm,
+                        it.probe);
+    if (it.store)
+      (void)ml.db_->store_insert(tail.kind, it.key, it.value, it.norm,
+                                 std::move(it.probe));
+  }
+  tail.items.clear();
+  tail.items.shrink_to_fit();
+}
+
+void StageExecutor::drain_tails() {
+  for (;;) {
+    std::shared_ptr<StageTail> t;
+    {
+      std::lock_guard lk(tails_mu_);
+      if (tails_.empty()) {
+        tail_runner_active_ = false;
+        tails_cv_.notify_all();
+        return;
+      }
+      t = tails_.front();
+    }
+    std::exception_ptr err;
+    try {
+      run_tail_items(*t);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard lk(tails_mu_);
+      if (err != nullptr && tail_error_ == nullptr) tail_error_ = err;
+      tails_.pop_front();
+      tails_cv_.notify_all();
+    }
+  }
+}
+
+void StageExecutor::enqueue_tail(MemoizedLamino& ml, OpKind kind,
+                                 std::vector<TailItem> items) {
+  if (items.empty()) return;
+  auto tail = std::make_shared<StageTail>();
+  tail->ml = &ml;
+  tail->kind = kind;
+  tail->items = std::move(items);
+  if (pipeline_depth_ <= 1 || pool().size() <= 1) {
+    run_tail_items(*tail);  // the legacy per-stage barrier, inline
+    return;
+  }
+  bool start_runner = false;
+  {
+    std::unique_lock lk(tails_mu_);
+    // Depth bound: at most depth − 1 stages may have tails in flight.
+    tails_cv_.wait(lk, [&] {
+      return i64(tails_.size()) < pipeline_depth_ - 1;
+    });
+    tails_.push_back(tail);
+    if (!tail_runner_active_) {
+      tail_runner_active_ = true;
+      start_runner = true;
+    }
+  }
+  if (start_runner) {
+    try {
+      pool().submit([this] { drain_tails(); });
+    } catch (...) {
+      drain_tails();  // pool handoff failed: drain on the caller instead
+    }
+  }
+}
+
+void StageExecutor::sync_tails(const MemoizedLamino& ml, OpKind kind) {
+  // Same-kind tails must land before this stage probes or queries (their
+  // entries are visible in the barriered schedule); a kind-coupled cache
+  // additionally couples eviction across kinds, so everything must land.
+  const bool all =
+      ml.cache_ != nullptr && !ml.cache_->kind_isolated();
+  std::unique_lock lk(tails_mu_);
+  tails_cv_.wait(lk, [&] {
+    for (const auto& t : tails_)
+      if (all || t->kind == kind) return false;
+    return true;
+  });
+  if (tail_error_ != nullptr) {
+    auto err = tail_error_;
+    tail_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void StageExecutor::settle() {
+  std::unique_lock lk(tails_mu_);
+  tails_cv_.wait(lk, [&] { return tails_.empty() && !tail_runner_active_; });
+  if (tail_error_ != nullptr) {
+    auto err = tail_error_;
+    tail_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
 MemoCounters StageExecutor::counters() const {
   MemoCounters total;
   for (const auto* w : wrappers_) {
@@ -176,6 +293,12 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
                                  sim::VTime ready,
                                  std::span<ChunkRecord> records,
                                  sim::VTime* done) {
+  // Cross-stage handoff barrier: previous stages' tails that this stage's
+  // probes/queries must observe have to land first. An adjacent stage of a
+  // different kind (the ADMM sequence always alternates kinds) sails
+  // through — its encode/probe/score phases are what the previous stage's
+  // tail hides under.
+  sync_tails(ml, kind);
   const std::size_t n = chunks.size();
   const double encode_s =
       ml.registry_->encoder().encode_flops() / ml.cfg_.host_flops;
@@ -305,8 +428,15 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
                 c.out.begin());
     });
   }
-  // Account timing and refill the local cache serially, in chunk order, so
-  // FIFO eviction order stays deterministic.
+  // Account timing serially, in chunk order. Cache refills and DB stores
+  // happen in barriered order either way — hits in request order, then
+  // misses in chunk order. When the tail is deferred (pipeline_depth ≥ 2
+  // with a real pool) they are collected into the stage's data tail and
+  // drain on the serial tail runner under the next stage's local phases;
+  // otherwise they run right here, straight from the chunk spans (the
+  // legacy barriered path, no extra value copies).
+  const bool defer = pipeline_depth_ > 1 && pool().size() > 1;
+  std::vector<TailItem> tail_items;
   for (std::size_t r = 0; r < replies.size(); ++r) {
     const std::size_t i = req_chunk[r];
     auto& c = chunks[i];
@@ -316,9 +446,17 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
       rec.db_s = replies[r].value_ready - host_t;
       rec.copy_s = double(c.out.size()) * sizeof(cfloat) *
                    ml.cfg_.work_scale / ml.cfg_.host_mem_bw;
-      if (ml.cache_ != nullptr)
-        ml.cache_->insert(kind, c.spec.index, keys[i], c.out, norms[i],
-                          probes[i]);
+      if (ml.cache_ != nullptr) {
+        if (defer) {
+          tail_items.push_back({/*store=*/false, c.spec.index,
+                                std::move(keys[i]),
+                                std::move(replies[r].value), norms[i],
+                                std::move(probes[i])});
+        } else {
+          ml.cache_->insert(kind, c.spec.index, keys[i], c.out, norms[i],
+                            probes[i]);
+        }
+      }
       ++ml.counters_.db_hit;
       if (ml.db_->is_shared_entry(replies[r].match_id))
         ++ml.counters_.db_hit_shared;
@@ -342,10 +480,12 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
       ml.compute_chunk(kind, chunks[i], &flops[i]);
     });
   }
-  // …and is scheduled on the simulated GPU + inserted into DB and cache in
-  // chunk order (async insertion never gates the caller; deferring the
-  // inserts to this point also guarantees the round's scoring never saw
-  // them, matching the barriered path's semantics).
+  // …and is scheduled on the simulated GPU in chunk order. The insertion's
+  // virtual charge (link + node + DRAM accounting) stays right here — the
+  // clock replays the barriered schedule — while the data store joins the
+  // stage tail (async insertion never gates the caller; deferring the
+  // stores past the round also guarantees its scoring never saw them,
+  // matching the barriered path's semantics).
   for (const std::size_t i : misses) {
     auto& c = chunks[i];
     auto& rec = records[i];
@@ -362,14 +502,24 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
     const sim::VTime c_done = ml.device_->d2h(k_done, out_bytes);
     rec.outcome = MemoOutcome::Miss;
     rec.compute_s = c_done - t0;
-    ml.db_->insert(kind, keys[i], c.out, c_done, norms[i], probes[i]);
-    if (ml.cache_ != nullptr)
-      ml.cache_->insert(kind, c.spec.index, keys[i], c.out, norms[i],
-                        probes[i]);
+    ml.db_->charge_insert(keys[i].size(), c.out.size(), c_done);
+    if (defer) {
+      tail_items.push_back({/*store=*/true, c.spec.index, std::move(keys[i]),
+                            std::vector<cfloat>(c.out.begin(), c.out.end()),
+                            norms[i], std::move(probes[i])});
+    } else {
+      // Cache refill first (it copies the probe), then the store moves it.
+      if (ml.cache_ != nullptr)
+        ml.cache_->insert(kind, c.spec.index, keys[i], c.out, norms[i],
+                          probes[i]);
+      (void)ml.db_->store_insert(kind, keys[i], c.out, norms[i],
+                                 std::move(probes[i]));
+    }
     ++ml.counters_.miss;
     stage_done = std::max(stage_done, c_done);
   }
   *done = stage_done;
+  if (defer) enqueue_tail(ml, kind, std::move(tail_items));
 }
 
 }  // namespace mlr::memo

@@ -20,11 +20,35 @@
 //                      Fresh values are inserted into DB + cache only after
 //                      the round finalizes.
 //
+// Cross-stage pipelining (set_pipeline_depth ≥ 2): the engine keeps a
+// stage's *data tail* open across consecutive run_stage calls (each DB
+// round itself still finalizes inside its stage). The tail — the stage's
+// miss insertions into the DB and the cache refills of its hits and
+// misses — is deferred onto a single serial drainer job on the worker
+// pool, so it overlaps the next stage's encode, cache-probe and ANN-scoring
+// phases (which, for the adjacent stage of a different OpKind, read disjoint
+// key/value spaces). The handoff epochs:
+//
+//   stage s   : encode/probe → score+miss-FFT slices → serial schedule
+//                                                    → tail(s) enqueued
+//   stage s+1 : [tail(s) drains here]  encode/probe → score slices → …
+//
+// Determinism is preserved by construction: every virtual-clock charge
+// (device schedule, MemoDb::charge_insert, MemoDb::finalize) stays on the
+// calling thread in barriered order; deferred stores execute on ONE serial
+// drainer in enqueue order (same insertion sequence numbers, same cache
+// FIFO order); and a stage *settles* conflicting tails before touching
+// shared state — same-kind tails always (its probes/queries must observe
+// them), every tail when the cache is kind-coupled (GlobalCache FIFO
+// eviction crosses kinds; see MemoCache::kind_isolated). Depth 0/1 runs the
+// tail inline: exactly the legacy per-stage barrier.
+//
 // Wall-clock parallelism never touches the virtual clock: device/link/node
 // timelines are scheduled in a deterministic serial pass in chunk order
 // (MemoDb::finalize replays the exact schedule of the barriered batch), so
-// reported virtual times, ChunkRecords (Fig 10/12) and cache FIFO contents
-// are bit-identical for any `threads` or `overlap_slices` setting.
+// reported virtual times, ChunkRecords (Fig 10/12), cache FIFO contents and
+// DB insertion order are bit-identical for any `threads`, `overlap_slices`
+// or `pipeline_depth` setting.
 //
 // The engine also owns multi-device distribution: constructed over several
 // MemoizedLamino wrappers (one per simulated GPU) it round-robins chunks
@@ -35,6 +59,11 @@
 // training set a single-GPU run sees and train one shared encoder.
 #pragma once
 
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -50,6 +79,7 @@ class StageExecutor {
   /// Multi-device engine: chunks are distributed round-robin, wrapper g
   /// taking chunks g, g+G, g+2G, … (the paper's §5.2 distribution).
   explicit StageExecutor(std::vector<MemoizedLamino*> wrappers);
+  ~StageExecutor();
 
   /// Worker pool for the parallel phases; nullptr restores the process-wide
   /// pool. A one-worker pool runs every phase serially on the caller.
@@ -62,6 +92,21 @@ class StageExecutor {
   /// are written into each chunk's `out`; records come back in chunk order.
   StageReport run_stage(OpKind kind, std::span<StageChunk> chunks,
                         sim::VTime ready);
+
+  /// Cross-stage pipeline depth: the number of consecutive stages that may
+  /// be in flight at once (outstanding data tails = depth − 1). 0 or 1
+  /// restores today's per-stage barrier. Any depth produces bit-identical
+  /// outputs, records, virtual times, cache contents and DB state.
+  void set_pipeline_depth(i64 depth) {
+    pipeline_depth_ = depth > 1 ? depth : 1;
+  }
+  [[nodiscard]] i64 pipeline_depth() const { return pipeline_depth_; }
+  /// Drain every outstanding stage tail (DB stores + cache refills) and
+  /// rethrow the first deferred error, if any. Callers reading DB entries
+  /// or cache contents directly after run_stage must settle first; the
+  /// solver settles at the end of solve() and the destructor settles
+  /// unconditionally.
+  void settle();
 
   [[nodiscard]] MemoizedLamino& wrapper(std::size_t gpu = 0) const {
     return *wrappers_[gpu];
@@ -83,6 +128,24 @@ class StageExecutor {
   [[nodiscard]] double device_transfer_busy() const;
 
  private:
+  /// One deferred cache refill / DB store of a stage's data tail. `store`
+  /// marks misses (DB insertion + cache refill); hits refill the cache only.
+  struct TailItem {
+    bool store = false;
+    i64 location = 0;
+    std::vector<float> key;
+    std::vector<cfloat> value;
+    double norm = 1.0;
+    std::vector<cfloat> probe;
+  };
+  /// One stage's deferred data tail. Items execute in order on the single
+  /// serial drainer; completion is signalled under tails_mu_.
+  struct StageTail {
+    MemoizedLamino* ml = nullptr;
+    OpKind kind{};
+    std::vector<TailItem> items;
+  };
+
   /// The batched phases for one wrapper's share of the stage.
   void run_wrapper_stage(MemoizedLamino& ml, OpKind kind,
                          std::span<StageChunk> chunks, sim::VTime ready,
@@ -94,8 +157,26 @@ class StageExecutor {
                     std::span<StageChunk> chunks, sim::VTime ready,
                     std::span<ChunkRecord> records, sim::VTime* done);
 
+  /// Stage-entry handoff barrier: wait until no outstanding tail can affect
+  /// this stage — same-kind tails always, every tail when `ml`'s cache
+  /// couples kinds. Rethrows a deferred tail error.
+  void sync_tails(const MemoizedLamino& ml, OpKind kind);
+  /// Defer (or, below depth 2 / without workers, run inline) one stage's
+  /// data tail. Bounds outstanding tails to pipeline_depth − 1.
+  void enqueue_tail(MemoizedLamino& ml, OpKind kind,
+                    std::vector<TailItem> items);
+  static void run_tail_items(StageTail& tail);
+  void drain_tails();  // the single serial drainer job
+
   std::vector<MemoizedLamino*> wrappers_;
   ThreadPool* pool_ = nullptr;
+
+  i64 pipeline_depth_ = 1;
+  std::mutex tails_mu_;
+  std::condition_variable tails_cv_;
+  std::deque<std::shared_ptr<StageTail>> tails_;  // enqueued, unfinished
+  bool tail_runner_active_ = false;
+  std::exception_ptr tail_error_;
 };
 
 }  // namespace mlr::memo

@@ -90,6 +90,7 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
     eo.gpus = 1;
     eo.memo = mc;
     eo.db = dbc;
+    eo.pipeline_depth = cfg_.pipeline_depth;
     eo.registry = registry_;
     eo.db_seed = seed;
     eo.shared_pool = pool_.get();
@@ -103,6 +104,7 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
     cs.db_seed = seed;
     clu = std::make_unique<cluster::Cluster>(ops_, cs, mc, dbc);
     if (pool_ != nullptr) clu->executor().set_pool(pool_.get());
+    clu->executor().set_pipeline_depth(cfg_.pipeline_depth);
     exec = &clu->executor();
     db = cfg_.memoize ? &clu->db() : nullptr;
   }

@@ -48,6 +48,12 @@ struct ServiceConfig {
   int gpus_per_job = 1;    ///< >1: each session is a cluster::Cluster
   unsigned threads = 0;    ///< host worker pool shared by all sessions
   i64 overlap_slices = 4;  ///< DB/compute overlap inside each session
+  /// Cross-stage pipeline depth inside each hermetic session (stage s's DB
+  /// insertions drain under stage s+1's encode/probe/score). Sessions stay
+  /// hermetic: tails settle before a job's insertions are exported, so
+  /// promotion ordering — and therefore the shared tier — is unchanged for
+  /// every depth.
+  i64 pipeline_depth = 2;
 
   // Memo tier.
   bool memoize = true;

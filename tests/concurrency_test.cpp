@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ann/ann.hpp"
+#include "common/hash.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "kvstore/kvstore.hpp"
@@ -309,6 +310,170 @@ TEST(Concurrency, StageExecutorDeterministicAcrossOverlapSlices) {
       EXPECT_EQ(ref.done2, got.done2);
       EXPECT_EQ(ref.cache_fp, got.cache_fp);
       EXPECT_EQ(ref.db_entries, got.db_entries);
+    }
+  }
+}
+
+// The cross-stage pipeline contract: outputs, per-chunk records, cache FIFO
+// contents, DB entry counts and virtual times are bit-identical to the
+// serial / barriered / per-stage-barrier reference for EVERY pipeline_depth
+// × overlap_slices × threads × gpus combination. The stage sequence
+// alternates operator kinds (Fu1D / Fu1DAdj) like the real ADMM loop —
+// exactly the adjacency whose tail/probe overlap the pipeline exploits —
+// and the mixed passes interleave DB hits with fresh-churn misses.
+TEST(Concurrency, PipelinedCrossStageDeterminismMatrix) {
+  lamino::Operators ops{lamino::Geometry::cube(10)};
+  const auto& g = ops.geometry();
+  auto u = lamino::to_complex(lamino::make_phantom(
+      g.object_shape(), lamino::PhantomKind::BrainTissue, 9));
+  Array3D<cfloat> base_u1(g.u1_shape());
+  Array3D<cfloat> churn_obj(g.object_shape()), churn_u1(g.u1_shape());
+  {
+    Rng rng(77);
+    auto fill = [&rng](Array3D<cfloat>& a) {
+      for (i64 i = 0; i < a.size(); ++i)
+        a.data()[i] = cfloat(float(rng.normal()), float(rng.normal()));
+    };
+    fill(base_u1);
+    fill(churn_obj);
+    fill(churn_u1);
+  }
+  auto chunks = lamino::make_chunks(g.n1, 2);  // 5 chunks: ragged slices
+
+  struct Run {
+    std::vector<Array3D<cfloat>> outs;
+    std::vector<std::vector<ChunkRecord>> recs;
+    std::vector<sim::VTime> dones;
+    u64 cache_fp = 0;
+    u64 db_entries = 0;
+    MemoCounters counters;
+  };
+  auto run_cfg = [&](unsigned threads, i64 overlap, i64 depth, int gpus,
+                     CacheKind cache_kind) {
+    Run run;
+    sim::Interconnect net;
+    sim::MemoryNode node;
+    MemoDb db{{.key_dim = 16, .tau = 0.92, .overlap_slices = overlap,
+               .ivf = {.nlist = 2, .train_size = 8}},
+              &net, &node};
+    // Wrappers share ONE registry (the multi-GPU configuration) so keys —
+    // and therefore hit patterns — match the single-GPU run.
+    auto reg = std::make_shared<encoder::EncoderRegistry>(
+        encoder::EncoderConfig{.input_hw = 16, .embed_dim = 16});
+    std::vector<std::unique_ptr<sim::Device>> devs;
+    std::vector<std::unique_ptr<MemoizedLamino>> mls;
+    std::vector<MemoizedLamino*> ptrs;
+    for (int d = 0; d < gpus; ++d) {
+      devs.push_back(std::make_unique<sim::Device>(d));
+      mls.push_back(std::make_unique<MemoizedLamino>(
+          ops,
+          MemoConfig{.enable = true, .tau = 0.92, .cache = cache_kind,
+                     .key_dim = 16, .encoder_hw = 16},
+          devs.back().get(), &db, reg));
+      ptrs.push_back(mls.back().get());
+    }
+    StageExecutor exec(ptrs);
+    ThreadPool pool(threads);
+    exec.set_pool(&pool);
+    exec.set_pipeline_depth(depth);
+    auto make_work = [&](OpKind kind, Array3D<cfloat>& dst, bool mixed) {
+      const bool adj = kind == OpKind::Fu1DAdj;
+      const Array3D<cfloat>& src = adj ? base_u1 : u;
+      const Array3D<cfloat>& alt = adj ? churn_u1 : churn_obj;
+      std::vector<StageChunk> w;
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        const auto& spec = chunks[c];
+        const auto& in = (mixed && c % 2 == 1) ? alt : src;
+        w.push_back({spec, in.slices(spec.begin, spec.count),
+                     dst.slices(spec.begin, spec.count)});
+      }
+      return w;
+    };
+    // Kind-alternating sequence: miss pass per kind, then mixed passes.
+    const struct {
+      OpKind kind;
+      bool mixed;
+    } passes[] = {{OpKind::Fu1D, false},
+                  {OpKind::Fu1DAdj, false},
+                  {OpKind::Fu1D, true},
+                  {OpKind::Fu1DAdj, true},
+                  {OpKind::Fu1D, true}};
+    sim::VTime t = 0;
+    for (const auto& p : passes) {
+      run.outs.emplace_back(p.kind == OpKind::Fu1DAdj ? g.object_shape()
+                                                      : g.u1_shape());
+      auto w = make_work(p.kind, run.outs.back(), p.mixed);
+      auto rep = exec.run_stage(p.kind, w, t);
+      t = rep.done;
+      run.recs.push_back(std::move(rep.records));
+      run.dones.push_back(t);
+    }
+    exec.settle();  // close the pipelined round before reading shared state
+    u64 fp = kFnvOffsetBasis;
+    for (const auto& ml : mls)
+      if (ml->cache() != nullptr) fp ^= ml->cache()->fingerprint();
+    run.cache_fp = fp;
+    run.db_entries = db.total_entries();
+    run.counters = exec.counters();
+    return run;
+  };
+
+  auto expect_same = [](const Run& a, const Run& b) {
+    ASSERT_EQ(a.outs.size(), b.outs.size());
+    for (std::size_t p = 0; p < a.outs.size(); ++p) {
+      for (i64 i = 0; i < a.outs[p].size(); ++i)
+        ASSERT_EQ(a.outs[p].data()[i], b.outs[p].data()[i]) << "pass " << p;
+      ASSERT_EQ(a.recs[p].size(), b.recs[p].size());
+      for (std::size_t i = 0; i < a.recs[p].size(); ++i) {
+        EXPECT_EQ(int(a.recs[p][i].outcome), int(b.recs[p][i].outcome));
+        EXPECT_EQ(a.recs[p][i].encode_s, b.recs[p][i].encode_s);
+        EXPECT_EQ(a.recs[p][i].db_s, b.recs[p][i].db_s);
+        EXPECT_EQ(a.recs[p][i].compute_s, b.recs[p][i].compute_s);
+        EXPECT_EQ(a.recs[p][i].copy_s, b.recs[p][i].copy_s);
+      }
+      EXPECT_EQ(a.dones[p], b.dones[p]);
+    }
+    EXPECT_EQ(a.cache_fp, b.cache_fp);
+    EXPECT_EQ(a.db_entries, b.db_entries);
+    EXPECT_EQ(a.counters.miss, b.counters.miss);
+    EXPECT_EQ(a.counters.db_hit, b.counters.db_hit);
+    EXPECT_EQ(a.counters.cache_hit, b.counters.cache_hit);
+  };
+
+  for (const int gpus : {1, 2}) {
+    const Run ref = run_cfg(1, 0, 0, gpus, CacheKind::Private);
+    // The mixed passes must really mix outcomes or the matrix is vacuous.
+    u64 hits = 0, misses = 0;
+    for (const auto& recs : ref.recs)
+      for (const auto& r : recs) {
+        hits += r.outcome == MemoOutcome::DbHit ||
+                r.outcome == MemoOutcome::CacheHit;
+        misses += r.outcome == MemoOutcome::Miss;
+      }
+    EXPECT_GT(hits, 0u);
+    EXPECT_GT(misses, 0u);
+    for (const unsigned threads : {1u, 4u}) {
+      for (const i64 overlap : {i64(0), i64(4)}) {
+        for (const i64 depth : {i64(0), i64(2), i64(4)}) {
+          SCOPED_TRACE("gpus=" + std::to_string(gpus) +
+                       " threads=" + std::to_string(threads) +
+                       " overlap=" + std::to_string(overlap) +
+                       " depth=" + std::to_string(depth));
+          expect_same(ref, run_cfg(threads, overlap, depth, gpus,
+                                   CacheKind::Private));
+        }
+      }
+    }
+  }
+
+  // Kind-coupled cache (GlobalCache FIFO eviction crosses kinds): the
+  // engine must fall back to a full settle at stage entry — and still be
+  // bit-identical for every depth.
+  {
+    const Run ref = run_cfg(1, 0, 0, 1, CacheKind::Global);
+    for (const i64 depth : {i64(0), i64(3)}) {
+      SCOPED_TRACE("global-cache depth=" + std::to_string(depth));
+      expect_same(ref, run_cfg(4, 4, depth, 1, CacheKind::Global));
     }
   }
 }

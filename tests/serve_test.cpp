@@ -306,6 +306,41 @@ TEST(ReconService, OutputsIdenticalAcrossPoliciesAndEngineKnobs) {
   EXPECT_EQ(a.queue_wait, a2.queue_wait);
 }
 
+TEST(ReconService, OutputsIdenticalAcrossPipelineDepths) {
+  // Hermetic sessions must stay hermetic under cross-stage pipelining: job
+  // outputs AND run vtimes (therefore the whole schedule and the promoted
+  // shared tier) are bit-identical for every pipeline_depth, including
+  // depths deep enough to span several stages.
+  WorkloadConfig wc;
+  wc.jobs = 4;
+  wc.mean_interarrival = 40.0;
+  wc.mix = {{Scenario::PcbInspection, 1.0}, {Scenario::BrainScan, 1.0}};
+  wc.distinct_objects = 2;
+  WorkloadGenerator gen(wc);
+  const auto jobs = gen.generate();
+  const auto warm = gen.priming_set();
+
+  auto barrier = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  barrier.pipeline_depth = 0;  // the legacy per-stage barrier
+  auto shallow = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  shallow.threads = 3;
+  shallow.overlap_slices = 4;
+  shallow.pipeline_depth = 2;
+  auto deep = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  deep.threads = 2;
+  deep.pipeline_depth = 5;
+
+  const auto a = run_workload(barrier, jobs, warm);
+  const auto b = run_workload(shallow, jobs, warm);
+  const auto c = run_workload(deep, jobs, warm);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.fingerprint, c.fingerprint);
+  EXPECT_EQ(a.run_vtime, b.run_vtime);
+  EXPECT_EQ(a.run_vtime, c.run_vtime);
+  EXPECT_EQ(a.queue_wait, b.queue_wait);
+  EXPECT_EQ(a.queue_wait, c.queue_wait);
+}
+
 TEST(ReconService, ClusterSessionsIdenticalAcrossPolicies) {
   // gpus_per_job > 1 routes sessions through cluster::Cluster; the identity
   // guarantee must hold there too.
