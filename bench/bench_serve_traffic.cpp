@@ -1,15 +1,24 @@
 // bench_serve_traffic — the serving-layer characterization: one mixed-
 // scenario, multi-tenant workload replayed through ReconService under each
-// scheduling policy (FIFO / priority / weighted fair share).
+// scheduling policy (FIFO / priority / weighted fair share), then swept
+// across shared-tier shard counts ({1,2,4} at the FIFO policy).
 //
 // Reports per policy: completion/rejection/deadline counts, queue-wait and
-// turnaround percentiles (virtual time), slot utilization, and the
-// cross-job memo hit rate (lookups served by the shared tier — the paper's
-// reuse economics across *jobs* instead of across iterations). Exits
-// non-zero if any job's output fingerprint differs between policies: the
-// hermetic-session guarantee this layer is built on, also asserted by
-// tests/serve_test.cpp, so the CI smoke run (`--jobs 8 --n small`) exercises
-// it end to end.
+// turnaround percentiles (virtual time), slot utilization, the cross-job
+// memo hit rate (lookups served by the shared tier — the paper's reuse
+// economics across *jobs* instead of across iterations), and the shared
+// tier's promotion split (accepted / dedup drops / cap drops). The shard
+// sweep reports per shard count the fabric's charged fetch/promotion time
+// and uplink contention wait. Exits non-zero if any job's output
+// fingerprint differs between policies OR between shard counts: the
+// hermetic-session + placement-only-sharding guarantees this layer is built
+// on, also asserted by tests/serve_test.cpp, so the CI smoke run
+// (`--jobs 8 --n small`) exercises both end to end.
+//
+// Knobs: `--shards N` (tier shard count for the policy table),
+// `--fabric-gbps G` (link AND uplink bandwidth; 0 disables the fabric —
+// legacy network-isolated sessions), `--tau-dedup T` (promotion
+// near-duplicate threshold; 0 keeps everything).
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -34,8 +43,12 @@ i64 parse_n(const char* s) {
 
 struct PolicyResult {
   std::string name;
+  int shards = 1;
   ServiceStats stats;
   std::map<u64, u64> fingerprints;
+  double contention_s = 0;  ///< uplink queueing behind other sessions
+  std::size_t tier_entries = 0;
+  std::vector<std::size_t> shard_entries;
 };
 
 }  // namespace
@@ -53,17 +66,24 @@ int main(int argc, char** argv) {
   const bool bursty = args.has("--bursty");
   const double slack = args.get_double("--deadline-slack", 2500.0);
   const u64 seed = u64(args.get_i64("--seed", 7));
+  const int shards = int(args.get_i64("--shards", 1));
+  const double fabric_gbps = args.get_double("--fabric-gbps", 200.0);
+  const double tau_dedup = args.get_double("--tau-dedup", 0.999);
 
   bench::header(
-      "serve: multi-tenant traffic through ReconService, per policy",
+      "serve: multi-tenant traffic through ReconService, per policy + shard "
+      "sweep",
       "north star: serving heavy traffic; paper §4 reuse economics across jobs",
       "fair-share evens tenant waits; cross-job hits well above 0; outputs "
-      "identical for every policy");
+      "identical for every policy and shard count");
   std::printf(
       "workload: %lld jobs, n=%lld^3, %d slot(s) x %d gpu(s), mean "
-      "interarrival %.0f s%s, 3 tenants (weights 1/2/4)\n\n",
+      "interarrival %.0f s%s, 3 tenants (weights 1/2/4)\n"
+      "shared tier: %d shard(s), fabric %.0f Gb/s%s, tau_dedup %.3f\n\n",
       (long long)jobs, (long long)n, slots, gpus_per_job, interarrival,
-      bursty ? ", bursty x4" : " (Poisson)");
+      bursty ? ", bursty x4" : " (Poisson)", shards, fabric_gbps,
+      fabric_gbps <= 0 ? " (disabled: network-isolated sessions)" : "",
+      tau_dedup);
 
   WorkloadConfig wc;
   wc.seed = seed;
@@ -78,11 +98,7 @@ int main(int argc, char** argv) {
   const auto traffic = gen.generate();
   const auto warm = gen.priming_set();
 
-  const SchedulerPolicy policies[] = {SchedulerPolicy::Fifo,
-                                      SchedulerPolicy::Priority,
-                                      SchedulerPolicy::FairShare};
-  std::vector<PolicyResult> results;
-  for (const auto policy : policies) {
+  auto run_once = [&](SchedulerPolicy policy, int shard_count) {
     ServiceConfig sc;
     sc.n = n;
     sc.slots = slots;
@@ -92,16 +108,35 @@ int main(int argc, char** argv) {
     sc.pipeline_depth = args.pipeline();
     sc.iters_cap = iters_cap;
     sc.policy = policy;
+    sc.shard_count = shard_count;
+    sc.tau_dedup = tau_dedup;
+    sc.fabric.enabled = fabric_gbps > 0;
+    if (fabric_gbps > 0) {
+      sc.fabric.link_bandwidth = fabric_gbps * 1e9 / 8.0;
+      sc.fabric.uplink_bandwidth = fabric_gbps * 1e9 / 8.0;
+    }
     ReconService svc(sc);
     svc.prime(warm);
     for (const auto& j : traffic) svc.submit(j);
     PolicyResult pr;
     pr.name = policy_name(policy);
+    pr.shards = shard_count;
     for (const auto& st : svc.drain())
       if (st.admitted) pr.fingerprints[st.id] = st.output_fingerprint;
     pr.stats = svc.stats();
-    results.push_back(std::move(pr));
-  }
+    pr.contention_s = svc.shared_tier().fabric().contention_wait_s();
+    pr.tier_entries = svc.shared_entries();
+    for (int s = 0; s < shard_count; ++s)
+      pr.shard_entries.push_back(svc.shared_tier().shard_entries(s));
+    return pr;
+  };
+
+  const SchedulerPolicy policies[] = {SchedulerPolicy::Fifo,
+                                      SchedulerPolicy::Priority,
+                                      SchedulerPolicy::FairShare};
+  std::vector<PolicyResult> results;
+  for (const auto policy : policies)
+    results.push_back(run_once(policy, shards));
 
   std::printf("%-9s %5s %4s %5s | %24s | %24s | %5s %6s\n", "policy", "done",
               "rej", "ddl%", "queue wait p50/p90/p99 (s)",
@@ -134,22 +169,50 @@ int main(int argc, char** argv) {
                                           : 0.0);
   }
 
-  // Hermetic-session guarantee: identical outputs under every policy. The
-  // admitted *set* can legitimately differ once admission control rejects
-  // (queue dynamics are policy-dependent), so compare over the union: every
-  // job two or more policies both ran must agree bit-for-bit.
+  // Shard sweep at the FIFO policy: sharding decides placement (which link
+  // carries which bytes), never session contents, so outputs must stay
+  // bit-identical while the per-link occupancy changes shape. The fabric
+  // observables (fetch/promotion seconds, uplink contention) are the new
+  // serving dimension this records.
+  std::printf("\nshard sweep (fifo, fabric %.0f Gb/s):\n", fabric_gbps);
+  std::printf("%7s %9s %10s %11s %12s %6s | per-shard entries\n", "shards",
+              "tier", "fetch(s)", "promote(s)", "contention(s)", "xjob%");
+  std::vector<PolicyResult> sweep;
+  for (const int sc2 : {1, 2, 4}) {
+    // The policy table already ran FIFO at --shards: reuse that run instead
+    // of replaying the whole workload for a bit-identical result.
+    auto pr = sc2 == shards ? results[0] : run_once(SchedulerPolicy::Fifo, sc2);
+    std::printf("%7d %9zu %10.1f %11.3f %13.1f %6.1f |", sc2,
+                pr.tier_entries, pr.stats.fabric_fetch_s,
+                pr.stats.fabric_promote_s, pr.contention_s,
+                100.0 * pr.stats.cross_job_hit_rate());
+    for (const auto se : pr.shard_entries) std::printf(" %zu", se);
+    std::printf("\n");
+    sweep.push_back(std::move(pr));
+  }
+
+  // Hermetic-session + placement-only-sharding guarantees: identical
+  // outputs under every policy AND every shard count. The admitted *set*
+  // can legitimately differ once admission control rejects (queue dynamics
+  // are policy-dependent), so compare over the union: every job two or more
+  // runs both ran must agree bit-for-bit.
   bool identical = true;
   std::map<u64, u64> agreed;
-  for (const auto& pr : results)
-    for (const auto& [id, fp] : pr.fingerprints) {
-      const auto [it, fresh] = agreed.emplace(id, fp);
-      if (!fresh && it->second != fp) identical = false;
-    }
-  std::printf("\noutput identity across policies: %s\n",
+  for (const auto* set : {&results, &sweep})
+    for (const auto& pr : *set)
+      for (const auto& [id, fp] : pr.fingerprints) {
+        const auto [it, fresh] = agreed.emplace(id, fp);
+        if (!fresh && it->second != fp) identical = false;
+      }
+  std::printf("\noutput identity across policies and shard counts: %s\n",
               identical ? "OK (bit-identical)" : "MISMATCH");
-  std::printf("shared tier: %llu promoted, cross-job hit rate %.1f%% (fifo)\n",
-              (unsigned long long)results[0].stats.promoted,
-              100.0 * results[0].stats.cross_job_hit_rate());
+  std::printf(
+      "shared tier (fifo): %llu promoted, %llu dedup drops (tau %.3f), "
+      "%llu cap drops, cross-job hit rate %.1f%%\n",
+      (unsigned long long)results[0].stats.promoted,
+      (unsigned long long)results[0].stats.shared_dedup_drops, tau_dedup,
+      (unsigned long long)results[0].stats.shared_cap_drops,
+      100.0 * results[0].stats.cross_job_hit_rate());
 
   // Machine-readable trajectory point: configuration, per-policy wall/virtual
   // results and memo outcome counts (--json BENCH_serve_traffic.json).
@@ -162,6 +225,9 @@ int main(int argc, char** argv) {
   json.set("threads", i64(args.threads()));
   json.set("overlap_slices", args.overlap());
   json.set("pipeline_depth", args.pipeline());
+  json.set("shards", i64(shards));
+  json.set("fabric_gbps", fabric_gbps);
+  json.set("tau_dedup", tau_dedup);
   json.set("identical_outputs", identical);
   for (const auto& pr : results) {
     const auto& st = pr.stats;
@@ -182,6 +248,25 @@ int main(int argc, char** argv) {
     row.set("db_hits", st.db_hits);
     row.set("shared_hits", st.shared_hits);
     row.set("misses", st.misses);
+    row.set("promoted", st.promoted);
+    row.set("shared_dedup_drops", st.shared_dedup_drops);
+    row.set("shared_cap_drops", st.shared_cap_drops);
+    row.set("fabric_fetch_s", st.fabric_fetch_s);
+    row.set("fabric_promote_s", st.fabric_promote_s);
+  }
+  for (const auto& pr : sweep) {
+    const auto& st = pr.stats;
+    auto& row = json.row("shard_sweep");
+    row.set("shards", i64(pr.shards));
+    row.set("tier_entries", i64(pr.tier_entries));
+    row.set("fabric_fetch_s", st.fabric_fetch_s);
+    row.set("fabric_promote_s", st.fabric_promote_s);
+    row.set("uplink_contention_s", pr.contention_s);
+    row.set("makespan_s", st.makespan);
+    row.set("shared_hits", st.shared_hits);
+    row.set("promoted", st.promoted);
+    row.set("shared_dedup_drops", st.shared_dedup_drops);
+    row.set("shared_cap_drops", st.shared_cap_drops);
   }
   json.set("wall_s", wall.seconds());
   if (!bench::write_json(args.json_path(), json)) return 1;

@@ -1,9 +1,11 @@
 // Multi-tenant serving: three tenants share one ReconService — one cross-job
-// encoder, one shared memo tier, two execution slots — under weighted fair
-// share. Shows the serving lifecycle (prime → submit → drain), how a small
-// tenant with a big weight keeps its queue waits short, and how much of each
-// job is served by other jobs' work (the cross-job memoization economics).
-//   ./multi_tenant_service [n] [jobs] [threads]
+// encoder, one shared memo tier (sharded across memory nodes, reached over
+// the contended fabric), two execution slots — under weighted fair share.
+// Shows the serving lifecycle (prime → submit → drain), how a small tenant
+// with a big weight keeps its queue waits short, how much of each job is
+// served by other jobs' work (the cross-job memoization economics), and how
+// the tier stays compact (promotion dedup) and spread (key-hash shards).
+//   ./multi_tenant_service [n] [jobs] [threads] [shards]
 #include <cstdio>
 
 #include "serve/service.hpp"
@@ -15,6 +17,7 @@ int main(int argc, char** argv) {
   const i64 jobs = argc > 2 ? std::atoll(argv[2]) : 12;
   const unsigned threads =
       argc > 3 ? unsigned(std::max(0, std::atoi(argv[3]))) : 0;
+  const int shards = argc > 4 ? std::max(1, std::atoi(argv[4])) : 2;
 
   serve::ServiceConfig sc;
   sc.n = n;
@@ -22,6 +25,7 @@ int main(int argc, char** argv) {
   sc.threads = threads;
   sc.iters_cap = 4;
   sc.policy = serve::SchedulerPolicy::FairShare;
+  sc.shard_count = shards;
   serve::ReconService svc(sc);
 
   serve::WorkloadConfig wc;
@@ -71,5 +75,17 @@ int main(int argc, char** argv) {
       "shared tier now %zu entries\n",
       100.0 * ss.cross_job_hit_rate(), (unsigned long long)ss.lookups,
       100.0 * ss.utilization(sc.slots), svc.shared_entries());
+  const auto& tier = svc.shared_tier();
+  std::printf("tier shards (%d):", tier.shard_count());
+  for (int s = 0; s < tier.shard_count(); ++s)
+    std::printf(" %zu", tier.shard_entries(s));
+  std::printf(
+      "; promotion dedup dropped %llu, cap dropped %llu\n"
+      "fabric: %llu transfers, fetch %.0f s + promote %.0f s charged, "
+      "%.0f s waited on the shared uplink\n",
+      (unsigned long long)ss.shared_dedup_drops,
+      (unsigned long long)ss.shared_cap_drops,
+      (unsigned long long)tier.fabric().transfers(), ss.fabric_fetch_s,
+      ss.fabric_promote_s, tier.fabric().contention_wait_s());
   return 0;
 }

@@ -7,6 +7,7 @@
 #     resolve different memo outcomes, and emits the BENCH_*.json
 #     perf-trajectory point.
 # The TSan preset additionally re-runs the cross-stage determinism matrix
+# and the serve shard matrix (shards x policies x threads x pipeline_depth)
 # explicitly (the pipelined tail handoff is exactly where the PR-2 cv race
 # hid) before the smokes.
 #   ./scripts/check.sh          release build + ctest + smokes
@@ -23,7 +24,7 @@ if [[ "$preset" == "tsan" ]]; then
   ./build-tsan/concurrency_test \
     --gtest_filter='Concurrency.PipelinedCrossStageDeterminismMatrix:Concurrency.StageExecutorDeterministic*'
   ./build-tsan/serve_test \
-    --gtest_filter='ReconService.OutputsIdenticalAcrossPipelineDepths'
+    --gtest_filter='ReconService.OutputsIdenticalAcrossPipelineDepths:ReconService.SharedTierShardMatrix'
   ./build-tsan/bench_stage_scaling --n 12 --reps 2 --threads 2 \
     --json /tmp/BENCH_stage_scaling.tsan.json
   ./build-tsan/bench_serve_traffic --jobs 8 --n small

@@ -5,6 +5,7 @@
 
 #include "common/array.hpp"
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/parallel.hpp"
 
 namespace mlr::memo {
@@ -44,6 +45,33 @@ double estimated_chunk_cosine(std::span<const float> key_q,
   const double cs =
       (norm_q * norm_q + norm_db * norm_db - dz2) / (2.0 * norm_q * norm_db);
   return std::clamp(cs, -1.0, 1.0);
+}
+
+int entry_shard(const MemoDb::Entry& e, int shard_count) {
+  MLR_CHECK(shard_count >= 1);
+  if (shard_count == 1) return 0;
+  u64 h = fnv1a(kFnvOffsetBasis, &e.kind, sizeof e.kind);
+  h = fnv1a(h, e.key.data(), e.key.size() * sizeof(float));
+  return int(h % u64(shard_count));
+}
+
+std::size_t entry_bytes(const MemoDb::Entry& e) {
+  return e.key.size() * sizeof(float) + e.value.size() * sizeof(cfloat) +
+         e.probe.size() * sizeof(cfloat) + sizeof e.norm;
+}
+
+double entry_similarity(const MemoDb::Entry& a, const MemoDb::Entry& b) {
+  if (a.kind != b.kind || a.value.size() != b.value.size()) return -1.0;
+  const double lo = std::min(a.norm, b.norm), hi = std::max(a.norm, b.norm);
+  const double scale = hi > 0 ? lo / hi : (a.norm == b.norm ? 1.0 : 0.0);
+  double cs;
+  if (!a.probe.empty() && a.probe.size() == b.probe.size()) {
+    cs = cosine_similarity<cfloat>(a.probe, b.probe);
+  } else {
+    cs = std::min(key_cosine(a.key, b.key),
+                  estimated_chunk_cosine(a.key, b.key, a.norm, b.norm));
+  }
+  return std::min(cs, scale);
 }
 
 MemoDb::MemoDb(MemoDbConfig cfg, sim::Interconnect* net,

@@ -222,12 +222,40 @@ class MemoDb {
                    std::span<const cfloat> value, double norm = 1.0,
                    std::vector<cfloat> probe = {});
 
-  // --- Snapshots / shared-memo sessions ------------------------------------
+  // --- Snapshots / shared-memo sessions / the sharded tier ------------------
   // The serving layer (serve::ReconService) keeps one *shared memo tier* per
-  // service and seeds every job's session database from it: entries below
-  // the shared boundary were produced by other jobs (or the priming pass),
-  // so a hit on one of them is cross-job reuse — the effect the paper's
-  // economics depend on and MemoCounters::db_hit_shared measures.
+  // service — a snapshot of promoted entries, stored across N memory-node
+  // shards (serve::SharedTier) — and seeds every job's session database from
+  // it. The lifecycle, and who pays for what on the virtual clock:
+  //
+  //   * export — after a session settles its pipeline tails and drains the
+  //     async writer, export_entries(shared_seq_boundary()) yields "what this
+  //     job inserted on top of its seed", in insertion order. Exporting is
+  //     free: the entries' link/node/DRAM traffic was charged when they were
+  //     first inserted inside the session.
+  //   * promote — the service ships those entries to the tier in job-id
+  //     order (policy-invariant tier evolution) and charges the transfer to
+  //     the shared fabric (sim::Fabric) at the job's finish time: per-shard
+  //     links stream concurrently, the shared uplink serializes sessions.
+  //     At the tier, a *dedup probe* rejects near-duplicates: the candidate
+  //     is the entry's nearest tier neighbour in key space (the same ANN
+  //     machinery the live DB queries with), gated by entry_similarity()
+  //     above τ_dedup; survivors then meet the max-entries cap. Both drop
+  //     classes are counted separately (MemoCounters::shared_dedup_drops /
+  //     shared_cap_drops).
+  //   * fetch/import — when a job is dispatched, the service charges the
+  //     fabric for fetching the whole tier (per-shard byte split by
+  //     entry_shard()), and the session's compute begins only when the fetch
+  //     completes. import_entries() then replays the snapshot in its
+  //     canonical insertion order — identical for every shard count, since
+  //     sharding decides placement (which link carries which bytes), never
+  //     ordering — so ids, the IVF training set and every downstream hit
+  //     decision are bit-identical for shards ∈ {1, 2, 4, …}.
+  //
+  // Entries below the shared boundary were produced by other jobs (or the
+  // priming pass), so a hit on one of them is cross-job reuse — the effect
+  // the paper's economics depend on and MemoCounters::db_hit_shared
+  // measures.
 
   /// One exported (key, value) record in insertion order — the unit a
   /// snapshot is made of. `kind` partitions the key/value space exactly as
@@ -339,6 +367,29 @@ class MemoDb {
   std::vector<std::shared_ptr<Slice>> slices_;  // current async round
   bool round_open_ = false;
 };
+
+// --- Sharded-tier helpers ----------------------------------------------------
+// Free functions on snapshot entries, shared by serve::SharedTier: stable
+// key-hash shard placement, wire footprint, and the promotion dedup probe.
+
+/// Stable shard placement of a snapshot entry: FNV-1a over (kind, key bytes)
+/// mod `shard_count`. Content-addressed — independent of insertion order and
+/// of which session produced the entry, so the same chunk always lands on
+/// the same memory-node shard.
+int entry_shard(const MemoDb::Entry& e, int shard_count);
+
+/// Wire footprint of one snapshot entry (key + value + oracle probe): the
+/// bytes a fetch or promotion moves across the fabric for it.
+std::size_t entry_bytes(const MemoDb::Entry& e);
+
+/// The dedup probe: how interchangeable two snapshot entries are, in the
+/// same units as the query-time τ gate. Entries of different kinds or value
+/// sizes are never interchangeable (−1). With oracle probes present on both
+/// sides it is the true pooled-plane cosine; otherwise the encoder proxy
+/// (min of key cosine and the norm-aware chunk-cosine estimate). Either way
+/// the min with the norm ratio lo/hi guards against rescaled copies, as the
+/// live scale gate does.
+double entry_similarity(const MemoDb::Entry& a, const MemoDb::Entry& b);
 
 /// Cosine similarity between two float keys.
 double key_cosine(std::span<const float> a, std::span<const float> b);

@@ -102,6 +102,13 @@ struct MemoCounters {
   /// MemoDb::import_entries) — i.e. another job's work. The cross-job reuse
   /// the serving layer (serve::ReconService) charges per job.
   u64 db_hit_shared = 0;
+  /// Promotion outcomes for the entries this job exported to the shared
+  /// tier, filled in by serve::ReconService after drain(): insertions the
+  /// tier rejected as near-duplicates (within τ_dedup of an existing tier
+  /// entry) vs. drops at the max_shared_entries cap. Counted separately so
+  /// tier compaction is distinguishable from tier overflow.
+  u64 shared_dedup_drops = 0;
+  u64 shared_cap_drops = 0;
   [[nodiscard]] u64 total() const {
     return computed + miss + db_hit + cache_hit;
   }

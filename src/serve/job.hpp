@@ -94,8 +94,16 @@ struct JobStats {
   sim::VTime arrival = 0, start = 0, finish = 0;
   /// Policy-invariant job runtime: sessions are hermetic (seed snapshot +
   /// own insertions), so a job's duration never depends on who else was in
-  /// the queue — only queue wait and turnaround do.
+  /// the queue — only queue wait, seed-fetch time and turnaround do.
   double run_vtime = 0;
+  /// Virtual seconds between dispatch and compute start, spent fetching the
+  /// shared-tier seed over the contended fabric (queueing behind other
+  /// sessions' uplink passes included): finish = start + seed_fetch_s +
+  /// run_vtime. 0 when the fabric is disabled or the tier is empty.
+  double seed_fetch_s = 0;
+  /// Entries of this job accepted into the shared tier (its dedup/cap drops
+  /// are in memo.shared_dedup_drops / memo.shared_cap_drops).
+  u64 promoted = 0;
   bool deadline_met = true;
   double error_vs_truth = 0;
   memo::MemoCounters memo;       ///< incl. db_hit_shared (cross-job reuse)

@@ -67,9 +67,9 @@ std::size_t FairShareScheduler::pick(std::span<const QueuedJob> waiting,
 }
 
 void FairShareScheduler::on_dispatch(const JobRequest& job, sim::VTime,
-                                     double run_vtime) {
+                                     double slot_vtime) {
   const double w = job.tenant_weight > 0 ? job.tenant_weight : 1.0;
-  vrun_[job.tenant] += run_vtime / w;
+  vrun_[job.tenant] += slot_vtime / w;
 }
 
 double FairShareScheduler::tenant_vruntime(const std::string& tenant) const {

@@ -3,12 +3,13 @@
 //
 // The service calls pick() whenever an execution slot frees at virtual time
 // `now`, passing every admitted job whose arrival ≤ now; the scheduler
-// returns the index to dispatch. Because sessions are hermetic, a job's run
-// vtime is already known when it starts, so on_dispatch() charges usage
-// accounting exactly (no estimates): the weighted-fair-share policy is
-// classic stride scheduling over per-tenant virtual runtime. Every policy
-// breaks ties by (arrival, id), so schedules are deterministic and
-// hand-computable — the property tests/serve_test.cpp pins down.
+// returns the index to dispatch. Because sessions are hermetic, a job's
+// slot occupancy (seed fetch + run vtime) is already known when it starts,
+// so on_dispatch() charges usage accounting exactly (no estimates): the
+// weighted-fair-share policy is classic stride scheduling over per-tenant
+// virtual runtime. Every policy breaks ties by (arrival, id), so schedules
+// are deterministic and hand-computable — the property
+// tests/serve_test.cpp pins down.
 #pragma once
 
 #include <memory>
@@ -37,10 +38,11 @@ class Scheduler {
   /// Choose which of `waiting` (non-empty; all arrived by `now`) to run.
   [[nodiscard]] virtual std::size_t pick(std::span<const QueuedJob> waiting,
                                          sim::VTime now) = 0;
-  /// The chosen job starts at `start` and will run for `run_vtime` virtual
-  /// seconds — exact, not an estimate (see header comment).
+  /// The chosen job starts at `start` and will hold its slot for
+  /// `slot_vtime` virtual seconds (seed fetch + run) — exact, not an
+  /// estimate (see header comment).
   virtual void on_dispatch(const JobRequest& job, sim::VTime start,
-                           double run_vtime) {}
+                           double slot_vtime) {}
 };
 
 /// First-come-first-served: earliest arrival, ties by id.
@@ -60,7 +62,7 @@ class PriorityScheduler : public Scheduler {
 };
 
 /// Weighted fair share via per-tenant virtual-runtime (stride) accounting:
-/// dispatching a job advances its tenant's vruntime by run_vtime / weight;
+/// dispatching a job advances its tenant's vruntime by slot_vtime / weight;
 /// pick() always serves the waiting job whose tenant has the smallest
 /// vruntime. A tenant with weight w therefore converges to w× the busy
 /// share of a weight-1 tenant under saturation. Tenants start at vruntime 0
@@ -72,7 +74,7 @@ class FairShareScheduler : public Scheduler {
   [[nodiscard]] std::size_t pick(std::span<const QueuedJob> waiting,
                                  sim::VTime now) override;
   void on_dispatch(const JobRequest& job, sim::VTime start,
-                   double run_vtime) override;
+                   double slot_vtime) override;
   /// Accumulated virtual runtime of a tenant (0 when never dispatched).
   [[nodiscard]] double tenant_vruntime(const std::string& tenant) const;
 

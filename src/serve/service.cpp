@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "cluster/cluster.hpp"
@@ -19,6 +20,13 @@ ReconService::ReconService(ServiceConfig cfg)
       encoder::EncoderConfig{.input_hw = mc.encoder_hw,
                              .embed_dim = mc.key_dim});
   if (cfg_.threads > 0) pool_ = std::make_unique<ThreadPool>(cfg_.threads);
+  SharedTierConfig tc;
+  tc.shard_count = cfg_.shard_count;
+  tc.max_entries = cfg_.max_shared_entries;
+  tc.tau_dedup = cfg_.tau_dedup;
+  tc.key_dim = mc.key_dim;
+  tc.fabric = cfg_.fabric;
+  tier_ = std::make_unique<SharedTier>(tc);
   slot_free_.assign(std::size_t(cfg_.slots), 0.0);
   sched_ = make_scheduler(cfg_.policy);
 }
@@ -42,11 +50,11 @@ const Array3D<cfloat>& ReconService::ground_truth(Scenario s, u64 seed) {
 }
 
 JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
+                               sim::VTime seed_ready,
                                std::vector<memo::MemoDb::Entry>* own_entries) {
   const auto prof = scenario_profile(req.scenario);
   const auto& pb = problem_for(req.scenario, req.seed);
-  const double s = double(prof.paper_n) / double(cfg_.n);
-  const double ws = s * s * s;
+  const double ws = work_scale_for(req.scenario);
 
   memo::MemoConfig mc;
   mc.enable = cfg_.memoize;
@@ -75,12 +83,14 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
   st.priority = req.priority;
   st.arrival = req.arrival;
   st.start = start;
+  st.seed_fetch_s = seed_ready - start;
 
   // Hermetic session: fresh devices/net/memory node (virtual time starts at
-  // 0 inside the session; the service adds `start`), the service's one
-  // encoder, and a MemoDb seeded from the shared tier.
+  // 0 inside the session; the service adds `seed_ready`, the charged fabric
+  // completion of its seed fetch), the service's one encoder, and a MemoDb
+  // seeded from the tier's canonical insertion-order snapshot.
   const std::vector<memo::MemoDb::Entry>* seed =
-      cfg_.memoize && !base_.empty() ? &base_ : nullptr;
+      cfg_.memoize && tier_->size() > 0 ? &tier_->snapshot() : nullptr;
   std::unique_ptr<ExecutionContext> ctx;
   std::unique_ptr<cluster::Cluster> clu;
   memo::StageExecutor* exec = nullptr;
@@ -113,7 +123,7 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
   const auto res = solver.solve(pb.d);
 
   st.run_vtime = res.total_vtime;
-  st.finish = start + res.total_vtime;
+  st.finish = seed_ready + res.total_vtime;
   st.deadline_met = req.deadline <= 0 || st.finish <= req.deadline;
   st.memo = exec->counters();
   st.cache_hit_rate = exec->cache_stats().hit_rate();
@@ -124,26 +134,43 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
   return st;
 }
 
-void ReconService::promote(std::vector<memo::MemoDb::Entry> entries) {
-  for (auto& e : entries) {
-    if (base_.size() >= cfg_.max_shared_entries) {
-      stats_.promotion_dropped += 1;
-      continue;
-    }
-    base_.push_back(std::move(e));
-    stats_.promoted += 1;
+double ReconService::work_scale_for(Scenario s) const {
+  const double sc = double(scenario_profile(s).paper_n) / double(cfg_.n);
+  return sc * sc * sc;
+}
+
+sim::VTime ReconService::charge_seed_fetch(sim::VTime t, double scale) {
+  const sim::VTime ready = tier_->charge_fetch(t, scale);
+  stats_.fabric_fetch_s += ready - t;
+  return ready;
+}
+
+void ReconService::fold_promotion(JobStats* st,
+                                  std::vector<memo::MemoDb::Entry> entries) {
+  if (entries.empty()) return;
+  const PromotionOutcome outcome = tier_->fold(std::move(entries));
+  stats_.promoted += outcome.promoted;
+  stats_.shared_dedup_drops += outcome.dedup_drops;
+  stats_.shared_cap_drops += outcome.cap_drops;
+  if (st != nullptr) {
+    st->promoted = outcome.promoted;
+    st->memo.shared_dedup_drops = outcome.dedup_drops;
+    st->memo.shared_cap_drops = outcome.cap_drops;
   }
 }
 
 std::vector<JobStats> ReconService::prime(std::span<const JobRequest> warm) {
+  // Offline warm-up: the tier is built before traffic exists, so neither
+  // the seed fetches nor the promotions of warm jobs touch the fabric — its
+  // clock starts with drain().
   std::vector<JobStats> out;
   out.reserve(warm.size());
   for (const auto& w : warm) {
     JobRequest req = w;
     req.id = next_id_++;
     std::vector<memo::MemoDb::Entry> own;
-    auto st = run_job(req, 0.0, cfg_.memoize ? &own : nullptr);
-    if (cfg_.memoize) promote(std::move(own));
+    auto st = run_job(req, 0.0, 0.0, cfg_.memoize ? &own : nullptr);
+    if (cfg_.memoize) fold_promotion(&st, std::move(own));
     out.push_back(std::move(st));
   }
   return out;
@@ -167,11 +194,11 @@ void ReconService::account(const JobStats& st) {
   stats_.shared_hits += st.memo.db_hit_shared;
   stats_.misses += st.memo.miss;
   stats_.makespan = std::max(stats_.makespan, st.finish);
-  stats_.busy_s += st.run_vtime;
+  stats_.busy_s += st.run_vtime + st.seed_fetch_s;
   if (!st.deadline_met) ++stats_.deadline_missed;
   auto& ten = stats_.tenants[st.tenant];
   ++ten.jobs;
-  ten.busy_s += st.run_vtime;
+  ten.busy_s += st.run_vtime + st.seed_fetch_s;
   ten.queue_wait.add(st.queue_wait());
 }
 
@@ -188,18 +215,53 @@ std::vector<JobStats> ReconService::drain() {
             });
   std::vector<JobStats> out;
   out.reserve(arr.size());
-  // Session insertions, promoted at the end in job-id order: the shared
-  // tier's evolution is identical for every scheduling policy.
+  // Session insertions: shipments are charged to the fabric in (finish, id)
+  // order, interleaved with the fetch charges so timeline ready times stay
+  // monotone — a finished job's promotion traffic contends with every later
+  // dispatch's seed fetch. The tier itself *folds* at the end in job-id
+  // order: its evolution is identical for every scheduling policy (the
+  // charge/fold split of shared_tier.hpp).
   std::map<u64, std::vector<memo::MemoDb::Entry>> own;
+  struct Shipment {
+    sim::VTime finish;
+    u64 id;
+    Scenario scenario;
+  };
+  std::vector<Shipment> pending;
+  auto charge_shipments_until = [&](sim::VTime upto) {
+    std::sort(pending.begin(), pending.end(),
+              [](const Shipment& a, const Shipment& b) {
+                return a.finish != b.finish ? a.finish < b.finish
+                                            : a.id < b.id;
+              });
+    std::size_t shipped = 0;
+    while (shipped < pending.size() && pending[shipped].finish <= upto) {
+      const Shipment& sh = pending[shipped];
+      const sim::VTime done = tier_->charge_store(
+          own[sh.id], sh.finish, work_scale_for(sh.scenario));
+      stats_.fabric_promote_s += done - sh.finish;
+      ++shipped;
+    }
+    pending.erase(pending.begin(), pending.begin() + i64(shipped));
+  };
   std::vector<QueuedJob> waiting;
   std::size_t next = 0;
   while (next < arr.size() || !waiting.empty()) {
-    // Earliest-free slot (ties: lowest index) sets the dispatch time.
+    // Earliest-free slot (ties: lowest index) sets the dispatch time: a job
+    // runs when that slot is free AND a job has arrived, so clamp up to the
+    // earliest arrival still on the table — a waiting job's, or the next
+    // submission's when it beats them. (Clamping only when the queue was
+    // empty used to let a second, idle slot start a queued job before its
+    // own arrival instant.)
     std::size_t slot = 0;
     for (std::size_t s2 = 1; s2 < slot_free_.size(); ++s2)
       if (slot_free_[s2] < slot_free_[slot]) slot = s2;
     sim::VTime t = slot_free_[slot];
-    if (waiting.empty()) t = std::max(t, arr[next].arrival);
+    sim::VTime earliest = std::numeric_limits<sim::VTime>::infinity();
+    for (const auto& w : waiting)
+      earliest = std::min(earliest, w.req->arrival);
+    if (next < arr.size()) earliest = std::min(earliest, arr[next].arrival);
+    t = std::max(t, earliest);
     // Admission at arrival: everything that arrived by t joins the queue in
     // arrival order; arrivals past the backlog cap are rejected.
     while (next < arr.size() && arr[next].arrival <= t) {
@@ -220,22 +282,43 @@ std::vector<JobStats> ReconService::drain() {
       }
       ++next;
     }
+    // Every waiter has arrived by t: t is non-decreasing across iterations
+    // (the slot minimum and the earliest-pending-arrival terms both only
+    // rise), and each waiter was admitted when its arrival was <= the then-
+    // current t.
     const std::size_t pi = sched_->pick(waiting, t);
     const JobRequest req = *waiting[pi].req;
     waiting.erase(waiting.begin() + i64(pi));
+    // The dispatched session first fetches the shared tier over the fabric
+    // — the charge concurrent sessions contend on — and computes only once
+    // the seed landed. Dispatch times are non-decreasing across iterations,
+    // so charging shipments whose jobs finished by t first, then this fetch,
+    // keeps the fabric's ready times in time order.
+    charge_shipments_until(t);
+    const sim::VTime seed_ready =
+        cfg_.memoize ? charge_seed_fetch(t, work_scale_for(req.scenario)) : t;
     std::vector<memo::MemoDb::Entry> mine;
     const bool collect = cfg_.memoize && cfg_.promote_after_drain;
-    JobStats st = run_job(req, t, collect ? &mine : nullptr);
+    JobStats st = run_job(req, t, seed_ready, collect ? &mine : nullptr);
     st.slot = int(slot);
-    sched_->on_dispatch(req, t, st.run_vtime);
+    // Usage accounting bills the whole slot occupancy — the seed fetch holds
+    // the slot just like the compute does.
+    sched_->on_dispatch(req, t, st.finish - st.start);
     slot_free_[slot] = st.finish;
-    if (collect) own.emplace(req.id, std::move(mine));
+    if (collect) {
+      own.emplace(req.id, std::move(mine));
+      pending.push_back({st.finish, req.id, req.scenario});
+    }
     account(st);
     out.push_back(std::move(st));
   }
-  for (auto& [id, es] : own) promote(std::move(es));
+  charge_shipments_until(std::numeric_limits<sim::VTime>::infinity());
   std::sort(out.begin(), out.end(),
             [](const JobStats& a, const JobStats& b) { return a.id < b.id; });
+  for (auto& st : out) {
+    const auto it = own.find(st.id);
+    if (it != own.end()) fold_promotion(&st, std::move(it->second));
+  }
   return out;
 }
 

@@ -1,27 +1,55 @@
 // serve/service — ReconService, the multi-tenant reconstruction service.
 //
-// The serving model (README "Serving model" has the long form):
+// The serving model (docs/serving.md has the long form):
 //
 //   * One service = one shared geometry + ONE cross-job key encoder + a
-//     *shared memo tier* (a MemoDb snapshot) + `slots` execution slots
-//     (one simulated GPU each, or `gpus_per_job` GPUs via cluster::Cluster)
-//     + a host worker pool every session shares.
+//     *shared memo tier* (serve::SharedTier — promoted MemoDb entries on
+//     `shard_count` memory-node shards behind one contended sim::Fabric) +
+//     `slots` execution slots (one simulated GPU each, or `gpus_per_job`
+//     GPUs via cluster::Cluster) + a host worker pool every session shares.
 //   * Lifecycle: configure → prime() → submit()* → drain(). prime() trains
 //     the encoder and seeds the shared tier by running a canonical warm-up
 //     workload back-to-back; drain() runs the event loop on the sim virtual
 //     clock: jobs arrive, pass admission control (waiting jobs beyond
 //     max_queue are rejected), wait in the JobQueue, and are dispatched by
-//     the pluggable Scheduler whenever a slot frees.
+//     the pluggable Scheduler whenever a slot frees and an admitted job has
+//     arrived.
+//   * Who charges fabric time (all of it on the event-loop thread, with
+//     monotone ready times — deterministic per policy): at dispatch the
+//     service charges the *seed fetch* — the whole tier crosses the fabric
+//     (shard links in parallel, shared uplink serialized across sessions),
+//     timed at the job's work_scale like every other wire charge — and the
+//     session's compute starts only at its completion, so
+//     finish = start + seed_fetch_s + run_vtime and concurrent sessions
+//     interfere on the virtual clock. Promotion *shipments* are charged in
+//     (finish, id) order, interleaved with the fetch charges — a shipment
+//     enters the fabric the moment its job finishes, so it contends with
+//     every later dispatch's fetch. prime() is an offline warm-up and
+//     charges nothing: the fabric clock starts with traffic. The fabric
+//     carries over between drains: this epoch's promotion traffic delays
+//     the next epoch's fetches.
+//   * Promotion order and dedup semantics: separate from the shipment
+//     charges, the tier *folds* each job's entries in job-id order (the
+//     charge/fold split of serve/shared_tier.hpp), which makes the tier's
+//     evolution policy-invariant; each entry meets the max_shared_entries
+//     cap first (at capacity it drops unprobed, shared_cap_drops) and the
+//     dedup probe second (nearest tier key within τ_dedup ⇒ dropped as a
+//     near-duplicate, MemoCounters::shared_dedup_drops).
+//   * Cross-drain approximation: shipments still pending when a drain ends
+//     are charged then, at their finish times. A later drain whose early
+//     dispatches precede those finishes sees that traffic as already
+//     queued — an ordering error bounded by the shipments' (small) transfer
+//     durations, accepted so every drain leaves the fabric fully charged.
 //   * Shared-memo sessions: every dispatched job runs in a hermetic session
-//     — a fresh ExecutionContext whose MemoDb is seeded from the shared
-//     tier and which keys through the service's one encoder. Hits on seeded
-//     entries are cross-job reuse (MemoCounters::db_hit_shared); the job's
-//     own insertions stay private until drain() promotes them back into the
-//     shared tier in job-id order. Hermetic sessions are what make serving
-//     reproducible: a job's output and run vtime depend only on (request,
-//     shared tier), never on scheduling policy, thread count or queue
-//     neighbours — so latency CDFs are comparable across policies while
-//     outputs stay bit-identical.
+//     — a fresh ExecutionContext whose MemoDb is seeded from the tier's
+//     canonical insertion-order snapshot and which keys through the
+//     service's one encoder. Hits on seeded entries are cross-job reuse
+//     (MemoCounters::db_hit_shared). Hermetic sessions are what make
+//     serving reproducible: a job's output and run vtime depend only on
+//     (request, shared tier) — never on scheduling policy, thread count,
+//     pipeline depth, queue neighbours or shard count (sharding moves
+//     bytes, not entries) — so latency CDFs are comparable across policies
+//     and fabric settings while outputs stay bit-identical.
 #pragma once
 
 #include <map>
@@ -34,6 +62,7 @@
 #include "core/execution_context.hpp"
 #include "serve/job.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/shared_tier.hpp"
 
 namespace mlr::serve {
 
@@ -66,6 +95,18 @@ struct ServiceConfig {
   std::size_t max_shared_entries = 1u << 20;  ///< promotion cap
   bool promote_after_drain = true;
 
+  // Shared-tier sharding + the cross-session fabric (serve/shared_tier.hpp,
+  // sim/fabric.hpp). Sharding never changes outputs — only which link
+  // carries which bytes; the fabric moves virtual time only.
+  int shard_count = 1;     ///< memory-node shards holding the tier
+  /// Promotion near-duplicate threshold (0 disables the dedup probe). The
+  /// default only rejects effectively-identical chunks — far above any
+  /// scenario's query τ, so dedup compacts the tier without starving reuse.
+  double tau_dedup = 0.999;
+  /// Fabric the seed fetches and promotions are charged on. Disable to
+  /// restore the pre-fabric network-isolated sessions (zero charges).
+  sim::FabricSpec fabric{};
+
   // Scheduling.
   SchedulerPolicy policy = SchedulerPolicy::Fifo;
 
@@ -86,9 +127,12 @@ struct ServiceStats {
   // Memoization outcomes summed over completed jobs.
   u64 lookups = 0, cache_hits = 0, db_hits = 0, shared_hits = 0, misses = 0;
   sim::VTime makespan = 0;  ///< latest finish seen
-  double busy_s = 0;        ///< sum of run vtimes across slots
+  double busy_s = 0;        ///< slot occupancy (seed fetch + run) summed
   u64 promoted = 0;             ///< entries promoted into the shared tier
-  u64 promotion_dropped = 0;    ///< entries dropped by max_shared_entries
+  u64 shared_dedup_drops = 0;   ///< promotions rejected as near-duplicates
+  u64 shared_cap_drops = 0;     ///< promotions dropped at max_shared_entries
+  double fabric_fetch_s = 0;    ///< virtual seconds jobs spent fetching seeds
+  double fabric_promote_s = 0;  ///< virtual seconds shipping promotions
   std::map<std::string, TenantStats> tenants;
 
   /// Fraction of memo lookups served by another job's work.
@@ -131,7 +175,9 @@ class ReconService {
 
   [[nodiscard]] const ServiceStats& stats() const { return stats_; }
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
-  [[nodiscard]] std::size_t shared_entries() const { return base_.size(); }
+  [[nodiscard]] std::size_t shared_entries() const { return tier_->size(); }
+  /// The sharded tier (shard occupancy, fabric contention counters).
+  [[nodiscard]] const SharedTier& shared_tier() const { return *tier_; }
   [[nodiscard]] Scheduler& scheduler() { return *sched_; }
   [[nodiscard]] const lamino::Operators& ops() const { return ops_; }
   /// Ground truth for a scenario/seed (error accounting, tests).
@@ -143,11 +189,23 @@ class ReconService {
     Array3D<cfloat> d;  ///< simulated projections
   };
   const Problem& problem_for(Scenario s, u64 seed);
-  /// Execute one job in a hermetic session starting at virtual `start`;
-  /// `own_entries` (nullable) receives the session's own DB insertions.
+  /// Execute one job in a hermetic session: dispatched at `start`, compute
+  /// begins at `seed_ready` (the charged fabric fetch completion; == start
+  /// when nothing was fetched). `own_entries` (nullable) receives the
+  /// session's own DB insertions.
   JobStats run_job(const JobRequest& req, sim::VTime start,
+                   sim::VTime seed_ready,
                    std::vector<memo::MemoDb::Entry>* own_entries);
-  void promote(std::vector<memo::MemoDb::Entry> entries);
+  /// Virtual-clock multiplier of a scenario's wire/compute charges.
+  [[nodiscard]] double work_scale_for(Scenario s) const;
+  /// Charge the seed fetch for a job dispatched at `t`; returns when the
+  /// session may start computing.
+  sim::VTime charge_seed_fetch(sim::VTime t, double scale);
+  /// Fold one job's insertions into the tier (no clock charges — shipments
+  /// are charged separately in finish order) and account the outcome into
+  /// service stats and — when non-null — the job's own record
+  /// (`st->promoted`, `st->memo.shared_*_drops`).
+  void fold_promotion(JobStats* st, std::vector<memo::MemoDb::Entry> entries);
   void account(const JobStats& st);
 
   ServiceConfig cfg_;
@@ -155,7 +213,7 @@ class ReconService {
   lamino::Operators ops_;
   std::shared_ptr<encoder::EncoderRegistry> registry_;
   std::unique_ptr<ThreadPool> pool_;  ///< shared by sessions (null = global)
-  std::vector<memo::MemoDb::Entry> base_;  ///< the shared memo tier
+  std::unique_ptr<SharedTier> tier_;  ///< the sharded shared memo tier
   std::vector<JobRequest> queue_;          ///< submitted, not yet drained
   std::vector<sim::VTime> slot_free_;      ///< per-slot next-free vtime
   u64 next_id_ = 1;

@@ -1,0 +1,86 @@
+#include "serve/shared_tier.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mlr::serve {
+
+SharedTier::SharedTier(SharedTierConfig cfg)
+    : cfg_(cfg),
+      fabric_(cfg.fabric, cfg.shard_count),
+      shard_entries_(std::size_t(cfg.shard_count), 0),
+      shard_bytes_(std::size_t(cfg.shard_count), 0.0) {
+  MLR_CHECK(cfg_.shard_count >= 1 && cfg_.max_entries >= 1);
+  MLR_CHECK(cfg_.tau_dedup >= 0.0 && cfg_.tau_dedup <= 1.0);
+  for (int k = 0; k < memo::kNumOpKinds; ++k)
+    index_.push_back(
+        std::make_unique<ann::IvfFlatIndex>(cfg_.key_dim, cfg_.ivf));
+}
+
+sim::VTime SharedTier::charge_fetch(sim::VTime ready, double scale) {
+  std::vector<double> wire(shard_bytes_);
+  for (double& b : wire) b *= scale;
+  // The uplink total accumulates in fold order — shard-count independent —
+  // so completion is bit-identical for every shard split.
+  return fabric_.transfer(ready, wire, total_bytes_ * scale);
+}
+
+bool SharedTier::near_duplicate(const memo::MemoDb::Entry& e) const {
+  const auto& idx = *index_[std::size_t(int(e.kind))];
+  const auto nn = idx.nearest(e.key);
+  if (!nn.has_value()) return false;
+  return memo::entry_similarity(e, entries_[std::size_t(nn->id)]) >
+         cfg_.tau_dedup;
+}
+
+sim::VTime SharedTier::charge_store(
+    const std::vector<memo::MemoDb::Entry>& entries, sim::VTime ready,
+    double scale) {
+  // The whole batch travels: the session ships first, the tier filters on
+  // arrival — a rejected entry still spent its fabric time. The uplink
+  // total accumulates in batch order (shard-count independent).
+  std::vector<double> wire(std::size_t(cfg_.shard_count), 0.0);
+  double total = 0;
+  for (const auto& e : entries) {
+    const double b = double(memo::entry_bytes(e)) * scale;
+    wire[std::size_t(memo::entry_shard(e, cfg_.shard_count))] += b;
+    total += b;
+  }
+  return fabric_.transfer(ready, wire, total);
+}
+
+PromotionOutcome SharedTier::promote(std::vector<memo::MemoDb::Entry> entries,
+                                     sim::VTime ready, double scale) {
+  const sim::VTime done = charge_store(entries, ready, scale);
+  PromotionOutcome out = fold(std::move(entries));
+  out.done = done;
+  return out;
+}
+
+PromotionOutcome SharedTier::fold(std::vector<memo::MemoDb::Entry> entries) {
+  PromotionOutcome out;
+  for (auto& e : entries) {
+    // Cap first: at capacity the drop is inevitable, so skip the ANN probe
+    // (a full tier would otherwise pay one nearest() scan per offered entry
+    // just to label the drop).
+    if (entries_.size() >= cfg_.max_entries) {
+      ++out.cap_drops;
+      continue;
+    }
+    if (cfg_.tau_dedup > 0.0 && near_duplicate(e)) {
+      ++out.dedup_drops;
+      continue;
+    }
+    const int shard = memo::entry_shard(e, cfg_.shard_count);
+    shard_entries_[std::size_t(shard)] += 1;
+    shard_bytes_[std::size_t(shard)] += double(memo::entry_bytes(e));
+    total_bytes_ += double(memo::entry_bytes(e));
+    index_[std::size_t(int(e.kind))]->add(u64(entries_.size()), e.key);
+    entries_.push_back(std::move(e));
+    ++out.promoted;
+  }
+  return out;
+}
+
+}  // namespace mlr::serve

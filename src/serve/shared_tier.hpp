@@ -1,0 +1,141 @@
+// serve/shared_tier — the service's shared memo tier, sharded across memory
+// nodes and reached over the contended fabric.
+//
+// One SharedTier holds every entry jobs have promoted, in one *canonical
+// insertion order* (promotion order — job-id order within a drain). Sessions
+// import exactly that order (MemoDb::import_entries), so the seed snapshot —
+// and therefore every id, IVF training set and hit decision downstream — is
+// bit-identical for every shard count: sharding decides *placement* (which
+// memory-node link carries an entry's bytes, by content hash
+// memo::entry_shard), never ordering or membership.
+//
+// Promotion splits the way an engine insertion does (charge_insert /
+// store_insert): the fabric *charge* happens when a shipment enters the
+// fabric, the tier *fold* (what the composition becomes) happens in job-id
+// order — so the tier is policy-invariant while the clock sees shipments in
+// time order. Timelines serialize in call order, so callers must keep
+// charge ready-times (approximately) monotone: the service charges fetches
+// online in dispatch order and promotion shipments at end-of-drain sorted
+// by finish time, and primes entirely off-fabric (an offline warm-up — the
+// fabric clock starts with traffic).
+//
+// What the virtual clock sees (all charged through one sim::Fabric that every
+// session of the service shares — the contention surface):
+//
+//   * charge_fetch(ready, scale) — a dispatched job fetches the whole tier
+//     before its compute starts: each shard streams its bytes on its own
+//     link while the total funnels through the shared uplink. Concurrent
+//     sessions queue on that uplink, so under load dispatch-to-compute gaps
+//     grow; with one slot (no concurrency) and the default link ≥ uplink
+//     bandwidths the fetch time is shard-count-invariant (see
+//     sim/fabric.hpp). `scale` is the session's work_scale: wire bytes are
+//     timed as their paper-scale counterparts, exactly like the MemoDb's
+//     value_scale charging.
+//   * charge_store(entries, ready, scale) — a finished job ships its session
+//     insertions back. All offered bytes travel (the tier filters on
+//     arrival, not the session).
+//   * fold(entries) — entry by entry in insertion order:
+//       1. cap: with the tier at max_entries the entry is dropped outright
+//          (no probe — the drop is inevitable).
+//       2. dedup probe: the entry's nearest tier neighbour in key space
+//          (per-kind ANN index — the same index family the live DB scores
+//          with) is fetched and memo::entry_similarity() gates it; above
+//          τ_dedup the entry is dropped as a near-duplicate. Accepted
+//          entries join the index immediately, so a batch dedups against
+//          itself too. τ_dedup = 0 disables the probe.
+//     The two drop classes are counted separately (dedup = compaction,
+//     cap = overflow). Folding is serial on the event-loop thread, so the
+//     tier's composition is deterministic — and, because the service folds
+//     in job-id order, identical for every scheduling policy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ann/ann.hpp"
+#include "memo/memo_db.hpp"
+#include "sim/fabric.hpp"
+
+namespace mlr::serve {
+
+struct SharedTierConfig {
+  int shard_count = 1;              ///< memory-node shards (≥ 1)
+  std::size_t max_entries = 1u << 20;  ///< tier capacity (cap drops beyond)
+  /// Promotion near-duplicate threshold: an entry whose similarity to its
+  /// nearest tier neighbour exceeds this is dropped. 0 disables dedup.
+  double tau_dedup = 0.999;
+  i64 key_dim = 60;                 ///< dedup-index dimensionality
+  ann::IvfParams ivf{};             ///< dedup-index parameters
+  sim::FabricSpec fabric{};         ///< the contended cross-session fabric
+};
+
+/// Outcome of one promotion batch.
+struct PromotionOutcome {
+  u64 promoted = 0;     ///< entries accepted into the tier
+  u64 dedup_drops = 0;  ///< rejected: near-duplicate within τ_dedup
+  u64 cap_drops = 0;    ///< rejected: tier at max_entries
+  sim::VTime done = 0;  ///< fabric completion time of the shipment
+};
+
+class SharedTier {
+ public:
+  explicit SharedTier(SharedTierConfig cfg);
+
+  /// Charge fetching the whole tier (per-shard byte split, timed at `scale`×
+  /// the resident bytes) to the fabric; returns the completion time a
+  /// dispatched session must wait for. An empty tier (or a disabled fabric)
+  /// returns `ready`.
+  sim::VTime charge_fetch(sim::VTime ready, double scale = 1.0);
+
+  /// Charge shipping the whole offered batch (drops included — the session
+  /// ships first, the tier filters on arrival) at `ready`; returns the
+  /// fabric completion time.
+  sim::VTime charge_store(const std::vector<memo::MemoDb::Entry>& entries,
+                          sim::VTime ready, double scale = 1.0);
+
+  /// Fold `entries` (one session's insertions, in insertion order) into the
+  /// tier: cap check, then dedup probe (a tier at capacity drops without
+  /// probing — the drop is inevitable either way). Touches no timeline —
+  /// see the header comment's charge/fold split.
+  PromotionOutcome fold(std::vector<memo::MemoDb::Entry> entries);
+
+  /// charge_store + fold in one call (the outcome carries the charge's
+  /// completion time). Pass the session's work_scale as `scale`, exactly as
+  /// the split calls would.
+  PromotionOutcome promote(std::vector<memo::MemoDb::Entry> entries,
+                           sim::VTime ready, double scale = 1.0);
+
+  /// The canonical insertion-ordered snapshot sessions import — identical
+  /// for every shard count.
+  [[nodiscard]] const std::vector<memo::MemoDb::Entry>& snapshot() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] int shard_count() const { return cfg_.shard_count; }
+  [[nodiscard]] std::size_t shard_entries(int shard) const {
+    return shard_entries_[std::size_t(shard)];
+  }
+  [[nodiscard]] double shard_bytes(int shard) const {
+    return shard_bytes_[std::size_t(shard)];
+  }
+  [[nodiscard]] double total_bytes() const { return total_bytes_; }
+  [[nodiscard]] const sim::Fabric& fabric() const { return fabric_; }
+  [[nodiscard]] const SharedTierConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] bool near_duplicate(const memo::MemoDb::Entry& e) const;
+
+  SharedTierConfig cfg_;
+  sim::Fabric fabric_;
+  std::vector<memo::MemoDb::Entry> entries_;  ///< canonical snapshot order
+  std::vector<std::size_t> shard_entries_;    ///< per-shard entry counts
+  std::vector<double> shard_bytes_;           ///< per-shard resident bytes
+  /// Resident bytes accumulated in fold order — the canonical (shard-count
+  /// independent) uplink total, kept separate from the per-shard sums so
+  /// fetch completions are bit-identical across shard splits.
+  double total_bytes_ = 0;
+  /// Per-kind dedup index over tier keys; ids are snapshot positions.
+  std::vector<std::unique_ptr<ann::IvfFlatIndex>> index_;
+};
+
+}  // namespace mlr::serve

@@ -1,0 +1,58 @@
+#include "sim/fabric.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mlr::sim {
+
+Fabric::Fabric(FabricSpec spec, int links) : spec_(spec), uplink_("uplink") {
+  MLR_CHECK(links >= 1);
+  MLR_CHECK(spec_.link_bandwidth > 0 && spec_.uplink_bandwidth > 0);
+  links_.reserve(std::size_t(links));
+  for (int i = 0; i < links; ++i)
+    links_.emplace_back("shard" + std::to_string(i));
+}
+
+VTime Fabric::transfer(VTime ready, std::span<const double> shard_bytes,
+                       double total_bytes) {
+  MLR_CHECK(shard_bytes.size() == links_.size());
+  double total = total_bytes;
+  if (total < 0) {
+    total = 0;
+    for (const double b : shard_bytes) {
+      MLR_CHECK(b >= 0);
+      total += b;
+    }
+  }
+  if (!spec_.enabled || total <= 0) return ready;
+  ++transfers_;
+  bytes_moved_ += total;
+  // Shard links stream their portions concurrently (one timeline each).
+  VTime done = ready;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (shard_bytes[i] <= 0) continue;
+    done = std::max(
+        done, links_[i].schedule(
+                  ready, spec_.latency + shard_bytes[i] / spec_.link_bandwidth));
+  }
+  // The whole payload funnels through the shared uplink — the one timeline
+  // every session of a service queues on. Queueing delay behind other
+  // sessions is the contention term.
+  contention_wait_ += std::max(0.0, uplink_.busy_until() - ready);
+  done = std::max(
+      done,
+      uplink_.schedule(ready, spec_.latency + total / spec_.uplink_bandwidth));
+  return done;
+}
+
+void Fabric::reset() {
+  uplink_.reset();
+  for (auto& l : links_) l.reset();
+  contention_wait_ = 0;
+  bytes_moved_ = 0;
+  transfers_ = 0;
+}
+
+}  // namespace mlr::sim

@@ -1,0 +1,87 @@
+// Shared memory-fabric model for cross-session traffic.
+//
+// The serving layer keeps its shared memo tier on N memory-node shards.
+// Every session-level transfer — fetching the tier snapshot at dispatch,
+// shipping a job's promoted entries back after drain — crosses two stages
+// of the fabric:
+//
+//   * one *link per shard* (bandwidth `link_bandwidth`): the shards stream
+//     their portions concurrently, each on its own timeline, and
+//   * one *shared uplink* (bandwidth `uplink_bandwidth`): the whole payload
+//     funnels through a single timeline that EVERY session of the service
+//     contends on. This is the contention term: a transfer's uplink pass
+//     starts at max(ready, uplink.busy_until), so concurrent sessions push
+//     each other's virtual times back — they are no longer network-isolated.
+//
+// Stages are cut-through (a shard's stream and its uplink pass overlap), so
+// one transfer completes at
+//     max over shards(link_i pass) ∨ uplink pass,
+// each pass = start + latency + bytes / bandwidth on its timeline.
+//
+// Determinism properties the serving tests pin down:
+//   * All charging happens on the service's event-loop thread in dispatch
+//     order — completions are exact, never sampled.
+//   * When the uplink is the bottleneck (`link_bandwidth ≥
+//     uplink_bandwidth`, the default), an *uncontended* transfer completes
+//     at ready + latency + total_bytes / uplink_bandwidth regardless of how
+//     the bytes split across shards — so single-session (one slot) clocks
+//     reproduce the unsharded (1-shard) clock for every shard count.
+//   * All durations are monotone in 1/bandwidth and Timeline::schedule is
+//     monotone in ready times, so narrowing the uplink (more contention per
+//     byte) can only push completions later — never earlier.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace mlr::sim {
+
+struct FabricSpec {
+  bool enabled = true;            ///< false: transfers are free (legacy isolation)
+  double link_bandwidth = 25.0e9;   ///< bytes/s per memory-node shard link
+  double uplink_bandwidth = 25.0e9; ///< bytes/s of the shared uplink
+  double latency = 2.0e-6;          ///< per-transfer base latency (s)
+};
+
+class Fabric {
+ public:
+  /// One link timeline per shard plus the shared uplink.
+  Fabric(FabricSpec spec, int links);
+
+  /// Charge one transfer whose payload splits as `shard_bytes[i]` onto link
+  /// i (size must equal links()); returns its completion time. Zero-byte
+  /// shards charge nothing; an all-zero transfer (or a disabled fabric)
+  /// returns `ready` untouched. `total_bytes` drives the uplink pass; pass
+  /// a canonically-computed total (< 0 → sum the shards here) when the
+  /// completion must be bit-identical across shard splits — summing
+  /// per-shard subsets reorders floating-point addition.
+  VTime transfer(VTime ready, std::span<const double> shard_bytes,
+                 double total_bytes = -1.0);
+
+  [[nodiscard]] int links() const { return int(links_.size()); }
+  [[nodiscard]] const Timeline& uplink() const { return uplink_; }
+  [[nodiscard]] const Timeline& link(int i) const {
+    return links_[std::size_t(i)];
+  }
+  [[nodiscard]] const FabricSpec& spec() const { return spec_; }
+
+  /// Virtual seconds transfers spent queued behind other sessions' uplink
+  /// passes — the observable contention the serving bench reports.
+  [[nodiscard]] double contention_wait_s() const { return contention_wait_; }
+  [[nodiscard]] double bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] u64 transfers() const { return transfers_; }
+
+  void reset();
+
+ private:
+  FabricSpec spec_;
+  Timeline uplink_;
+  std::vector<Timeline> links_;
+  double contention_wait_ = 0;
+  double bytes_moved_ = 0;
+  u64 transfers_ = 0;
+};
+
+}  // namespace mlr::sim

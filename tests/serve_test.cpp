@@ -1,9 +1,11 @@
 // Tests for the multi-tenant reconstruction service: scheduler policies
 // against hand-computed orders, the service event loop's schedule equations,
-// admission control, deadline accounting, shared-tier cross-job reuse, and
-// the acceptance property of the serving model — per-job outputs and run
-// vtimes are bit-identical across scheduling policies, thread counts,
-// overlap settings and (for a fixed gpus_per_job) session width.
+// admission control, deadline accounting, shared-tier cross-job reuse,
+// sharded-tier promotion (dedup + cap accounting), the fabric-contention
+// model, and the acceptance property of the serving model — per-job outputs
+// and run vtimes are bit-identical across scheduling policies, thread
+// counts, overlap settings, pipeline depths, shard counts and (for a fixed
+// gpus_per_job) session width.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -11,6 +13,7 @@
 
 #include "serve/scheduler.hpp"
 #include "serve/service.hpp"
+#include "serve/shared_tier.hpp"
 #include "serve/workload.hpp"
 
 namespace mlr::serve {
@@ -112,8 +115,9 @@ std::vector<JobRequest> warm_set() {
 
 TEST(ReconService, FifoScheduleMatchesRecurrence) {
   // One slot, FIFO: start_i = max(arrival_i, finish_{i-1}) in arrival
-  // order. run_vtime is policy-invariant, so the whole schedule is exactly
-  // recomputable from the observed run times.
+  // order, and finish = start + seed fetch (the charged fabric time) + run.
+  // run_vtime is policy-invariant, so the whole schedule is exactly
+  // recomputable from the observed fetch + run times.
   ReconService svc(tiny_config(SchedulerPolicy::Fifo));
   auto warm = warm_set();
   svc.prime(warm);
@@ -130,8 +134,31 @@ TEST(ReconService, FifoScheduleMatchesRecurrence) {
   for (const auto& st : stats) {
     EXPECT_TRUE(st.admitted);
     EXPECT_DOUBLE_EQ(st.start, std::max(st.arrival, prev_finish));
-    EXPECT_DOUBLE_EQ(st.finish, st.start + st.run_vtime);
+    EXPECT_GT(st.seed_fetch_s, 0.0);  // the tier is primed, the fabric on
+    EXPECT_DOUBLE_EQ(st.finish, st.start + st.seed_fetch_s + st.run_vtime);
     prev_finish = st.finish;
+  }
+  EXPECT_GT(svc.stats().fabric_fetch_s, 0.0);
+}
+
+TEST(ReconService, StartNeverPrecedesArrival) {
+  // Regression for the event loop: with several slots idle and jobs
+  // arriving simultaneously, the second slot used to dispatch a queued job
+  // at the slot's free time (0) instead of the job's arrival instant.
+  auto cfg = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  ReconService svc(cfg);
+  auto warm = warm_set();
+  svc.prime(warm);
+  for (int j = 0; j < 3; ++j) {
+    JobRequest r;
+    r.arrival = 100.0;  // all at once, both slots idle
+    r.scenario = Scenario::BrainScan;
+    r.seed = 200;
+    svc.submit(r);
+  }
+  for (const auto& st : svc.drain()) {
+    EXPECT_GE(st.start, st.arrival);
+    EXPECT_GE(st.queue_wait(), 0.0);
   }
 }
 
@@ -236,11 +263,124 @@ TEST(ReconService, SharedTierServesCrossJobHits) {
 TEST(ReconService, PromotionRespectsCap) {
   auto cfg = tiny_config(SchedulerPolicy::Fifo);
   cfg.max_shared_entries = 4;
+  cfg.tau_dedup = 0.0;  // isolate the cap from the dedup probe
   ReconService svc(cfg);
   auto warm = warm_set();
-  svc.prime(warm);
+  const auto primed = svc.prime(warm);
   EXPECT_EQ(svc.shared_entries(), 4u);
-  EXPECT_GT(svc.stats().promotion_dropped, 0u);
+  EXPECT_GT(svc.stats().shared_cap_drops, 0u);
+  EXPECT_EQ(svc.stats().shared_dedup_drops, 0u);
+  // The warm job's own record carries its drop split.
+  ASSERT_EQ(primed.size(), 1u);
+  EXPECT_EQ(primed[0].memo.shared_cap_drops, svc.stats().shared_cap_drops);
+  EXPECT_EQ(primed[0].promoted, 4u);
+}
+
+// --- Sharded tier: promotion dedup + fabric ---------------------------------
+
+memo::MemoDb::Entry tier_entry(std::vector<float> key, double norm = 1.0,
+                               std::size_t value_size = 8) {
+  memo::MemoDb::Entry e;
+  e.kind = memo::OpKind::Fu1D;
+  e.key = std::move(key);
+  e.norm = norm;
+  e.value.assign(value_size, cfloat(1.0f, 0.0f));
+  return e;
+}
+
+TEST(SharedTier, DedupAndCapDropsCountedSeparately) {
+  SharedTierConfig tc;
+  tc.shard_count = 2;
+  tc.max_entries = 3;
+  tc.tau_dedup = 0.99;
+  tc.key_dim = 4;
+  SharedTier tier(tc);
+  std::vector<memo::MemoDb::Entry> batch;
+  batch.push_back(tier_entry({1, 0, 0, 0}));  // accepted
+  batch.push_back(tier_entry({1, 0, 0, 0}));  // exact dup -> dedup drop
+  batch.push_back(tier_entry({0, 1, 0, 0}));  // accepted (orthogonal)
+  batch.push_back(tier_entry({0, 0, 1, 0}));  // accepted
+  batch.push_back(tier_entry({0, 0, 0, 1}));  // cap (3 entries) -> cap drop
+  const auto out = tier.promote(std::move(batch), 5.0);
+  EXPECT_EQ(out.promoted, 3u);
+  EXPECT_EQ(out.dedup_drops, 1u);
+  EXPECT_EQ(out.cap_drops, 1u);
+  EXPECT_EQ(tier.size(), 3u);
+  EXPECT_GT(out.done, 5.0);  // the batch crossed the fabric
+  EXPECT_EQ(tier.shard_entries(0) + tier.shard_entries(1), 3u);
+}
+
+TEST(SharedTier, DedupNeverCrossesValueShapesAndSnapshotOrderIsShardFree) {
+  // A same-key entry with a different value length is never a duplicate
+  // (never a valid answer for the same query), and the canonical snapshot
+  // order is identical for every shard count — sharding is placement only.
+  std::vector<memo::MemoDb::Entry> batch;
+  batch.push_back(tier_entry({1, 0, 0, 0}, 1.0, /*value_size=*/8));
+  batch.push_back(tier_entry({1, 0, 0, 0}, 1.0, /*value_size=*/6));
+  batch.push_back(tier_entry({0, 1, 0, 0}));
+  std::vector<std::vector<float>> snap1, snap4;
+  for (const int shards : {1, 4}) {
+    SharedTierConfig tc;
+    tc.shard_count = shards;
+    tc.tau_dedup = 0.99;
+    tc.key_dim = 4;
+    SharedTier tier(tc);
+    auto copy = batch;
+    const auto out = tier.promote(std::move(copy), 0.0);
+    EXPECT_EQ(out.promoted, 3u);
+    EXPECT_EQ(out.dedup_drops, 0u);
+    auto& snap = shards == 1 ? snap1 : snap4;
+    for (const auto& e : tier.snapshot()) snap.push_back(e.key);
+  }
+  EXPECT_EQ(snap1, snap4);
+}
+
+TEST(ReconService, DedupCompactsTierAndIsCountedPerJob) {
+  // An aggressive τ_dedup drops near-duplicate promotions that a dedup-free
+  // tier keeps, and the per-job drop fields sum to the service counters.
+  struct Outcome {
+    u64 prime_promoted = 0, prime_dedup = 0, total_dedup = 0;
+  };
+  auto run = [](double tau_dedup) {
+    auto cfg = tiny_config(SchedulerPolicy::Fifo);
+    cfg.tau_dedup = tau_dedup;
+    ReconService svc(cfg);
+    auto warm = warm_set();
+    auto primed = svc.prime(warm);
+    for (int j = 0; j < 2; ++j) {
+      JobRequest r;
+      r.arrival = 50.0 * j;
+      r.scenario = Scenario::BrainScan;
+      r.seed = 200;  // the primed object: maximal near-duplicate pressure
+      svc.submit(r);
+    }
+    auto stats = svc.drain();
+    u64 job_dedup = 0, job_cap = 0, job_promoted = 0;
+    for (const auto* set : {&primed, &stats}) {
+      for (const auto& st : *set) {
+        job_dedup += st.memo.shared_dedup_drops;
+        job_cap += st.memo.shared_cap_drops;
+        job_promoted += st.promoted;
+      }
+    }
+    EXPECT_EQ(job_dedup, svc.stats().shared_dedup_drops);
+    EXPECT_EQ(job_cap, svc.stats().shared_cap_drops);
+    EXPECT_EQ(job_promoted, svc.stats().promoted);
+    EXPECT_EQ(svc.shared_entries(), svc.stats().promoted);
+    Outcome o;
+    o.prime_promoted = primed[0].promoted;
+    o.prime_dedup = primed[0].memo.shared_dedup_drops;
+    o.total_dedup = svc.stats().shared_dedup_drops;
+    return o;
+  };
+  const Outcome keep = run(0.0);
+  const Outcome dedup = run(0.35);
+  EXPECT_EQ(keep.total_dedup, 0u);
+  EXPECT_GT(dedup.total_dedup, 0u);
+  // The priming job always runs on an empty tier, so both runs offer the
+  // SAME batch: what dedup dropped there is exactly what it kept fewer.
+  EXPECT_GT(dedup.prime_dedup, 0u);
+  EXPECT_EQ(keep.prime_promoted, dedup.prime_promoted + dedup.prime_dedup);
 }
 
 // --- The acceptance property -------------------------------------------------
@@ -249,6 +389,8 @@ struct RunSummary {
   std::map<u64, u64> fingerprint;
   std::map<u64, double> run_vtime;
   std::map<u64, double> queue_wait;
+  std::map<u64, double> seed_fetch;
+  std::map<u64, double> finish;
 };
 
 RunSummary run_workload(ServiceConfig cfg,
@@ -262,6 +404,8 @@ RunSummary run_workload(ServiceConfig cfg,
     out.fingerprint[st.id] = st.output_fingerprint;
     out.run_vtime[st.id] = st.run_vtime;
     out.queue_wait[st.id] = st.queue_wait();
+    out.seed_fetch[st.id] = st.seed_fetch_s;
+    out.finish[st.id] = st.finish;
   }
   return out;
 }
@@ -339,6 +483,116 @@ TEST(ReconService, OutputsIdenticalAcrossPipelineDepths) {
   EXPECT_EQ(a.run_vtime, c.run_vtime);
   EXPECT_EQ(a.queue_wait, b.queue_wait);
   EXPECT_EQ(a.queue_wait, c.queue_wait);
+}
+
+TEST(ReconService, SharedTierShardMatrix) {
+  // The sharding acceptance property: job outputs, per-job records AND the
+  // whole virtual-clock schedule are bit-identical for every shard count ×
+  // scheduling policy × threads × pipeline_depth combination — sharding
+  // decides which link carries which bytes, never what a session sees, and
+  // with the default link ≥ uplink bandwidths the uplink pass (shard-count
+  // invariant) dominates every fabric charge.
+  WorkloadConfig wc;
+  wc.jobs = 4;
+  wc.mean_interarrival = 40.0;
+  wc.mix = {{Scenario::PcbInspection, 1.0}, {Scenario::BrainScan, 1.0}};
+  wc.distinct_objects = 2;
+  wc.tenants = {{"A", 1.0, 1, 1.0}, {"B", 2.0, 2, 1.0}};
+  WorkloadGenerator gen(wc);
+  const auto jobs = gen.generate();
+  const auto warm = gen.priming_set();
+
+  struct Knobs {
+    int shards;
+    unsigned threads;
+    i64 depth;
+    i64 overlap;
+  };
+  const Knobs knobs[] = {{1, 1, 0, 0}, {2, 3, 2, 4}, {4, 2, 5, 0}};
+  const SchedulerPolicy policies[] = {SchedulerPolicy::Fifo,
+                                     SchedulerPolicy::FairShare};
+  const RunSummary* global_ref = nullptr;
+  RunSummary first;
+  for (const auto policy : policies) {
+    RunSummary policy_ref;
+    bool have_policy_ref = false;
+    for (const auto& k : knobs) {
+      auto cfg = tiny_config(policy, /*slots=*/2);
+      cfg.shard_count = k.shards;
+      cfg.threads = k.threads;
+      cfg.pipeline_depth = k.depth;
+      cfg.overlap_slices = k.overlap;
+      const auto r = run_workload(cfg, jobs, warm);
+      if (global_ref == nullptr) {
+        first = r;
+        global_ref = &first;
+      }
+      // Outputs + run vtimes: identical across EVERYTHING.
+      EXPECT_EQ(r.fingerprint, global_ref->fingerprint);
+      EXPECT_EQ(r.run_vtime, global_ref->run_vtime);
+      // Schedule (queue waits, fetches, finishes): identical across shard
+      // counts and engine knobs for a fixed policy.
+      if (!have_policy_ref) {
+        policy_ref = r;
+        have_policy_ref = true;
+      } else {
+        EXPECT_EQ(r.queue_wait, policy_ref.queue_wait);
+        EXPECT_EQ(r.seed_fetch, policy_ref.seed_fetch);
+        EXPECT_EQ(r.finish, policy_ref.finish);
+      }
+    }
+  }
+}
+
+TEST(ReconService, FabricContentionShiftsOnlyConcurrentClocks) {
+  // The fabric acceptance property, both halves. (a) Single-slot runs
+  // reproduce the unsharded clock: with no concurrency there is no uplink
+  // queueing, so the schedule is identical for every shard count. (b) With
+  // two slots and a burst of simultaneous arrivals, sessions contend on the
+  // uplink: every virtual time with the fabric enabled is >= its
+  // network-isolated (disabled) counterpart, and narrowing the uplink can
+  // only push clocks further — fabric-charge monotonicity.
+  WorkloadConfig wc;
+  wc.jobs = 4;
+  wc.mean_interarrival = 1.0;
+  wc.bursty = true;
+  wc.burst_size = 4;  // jobs == one burst: maximal fetch overlap
+  wc.mix = {{Scenario::PcbInspection, 1.0}};
+  wc.distinct_objects = 2;
+  WorkloadGenerator gen(wc);
+  const auto jobs = gen.generate();
+  const auto warm = gen.priming_set();
+
+  // (a) one slot: shards 1 vs 4, full schedule identical.
+  auto solo1 = tiny_config(SchedulerPolicy::Fifo, /*slots=*/1);
+  auto solo4 = solo1;
+  solo4.shard_count = 4;
+  const auto s1 = run_workload(solo1, jobs, warm);
+  const auto s4 = run_workload(solo4, jobs, warm);
+  EXPECT_EQ(s1.finish, s4.finish);
+  EXPECT_EQ(s1.seed_fetch, s4.seed_fetch);
+
+  // (b) two slots: isolated vs contended vs a 10x narrower uplink.
+  auto isolated = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  isolated.fabric.enabled = false;
+  auto contended = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  auto narrow = contended;
+  narrow.fabric.uplink_bandwidth = contended.fabric.uplink_bandwidth / 10.0;
+  narrow.fabric.link_bandwidth = contended.fabric.link_bandwidth;
+  const auto off = run_workload(isolated, jobs, warm);
+  const auto on = run_workload(contended, jobs, warm);
+  const auto slow = run_workload(narrow, jobs, warm);
+  EXPECT_EQ(off.fingerprint, on.fingerprint);  // the fabric moves time only
+  EXPECT_EQ(on.fingerprint, slow.fingerprint);
+  double contended_shift = 0;
+  for (const auto& [id, fin] : on.finish) {
+    EXPECT_GE(fin, off.finish.at(id));
+    EXPECT_LE(fin, slow.finish.at(id));
+    EXPECT_GE(on.seed_fetch.at(id), 0.0);
+    EXPECT_GE(slow.seed_fetch.at(id), on.seed_fetch.at(id));
+    contended_shift += fin - off.finish.at(id);
+  }
+  EXPECT_GT(contended_shift, 0.0);  // concurrent sessions really interfere
 }
 
 TEST(ReconService, ClusterSessionsIdenticalAcrossPolicies) {

@@ -5,6 +5,7 @@
 
 #include "sim/clock.hpp"
 #include "sim/device.hpp"
+#include "sim/fabric.hpp"
 
 namespace mlr::sim {
 namespace {
@@ -192,6 +193,67 @@ TEST(Ssd, SlowerThanInterconnect) {
   const double bytes = 1.0e9;
   EXPECT_GT(ssd.read_duration(bytes),
             bytes / net.spec().bandwidth + net.spec().latency);
+}
+
+// --- Fabric: shard links + contended shared uplink ---------------------------
+
+TEST(Fabric, DisabledOrEmptyTransfersAreFree) {
+  FabricSpec spec;
+  spec.enabled = false;
+  Fabric off(spec, 2);
+  const double some[] = {100.0, 200.0};
+  EXPECT_DOUBLE_EQ(off.transfer(3.0, some), 3.0);
+  Fabric on(FabricSpec{}, 2);
+  const double none[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(on.transfer(3.0, none), 3.0);
+  EXPECT_EQ(on.transfers(), 0u);
+}
+
+TEST(Fabric, UncontendedTransferIsShardSplitInvariant) {
+  // With link bandwidth >= uplink bandwidth, the uplink pass (latency +
+  // total/uplink_bw) dominates any shard's link pass, so an uncontended
+  // transfer completes at the same instant no matter how the bytes split —
+  // the property that makes single-session clocks shard-count invariant.
+  const FabricSpec spec;  // defaults: equal link/uplink bandwidth
+  const double total = 4.0e9;
+  Fabric one(spec, 1), four(spec, 4);
+  const double whole[] = {total};
+  const double split[] = {total / 2, total / 4, total / 8, total / 8};
+  const VTime t1 = one.transfer(1.0, whole);
+  const VTime t4 = four.transfer(1.0, split);
+  EXPECT_DOUBLE_EQ(t1, t4);
+  EXPECT_DOUBLE_EQ(t1, 1.0 + spec.latency + total / spec.uplink_bandwidth);
+}
+
+TEST(Fabric, ConcurrentTransfersQueueOnTheUplink) {
+  Fabric fab(FabricSpec{}, 2);
+  const double a[] = {1.0e9, 1.0e9};  // ~0.08 s on the uplink
+  const double b[] = {0.0, 1.0e9};
+  const VTime ta = fab.transfer(0.0, a);
+  const VTime tb = fab.transfer(0.0, b);  // same ready: queues behind a
+  EXPECT_GT(tb, ta);
+  EXPECT_NEAR(fab.contention_wait_s(), ta, 1e-12);
+  EXPECT_DOUBLE_EQ(fab.bytes_moved(), 3.0e9);
+  EXPECT_EQ(fab.transfers(), 2u);
+  fab.reset();
+  EXPECT_DOUBLE_EQ(fab.contention_wait_s(), 0.0);
+  EXPECT_DOUBLE_EQ(fab.uplink().busy_until(), 0.0);
+}
+
+TEST(Fabric, NarrowerUplinkNeverCompletesEarlier) {
+  // Fabric-charge monotonicity: more contention per byte (a slower shared
+  // uplink) can only push completions later.
+  FabricSpec wide, narrow;
+  narrow.uplink_bandwidth = wide.uplink_bandwidth / 8;
+  Fabric fw(wide, 2), fn(narrow, 2);
+  const double bytes[] = {2.0e9, 1.0e9};
+  VTime done_w = 0, done_n = 0;
+  for (int i = 0; i < 3; ++i) {
+    done_w = fw.transfer(0.1 * double(i), bytes);
+    done_n = fn.transfer(0.1 * double(i), bytes);
+    EXPECT_GE(done_n, done_w);
+  }
+  EXPECT_GT(fn.contention_wait_s(), fw.contention_wait_s());
 }
 
 }  // namespace
