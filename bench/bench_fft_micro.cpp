@@ -6,9 +6,15 @@
 // transform (see common/scratch.hpp). Every kernel is warmed once before
 // the timing loop, so the steady-state value must be exactly 0 — the
 // allocation-free hot path the stage-execution engine's miss-compute phase
-// relies on.
+// relies on. The BM_Fused* entries extend the same contract to the fused
+// elementwise solver kernels (admm/kernels.hpp): their per-tile reduction
+// partials live in the caller's scratch arena, so steady-state allocs/op
+// must also be exactly 0 at any pool width.
 #include <benchmark/benchmark.h>
 
+#include "admm/kernels.hpp"
+#include "admm/tv.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/scratch.hpp"
 #include "fft/fft.hpp"
@@ -127,6 +133,67 @@ void BM_Nufft2DType2(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * pts);
 }
 BENCHMARK(BM_Nufft2DType2)->Arg(16)->Arg(32);
+
+admm::VectorField field(Shape3 s, u64 seed) {
+  admm::VectorField f(s);
+  for (int c = 0; c < 3; ++c) {
+    Rng rng(seed + u64(c));
+    for (auto& x : f.c[c]) x = cfloat(float(rng.normal()), float(rng.normal()));
+  }
+  return f;
+}
+
+// The RSP chain — ∇u, +λ/ρ, soft-threshold, ‖ψ−ψ_prev‖² — as ONE fused
+// streaming kernel. range(0) = cube side, range(1) = pool width.
+void BM_FusedRspShrink(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const Shape3 s{n, n, n};
+  Array3D<cfloat> u(s);
+  Rng rng(10);
+  for (auto& v : u) v = cfloat(float(rng.normal()), float(rng.normal()));
+  const auto lambda = field(s, 11);
+  auto psi = field(s, 12);
+  admm::VectorField gu(s);
+  ThreadPool pool(unsigned(state.range(1)));
+  admm::SolverKernels knl;
+  knl.set_pool(&pool);
+  double sink = knl.rsp_shrink(u, lambda, 0.7, 1e-3, psi, gu, true);  // warm
+  AllocCounter allocs;
+  for (auto _ : state) {
+    sink += knl.rsp_shrink(u, lambda, 0.7, 1e-3, psi, gu, true);
+    benchmark::DoNotOptimize(sink);
+  }
+  allocs.report(state);
+  state.SetItemsProcessed(state.iterations() * u.size());
+}
+BENCHMARK(BM_FusedRspShrink)->Args({24, 1})->Args({24, 4})->Args({40, 4});
+
+// The LSP gradient chain — ∇u, −g, ∇ᵀ·, +ρ·, two dot products — fused.
+void BM_FusedLspCombine(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const Shape3 s{n, n, n};
+  Array3D<cfloat> u(s), grad_data(s), G_prev(s), G(s);
+  Rng rng(13);
+  auto fill = [&rng](Array3D<cfloat>& a) {
+    for (auto& v : a) v = cfloat(float(rng.normal()), float(rng.normal()));
+  };
+  fill(u);
+  fill(grad_data);
+  fill(G_prev);
+  const auto g = field(s, 14);
+  ThreadPool pool(unsigned(state.range(1)));
+  admm::SolverKernels knl;
+  knl.set_pool(&pool);
+  auto d = knl.lsp_combine(u, g, grad_data, 0.7, G_prev, true, G);  // warm
+  AllocCounter allocs;
+  for (auto _ : state) {
+    d = knl.lsp_combine(u, g, grad_data, 0.7, G_prev, true, G);
+    benchmark::DoNotOptimize(d.gg);
+  }
+  allocs.report(state);
+  state.SetItemsProcessed(state.iterations() * u.size());
+}
+BENCHMARK(BM_FusedLspCombine)->Args({24, 1})->Args({24, 4})->Args({40, 4});
 
 void BM_NaiveNdftReference(benchmark::State& state) {
   const i64 n = state.range(0);

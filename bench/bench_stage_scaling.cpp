@@ -7,9 +7,12 @@
 //   overlap   — PR-2 async sliced service (parallel ANN scoring, slice
 //               k+1's scoring under slice k's miss FFTs), per-stage barrier
 //   pipelined — overlap PLUS cross-stage pipelining (--pipeline ≥ 2):
-//               stage s's DB insertions and cache refills drain on the
-//               serial tail runner underneath stage s+1's encode/probe/
-//               score phases
+//               stage s's DB insertions and cache refills drain on a
+//               single serial tail runner underneath stage s+1's encode/
+//               probe/score phases (--tail-lanes 1, the legacy drainer)
+//   laned     — pipelined PLUS per-OpKind tail lanes (--tail-lanes N,
+//               default one lane per kind): tails of different kinds drain
+//               on independent drainer lanes
 //
 // The workload alternates operator kinds per pass (Fu1D / Fu1DAdj — the
 // adjacency the cross-stage pipeline exploits, exactly like the ADMM loop)
@@ -21,14 +24,20 @@
 // tests/concurrency_test.cpp). Expect pipelined ≥ overlap ≥ barrier on a
 // multi-core host; a 1-core container degrades gracefully to ~1×.
 //
+// A closing section runs one small reference ADMM solve and prints the
+// fused elementwise-kernel profile per solver phase (passes vs what the
+// pre-fusion loop chains would have streamed — the ≥2× pass-reduction
+// contract lives here and in the JSON).
+//
 //   ./bench_stage_scaling [--n 20] [--chunk 1] [--reps 6] [--threads 8]
-//                         [--overlap 4] [--pipeline 2]
+//                         [--overlap 4] [--pipeline 2] [--tail-lanes 4]
 //                         [--json BENCH_stage_scaling.json]
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
+#include "core/mlr.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "lamino/phantom.hpp"
@@ -49,6 +58,7 @@ int main(int argc, char** argv) {
   // equal to the overlap column.
   const i64 overlap = args.overlap();
   const i64 pipeline = args.pipeline();
+  const i64 tail_lanes = args.tail_lanes();
 
   lamino::Operators ops{lamino::Geometry::cube(n)};
   const auto& g = ops.geometry();
@@ -82,18 +92,18 @@ int main(int argc, char** argv) {
   std::printf(
       "stage-execution engine scaling — %lld^3 volume, %zu chunks/stage, "
       "kind-alternating Fu1D/Fu1DAdj, %lld mixed pass pairs after 1 miss "
-      "pair, %lld slices, depth %lld\n\n",
+      "pair, %lld slices, depth %lld, %lld tail lanes\n\n",
       (long long)n, chunks.size(), (long long)reps, (long long)overlap,
-      (long long)pipeline);
-  std::printf("%-9s %-11s %-11s %-11s %-9s %-9s %-9s\n", "threads",
-              "barrier(s)", "overlap(s)", "pipeline(s)", "overlapx", "pipex",
-              "vs-1thr");
+      (long long)pipeline, (long long)tail_lanes);
+  std::printf("%-9s %-11s %-11s %-11s %-11s %-9s %-9s %-9s\n", "threads",
+              "barrier(s)", "overlap(s)", "pipeline(s)", "laned(s)",
+              "overlapx", "lanex", "vs-1thr");
 
   // One full measurement: a miss pass per kind on the base volumes, then
   // `reps` mixed kind-alternating pass pairs. overlap_slices selects
   // barriered vs async sliced scoring; depth selects per-stage barrier vs
   // cross-stage pipelined tails.
-  auto run_mode = [&](i64 threads, i64 overlap_slices, i64 depth) {
+  auto run_mode = [&](i64 threads, i64 overlap_slices, i64 depth, i64 lanes) {
     sim::Device dev{0};
     sim::Interconnect net;
     sim::MemoryNode node;
@@ -109,6 +119,7 @@ int main(int argc, char** argv) {
     ThreadPool pool{unsigned(threads)};
     ml.executor().set_pool(&pool);
     ml.executor().set_pipeline_depth(depth);
+    ml.executor().set_tail_lanes(lanes);
 
     Array3D<cfloat> out_u1(g.u1_shape()), out_obj(g.object_shape());
     auto make_work = [&](memo::OpKind kind, const Array3D<cfloat>* alt) {
@@ -149,44 +160,98 @@ int main(int argc, char** argv) {
   json.set("reps", reps);
   json.set("overlap_slices", overlap);
   json.set("pipeline_depth", pipeline);
+  json.set("tail_lanes", tail_lanes);
 
-  double t1_pipe = 0;
+  double t1_laned = 0;
   memo::MemoCounters counters;
   bool mismatch = false;
   for (i64 threads = 1; threads <= max_threads; threads *= 2) {
-    const auto [barrier_s, cb] = run_mode(threads, 0, 0);
-    const auto [overlap_s, co] = run_mode(threads, overlap, 0);
-    const auto [pipe_s, cp] = run_mode(threads, overlap, pipeline);
-    if (threads == 1) t1_pipe = pipe_s;
-    counters = cp;
+    const auto [barrier_s, cb] = run_mode(threads, 0, 0, 1);
+    const auto [overlap_s, co] = run_mode(threads, overlap, 0, 1);
+    const auto [pipe_s, cp] = run_mode(threads, overlap, pipeline, 1);
+    const auto [laned_s, cl] = run_mode(threads, overlap, pipeline, tail_lanes);
+    if (threads == 1) t1_laned = laned_s;
+    counters = cl;
     if (cb.db_hit != co.db_hit || cb.miss != co.miss ||
-        cb.db_hit != cp.db_hit || cb.miss != cp.miss) {
+        cb.db_hit != cp.db_hit || cb.miss != cp.miss ||
+        cb.db_hit != cl.db_hit || cb.miss != cl.miss) {
       std::printf("!! outcome mismatch between modes\n");
       mismatch = true;
     }
-    char r_ov[16], r_pipe[16], scale[16];
+    char r_ov[16], r_lane[16], scale[16];
     std::snprintf(r_ov, sizeof r_ov, "%.2fx", barrier_s / overlap_s);
-    std::snprintf(r_pipe, sizeof r_pipe, "%.2fx", barrier_s / pipe_s);
-    std::snprintf(scale, sizeof scale, "%.2fx", t1_pipe / pipe_s);
-    std::printf("%-9lld %-11.3f %-11.3f %-11.3f %-9s %-9s %-9s\n",
-                (long long)threads, barrier_s, overlap_s, pipe_s, r_ov,
-                r_pipe, scale);
+    std::snprintf(r_lane, sizeof r_lane, "%.2fx", barrier_s / laned_s);
+    std::snprintf(scale, sizeof scale, "%.2fx", t1_laned / laned_s);
+    std::printf("%-9lld %-11.3f %-11.3f %-11.3f %-11.3f %-9s %-9s %-9s\n",
+                (long long)threads, barrier_s, overlap_s, pipe_s, laned_s,
+                r_ov, r_lane, scale);
     auto& row = json.row("rows");
     row.set("threads", threads);
     row.set("barrier_s", barrier_s);
     row.set("overlap_s", overlap_s);
     row.set("pipelined_s", pipe_s);
+    row.set("laned_s", laned_s);
   }
 
   std::printf(
       "\nmemo outcomes per mode: %llu db hits, %llu misses — overlapx is\n"
-      "the async sliced DB service vs the legacy barriered query; pipex\n"
-      "adds cross-stage tails (stage s inserts under stage s+1\n"
-      "encode/probe/score).\n",
+      "the async sliced DB service vs the legacy barriered query; lanex\n"
+      "adds cross-stage tails on per-kind drainer lanes (stage s inserts\n"
+      "under stage s+1 encode/probe/score, kinds draining concurrently).\n",
       (unsigned long long)counters.db_hit, (unsigned long long)counters.miss);
 
   json.set("db_hits", counters.db_hit);
   json.set("misses", counters.miss);
+
+  // Fused-kernel profile of one reference ADMM solve: per solver phase, the
+  // streaming passes the fused kernels made vs what the pre-fusion loop
+  // chains would have made over the same operands. The solve is fixed
+  // (small dataset, laned engine defaults) so the pass counts are a stable
+  // contract: total naive/fused must stay ≥ 2.
+  {
+    ReconstructionConfig rc;
+    rc.dataset = Dataset::small(14);
+    rc.iters = 4;
+    rc.threads = unsigned(max_threads);
+    rc.pipeline_depth = pipeline;
+    rc.tail_lanes = tail_lanes;
+    Reconstructor rec(rc);
+    const auto rep = rec.run();
+    const auto& res = rep.result;
+    std::printf(
+        "\nfused elementwise kernels, reference solve (%lld^3, %d outer "
+        "iters):\n%-10s %-9s %-9s %-13s %-8s %-9s\n",
+        (long long)rc.dataset.n, rc.iters, "phase", "kernels", "passes",
+        "naive-passes", "fusionx", "wall(s)");
+    for (int p = 0; p < admm::kNumPhases; ++p) {
+      const auto& ph = res.phases[size_t(p)];
+      std::printf("%-10s %-9llu %-9llu %-13llu %-8.2f %-9.3f\n",
+                  admm::phase_name(admm::Phase(p)),
+                  (unsigned long long)ph.ew.kernels,
+                  (unsigned long long)ph.ew.passes,
+                  (unsigned long long)ph.ew.naive_passes,
+                  ph.ew.fusion_ratio(), ph.wall_s);
+      auto& row = json.row("solver_phases");
+      row.set("phase", admm::phase_name(admm::Phase(p)));
+      row.set("kernels", ph.ew.kernels);
+      row.set("passes", ph.ew.passes);
+      row.set("naive_passes", ph.ew.naive_passes);
+      row.set("wall_s", ph.wall_s);
+    }
+    std::printf("%-10s %-9llu %-9llu %-13llu %-8.2f\n", "total",
+                (unsigned long long)res.ew_total.kernels,
+                (unsigned long long)res.ew_total.passes,
+                (unsigned long long)res.ew_total.naive_passes,
+                res.ew_total.fusion_ratio());
+    json.set("ew_passes", res.ew_total.passes);
+    json.set("ew_naive_passes", res.ew_total.naive_passes);
+    json.set("ew_fusion_ratio", res.ew_total.fusion_ratio());
+    if (res.ew_total.fusion_ratio() < 2.0) {
+      std::printf("!! fusion ratio below the 2x contract\n");
+      mismatch = true;
+    }
+  }
+
   json.set("outcome_mismatch", mismatch);
   if (!bench::write_json(args.json_path(), json)) return 1;
   return mismatch ? 1 : 0;

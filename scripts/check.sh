@@ -7,9 +7,11 @@
 #     resolve different memo outcomes, and emits the BENCH_*.json
 #     perf-trajectory point.
 # The TSan preset additionally re-runs the cross-stage determinism matrix
-# and the serve shard matrix (shards x policies x threads x pipeline_depth)
-# explicitly (the pipelined tail handoff is exactly where the PR-2 cv race
-# hid) before the smokes.
+# (now threads x overlap x depth x tail-lanes), the fused elementwise-kernel
+# suite (tiled reductions racing on the shared partial buffer is exactly
+# where a combine-order bug would hide) and the serve shard matrix
+# (shards x policies x threads x pipeline_depth) explicitly (the pipelined
+# tail handoff is exactly where the PR-2 cv race hid) before the smokes.
 #   ./scripts/check.sh          release build + ctest + smokes
 #   ./scripts/check.sh tsan     ThreadSanitizer build + ctest + matrix +
 #                               smokes (slower)
@@ -23,10 +25,11 @@ if [[ "$preset" == "tsan" ]]; then
   ctest --preset tsan -j "$(nproc)"
   ./build-tsan/concurrency_test \
     --gtest_filter='Concurrency.PipelinedCrossStageDeterminismMatrix:Concurrency.StageExecutorDeterministic*'
+  ./build-tsan/ew_test --gtest_filter='Ew.*'
   ./build-tsan/serve_test \
     --gtest_filter='ReconService.OutputsIdenticalAcrossPipelineDepths:ReconService.SharedTierShardMatrix'
   ./build-tsan/bench_stage_scaling --n 12 --reps 2 --threads 2 \
-    --json /tmp/BENCH_stage_scaling.tsan.json
+    --tail-lanes 2 --json /tmp/BENCH_stage_scaling.tsan.json
   ./build-tsan/bench_serve_traffic --jobs 8 --n small
 else
   cmake -B build -S .

@@ -1,0 +1,283 @@
+#include "admm/kernels.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mlr::admm {
+
+namespace {
+
+// One row of an (n1, n0, n2) volume is its n2 contiguous elements at
+// (i1, i0); stencil kernels tile whole rows so neighbour rows are plain
+// pointer offsets.
+struct RowGeom {
+  i64 n1, n0, n2, rows;
+  explicit RowGeom(const Shape3& s)
+      : n1(s.n1), n0(s.n0), n2(s.n2), rows(s.n1 * s.n0) {}
+};
+
+}  // namespace
+
+std::span<double> SolverKernels::partials(i64 tiles, i64 lanes) {
+  auto buf = scratch_.buffer(std::size_t(tiles * lanes));
+  std::fill(buf.begin(), buf.end(), 0.0);
+  return buf;
+}
+
+void SolverKernels::bump(u64 fused, u64 naive, double elems_per_pass) {
+  ++stats_.kernels;
+  stats_.passes += fused;
+  stats_.naive_passes += naive;
+  stats_.bytes += double(fused) * elems_per_pass * sizeof(cfloat);
+  stats_.naive_bytes += double(naive) * elems_per_pass * sizeof(cfloat);
+}
+
+void SolverKernels::g_update(VectorField& g, const VectorField& psi,
+                             const VectorField& lambda, double rho) {
+  MLR_CHECK(g.shape() == psi.shape() && g.shape() == lambda.shape());
+  const i64 n = g.c[0].size();
+  const auto inv = float(rho);  // divide, matching the pre-fusion loop
+  ew_for_tiles(pool_, n, [&](i64 b, i64 e, i64) {
+    for (int c = 0; c < 3; ++c) {
+      const cfloat* ps = psi.c[c].data();
+      const cfloat* la = lambda.c[c].data();
+      cfloat* gd = g.c[c].data();
+      for (i64 i = b; i < e; ++i) gd[i] = ps[i] - la[i] / inv;
+    }
+  });
+  bump(9, 9, double(n));
+}
+
+SolverKernels::Dots SolverKernels::lsp_combine(
+    const Array3D<cfloat>& u, const VectorField& g,
+    const Array3D<cfloat>& grad_data, double rho,
+    const Array3D<cfloat>& G_prev, bool has_prev, Array3D<cfloat>& G) {
+  MLR_CHECK(G.shape() == u.shape() && grad_data.shape() == u.shape());
+  const RowGeom rg(u.shape());
+  const i64 tiles = ew_num_row_tiles(rg.rows, rg.n2);
+  auto parts = partials(tiles, 2);
+  const auto frho = float(rho);
+  const cfloat* ud = u.data();
+  const cfloat* g0 = g.c[0].data();
+  const cfloat* g1 = g.c[1].data();
+  const cfloat* g2 = g.c[2].data();
+  // gu = ∇u − g, evaluated on demand; the forward difference only exists
+  // inside the boundary, exactly the cells the scatter adjoint ever read.
+  const i64 s1 = rg.n0 * rg.n2, s0 = rg.n2;
+  auto gu_at = [&](int c, i64 idx) {
+    const i64 stride = c == 0 ? s1 : c == 1 ? s0 : i64(1);
+    const cfloat* gc = c == 0 ? g0 : c == 1 ? g1 : g2;
+    return (ud[idx + stride] - ud[idx]) - gc[idx];
+  };
+  ew_for_row_tiles(pool_, rg.rows, rg.n2, [&](i64 rb, i64 re, i64 t) {
+    double gg = 0, gp = 0;
+    for (i64 r = rb; r < re; ++r) {
+      const i64 a = r / rg.n0, b = r % rg.n0;
+      const i64 row = r * rg.n2;
+      for (i64 c = 0; c < rg.n2; ++c) {
+        const i64 idx = row + c;
+        // Gather form of tv.cpp's scatter adjoint: contributions accumulate
+        // in the scatter's exact temporal order (lex-earlier visits first,
+        // then this cell's −v0, −v1, −v2), so the sum is bit-identical.
+        cfloat acc{};
+        if (a > 0) acc += gu_at(0, idx - s1);
+        if (b > 0) acc += gu_at(1, idx - s0);
+        if (c > 0) acc += gu_at(2, idx - 1);
+        if (a + 1 < rg.n1) acc -= gu_at(0, idx);
+        if (b + 1 < rg.n0) acc -= gu_at(1, idx);
+        if (c + 1 < rg.n2) acc -= gu_at(2, idx);
+        const cfloat Gv = grad_data.data()[idx] + frho * acc;
+        G.data()[idx] = Gv;
+        gg += double(Gv.real()) * Gv.real() + double(Gv.imag()) * Gv.imag();
+        if (has_prev) {
+          const cfloat Pv = G_prev.data()[idx];
+          gp += double(Gv.real()) * Pv.real() + double(Gv.imag()) * Pv.imag();
+        }
+      }
+    }
+    parts[std::size_t(2 * t)] = gg;
+    parts[std::size_t(2 * t + 1)] = gp;
+  });
+  Dots d;
+  for (i64 t = 0; t < tiles; ++t) {
+    d.gg += parts[std::size_t(2 * t)];
+    d.gp += parts[std::size_t(2 * t + 1)];
+  }
+  // Naive chain: tv_grad(4) + gu−=g(9) + scatter adjoint(6) + combine(3) +
+  // Re⟨G,G⟩(1) + Re⟨G,G_prev⟩(2 when taken).
+  bump(has_prev ? 7 : 6, has_prev ? 25 : 23, double(u.size()));
+  return d;
+}
+
+void SolverKernels::cg_update(const Array3D<cfloat>& G, bool first,
+                              double beta, double step, Array3D<cfloat>& p,
+                              Array3D<cfloat>& u) {
+  MLR_CHECK(p.shape() == G.shape() && u.shape() == G.shape());
+  const i64 n = G.size();
+  const auto fb = float(beta), fs = float(step);
+  ew_for_tiles(pool_, n, [&](i64 b, i64 e, i64) {
+    const cfloat* gd = G.data();
+    cfloat* pd = p.data();
+    cfloat* ud = u.data();
+    if (first) {
+      for (i64 i = b; i < e; ++i) {
+        const cfloat pv = -gd[i];
+        pd[i] = pv;
+        ud[i] += fs * pv;
+      }
+    } else {
+      for (i64 i = b; i < e; ++i) {
+        const cfloat pv = -gd[i] + fb * pd[i];
+        pd[i] = pv;
+        ud[i] += fs * pv;
+      }
+    }
+  });
+  // Naive: p update (2 or 3) + u update (3) + the G_prev = G copy (2) the
+  // buffer swap replaced.
+  bump(first ? 4 : 5, first ? 7 : 8, double(n));
+}
+
+double SolverKernels::rsp_shrink(const Array3D<cfloat>& u,
+                                 const VectorField& lambda, double rho,
+                                 double thr, VectorField& psi, VectorField& gu,
+                                 bool want_s2) {
+  MLR_CHECK(psi.shape() == u.shape() && gu.shape() == u.shape());
+  MLR_CHECK(thr >= 0.0);
+  const RowGeom rg(u.shape());
+  const i64 tiles = ew_num_row_tiles(rg.rows, rg.n2);
+  auto parts = partials(tiles, 1);
+  const auto frho = float(rho);
+  const cfloat* ud = u.data();
+  const i64 s1 = rg.n0 * rg.n2, s0 = rg.n2;
+  ew_for_row_tiles(pool_, rg.rows, rg.n2, [&](i64 rb, i64 re, i64 t) {
+    double s2 = 0;
+    for (i64 r = rb; r < re; ++r) {
+      const i64 a = r / rg.n0, b = r % rg.n0;
+      const i64 row = r * rg.n2;
+      for (i64 c = 0; c < rg.n2; ++c) {
+        const i64 idx = row + c;
+        const cfloat v = ud[idx];
+        const cfloat d0 = (a + 1 < rg.n1) ? ud[idx + s1] - v : cfloat{};
+        const cfloat d1 = (b + 1 < rg.n0) ? ud[idx + s0] - v : cfloat{};
+        const cfloat d2 = (c + 1 < rg.n2) ? ud[idx + 1] - v : cfloat{};
+        gu.c[0].data()[idx] = d0;
+        gu.c[1].data()[idx] = d1;
+        gu.c[2].data()[idx] = d2;
+        const cfloat grads[3] = {d0, d1, d2};
+        for (int k = 0; k < 3; ++k) {
+          cfloat* pp = psi.c[k].data() + idx;
+          const cfloat old = *pp;
+          const cfloat x = grads[k] + lambda.c[k].data()[idx] / frho;
+          const double mag = std::abs(x);
+          const cfloat nw =
+              mag <= thr ? cfloat{} : x * float((mag - thr) / mag);
+          *pp = nw;
+          if (want_s2) s2 += std::norm(nw - old);
+        }
+      }
+    }
+    parts[std::size_t(t)] = s2;
+  });
+  // Naive: ψ_prev = ψ copy (6) + tv_grad (4) + gu+λ/ρ add (9) +
+  // soft_threshold (6) + s2's exclusive ψ_prev reads (3 when taken).
+  bump(want_s2 ? 13 : 10, want_s2 ? 28 : 25, double(u.size()));
+  return ew_combine(parts.subspan(0, std::size_t(tiles)));
+}
+
+double SolverKernels::lambda_update(VectorField& lambda, const VectorField& gu,
+                                    const VectorField& psi, double rho,
+                                    bool want_r2) {
+  MLR_CHECK(lambda.shape() == gu.shape() && lambda.shape() == psi.shape());
+  const i64 n = lambda.c[0].size();
+  const i64 tiles = ew_num_tiles(n);
+  auto parts = partials(tiles, 1);
+  const auto frho = float(rho);
+  ew_for_tiles(pool_, n, [&](i64 b, i64 e, i64 t) {
+    double r2 = 0;
+    for (int c = 0; c < 3; ++c) {
+      const cfloat* gd = gu.c[c].data();
+      const cfloat* ps = psi.c[c].data();
+      cfloat* la = lambda.c[c].data();
+      for (i64 i = b; i < e; ++i) {
+        const cfloat d = gd[i] - ps[i];
+        la[i] += frho * d;
+        if (want_r2) r2 += std::norm(d);
+      }
+    }
+    parts[std::size_t(t)] = r2;
+  });
+  // Naive: the λ loop (12) + r2's share of the old penalty-residual loop
+  // (gu + ψ re-reads, 6, when taken).
+  bump(12, want_r2 ? 18 : 12, double(n));
+  return ew_combine(parts.subspan(0, std::size_t(tiles)));
+}
+
+double SolverKernels::residual_norm_sq(Array3D<cfloat>& r,
+                                       const Array3D<cfloat>& d) {
+  MLR_CHECK(r.shape() == d.shape());
+  const i64 n = r.size();
+  const i64 tiles = ew_num_tiles(n);
+  auto parts = partials(tiles, 1);
+  ew_for_tiles(pool_, n, [&](i64 b, i64 e, i64 t) {
+    cfloat* rd = r.data();
+    const cfloat* dd = d.data();
+    double s = 0;
+    for (i64 i = b; i < e; ++i) {
+      rd[i] -= dd[i];
+      s += std::norm(rd[i]);
+    }
+    parts[std::size_t(t)] = s;
+  });
+  bump(3, 4, double(n));
+  return ew_combine(parts.subspan(0, std::size_t(tiles)));
+}
+
+double SolverKernels::norm_sq(std::span<const cfloat> x) {
+  const i64 n = i64(x.size());
+  const i64 tiles = ew_num_tiles(n);
+  auto parts = partials(tiles, 1);
+  ew_for_tiles(pool_, n, [&](i64 b, i64 e, i64 t) {
+    double s = 0;
+    for (i64 i = b; i < e; ++i) s += std::norm(x[std::size_t(i)]);
+    parts[std::size_t(t)] = s;
+  });
+  bump(1, 1, double(n));
+  return ew_combine(parts.subspan(0, std::size_t(tiles)));
+}
+
+double SolverKernels::tv_norm(const VectorField& g) {
+  const i64 n = g.c[0].size();
+  const i64 tiles = ew_num_tiles(n);
+  auto parts = partials(tiles, 1);
+  ew_for_tiles(pool_, n, [&](i64 b, i64 e, i64 t) {
+    double s = 0;
+    for (int c = 0; c < 3; ++c) {
+      const cfloat* gd = g.c[c].data();
+      for (i64 i = b; i < e; ++i) s += std::abs(gd[i]);
+    }
+    parts[std::size_t(t)] = s;
+  });
+  bump(3, 3, double(n));
+  return ew_combine(parts.subspan(0, std::size_t(tiles)));
+}
+
+void SolverKernels::normalize(Array3D<cfloat>& v, double prev_norm) {
+  MLR_CHECK(prev_norm > 0);
+  const i64 n = v.size();
+  const auto s = float(1.0 / prev_norm);
+  ew_for_tiles(pool_, n, [&](i64 b, i64 e, i64) {
+    cfloat* vd = v.data();
+    for (i64 i = b; i < e; ++i) vd[i] *= s;
+  });
+  // Naive: the per-iteration ‖v‖ pass (1) this kernel's reuse of the
+  // previous adjoint's measured norm eliminated, plus the scale rw (2).
+  bump(2, 3, double(n));
+}
+
+double SolverKernels::l2_norm(std::span<const cfloat> x) {
+  return std::sqrt(norm_sq(x));
+}
+
+}  // namespace mlr::admm

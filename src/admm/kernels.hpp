@@ -1,0 +1,119 @@
+// Fused elementwise kernels for the ADMM solver's inner phases.
+//
+// Every RSP/λ/ρ/ψ/TV update chain that used to run as a sequence of
+// separate `for (i64 i …)` loops over full volumes — one memory pass per
+// operation — is rewritten here as ONE single-pass kernel, tiled across the
+// ThreadPool with the deterministic size-based partition of common/ew.hpp.
+// The fused chains (old loop chain → kernel):
+//
+//   g = ψ − λ/ρ                                         → g_update
+//   ∇u; gu−=g; ∇ᵀ(gu); G = L*r + ρ·∇ᵀ; G·G; G·G_prev    → lsp_combine
+//   p = −G + β·p; u += step·p                           → cg_update
+//   ψ_prev = ψ; ∇u; ψ = shrink(∇u + λ/ρ); Σ|ψ−ψ_prev|²  → rsp_shrink
+//   λ += ρ(∇u − ψ); Σ|∇u − ψ|²                          → lambda_update
+//   r −= d̂;  ½‖r‖²                                      → residual_norm_sq
+//   power-iteration norm pass + v *= 1/‖v‖              → normalize
+//
+// lsp_combine evaluates the TV adjoint in *gather* form, recomputing
+// gu = ∇u − g on the fly from u and g neighbours, so the whole
+// tv_grad → subtract → tv_grad_adjoint → combine chain needs no
+// intermediate field at all; the gather accumulates contributions in the
+// exact temporal order of tv.cpp's scatter, so G is bit-identical to the
+// naive chain. rsp_shrink likewise folds ∇u into its sweep (gu is still
+// materialized — the λ/ρ phases read it) and absorbs the ψ_prev copy and
+// the penalty s2 sum, eliminating the ψ_prev field entirely.
+//
+// Determinism contract: pure maps are bit-identical to the naive loops by
+// construction; reductions write per-tile double partials into a
+// PerThreadScratch arena (steady-state allocs/op = 0, the bench_fft_micro
+// contract) and combine them serially in fixed tile order, so every value
+// is bit-identical for ANY pool width — only wall time varies. Reduction
+// results differ in final ulps from the old single-accumulator loops; all
+// consumers (β, loss, ρ balancing) are tolerance-level quantities.
+//
+// EwStats accounting: each kernel bumps the passes it made and the passes
+// the pre-fusion chain made for the same work (see ew.hpp for the
+// convention), so `stats()` deltas measure the fusion win deterministically
+// — the acceptance criterion even a 1-core container can check.
+#pragma once
+
+#include "admm/tv.hpp"
+#include "common/ew.hpp"
+#include "common/scratch.hpp"
+
+namespace mlr::admm {
+
+class SolverKernels {
+ public:
+  SolverKernels() = default;
+
+  /// Pool for the tiled fan-out; null (or one worker) runs tiles serially
+  /// on the caller. Results are bit-identical either way.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] const EwStats& stats() const { return stats_; }
+
+  /// g = ψ − λ/ρ (one pass over the three components).
+  void g_update(VectorField& g, const VectorField& psi,
+                const VectorField& lambda, double rho);
+
+  struct Dots {
+    double gg = 0;  ///< Re⟨G, G⟩
+    double gp = 0;  ///< Re⟨G, G_prev⟩ (0 when has_prev is false)
+  };
+  /// G = grad_data + ρ·∇ᵀ(∇u − g), with both CG dot products accumulated in
+  /// the same sweep. The TV adjoint is evaluated in gather form with
+  /// gu = ∇u − g recomputed on the fly — no intermediate field. `G_prev` is
+  /// only read when `has_prev` (CG step k ≥ 1).
+  Dots lsp_combine(const Array3D<cfloat>& u, const VectorField& g,
+                   const Array3D<cfloat>& grad_data, double rho,
+                   const Array3D<cfloat>& G_prev, bool has_prev,
+                   Array3D<cfloat>& G);
+
+  /// p = −G + β·p (p = −G when `first`); u += step·p — one sweep. The old
+  /// G_prev = G copy pass is gone: the solver swaps the G/G_prev buffers.
+  void cg_update(const Array3D<cfloat>& G, bool first, double beta,
+                 double step, Array3D<cfloat>& p, Array3D<cfloat>& u);
+
+  /// RSP proximal step, one sweep: gu = ∇u (materialized — the λ/ρ phases
+  /// read it), ψ = shrink(gu + λ/ρ, thr), and — with `want_s2` — the
+  /// penalty residual Σ|ψ_new − ψ_old|² accumulated from the in-register
+  /// old/new values, eliminating the ψ_prev field and its copy pass.
+  double rsp_shrink(const Array3D<cfloat>& u, const VectorField& lambda,
+                    double rho, double thr, VectorField& psi, VectorField& gu,
+                    bool want_s2);
+
+  /// λ += ρ(gu − ψ), with — when `want_r2` — the penalty residual
+  /// Σ|gu − ψ|² accumulated in the same sweep.
+  double lambda_update(VectorField& lambda, const VectorField& gu,
+                       const VectorField& psi, double rho, bool want_r2);
+
+  /// r −= d; returns ‖r‖² (fused residual subtraction + loss reduction —
+  /// the CPU-subtraction paths of data_gradient).
+  double residual_norm_sq(Array3D<cfloat>& r, const Array3D<cfloat>& d);
+
+  /// ‖x‖² (fusion path: the subtraction already happened in the GPU stage).
+  double norm_sq(std::span<const cfloat> x);
+
+  /// TV seminorm Σ|v| over the three components.
+  double tv_norm(const VectorField& g);
+
+  /// v *= 1/prev_norm — the power-iteration normalize. `prev_norm` is the
+  /// ‖·‖ the caller measured when this buffer was produced (the adjoint of
+  /// the previous iteration), so the old per-iteration norm pass is gone.
+  void normalize(Array3D<cfloat>& v, double prev_norm);
+
+  /// ‖x‖ with the deterministic tile-ordered reduction.
+  double l2_norm(std::span<const cfloat> x);
+
+ private:
+  /// Per-tile reduction slots (lanes doubles per tile), zeroed. Backed by a
+  /// per-thread arena: steady state never touches the heap.
+  std::span<double> partials(i64 tiles, i64 lanes);
+  void bump(u64 fused, u64 naive, double elems_per_pass);
+
+  ThreadPool* pool_ = nullptr;
+  PerThreadScratch<double> scratch_;
+  EwStats stats_;
+};
+
+}  // namespace mlr::admm

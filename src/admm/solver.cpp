@@ -8,23 +8,6 @@
 
 namespace mlr::admm {
 
-namespace {
-
-double norm2_sq(std::span<const cfloat> v) {
-  double s = 0;
-  for (const auto& x : v) s += std::norm(x);
-  return s;
-}
-
-double dot_re(std::span<const cfloat> a, std::span<const cfloat> b) {
-  double s = 0;
-  for (std::size_t i = 0; i < a.size(); ++i)
-    s += double(a[i].real()) * b[i].real() + double(a[i].imag()) * b[i].imag();
-  return s;
-}
-
-}  // namespace
-
 const char* phase_name(Phase p) {
   switch (p) {
     case Phase::Init: return "init";
@@ -50,6 +33,19 @@ Solver::Solver(memo::StageExecutor& exec, AdmmConfig cfg)
 double Solver::host_cost(double elems, double passes) const {
   return cfg_.work_scale * (elems * passes * sizeof(cfloat) / cfg_.cpu_mem_bw +
                             elems * passes * 2.0 / cfg_.cpu_flops);
+}
+
+double Solver::ew_cost(const EwStats& delta) const {
+  return host_cost(delta.bytes / double(sizeof(cfloat)), 1.0);
+}
+
+void Solver::end_phase(SolveResult& r, Phase p, const EwStats& ew0,
+                       std::chrono::steady_clock::time_point w0) {
+  auto& prof = r.phases[std::size_t(p)];
+  prof.ew += knl_.stats() - ew0;
+  prof.wall_s +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - w0)
+          .count();
 }
 
 sim::VTime Solver::stage_fu1d(const Array3D<cfloat>& in, Array3D<cfloat>& out,
@@ -144,24 +140,32 @@ sim::VTime Solver::data_gradient(const Array3D<cfloat>& u,
   // Forward pass.
   t = stage_fu1d(u, u1, /*adjoint=*/false, t);
   if (cfg_.use_cancellation && cfg_.use_fusion) {
-    // Fused GPU kernel computes r̂ = F_u2D(ũ1) − d̂ directly.
+    // Fused GPU kernel computes r̂ = F_u2D(ũ1) − d̂ directly; only the loss
+    // reduction remains on the host.
     t = stage_fu2d(u1, r, &dhat_or_d, /*adjoint=*/false, t);
+    if (loss_out != nullptr) {
+      const EwStats ew0 = knl_.stats();
+      *loss_out = 0.5 * knl_.norm_sq(r.span());
+      t += ew_cost(knl_.stats() - ew0);
+    }
   } else if (cfg_.use_cancellation) {
     // Cancellation without fusion: subtraction on the CPU in the frequency
     // domain — COMPLEX64 arithmetic, the §6.3 regression on small inputs.
+    // One fused sweep subtracts and accumulates the loss.
     t = stage_fu2d(u1, r, nullptr, /*adjoint=*/false, t);
-    for (i64 i = 0; i < r.size(); ++i) r.data()[i] -= dhat_or_d.data()[i];
-    t += host_cost(double(r.size()), 3.0) * 2.2;  // complex read/sub/write
+    const EwStats ew0 = knl_.stats();
+    const double r2 = knl_.residual_norm_sq(r, dhat_or_d);
+    if (loss_out != nullptr) *loss_out = 0.5 * r2;
+    t += ew_cost(knl_.stats() - ew0) * 2.2;  // complex arithmetic derating
   } else {
     // Algorithm 1: back to the spatial domain, subtract there (cheaper
     // element type), then re-enter the frequency domain.
     t = stage_fu2d(u1, r, nullptr, /*adjoint=*/false, t);
     t = stage_f2d(r, /*inverse=*/true, t);  // F*_2D
-    for (i64 i = 0; i < r.size(); ++i) r.data()[i] -= dhat_or_d.data()[i];
-    t += host_cost(double(r.size()), 3.0);  // spatial-domain subtraction
-  }
-  if (loss_out != nullptr) *loss_out = 0.5 * norm2_sq(r.span());
-  if (!cfg_.use_cancellation) {
+    const EwStats ew0 = knl_.stats();
+    const double r2 = knl_.residual_norm_sq(r, dhat_or_d);
+    if (loss_out != nullptr) *loss_out = 0.5 * r2;
+    t += ew_cost(knl_.stats() - ew0);
     t = stage_f2d(r, /*inverse=*/false, t);  // F_2D before the adjoint
   }
 
@@ -179,8 +183,7 @@ sim::VTime Solver::run_lsp(Array3D<cfloat>& u, const Array3D<cfloat>& dhat_or_d,
                            double* loss_out, IterationStats* st) {
   const auto& geo = ml_.ops().geometry();
   const Shape3 os = geo.object_shape();
-  Array3D<cfloat> grad_data(os), G(os), G_prev(os), p(os), reg(os);
-  VectorField gu(os);
+  Array3D<cfloat> grad_data(os), G(os), G_prev(os), p(os);
   mem_.alloc("G_prev", double(G_prev.bytes()), t);
   // Quadratic-safe fixed step: ‖L*L‖ from power iteration (the angular
   // oversampling of low frequencies makes it ≫1) plus the TV Laplacian
@@ -192,31 +195,20 @@ sim::VTime Solver::run_lsp(Array3D<cfloat>& u, const Array3D<cfloat>& dhat_or_d,
     double loss = 0;
     t = data_gradient(u, dhat_or_d, grad_data, t, &loss);
     if (loss_out != nullptr) *loss_out = loss;
-    // G = L*(r) + ρ·∇ᵀ(∇u − g)
-    tv_grad(u, gu);
-    for (int c = 0; c < 3; ++c)
-      for (i64 i = 0; i < gu.c[c].size(); ++i)
-        gu.c[c].data()[i] -= g.c[c].data()[i];
-    tv_grad_adjoint(gu, reg);
-    for (i64 i = 0; i < G.size(); ++i)
-      G.data()[i] = grad_data.data()[i] + float(cfg_.rho) * reg.data()[i];
-    t += host_cost(double(G.size()), 10.0);  // TV grad/adjoint + combine
+    const EwStats ew0 = knl_.stats();
+    // G = L*(r) + ρ·∇ᵀ(∇u − g) with both CG dot products, one fused sweep —
+    // the TV gradient/adjoint run in gather form with no intermediate field.
+    const auto dots = knl_.lsp_combine(u, g, grad_data, cfg_.rho, G_prev,
+                                       /*has_prev=*/k > 0, G);
     // CG update (Polak–Ribière+ direction, fixed quadratic-safe step).
-    const double g_dot = dot_re(G.span(), G.span());
-    if (k == 0) {
-      for (i64 i = 0; i < p.size(); ++i) p.data()[i] = -G.data()[i];
-    } else {
-      double beta =
-          (g_dot - dot_re(G.span(), G_prev.span())) / std::max(g_prev_dot, 1e-30);
-      beta = std::max(0.0, beta);
-      for (i64 i = 0; i < p.size(); ++i)
-        p.data()[i] = -G.data()[i] + float(beta) * p.data()[i];
+    double beta = 0;
+    if (k > 0) {
+      beta = std::max(0.0, (dots.gg - dots.gp) / std::max(g_prev_dot, 1e-30));
     }
-    for (i64 i = 0; i < u.size(); ++i)
-      u.data()[i] += float(step) * p.data()[i];
-    t += host_cost(double(u.size()), 4.0);
-    G_prev = G;
-    g_prev_dot = g_dot;
+    knl_.cg_update(G, /*first=*/k == 0, beta, step, p, u);
+    std::swap(G, G_prev);  // replaces the old G_prev = G copy pass
+    g_prev_dot = dots.gg;
+    t += ew_cost(knl_.stats() - ew0);
     if (st != nullptr) st->rho = cfg_.rho;
   }
   mem_.release("G_prev", t);
@@ -229,6 +221,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
   SolveResult result;
   sim::VTime t = 0;
   const double dev_xfer0 = exec_.device_transfer_busy();
+  const EwStats solve_ew0 = knl_.stats();
   // The solver's back-to-back run_stage calls form one pipelined round on
   // the engine (pipeline_depth ≥ 2 lets stage s's DB insertions and cache
   // refills drain under stage s+1's encode/probe/score phases). The round
@@ -244,7 +237,13 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     }
   } settle_guard{exec_};
 
+  // All fused elementwise kernels of this solve tile across the engine's
+  // worker pool (deterministic size-based partition — results are
+  // bit-identical for any pool width).
+  knl_.set_pool(&exec_.pool());
   if (obs_ != nullptr) obs_->phase_begin(Phase::Init, t);
+  const EwStats init_ew0 = knl_.stats();
+  const auto init_w0 = std::chrono::steady_clock::now();
   if (lip_ == 0.0) {
     // Power iteration on L*L (frequency-domain form; F_2D is unitary so the
     // spectrum is identical). Plain operators — a one-off setup cost.
@@ -253,13 +252,15 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     Rng rng(77);
     for (auto& x : v) x = cfloat(float(rng.normal()), float(rng.normal()));
     Array3D<cfloat> fwd(geo.data_shape()), bwd(geo.object_shape());
+    // `nv` carries the norm measured when the iterate was produced, so each
+    // iteration is one fused scale pass instead of norm pass + scale pass.
+    double nv = knl_.l2_norm(v.span());
     for (int it = 0; it < 8; ++it) {
-      const double nv = l2_norm<cfloat>(v.span());
       MLR_CHECK(nv > 0);
-      for (auto& x : v) x *= float(1.0 / nv);
+      knl_.normalize(v, nv);
       ops.forward_freq(v, fwd);
       ops.adjoint_freq(fwd, bwd);
-      lip_ = l2_norm<cfloat>(bwd.span());
+      nv = lip_ = knl_.l2_norm(bwd.span());
       std::swap(v, bwd);
     }
     MLR_LOG(Debug) << "power iteration: ||L*L|| ~= " << lip_;
@@ -273,7 +274,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     t = stage_f2d(dref, /*inverse=*/false, t);
   }
   VectorField psi(geo.object_shape()), lambda(geo.object_shape()),
-      gfield(geo.object_shape()), psi_prev(geo.object_shape());
+      gfield(geo.object_shape());
   mem_.alloc("psi", double(psi.bytes()), t);
   mem_.alloc("lambda", double(lambda.bytes()), t);
   mem_.alloc("g", double(gfield.bytes()), t);
@@ -283,6 +284,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
   t = observe("lambda", t);
   t = observe("g", t);
   double rho = cfg_.rho;
+  end_phase(result, Phase::Init, init_ew0, init_w0);
   if (obs_ != nullptr) obs_->phase_end(Phase::Init, t);
 
   // Encoder calibration: warmup iterations run un-memoized while collecting
@@ -300,6 +302,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     IterationStats st;
     st.iter = iter;
     const auto memo0 = exec_.counters();
+    const EwStats iter_ew0 = knl_.stats();
     if (needs_warmup && iter == cfg_.encoder_warmup_iters) {
       exec_.set_collect_samples(false);
       (void)exec_.train_encoder_from_collected(cfg_.encoder_train_steps);
@@ -313,68 +316,73 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     // --- LSP ---------------------------------------------------------
     if (obs_ != nullptr) obs_->phase_begin(Phase::Lsp, t);
     const sim::VTime lsp0 = t;
+    const EwStats lsp_ew0 = knl_.stats();
+    const auto lsp_w0 = std::chrono::steady_clock::now();
     t = observe("psi", t);
     t = observe("lambda", t);
-    for (int c = 0; c < 3; ++c)
-      for (i64 i = 0; i < gfield.c[c].size(); ++i)
-        gfield.c[c].data()[i] =
-            psi.c[c].data()[i] - lambda.c[c].data()[i] / float(rho);
-    t += host_cost(double(3 * u.size()), 3.0);
+    {
+      const EwStats ew0 = knl_.stats();
+      knl_.g_update(gfield, psi, lambda, rho);
+      t += ew_cost(knl_.stats() - ew0);
+    }
     t = observe("g", t);
     cfg_.rho = rho;  // keep step size consistent with current penalty
     t = run_lsp(u, dref, gfield, t, &st.loss, &st);
     st.lsp_s = t - lsp0;
+    end_phase(result, Phase::Lsp, lsp_ew0, lsp_w0);
     if (obs_ != nullptr) obs_->phase_end(Phase::Lsp, t);
 
     // --- RSP: ψ = shrink(∇u + λ/ρ, α/ρ) --------------------------------
     if (obs_ != nullptr) obs_->phase_begin(Phase::Rsp, t);
     const sim::VTime rsp0 = t;
+    const EwStats rsp_ew0 = knl_.stats();
+    const auto rsp_w0 = std::chrono::steady_clock::now();
     t = observe("lambda", t);
-    psi_prev = psi;
-    tv_grad(u, gu);
-    for (int c = 0; c < 3; ++c)
-      for (i64 i = 0; i < psi.c[c].size(); ++i)
-        psi.c[c].data()[i] =
-            gu.c[c].data()[i] + lambda.c[c].data()[i] / float(rho);
-    soft_threshold(psi, cfg_.alpha / rho);
-    t += host_cost(double(3 * u.size()), 4.0);
+    // One fused sweep: gu = ∇u, ψ = shrink(gu + λ/ρ, α/ρ), and (under
+    // adaptive ρ) the penalty residual s² from the in-register old/new ψ —
+    // the ψ_prev field and its copy pass are gone.
+    const double s2 = knl_.rsp_shrink(u, lambda, rho, cfg_.alpha / rho, psi,
+                                      gu, cfg_.adaptive_rho);
+    t += ew_cost(knl_.stats() - rsp_ew0);
     t = observe("psi", t);
     st.rsp_s = t - rsp0;
+    end_phase(result, Phase::Rsp, rsp_ew0, rsp_w0);
     if (obs_ != nullptr) obs_->phase_end(Phase::Rsp, t);
 
     // --- λ update ------------------------------------------------------
     if (obs_ != nullptr) obs_->phase_begin(Phase::LambdaUpdate, t);
     const sim::VTime lam0 = t;
+    const EwStats lam_ew0 = knl_.stats();
+    const auto lam_w0 = std::chrono::steady_clock::now();
     t = observe("psi", t);
     t = observe("lambda", t);
-    for (int c = 0; c < 3; ++c)
-      for (i64 i = 0; i < lambda.c[c].size(); ++i)
-        lambda.c[c].data()[i] +=
-            float(rho) * (gu.c[c].data()[i] - psi.c[c].data()[i]);
-    t += host_cost(double(3 * u.size()), 3.0);
+    // λ += ρ(∇u − ψ) fused with the r² residual for the ρ update.
+    const double r2 =
+        knl_.lambda_update(lambda, gu, psi, rho, cfg_.adaptive_rho);
+    t += ew_cost(knl_.stats() - lam_ew0);
     st.lambda_s = t - lam0;
+    end_phase(result, Phase::LambdaUpdate, lam_ew0, lam_w0);
     if (obs_ != nullptr) obs_->phase_end(Phase::LambdaUpdate, t);
 
     // --- penalty update (residual balancing) ----------------------------
     if (obs_ != nullptr) obs_->phase_begin(Phase::PenaltyUpdate, t);
     const sim::VTime pen0 = t;
+    const EwStats pen_ew0 = knl_.stats();
+    const auto pen_w0 = std::chrono::steady_clock::now();
     if (cfg_.adaptive_rho) {
-      double r2 = 0, s2 = 0;
-      for (int c = 0; c < 3; ++c) {
-        for (i64 i = 0; i < psi.c[c].size(); ++i) {
-          r2 += std::norm(gu.c[c].data()[i] - psi.c[c].data()[i]);
-          s2 += std::norm(psi.c[c].data()[i] - psi_prev.c[c].data()[i]);
-        }
-      }
+      // r²/s² were folded into the λ/RSP sweeps above; only the scalar
+      // balancing test remains here.
       const double r = std::sqrt(r2), s = rho * std::sqrt(s2);
       if (r > 10.0 * s) {
         rho *= 2.0;
       } else if (s > 10.0 * r) {
         rho *= 0.5;
       }
-      t += host_cost(double(3 * u.size()), 2.0);
     }
+    st.loss += cfg_.alpha * knl_.tv_norm(gu);
+    t += ew_cost(knl_.stats() - pen_ew0);
     st.penalty_s = t - pen0;
+    end_phase(result, Phase::PenaltyUpdate, pen_ew0, pen_w0);
     if (obs_ != nullptr) obs_->phase_end(Phase::PenaltyUpdate, t);
 
     st.t_end = t;
@@ -384,7 +392,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     st.memo_delta.db_hit = memo1.db_hit - memo0.db_hit;
     st.memo_delta.cache_hit = memo1.cache_hit - memo0.cache_hit;
     st.memo_delta.db_hit_shared = memo1.db_hit_shared - memo0.db_hit_shared;
-    st.loss += cfg_.alpha * tv_norm(gu);
+    st.ew_delta = knl_.stats() - iter_ew0;
     result.iterations.push_back(st);
     if (hook_) hook_(iter, u);
     MLR_LOG(Debug) << "iter " << iter << " loss " << st.loss << " vtime " << t;
@@ -399,6 +407,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
   // deferred tail error (the guard's settle then finds nothing left).
   exec_.settle();
   result.total_vtime = t;
+  result.ew_total = knl_.stats() - solve_ew0;
   const double xfer = exec_.device_transfer_busy() - dev_xfer0;
   result.transfer_share = t > 0 ? xfer / t : 0.0;
   result.u = std::move(u);

@@ -18,10 +18,13 @@
 // same solver runs plain, memoized, cached, or coalesced configurations.
 #pragma once
 
+#include <array>
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "admm/kernels.hpp"
 #include "admm/tv.hpp"
 #include "lamino/phantom.hpp"
 #include "memo/memoized_ops.hpp"
@@ -81,6 +84,14 @@ struct IterationStats {
   double lsp_s = 0;           ///< virtual seconds in LSP
   double rsp_s = 0, lambda_s = 0, penalty_s = 0;
   memo::MemoCounters memo_delta;  ///< memoization outcomes this iteration
+  EwStats ew_delta;               ///< fused-kernel pass/byte counters this iter
+};
+
+/// Per-phase profile of the fused kernel layer: which ADMM phase spent which
+/// elementwise passes (deterministic) and how much host wall clock (not).
+struct PhaseProfile {
+  EwStats ew;
+  double wall_s = 0;  ///< host wall-clock seconds (diagnostic only)
 };
 
 struct SolveResult {
@@ -88,6 +99,8 @@ struct SolveResult {
   std::vector<IterationStats> iterations;
   sim::VTime total_vtime = 0;
   double transfer_share = 0;  ///< fraction of vtime spent in CPU↔GPU copy
+  EwStats ew_total;           ///< all fused-kernel work of the solve
+  std::array<PhaseProfile, kNumPhases> phases;  ///< indexed by Phase
 };
 
 class Solver {
@@ -106,6 +119,9 @@ class Solver {
 
   /// Per-variable memory accounting (Fig 2 / Fig 13 input).
   [[nodiscard]] const sim::MemoryTracker& memory() const { return mem_; }
+  /// Cumulative fused-kernel counters (kernel invocations, elementwise
+  /// passes, bytes streamed vs the unfused chains) across all solves.
+  [[nodiscard]] const EwStats& ew_stats() const { return knl_.stats(); }
   void set_observer(PhaseObserver* obs) { obs_ = obs; }
   /// Callback fired once per outer iteration with the current u (used by
   /// characterization benches, e.g. the Fig 4 chunk-similarity probe).
@@ -140,6 +156,14 @@ class Solver {
 
   // Host elementwise op cost: `elems` complex values touched `passes` times.
   double host_cost(double elems, double passes) const;
+  // Virtual-time charge for a fused-kernel stats delta: the bytes the fused
+  // form actually streamed, priced at the host bandwidth/flops model. The
+  // delta is deterministic, so the charge is too.
+  double ew_cost(const EwStats& delta) const;
+  // Fold the kernel work since `ew0` and the wall clock since `w0` into the
+  // phase profile of `r`.
+  void end_phase(SolveResult& r, Phase p, const EwStats& ew0,
+                 std::chrono::steady_clock::time_point w0);
 
   sim::VTime observe(const std::string& var, sim::VTime t) {
     return obs_ != nullptr ? obs_->on_access(var, t) : t;
@@ -148,6 +172,7 @@ class Solver {
   memo::StageExecutor& exec_;  ///< runs every chunked operator stage
   memo::MemoizedLamino& ml_;   ///< primary wrapper: encoder + detector FFTs
   AdmmConfig cfg_;
+  SolverKernels knl_;  ///< fused elementwise kernels (pool set per solve)
   double lip_ = 0.0;  ///< ‖L*L‖ estimate (power iteration, set in solve())
   sim::MemoryTracker mem_;
   PhaseObserver* obs_ = nullptr;

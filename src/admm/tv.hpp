@@ -3,6 +3,11 @@
 // Forward-difference gradient ∇: C^(n1,n0,n2) → C^(3,n1,n0,n2) with Neumann
 // boundaries, its exact adjoint ∇ᵀ = −div, and the complex soft-thresholding
 // proximal step that solves the RSP subproblem in closed form.
+//
+// These are the NAIVE reference implementations: the solver's hot path runs
+// the fused single-pass versions in admm/kernels.hpp, and tests/ew_test.cpp
+// pins every fused chain bitwise against the loop chains built from the
+// functions below. Keep them straightforward.
 #pragma once
 
 #include <array>

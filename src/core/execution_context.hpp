@@ -34,6 +34,11 @@ struct ExecutionOptions {
   /// StageExecutor::set_pipeline_depth): stages that may be in flight at
   /// once. 0/1 = per-stage barrier. Bit-identical results for any value.
   i64 pipeline_depth = 2;
+  /// Tail-drainer lanes for the engine (see StageExecutor::set_tail_lanes):
+  /// tails of different OpKinds drain concurrently, one lane per kind by
+  /// default. 1 = the single global drainer. Bit-identical results for any
+  /// value.
+  i64 tail_lanes = memo::kNumOpKinds;
   memo::MemoConfig memo{};   ///< wrapper config, shared by every device
   memo::MemoDbConfig db{};   ///< memoization DB config (used when memo.enable)
   sim::DeviceSpec device{};

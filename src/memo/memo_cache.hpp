@@ -70,9 +70,11 @@ class MemoCache {
   [[nodiscard]] virtual std::size_t bytes() const = 0;
   /// True when entries of different OpKinds can never interact — neither
   /// matching nor evicting one another. The cross-stage pipeline may then
-  /// run kind-A inserts under kind-B probes without changing any outcome;
-  /// a kind-coupled cache forces the engine to settle every pending tail at
-  /// stage entry instead.
+  /// run kind-A inserts under kind-B probes without changing any outcome,
+  /// and the engine may shard its deferred tails across per-kind drainer
+  /// lanes; a kind-coupled cache forces the engine to settle every pending
+  /// tail at stage entry AND pins every tail to one lane (its cross-kind
+  /// FIFO order must match the enqueue order) instead.
   [[nodiscard]] virtual bool kind_isolated() const = 0;
   /// Order-sensitive digest of the resident entries (keys, values, norms,
   /// FIFO order). Two caches that went through the same insert sequence

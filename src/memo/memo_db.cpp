@@ -343,12 +343,16 @@ u64 MemoDb::store_entry(OpKind kind, std::span<const float> key,
                         std::span<const cfloat> value, double norm,
                         std::vector<cfloat> probe, bool async) {
   MLR_CHECK(i64(key.size()) == cfg_.key_dim);
-  std::lock_guard store_lk(store_mu_);
-  const u64 id = make_id(kind);
-  id_log_.push_back(kind);
-  index_[size_t(int(kind))]->add(id, key);
-  norms_[size_t(int(kind))][id] = norm;
-  if (!probe.empty()) probes_[size_t(int(kind))][id] = std::move(probe);
+  const auto k = size_t(int(kind));
+  // Per-kind lock: stores of different kinds (different tail lanes) proceed
+  // concurrently; stores within a kind serialize, so the kind's sequence
+  // numbers follow its lane's FIFO order.
+  std::lock_guard store_lk(store_mu_[k]);
+  const u64 seq = next_seq_[k].fetch_add(1, std::memory_order_acq_rel);
+  const u64 id = (u64(kind) << 56) | seq;
+  index_[k]->add(id, key);
+  norms_[k][id] = norm;
+  if (!probe.empty()) probes_[k][id] = std::move(probe);
   // Pack key + value into one blob (key padded into cfloat pairs).
   const std::size_t key_cf = (key.size() + 1) / 2;
   std::vector<cfloat> packed(key_cf + value.size());
@@ -404,49 +408,57 @@ void MemoDb::charge_insert(std::size_t key_floats, std::size_t value_floats,
   accounted_store_bytes_ += blob_bytes;
 }
 
-std::vector<MemoDb::Entry> MemoDb::export_entries(u64 from_seq) {
+std::vector<MemoDb::Entry> MemoDb::export_entries(bool session_only) {
   MLR_CHECK_MSG(!round_open_, "export_entries inside an open async round");
   values_.drain();  // pending async insertions become part of the snapshot
-  std::lock_guard store_lk(store_mu_);
-  const u64 end_seq = next_id_.load(std::memory_order_acquire);
+  // Canonical kind-major order: each kind's entries in its own insertion
+  // order. Per-kind sequencing makes this order independent of how the tail
+  // lanes interleaved stores of different kinds.
+  std::scoped_lock store_lk(store_mu_[0], store_mu_[1], store_mu_[2],
+                            store_mu_[3]);
+  static_assert(kNumOpKinds == 4);
   std::vector<Entry> out;
-  out.reserve(from_seq < end_seq ? size_t(end_seq - from_seq) : 0);
-  for (u64 seq = from_seq; seq < end_seq; ++seq) {
-    const OpKind kind = id_log_[size_t(seq)];
-    const u64 id = (u64(kind) << 56) | seq;
-    auto blob = values_.get(id);
-    MLR_CHECK(blob.has_value());
-    auto stored = kvstore::from_blob(*blob);
-    const std::size_t key_cf = (size_t(cfg_.key_dim) + 1) / 2;
-    Entry e;
-    e.kind = kind;
-    e.key.resize(size_t(cfg_.key_dim));
-    for (i64 d = 0; d < cfg_.key_dim; ++d) {
-      const auto c = stored[size_t(d / 2)];
-      e.key[size_t(d)] = (d % 2 == 0) ? c.real() : c.imag();
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    const OpKind kind = OpKind(k);
+    const u64 from_seq = session_only ? shared_boundary_[size_t(k)] : 0;
+    const u64 end_seq = next_seq_[size_t(k)].load(std::memory_order_acquire);
+    for (u64 seq = from_seq; seq < end_seq; ++seq) {
+      const u64 id = (u64(kind) << 56) | seq;
+      auto blob = values_.get(id);
+      MLR_CHECK(blob.has_value());
+      auto stored = kvstore::from_blob(*blob);
+      const std::size_t key_cf = (size_t(cfg_.key_dim) + 1) / 2;
+      Entry e;
+      e.kind = kind;
+      e.key.resize(size_t(cfg_.key_dim));
+      for (i64 d = 0; d < cfg_.key_dim; ++d) {
+        const auto c = stored[size_t(d / 2)];
+        e.key[size_t(d)] = (d % 2 == 0) ? c.real() : c.imag();
+      }
+      e.value.assign(stored.begin() + i64(key_cf), stored.end());
+      const auto& norms = norms_[size_t(k)];
+      const auto& probes = probes_[size_t(k)];
+      const auto nit = norms.find(id);
+      e.norm = nit != norms.end() ? nit->second : 1.0;
+      const auto pit = probes.find(id);
+      if (pit != probes.end()) e.probe = pit->second;
+      out.push_back(std::move(e));
     }
-    e.value.assign(stored.begin() + i64(key_cf), stored.end());
-    const auto& norms = norms_[size_t(int(kind))];
-    const auto& probes = probes_[size_t(int(kind))];
-    const auto nit = norms.find(id);
-    e.norm = nit != norms.end() ? nit->second : 1.0;
-    const auto pit = probes.find(id);
-    if (pit != probes.end()) e.probe = pit->second;
-    out.push_back(std::move(e));
   }
   return out;
 }
 
 void MemoDb::import_entries(std::span<const Entry> entries) {
-  MLR_CHECK_MSG(next_id_.load() == 0 && !round_open_,
+  MLR_CHECK_MSG(total_entries() == 0 && !round_open_,
                 "import_entries requires a fresh database");
-  // Replay in snapshot order: ids (and therefore the IVF training set and
-  // every downstream hit decision) come out identical for every session
-  // seeded from the same snapshot.
+  // Replay in snapshot order: per-kind ids (and therefore the IVF training
+  // set and every downstream hit decision) come out identical for every
+  // session seeded from the same snapshot.
   for (const auto& e : entries)
     (void)store_entry(e.kind, e.key, e.value, e.norm, e.probe,
                       /*async=*/false);
-  shared_boundary_ = next_id_.load();
+  for (int k = 0; k < kNumOpKinds; ++k)
+    shared_boundary_[size_t(k)] = next_seq_[size_t(k)].load();
   // Seed blobs are resident before the session runs; account them so the
   // first pipelined charge continues from the real footprint.
   accounted_store_bytes_ = double(values_.bytes());

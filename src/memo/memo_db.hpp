@@ -229,10 +229,10 @@ class MemoDb {
   // it. The lifecycle, and who pays for what on the virtual clock:
   //
   //   * export — after a session settles its pipeline tails and drains the
-  //     async writer, export_entries(shared_seq_boundary()) yields "what this
-  //     job inserted on top of its seed", in insertion order. Exporting is
-  //     free: the entries' link/node/DRAM traffic was charged when they were
-  //     first inserted inside the session.
+  //     async writer, export_entries(/*session_only=*/true) yields "what this
+  //     job inserted on top of its seed", in canonical kind-major order.
+  //     Exporting is free: the entries' link/node/DRAM traffic was charged
+  //     when they were first inserted inside the session.
   //   * promote — the service ships those entries to the tier in job-id
   //     order (policy-invariant tier evolution) and charges the transfer to
   //     the shared fabric (sim::Fabric) at the job's finish time: per-shard
@@ -247,19 +247,20 @@ class MemoDb {
   //     fabric for fetching the whole tier (per-shard byte split by
   //     entry_shard()), and the session's compute begins only when the fetch
   //     completes. import_entries() then replays the snapshot in its
-  //     canonical insertion order — identical for every shard count, since
-  //     sharding decides placement (which link carries which bytes), never
-  //     ordering — so ids, the IVF training set and every downstream hit
-  //     decision are bit-identical for shards ∈ {1, 2, 4, …}.
+  //     canonical order — identical for every shard count, since sharding
+  //     decides placement (which link carries which bytes), never ordering —
+  //     so ids, the IVF training set and every downstream hit decision are
+  //     bit-identical for shards ∈ {1, 2, 4, …}. Ids are per-kind sequences,
+  //     so the replayed ids are also independent of how the producing
+  //     session's tail lanes interleaved stores of different kinds.
   //
   // Entries below the shared boundary were produced by other jobs (or the
   // priming pass), so a hit on one of them is cross-job reuse — the effect
   // the paper's economics depend on and MemoCounters::db_hit_shared
   // measures.
 
-  /// One exported (key, value) record in insertion order — the unit a
-  /// snapshot is made of. `kind` partitions the key/value space exactly as
-  /// the live index does.
+  /// One exported (key, value) record — the unit a snapshot is made of.
+  /// `kind` partitions the key/value space exactly as the live index does.
   struct Entry {
     OpKind kind{};
     std::vector<float> key;
@@ -268,27 +269,32 @@ class MemoDb {
     std::vector<cfloat> value;
   };
 
-  /// Export entries in insertion order, starting at insertion sequence
-  /// `from_seq` (pending async insertions are drained first);
-  /// export_entries(shared_seq_boundary()) is "what this session inserted
-  /// on top of its seed". Must not be called inside an open async round.
-  [[nodiscard]] std::vector<Entry> export_entries(u64 from_seq = 0);
+  /// Export entries in canonical kind-major order (all of kind 0 in
+  /// insertion order, then kind 1, …); pending async insertions are drained
+  /// first. Insertion sequences are per kind, so the order is identical no
+  /// matter how tail lanes interleaved stores of different kinds. With
+  /// `session_only`, only entries above the per-kind shared boundary — what
+  /// this session inserted on top of its seed — are exported. Must not be
+  /// called inside an open async round.
+  [[nodiscard]] std::vector<Entry> export_entries(bool session_only = false);
   /// Seed an EMPTY database from a snapshot: entries replay synchronously in
   /// order (no virtual-clock charges — the snapshot's traffic was paid when
-  /// the entries were first inserted) and the shared boundary is set to the
-  /// seed size so seeded hits are distinguishable from hits on this
-  /// session's own insertions.
+  /// the entries were first inserted) and the per-kind shared boundaries are
+  /// set to the seed sizes so seeded hits are distinguishable from hits on
+  /// this session's own insertions.
   void import_entries(std::span<const Entry> entries);
-  /// Insertion sequence below which entries came from import_entries().
-  [[nodiscard]] u64 shared_seq_boundary() const { return shared_boundary_; }
   /// True when `match_id` (a QueryReply::match_id) refers to a seeded —
-  /// i.e. cross-job — entry.
+  /// i.e. cross-job — entry (its per-kind sequence is below that kind's
+  /// shared boundary).
   [[nodiscard]] bool is_shared_entry(u64 id) const {
-    return (id & kSeqMask) < shared_boundary_;
+    return (id & kSeqMask) < shared_boundary_[std::size_t(id >> 56)];
   }
 
-  /// Low 56 bits of an entry id hold its insertion sequence number (the high
-  /// byte is the OpKind, see make_id).
+  /// Low 56 bits of an entry id hold the entry's *per-kind* insertion
+  /// sequence number (the high byte is the OpKind). Per-kind sequencing is
+  /// what lets tails of different kinds drain on independent lanes: a kind's
+  /// ids stay in its own total store order no matter how the lanes
+  /// interleave globally.
   static constexpr u64 kSeqMask = (u64(1) << 56) - 1;
 
   [[nodiscard]] std::size_t entries(OpKind kind) const;
@@ -300,8 +306,6 @@ class MemoDb {
   [[nodiscard]] u64 messages_sent() const { return messages_; }
 
  private:
-  u64 make_id(OpKind kind) { return (u64(kind) << 56) | next_id_++; }
-
   /// Store one entry (index add, norm/probe bookkeeping, packed value blob)
   /// without touching any virtual timeline. insert() layers the async write
   /// and the link/node charges on top; import_entries() replays a snapshot
@@ -346,14 +350,16 @@ class MemoDb {
   std::array<std::unordered_map<u64, double>, kNumOpKinds> norms_;
   std::array<std::unordered_map<u64, std::vector<cfloat>>, kNumOpKinds>
       probes_;
-  std::vector<OpKind> id_log_;  // seq → kind; drives export order
-  /// Serializes entry stores against snapshot export. Stores are already
-  /// serial in correct usage (one drainer, or the caller thread), so the
-  /// lock is uncontended; it turns a caller forgetting the settle-before-
-  /// export contract into a consistent read instead of a torn id_log_.
-  std::mutex store_mu_;
-  std::atomic<u64> next_id_{0};
-  u64 shared_boundary_ = 0;
+  /// Per-kind store serialization, mirroring the per-kind indexes: one tail
+  /// lane's stores of kind A never contend with another lane's stores of
+  /// kind B, while stores *within* a kind stay in total insertion order
+  /// (each lane drains one kind's tails FIFO). export_entries locks all
+  /// kinds for a consistent snapshot.
+  std::array<std::mutex, kNumOpKinds> store_mu_;
+  /// Per-kind insertion-sequence counters (the low 56 bits of an id).
+  std::array<std::atomic<u64>, kNumOpKinds> next_seq_{};
+  /// Per-kind sequence below which entries came from import_entries().
+  std::array<u64, kNumOpKinds> shared_boundary_{};
   u64 messages_ = 0;
   /// Store bytes accounted in charge order — the DRAM footprint the virtual
   /// clock sees. Decoupled from values_.bytes() (which trails the async

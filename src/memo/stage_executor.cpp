@@ -45,17 +45,36 @@ void StageExecutor::run_tail_items(StageTail& tail) {
   tail.items.shrink_to_fit();
 }
 
-void StageExecutor::drain_tails() {
+std::size_t StageExecutor::lane_for(const MemoizedLamino& ml,
+                                    OpKind kind) const {
+  // A kind-coupled cache (GlobalCache: one FIFO spanning kinds) needs its
+  // wrapper's refills in total cross-kind order — pin to lane 0. Otherwise
+  // the kind picks its lane; same kind → same lane keeps per-kind FIFO
+  // order, which is all a kind-isolated cache and the per-kind DB sequences
+  // require.
+  if (ml.cache_ != nullptr && !ml.cache_->kind_isolated()) return 0;
+  return std::size_t(int(kind) % int(tail_lanes_));
+}
+
+void StageExecutor::set_tail_lanes(i64 lanes) {
+  // Re-sharding while tails are in flight would let one kind's tails land
+  // on two lanes (order break); settle first.
+  settle();
+  tail_lanes_ = std::clamp<i64>(lanes, 1, kNumOpKinds);
+}
+
+void StageExecutor::drain_lane(std::size_t lane) {
+  Lane& L = lanes_[lane];
   for (;;) {
     std::shared_ptr<StageTail> t;
     {
       std::lock_guard lk(tails_mu_);
-      if (tails_.empty()) {
-        tail_runner_active_ = false;
+      if (L.tails.empty()) {
+        L.runner_active = false;
         tails_cv_.notify_all();
         return;
       }
-      t = tails_.front();
+      t = L.tails.front();
     }
     std::exception_ptr err;
     try {
@@ -66,7 +85,7 @@ void StageExecutor::drain_tails() {
     {
       std::lock_guard lk(tails_mu_);
       if (err != nullptr && tail_error_ == nullptr) tail_error_ = err;
-      tails_.pop_front();
+      L.tails.pop_front();
       tails_cv_.notify_all();
     }
   }
@@ -83,24 +102,27 @@ void StageExecutor::enqueue_tail(MemoizedLamino& ml, OpKind kind,
     run_tail_items(*tail);  // the legacy per-stage barrier, inline
     return;
   }
+  const std::size_t lane = lane_for(ml, kind);
+  Lane& L = lanes_[lane];
   bool start_runner = false;
   {
     std::unique_lock lk(tails_mu_);
-    // Depth bound: at most depth − 1 stages may have tails in flight.
+    // Depth bound: at most depth − 1 stages may have tails in flight on one
+    // lane (with one lane this is exactly the legacy global bound).
     tails_cv_.wait(lk, [&] {
-      return i64(tails_.size()) < pipeline_depth_ - 1;
+      return i64(L.tails.size()) < pipeline_depth_ - 1;
     });
-    tails_.push_back(tail);
-    if (!tail_runner_active_) {
-      tail_runner_active_ = true;
+    L.tails.push_back(tail);
+    if (!L.runner_active) {
+      L.runner_active = true;
       start_runner = true;
     }
   }
   if (start_runner) {
     try {
-      pool().submit([this] { drain_tails(); });
+      pool().submit([this, lane] { drain_lane(lane); });
     } catch (...) {
-      drain_tails();  // pool handoff failed: drain on the caller instead
+      drain_lane(lane);  // pool handoff failed: drain on the caller instead
     }
   }
 }
@@ -109,12 +131,15 @@ void StageExecutor::sync_tails(const MemoizedLamino& ml, OpKind kind) {
   // Same-kind tails must land before this stage probes or queries (their
   // entries are visible in the barriered schedule); a kind-coupled cache
   // additionally couples eviction across kinds, so everything must land.
+  // A kind's tails all live on one lane, but scanning every lane keeps the
+  // predicate independent of the sharding.
   const bool all =
       ml.cache_ != nullptr && !ml.cache_->kind_isolated();
   std::unique_lock lk(tails_mu_);
   tails_cv_.wait(lk, [&] {
-    for (const auto& t : tails_)
-      if (all || t->kind == kind) return false;
+    for (const auto& L : lanes_)
+      for (const auto& t : L.tails)
+        if (all || t->kind == kind) return false;
     return true;
   });
   if (tail_error_ != nullptr) {
@@ -126,7 +151,11 @@ void StageExecutor::sync_tails(const MemoizedLamino& ml, OpKind kind) {
 
 void StageExecutor::settle() {
   std::unique_lock lk(tails_mu_);
-  tails_cv_.wait(lk, [&] { return tails_.empty() && !tail_runner_active_; });
+  tails_cv_.wait(lk, [&] {
+    for (const auto& L : lanes_)
+      if (!L.tails.empty() || L.runner_active) return false;
+    return true;
+  });
   if (tail_error_ != nullptr) {
     auto err = tail_error_;
     tail_error_ = nullptr;

@@ -24,24 +24,33 @@
 // stage's *data tail* open across consecutive run_stage calls (each DB
 // round itself still finalizes inside its stage). The tail — the stage's
 // miss insertions into the DB and the cache refills of its hits and
-// misses — is deferred onto a single serial drainer job on the worker
-// pool, so it overlaps the next stage's encode, cache-probe and ANN-scoring
-// phases (which, for the adjacent stage of a different OpKind, read disjoint
-// key/value spaces). The handoff epochs:
+// misses — is deferred onto a serial drainer *lane* on the worker pool, so
+// it overlaps the next stage's encode, cache-probe and ANN-scoring phases
+// (which, for the adjacent stage of a different OpKind, read disjoint
+// key/value spaces). Lanes are sharded per OpKind (set_tail_lanes, lane =
+// kind mod lanes): a kind's tails always drain FIFO on its own lane, while
+// tails of *different* kinds drain concurrently — the kind-alternating
+// Fu1D/Fu1DAdj sequence of the ADMM solver no longer queues one stage's
+// tail behind the previous stage's. The handoff epochs:
 //
 //   stage s   : encode/probe → score+miss-FFT slices → serial schedule
 //                                                    → tail(s) enqueued
-//   stage s+1 : [tail(s) drains here]  encode/probe → score slices → …
+//   stage s+1 : [tail(s) drains on its lane]  encode/probe → score … ; its
+//               own tail lands on a different lane and may still be open
 //
 // Determinism is preserved by construction: every virtual-clock charge
 // (device schedule, MemoDb::charge_insert, MemoDb::finalize) stays on the
-// calling thread in barriered order; deferred stores execute on ONE serial
-// drainer in enqueue order (same insertion sequence numbers, same cache
-// FIFO order); and a stage *settles* conflicting tails before touching
-// shared state — same-kind tails always (its probes/queries must observe
-// them), every tail when the cache is kind-coupled (GlobalCache FIFO
-// eviction crosses kinds; see MemoCache::kind_isolated). Depth 0/1 runs the
-// tail inline: exactly the legacy per-stage barrier.
+// calling thread in barriered order; deferred stores of one kind execute on
+// ONE serial lane in enqueue order, and MemoDb ids carry *per-kind*
+// insertion sequences, so a kind's ids, its cache FIFO order and the
+// canonical export order never depend on how lanes interleave globally; and
+// a stage *settles* conflicting tails before touching shared state —
+// same-kind tails always (its probes/queries must observe them), every tail
+// when the cache is kind-coupled (GlobalCache FIFO eviction crosses kinds,
+// so its wrappers' tails are additionally pinned to one lane; see
+// MemoCache::kind_isolated). Depth 0/1 runs the tail inline: exactly the
+// legacy per-stage barrier. tail_lanes = 1 restores the single global
+// drainer ordering.
 //
 // Wall-clock parallelism never touches the virtual clock: device/link/node
 // timelines are scheduled in a deterministic serial pass in chunk order
@@ -59,6 +68,7 @@
 // training set a single-GPU run sees and train one shared encoder.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -101,6 +111,14 @@ class StageExecutor {
     pipeline_depth_ = depth > 1 ? depth : 1;
   }
   [[nodiscard]] i64 pipeline_depth() const { return pipeline_depth_; }
+  /// Number of independent tail-drainer lanes (clamped to [1, kNumOpKinds]).
+  /// A tail lands on lane (kind mod lanes), so same-kind tails keep total
+  /// order while different kinds drain concurrently; wrappers with a
+  /// kind-coupled cache are pinned to lane 0 regardless. Settles outstanding
+  /// tails before re-sharding. Any lane count produces bit-identical
+  /// outputs, records, virtual times, cache contents and DB state.
+  void set_tail_lanes(i64 lanes);
+  [[nodiscard]] i64 tail_lanes() const { return tail_lanes_; }
   /// Drain every outstanding stage tail (DB stores + cache refills) and
   /// rethrow the first deferred error, if any. Callers reading DB entries
   /// or cache contents directly after run_stage must settle first; the
@@ -138,12 +156,20 @@ class StageExecutor {
     double norm = 1.0;
     std::vector<cfloat> probe;
   };
-  /// One stage's deferred data tail. Items execute in order on the single
-  /// serial drainer; completion is signalled under tails_mu_.
+  /// One stage's deferred data tail. Items execute in order on the owning
+  /// lane's serial drainer; completion is signalled under tails_mu_.
   struct StageTail {
     MemoizedLamino* ml = nullptr;
     OpKind kind{};
     std::vector<TailItem> items;
+  };
+  /// One serial drainer lane: a FIFO of enqueued, unfinished tails and a
+  /// flag for whether a pool job is currently draining it. All lanes share
+  /// tails_mu_/tails_cv_ — lane traffic is a handful of tails per stage, so
+  /// a single monitor keeps settle/sync logic simple.
+  struct Lane {
+    std::deque<std::shared_ptr<StageTail>> tails;
+    bool runner_active = false;
   };
 
   /// The batched phases for one wrapper's share of the stage.
@@ -162,20 +188,25 @@ class StageExecutor {
   /// couples kinds. Rethrows a deferred tail error.
   void sync_tails(const MemoizedLamino& ml, OpKind kind);
   /// Defer (or, below depth 2 / without workers, run inline) one stage's
-  /// data tail. Bounds outstanding tails to pipeline_depth − 1.
+  /// data tail. Bounds outstanding tails to pipeline_depth − 1 per lane.
   void enqueue_tail(MemoizedLamino& ml, OpKind kind,
                     std::vector<TailItem> items);
   static void run_tail_items(StageTail& tail);
-  void drain_tails();  // the single serial drainer job
+  void drain_lane(std::size_t lane);  // one lane's serial drainer job
+  /// Lane a tail of `kind` from `ml` drains on: kind mod tail_lanes_, except
+  /// that wrappers with a kind-coupled cache always use lane 0 (their cache
+  /// FIFO order spans kinds, so their tails must stay on one serial lane).
+  [[nodiscard]] std::size_t lane_for(const MemoizedLamino& ml,
+                                     OpKind kind) const;
 
   std::vector<MemoizedLamino*> wrappers_;
   ThreadPool* pool_ = nullptr;
 
   i64 pipeline_depth_ = 1;
+  i64 tail_lanes_ = kNumOpKinds;
   std::mutex tails_mu_;
   std::condition_variable tails_cv_;
-  std::deque<std::shared_ptr<StageTail>> tails_;  // enqueued, unfinished
-  bool tail_runner_active_ = false;
+  std::array<Lane, kNumOpKinds> lanes_;
   std::exception_ptr tail_error_;
 };
 

@@ -101,6 +101,7 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
     eo.memo = mc;
     eo.db = dbc;
     eo.pipeline_depth = cfg_.pipeline_depth;
+    eo.tail_lanes = cfg_.tail_lanes;
     eo.registry = registry_;
     eo.db_seed = seed;
     eo.shared_pool = pool_.get();
@@ -115,6 +116,7 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
     clu = std::make_unique<cluster::Cluster>(ops_, cs, mc, dbc);
     if (pool_ != nullptr) clu->executor().set_pool(pool_.get());
     clu->executor().set_pipeline_depth(cfg_.pipeline_depth);
+    clu->executor().set_tail_lanes(cfg_.tail_lanes);
     exec = &clu->executor();
     db = cfg_.memoize ? &clu->db() : nullptr;
   }
@@ -130,7 +132,7 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
   st.error_vs_truth = relative_error<cfloat>(pb.truth.span(), res.u.span());
   st.output_fingerprint = fnv1a_bytes(res.u.data(), std::size_t(res.u.bytes()));
   if (own_entries != nullptr && db != nullptr)
-    *own_entries = db->export_entries(db->shared_seq_boundary());
+    *own_entries = db->export_entries(/*session_only=*/true);
   return st;
 }
 

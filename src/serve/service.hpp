@@ -83,6 +83,11 @@ struct ServiceConfig {
   /// promotion ordering — and therefore the shared tier — is unchanged for
   /// every depth.
   i64 pipeline_depth = 2;
+  /// Tail-drainer lanes inside each session (per-OpKind tail sharding; see
+  /// StageExecutor::set_tail_lanes). Exports are kind-major and ids are
+  /// per-kind sequences, so the tier evolution is unchanged for every lane
+  /// count.
+  i64 tail_lanes = memo::kNumOpKinds;
 
   // Memo tier.
   bool memoize = true;

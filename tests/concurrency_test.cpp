@@ -349,7 +349,7 @@ TEST(Concurrency, PipelinedCrossStageDeterminismMatrix) {
     MemoCounters counters;
   };
   auto run_cfg = [&](unsigned threads, i64 overlap, i64 depth, int gpus,
-                     CacheKind cache_kind) {
+                     CacheKind cache_kind, i64 lanes) {
     Run run;
     sim::Interconnect net;
     sim::MemoryNode node;
@@ -376,6 +376,7 @@ TEST(Concurrency, PipelinedCrossStageDeterminismMatrix) {
     ThreadPool pool(threads);
     exec.set_pool(&pool);
     exec.set_pipeline_depth(depth);
+    exec.set_tail_lanes(lanes);
     auto make_work = [&](OpKind kind, Array3D<cfloat>& dst, bool mixed) {
       const bool adj = kind == OpKind::Fu1DAdj;
       const Array3D<cfloat>& src = adj ? base_u1 : u;
@@ -441,7 +442,7 @@ TEST(Concurrency, PipelinedCrossStageDeterminismMatrix) {
   };
 
   for (const int gpus : {1, 2}) {
-    const Run ref = run_cfg(1, 0, 0, gpus, CacheKind::Private);
+    const Run ref = run_cfg(1, 0, 0, gpus, CacheKind::Private, 1);
     // The mixed passes must really mix outcomes or the matrix is vacuous.
     u64 hits = 0, misses = 0;
     for (const auto& recs : ref.recs)
@@ -455,25 +456,35 @@ TEST(Concurrency, PipelinedCrossStageDeterminismMatrix) {
     for (const unsigned threads : {1u, 4u}) {
       for (const i64 overlap : {i64(0), i64(4)}) {
         for (const i64 depth : {i64(0), i64(2), i64(4)}) {
-          SCOPED_TRACE("gpus=" + std::to_string(gpus) +
-                       " threads=" + std::to_string(threads) +
-                       " overlap=" + std::to_string(overlap) +
-                       " depth=" + std::to_string(depth));
-          expect_same(ref, run_cfg(threads, overlap, depth, gpus,
-                                   CacheKind::Private));
+          // Tail lanes only matter when the pipeline defers tails; depth 0
+          // drains inline, so one lane value suffices there.
+          for (const i64 lanes : depth == 0 ? std::vector<i64>{1}
+                                            : std::vector<i64>{1, 2, 4}) {
+            SCOPED_TRACE("gpus=" + std::to_string(gpus) +
+                         " threads=" + std::to_string(threads) +
+                         " overlap=" + std::to_string(overlap) +
+                         " depth=" + std::to_string(depth) +
+                         " lanes=" + std::to_string(lanes));
+            expect_same(ref, run_cfg(threads, overlap, depth, gpus,
+                                     CacheKind::Private, lanes));
+          }
         }
       }
     }
   }
 
   // Kind-coupled cache (GlobalCache FIFO eviction crosses kinds): the
-  // engine must fall back to a full settle at stage entry — and still be
-  // bit-identical for every depth.
+  // engine must fall back to a full settle at stage entry AND pin every
+  // tail to lane 0 (cross-kind FIFO order) — bit-identical for every depth
+  // and every configured lane count.
   {
-    const Run ref = run_cfg(1, 0, 0, 1, CacheKind::Global);
+    const Run ref = run_cfg(1, 0, 0, 1, CacheKind::Global, 1);
     for (const i64 depth : {i64(0), i64(3)}) {
-      SCOPED_TRACE("global-cache depth=" + std::to_string(depth));
-      expect_same(ref, run_cfg(4, 4, depth, 1, CacheKind::Global));
+      for (const i64 lanes : {i64(1), i64(4)}) {
+        SCOPED_TRACE("global-cache depth=" + std::to_string(depth) +
+                     " lanes=" + std::to_string(lanes));
+        expect_same(ref, run_cfg(4, 4, depth, 1, CacheKind::Global, lanes));
+      }
     }
   }
 }
