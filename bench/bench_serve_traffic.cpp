@@ -18,7 +18,11 @@
 // Knobs: `--shards N` (tier shard count for the policy table),
 // `--fabric-gbps G` (link AND uplink bandwidth; 0 disables the fabric —
 // legacy network-isolated sessions), `--tau-dedup T` (promotion
-// near-duplicate threshold; 0 keeps everything).
+// near-duplicate threshold; 0 keeps everything), `--transport T` (inproc |
+// loopback | socket — how sessions reach the shared tier; socket serves the
+// whole workload over localhost TCP and must reproduce the inproc outputs
+// bit-for-bit). A transport cross-check always replays the FIFO point on a
+// second transport and feeds it into the same output-identity gate.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -28,6 +32,9 @@
 #include "bench_util.hpp"
 #include "serve/service.hpp"
 #include "serve/workload.hpp"
+#ifdef MLR_HAS_NET
+#include "net/request_table.hpp"
+#endif
 
 namespace {
 
@@ -41,15 +48,39 @@ i64 parse_n(const char* s) {
   return std::atoll(s);
 }
 
+const char* transport_name(TierTransport t) {
+  switch (t) {
+    case TierTransport::Inproc: return "inproc";
+    case TierTransport::Loopback: return "loopback";
+    case TierTransport::Socket: return "socket";
+  }
+  return "?";
+}
+
+TierTransport parse_transport(const char* s) {
+  if (std::strcmp(s, "inproc") == 0) return TierTransport::Inproc;
+  if (std::strcmp(s, "loopback") == 0) return TierTransport::Loopback;
+  if (std::strcmp(s, "socket") == 0) return TierTransport::Socket;
+  std::fprintf(stderr, "unknown --transport %s (inproc|loopback|socket)\n", s);
+  std::exit(2);
+}
+
 struct PolicyResult {
   std::string name;
   int shards = 1;
+  TierTransport transport = TierTransport::Inproc;
   ServiceStats stats;
   std::map<u64, u64> fingerprints;
   double contention_s = 0;  ///< uplink queueing behind other sessions
   std::size_t tier_entries = 0;
   std::vector<std::size_t> shard_entries;
 };
+
+double deadline_hit_rate(const ServiceStats& st) {
+  return st.completed > 0
+             ? double(st.completed - st.deadline_missed) / double(st.completed)
+             : 0.0;
+}
 
 }  // namespace
 
@@ -69,6 +100,17 @@ int main(int argc, char** argv) {
   const int shards = int(args.get_i64("--shards", 1));
   const double fabric_gbps = args.get_double("--fabric-gbps", 200.0);
   const double tau_dedup = args.get_double("--tau-dedup", 0.999);
+  const TierTransport transport =
+      parse_transport(args.get_str("--transport", "inproc"));
+
+#ifndef MLR_HAS_NET
+  if (transport != TierTransport::Inproc) {
+    std::printf("SKIP: built with MLR_BUILD_NET=OFF, --transport %s "
+                "unavailable\n",
+                transport_name(transport));
+    return 0;
+  }
+#endif
 
   bench::header(
       "serve: multi-tenant traffic through ReconService, per policy + shard "
@@ -79,11 +121,12 @@ int main(int argc, char** argv) {
   std::printf(
       "workload: %lld jobs, n=%lld^3, %d slot(s) x %d gpu(s), mean "
       "interarrival %.0f s%s, 3 tenants (weights 1/2/4)\n"
-      "shared tier: %d shard(s), fabric %.0f Gb/s%s, tau_dedup %.3f\n\n",
+      "shared tier: %d shard(s), fabric %.0f Gb/s%s, tau_dedup %.3f\n",
       (long long)jobs, (long long)n, slots, gpus_per_job, interarrival,
       bursty ? ", bursty x4" : " (Poisson)", shards, fabric_gbps,
       fabric_gbps <= 0 ? " (disabled: network-isolated sessions)" : "",
       tau_dedup);
+  std::printf("tier transport: %s\n\n", transport_name(transport));
 
   WorkloadConfig wc;
   wc.seed = seed;
@@ -98,7 +141,8 @@ int main(int argc, char** argv) {
   const auto traffic = gen.generate();
   const auto warm = gen.priming_set();
 
-  auto run_once = [&](SchedulerPolicy policy, int shard_count) {
+  auto run_once = [&](SchedulerPolicy policy, int shard_count,
+                      TierTransport tr) {
     ServiceConfig sc;
     sc.n = n;
     sc.slots = slots;
@@ -110,6 +154,7 @@ int main(int argc, char** argv) {
     sc.policy = policy;
     sc.shard_count = shard_count;
     sc.tau_dedup = tau_dedup;
+    sc.transport = tr;
     sc.fabric.enabled = fabric_gbps > 0;
     if (fabric_gbps > 0) {
       sc.fabric.link_bandwidth = fabric_gbps * 1e9 / 8.0;
@@ -121,22 +166,40 @@ int main(int argc, char** argv) {
     PolicyResult pr;
     pr.name = policy_name(policy);
     pr.shards = shard_count;
+    pr.transport = tr;
     for (const auto& st : svc.drain())
       if (st.admitted) pr.fingerprints[st.id] = st.output_fingerprint;
     pr.stats = svc.stats();
-    pr.contention_s = svc.shared_tier().fabric().contention_wait_s();
+    pr.contention_s = svc.tier().fabric().contention_wait_s();
     pr.tier_entries = svc.shared_entries();
     for (int s = 0; s < shard_count; ++s)
-      pr.shard_entries.push_back(svc.shared_tier().shard_entries(s));
+      pr.shard_entries.push_back(svc.tier().shard_entries(s));
     return pr;
   };
+
+#ifdef MLR_HAS_NET
+  if (transport == TierTransport::Socket) {
+    // Availability probe: a sandbox without sockets (or no loopback
+    // interface) should skip rather than fail the smoke run. One throwaway
+    // service exercises listen + connect end to end.
+    try {
+      ServiceConfig probe;
+      probe.n = 8;
+      probe.transport = TierTransport::Socket;
+      ReconService svc(probe);
+    } catch (const mlr::net::NetError& e) {
+      std::printf("SKIP: socket transport unavailable (%s)\n", e.what());
+      return 0;
+    }
+  }
+#endif
 
   const SchedulerPolicy policies[] = {SchedulerPolicy::Fifo,
                                       SchedulerPolicy::Priority,
                                       SchedulerPolicy::FairShare};
   std::vector<PolicyResult> results;
   for (const auto policy : policies)
-    results.push_back(run_once(policy, shards));
+    results.push_back(run_once(policy, shards, transport));
 
   std::printf("%-9s %5s %4s %5s | %24s | %24s | %5s %6s\n", "policy", "done",
               "rej", "ddl%", "queue wait p50/p90/p99 (s)",
@@ -181,7 +244,8 @@ int main(int argc, char** argv) {
   for (const int sc2 : {1, 2, 4}) {
     // The policy table already ran FIFO at --shards: reuse that run instead
     // of replaying the whole workload for a bit-identical result.
-    auto pr = sc2 == shards ? results[0] : run_once(SchedulerPolicy::Fifo, sc2);
+    auto pr = sc2 == shards ? results[0]
+                            : run_once(SchedulerPolicy::Fifo, sc2, transport);
     std::printf("%7d %9zu %10.1f %11.3f %13.1f %6.1f |", sc2,
                 pr.tier_entries, pr.stats.fabric_fetch_s,
                 pr.stats.fabric_promote_s, pr.contention_s,
@@ -191,21 +255,46 @@ int main(int argc, char** argv) {
     sweep.push_back(std::move(pr));
   }
 
-  // Hermetic-session + placement-only-sharding guarantees: identical
-  // outputs under every policy AND every shard count. The admitted *set*
-  // can legitimately differ once admission control rejects (queue dynamics
-  // are policy-dependent), so compare over the union: every job two or more
-  // runs both ran must agree bit-for-bit.
+  // Transport cross-check: replay the FIFO point on a second carrier and
+  // feed it into the same identity gate. The tier backend moves bytes, not
+  // decisions — outputs must be bit-identical whether the tier is a local
+  // object, wire frames over loopback, or a TCP server.
+  std::vector<PolicyResult> xruns;
+  xruns.push_back(results[0]);  // the selected transport's FIFO point
+#ifdef MLR_HAS_NET
+  {
+    const TierTransport other = transport == TierTransport::Inproc
+                                    ? TierTransport::Loopback
+                                    : TierTransport::Inproc;
+    xruns.push_back(run_once(SchedulerPolicy::Fifo, shards, other));
+  }
+#endif
+  std::printf("\ntransport cross-check (fifo, %d shard(s)):\n", shards);
+  std::printf("%9s %9s %10s %11s %6s %6s\n", "transport", "tier", "fetch(s)",
+              "promote(s)", "xjob%", "ddl%");
+  for (const auto& pr : xruns)
+    std::printf("%9s %9zu %10.1f %11.3f %6.1f %6.1f\n",
+                transport_name(pr.transport), pr.tier_entries,
+                pr.stats.fabric_fetch_s, pr.stats.fabric_promote_s,
+                100.0 * pr.stats.cross_job_hit_rate(),
+                100.0 * deadline_hit_rate(pr.stats));
+
+  // Hermetic-session + placement-only-sharding + transport guarantees:
+  // identical outputs under every policy, shard count AND tier transport.
+  // The admitted *set* can legitimately differ once admission control
+  // rejects (queue dynamics are policy-dependent), so compare over the
+  // union: every job two or more runs both ran must agree bit-for-bit.
   bool identical = true;
   std::map<u64, u64> agreed;
-  for (const auto* set : {&results, &sweep})
+  for (const auto* set : {&results, &sweep, &xruns})
     for (const auto& pr : *set)
       for (const auto& [id, fp] : pr.fingerprints) {
         const auto [it, fresh] = agreed.emplace(id, fp);
         if (!fresh && it->second != fp) identical = false;
       }
-  std::printf("\noutput identity across policies and shard counts: %s\n",
-              identical ? "OK (bit-identical)" : "MISMATCH");
+  std::printf(
+      "\noutput identity across policies, shard counts and transports: %s\n",
+      identical ? "OK (bit-identical)" : "MISMATCH");
   std::printf(
       "shared tier (fifo): %llu promoted, %llu dedup drops (tau %.3f), "
       "%llu cap drops, cross-job hit rate %.1f%%\n",
@@ -228,6 +317,7 @@ int main(int argc, char** argv) {
   json.set("shards", i64(shards));
   json.set("fabric_gbps", fabric_gbps);
   json.set("tau_dedup", tau_dedup);
+  json.set("transport", transport_name(transport));
   json.set("identical_outputs", identical);
   for (const auto& pr : results) {
     const auto& st = pr.stats;
@@ -241,7 +331,8 @@ int main(int argc, char** argv) {
     row.set("queue_wait_p50_s", qw.p50);
     row.set("queue_wait_p99_s", qw.p99);
     row.set("turnaround_p50_s", ta.p50);
-    row.set("turnaround_p99_s", ta.p99);
+    row.set("p99_turnaround_s", ta.p99);
+    row.set("deadline_hit_rate", deadline_hit_rate(st));
     row.set("utilization", st.utilization(slots));
     row.set("lookups", st.lookups);
     row.set("cache_hits", st.cache_hits);
@@ -267,6 +358,19 @@ int main(int argc, char** argv) {
     row.set("promoted", st.promoted);
     row.set("shared_dedup_drops", st.shared_dedup_drops);
     row.set("shared_cap_drops", st.shared_cap_drops);
+  }
+  for (const auto& pr : xruns) {
+    const auto& st = pr.stats;
+    const auto ta = summarize(st.turnaround);
+    auto& row = json.row("transports");
+    row.set("transport", transport_name(pr.transport));
+    row.set("completed", st.completed);
+    row.set("p99_turnaround_s", ta.p99);
+    row.set("deadline_hit_rate", deadline_hit_rate(st));
+    row.set("fabric_fetch_s", st.fabric_fetch_s);
+    row.set("fabric_promote_s", st.fabric_promote_s);
+    row.set("shared_hits", st.shared_hits);
+    row.set("makespan_s", st.makespan);
   }
   json.set("wall_s", wall.seconds());
   if (!bench::write_json(args.json_path(), json)) return 1;

@@ -50,11 +50,12 @@ class Args {
   [[nodiscard]] i64 pipeline() const {
     return std::max<i64>(0, get_i64("--pipeline", 2));
   }
-  /// Tail-drainer lanes (`--tail-lanes N`, default one lane per OpKind;
-  /// 1 = the legacy single global drainer). One parse point for every
-  /// bench; the executor clamps to [1, kNumOpKinds].
+  /// Tail-drainer lanes (`--tail-lanes N`; default 0 = the executor's
+  /// automatic min(kNumOpKinds, hardware cores); 1 = the legacy single
+  /// global drainer). One parse point for every bench; the executor clamps
+  /// explicit values to [1, kNumOpKinds].
   [[nodiscard]] i64 tail_lanes() const {
-    return std::max<i64>(1, get_i64("--tail-lanes", 4));
+    return std::max<i64>(0, get_i64("--tail-lanes", 0));
   }
   /// Output path for the machine-readable result (`--json <path>`); null
   /// when not requested.

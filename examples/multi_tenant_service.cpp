@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
       "shared tier now %zu entries\n",
       100.0 * ss.cross_job_hit_rate(), (unsigned long long)ss.lookups,
       100.0 * ss.utilization(sc.slots), svc.shared_entries());
-  const auto& tier = svc.shared_tier();
+  const auto& tier = svc.tier();
   std::printf("tier shards (%d):", tier.shard_count());
   for (int s = 0; s < tier.shard_count(); ++s)
     std::printf(" %zu", tier.shard_entries(s));

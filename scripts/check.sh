@@ -2,16 +2,20 @@
 # Tier-1 verify: configure, build, run the full test suite, then smoke the
 # hot paths —
 #   * bench_serve_traffic exits non-zero if job outputs are not
-#     bit-identical across scheduling policies,
+#     bit-identical across scheduling policies (and, with MLR_BUILD_NET,
+#     across tier transports — the loopback/socket smokes below),
 #   * bench_stage_scaling exits non-zero if barrier/overlap/pipelined modes
 #     resolve different memo outcomes, and emits the BENCH_*.json
 #     perf-trajectory point.
 # The TSan preset additionally re-runs the cross-stage determinism matrix
 # (now threads x overlap x depth x tail-lanes), the fused elementwise-kernel
 # suite (tiled reductions racing on the shared partial buffer is exactly
-# where a combine-order bug would hide) and the serve shard matrix
-# (shards x policies x threads x pipeline_depth) explicitly (the pipelined
-# tail handoff is exactly where the PR-2 cv race hid) before the smokes.
+# where a combine-order bug would hide), the serve shard matrix
+# (shards x policies x threads x pipeline_depth), the remote-tier loopback
+# matrix (same workload rehosted on the wire protocol) and the transport
+# fault-injection suite (reply-reader threads + the in-flight request table
+# are exactly where a completion race would hide) explicitly before the
+# smokes. Socket smokes skip gracefully where sockets are unavailable.
 #   ./scripts/check.sh          release build + ctest + smokes
 #   ./scripts/check.sh tsan     ThreadSanitizer build + ctest + matrix +
 #                               smokes (slower)
@@ -27,10 +31,15 @@ if [[ "$preset" == "tsan" ]]; then
     --gtest_filter='Concurrency.PipelinedCrossStageDeterminismMatrix:Concurrency.StageExecutorDeterministic*'
   ./build-tsan/ew_test --gtest_filter='Ew.*'
   ./build-tsan/serve_test \
-    --gtest_filter='ReconService.OutputsIdenticalAcrossPipelineDepths:ReconService.SharedTierShardMatrix'
+    --gtest_filter='ReconService.OutputsIdenticalAcrossPipelineDepths:ReconService.SharedTierShardMatrix:ReconService.LoopbackTransportMatrix'
+  if [[ -x ./build-tsan/net_test ]]; then
+    ./build-tsan/net_test \
+      --gtest_filter='RequestTable.*:TierClientFaults.*:TierServerFaults.*:SocketTransport.*'
+  fi
   ./build-tsan/bench_stage_scaling --n 12 --reps 2 --threads 2 \
     --tail-lanes 2 --json /tmp/BENCH_stage_scaling.tsan.json
   ./build-tsan/bench_serve_traffic --jobs 8 --n small
+  ./build-tsan/bench_serve_traffic --jobs 8 --n small --transport socket
 else
   cmake -B build -S .
   cmake --build build -j "$(nproc)"
@@ -39,4 +48,6 @@ else
     --json /tmp/BENCH_stage_scaling.smoke.json
   ./build/bench_serve_traffic --jobs 8 --n small \
     --json /tmp/BENCH_serve_traffic.smoke.json
+  ./build/bench_serve_traffic --jobs 8 --n small --transport socket \
+    --json /tmp/BENCH_serve_traffic.socket.json
 fi

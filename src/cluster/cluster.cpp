@@ -16,7 +16,8 @@ Cluster::Cluster(const lamino::Operators& ops, ClusterSpec spec,
   MLR_CHECK(spec.gpus >= 1 && spec.gpus_per_node >= 1);
   if (memo_cfg.enable) {
     db_ = std::make_unique<memo::MemoDb>(db_cfg, &fabric_, &memnode_);
-    if (spec_.db_seed != nullptr) db_->import_entries(*spec_.db_seed);
+    if (spec_.db_seed != nullptr)
+      db_->import_entries(*spec_.db_seed, spec_.db_values);
   }
   // All GPUs key through one shared encoder (see core::ExecutionContext):
   // cluster hit patterns match the single-GPU run for any gpu count. A

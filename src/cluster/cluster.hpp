@@ -34,6 +34,9 @@ struct ClusterSpec {
   /// tier and keying through the service's one cross-job encoder.
   std::shared_ptr<encoder::EncoderRegistry> registry{};
   const std::vector<memo::MemoDb::Entry>* db_seed = nullptr;
+  /// Lazy value fetcher for an index-only db_seed (remote tier) — see
+  /// ExecutionOptions::db_values.
+  memo::ValueFetcher* db_values = nullptr;
 };
 
 /// A set of simulated GPUs plus the shared fabric and memory node, executing

@@ -10,7 +10,8 @@ ExecutionContext::ExecutionContext(const lamino::Operators& ops,
   MLR_CHECK(opt_.gpus >= 1);
   if (opt_.memo.enable) {
     db_ = std::make_unique<memo::MemoDb>(opt_.db, &net_, &memnode_);
-    if (opt_.db_seed != nullptr) db_->import_entries(*opt_.db_seed);
+    if (opt_.db_seed != nullptr)
+      db_->import_entries(*opt_.db_seed, opt_.db_values);
   }
   // One key encoder for the whole run: every device wrapper keys (and
   // trains) through the same registry, so gpus>1 reproduces the single-GPU

@@ -35,10 +35,11 @@ struct ExecutionOptions {
   /// once. 0/1 = per-stage barrier. Bit-identical results for any value.
   i64 pipeline_depth = 2;
   /// Tail-drainer lanes for the engine (see StageExecutor::set_tail_lanes):
-  /// tails of different OpKinds drain concurrently, one lane per kind by
-  /// default. 1 = the single global drainer. Bit-identical results for any
-  /// value.
-  i64 tail_lanes = memo::kNumOpKinds;
+  /// tails of different OpKinds drain concurrently. 0 = automatic
+  /// (min(kNumOpKinds, hardware cores) — per-kind lanes only up to the
+  /// parallelism the host can actually run); 1 = the single global drainer.
+  /// Bit-identical results for any value.
+  i64 tail_lanes = 0;
   memo::MemoConfig memo{};   ///< wrapper config, shared by every device
   memo::MemoDbConfig db{};   ///< memoization DB config (used when memo.enable)
   sim::DeviceSpec device{};
@@ -57,6 +58,12 @@ struct ExecutionOptions {
   /// MemoDb::import_entries); only read when memo.enable. The pointee must
   /// outlive construction (the entries are copied into the DB).
   const std::vector<memo::MemoDb::Entry>* db_seed = nullptr;
+  /// Lazy value fetcher for an *index-only* seed (entries whose value
+  /// payload lives behind a remote tier — empty `value`, `value_cf` set):
+  /// the session fetches hit payloads through it while its miss FFTs run.
+  /// Must outlive the context. Null requires every seed entry to carry its
+  /// value inline.
+  memo::ValueFetcher* db_values = nullptr;
   /// Borrow an existing worker pool instead of owning one (all job sessions
   /// of a service share the service pool). Overrides `threads` when set.
   ThreadPool* shared_pool = nullptr;

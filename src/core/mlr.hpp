@@ -93,10 +93,10 @@ struct ReconstructionConfig {
   /// for every value — only host wall time changes.
   i64 pipeline_depth = 2;
   /// Tail-drainer lanes (per-OpKind sharding of the deferred data tail):
-  /// tails of different kinds drain concurrently, one lane per kind by
-  /// default; 1 = the single global drainer. Bit-identical results for any
-  /// value — only host wall time changes.
-  i64 tail_lanes = memo::kNumOpKinds;
+  /// tails of different kinds drain concurrently. 0 = automatic
+  /// (min(kNumOpKinds, hardware cores)); 1 = the single global drainer.
+  /// Bit-identical results for any value — only host wall time changes.
+  i64 tail_lanes = 0;
 };
 
 struct Report {

@@ -56,7 +56,11 @@ int entry_shard(const MemoDb::Entry& e, int shard_count) {
 }
 
 std::size_t entry_bytes(const MemoDb::Entry& e) {
-  return e.key.size() * sizeof(float) + e.value.size() * sizeof(cfloat) +
+  // Logical footprint: an index-only entry (empty value, value_cf set)
+  // still stands for its full payload — charging and shard occupancy must
+  // not depend on whether the bytes happen to be local.
+  const std::size_t vcf = e.value.empty() ? e.value_cf : e.value.size();
+  return e.key.size() * sizeof(float) + vcf * sizeof(cfloat) +
          e.probe.size() * sizeof(cfloat) + sizeof e.norm;
 }
 
@@ -124,7 +128,21 @@ void MemoDb::score_requests(std::span<const QueryRequest> reqs,
     auto stored = kvstore::from_blob(*blob);
     // Layout: first ceil(key_dim/2) cfloats hold the key (2 floats each).
     const std::size_t key_cf = (size_t(cfg_.key_dim) + 1) / 2;
-    if (rq.value_size != 0 && stored.size() - key_cf != rq.value_size)
+    // A remote-seeded entry stores a key-only blob; its full value length
+    // (and its fetch address — the snapshot position) live in the per-kind
+    // seed tables. Hit decisions need only the length, so scoring is
+    // bit-identical whether the payload is local or still on the tier.
+    std::size_t vlen = stored.size() - key_cf;
+    u64 remote_pos = QueryReply::kNoRemote;
+    if (vlen == 0 && fetcher_ != nullptr) {
+      const auto k2 = size_t(int(rq.kind));
+      const u64 seq = nn[i]->id & kSeqMask;
+      if (seq < seed_vlen_[k2].size() && seed_vlen_[k2][size_t(seq)] > 0) {
+        vlen = seed_vlen_[k2][size_t(seq)];
+        remote_pos = seed_pos_[k2][size_t(seq)];
+      }
+    }
+    if (rq.value_size != 0 && vlen != rq.value_size)
       return;  // shape mismatch: not a valid answer for this chunk
     std::vector<float> stored_key(static_cast<size_t>(cfg_.key_dim));
     for (i64 d = 0; d < cfg_.key_dim; ++d) {
@@ -156,7 +174,16 @@ void MemoDb::score_requests(std::span<const QueryRequest> reqs,
       rp.hit = true;
       rp.match_id = nn[i]->id;
       rp.cosine = cs;
-      rp.value.assign(stored.begin() + i64(key_cf), stored.end());
+      rp.value_cf = vlen;
+      if (remote_pos != QueryReply::kNoRemote) {
+        // Payload still on the tier: note interest now (the slice flush
+        // below ships one coalesced GET_BATCH per shard) and let the engine
+        // harvest with materialize() once its miss FFTs are in flight.
+        rp.remote_pos = remote_pos;
+        fetcher_->request(remote_pos);
+      } else {
+        rp.value.assign(stored.begin() + i64(key_cf), stored.end());
+      }
     }
   };
   if (pool != nullptr) {
@@ -164,6 +191,9 @@ void MemoDb::score_requests(std::span<const QueryRequest> reqs,
   } else {
     for (i64 i = 0; i < i64(reqs.size()); ++i) gate_one(i);
   }
+  // One wire flush per scored slice: every remote hit of this slice rides
+  // one GET_BATCH per shard, in flight while the caller computes.
+  if (fetcher_ != nullptr) fetcher_->flush();
 }
 
 void MemoDb::schedule_replies(std::span<QueryReply> replies, sim::VTime ready) {
@@ -210,8 +240,11 @@ void MemoDb::schedule_replies(std::span<QueryReply> replies, sim::VTime ready) {
   for (auto& rp : replies) {
     rp.value_ready = searched;  // miss: the caller waited for the lookup
     if (rp.hit) {
+      // Charge from the scored value length, not the payload buffer: a
+      // remote hit's payload may still be in flight on the wall clock, and
+      // virtual charging must neither wait for it nor depend on it.
       const double vbytes =
-          double(rp.value.size()) * sizeof(cfloat) * cfg_.value_scale;
+          double(rp.value_cf) * sizeof(cfloat) * cfg_.value_scale;
       const sim::VTime served = node_->serve_value(searched, vbytes);
       timing_.value_serve_s += served - searched;
       rp.value_ready = net_->transfer(served, vbytes);
@@ -294,7 +327,7 @@ MemoDb::SliceTicket MemoDb::submit_slice(std::vector<QueryRequest> reqs,
   return slices_.size() - 1;
 }
 
-std::span<const QueryReply> MemoDb::collect(SliceTicket t) {
+std::span<QueryReply> MemoDb::collect(SliceTicket t) {
   MLR_CHECK(round_open_ && t < slices_.size());
   Slice& s = *slices_[t];
   std::unique_lock lk(s.mu);
@@ -410,6 +443,10 @@ void MemoDb::charge_insert(std::size_t key_floats, std::size_t value_floats,
 
 std::vector<MemoDb::Entry> MemoDb::export_entries(bool session_only) {
   MLR_CHECK_MSG(!round_open_, "export_entries inside an open async round");
+  // A remote-seeded session may hold key-only blobs for payloads it never
+  // fetched — a full export would silently produce empty values.
+  MLR_CHECK_MSG(session_only || fetcher_ == nullptr,
+                "full export of a remote-seeded session");
   values_.drain();  // pending async insertions become part of the snapshot
   // Canonical kind-major order: each kind's entries in its own insertion
   // order. Per-kind sequencing makes this order independent of how the tail
@@ -436,6 +473,7 @@ std::vector<MemoDb::Entry> MemoDb::export_entries(bool session_only) {
         e.key[size_t(d)] = (d % 2 == 0) ? c.real() : c.imag();
       }
       e.value.assign(stored.begin() + i64(key_cf), stored.end());
+      e.value_cf = e.value.size();
       const auto& norms = norms_[size_t(k)];
       const auto& probes = probes_[size_t(k)];
       const auto nit = norms.find(id);
@@ -448,20 +486,71 @@ std::vector<MemoDb::Entry> MemoDb::export_entries(bool session_only) {
   return out;
 }
 
-void MemoDb::import_entries(std::span<const Entry> entries) {
+void MemoDb::import_entries(std::span<const Entry> entries,
+                            ValueFetcher* values) {
   MLR_CHECK_MSG(total_entries() == 0 && !round_open_,
                 "import_entries requires a fresh database");
+  fetcher_ = values;
   // Replay in snapshot order: per-kind ids (and therefore the IVF training
   // set and every downstream hit decision) come out identical for every
-  // session seeded from the same snapshot.
-  for (const auto& e : entries)
+  // session seeded from the same snapshot — and identical whether the seed
+  // carries value payloads inline or index-only records (the remote form).
+  const std::size_t key_cf = (size_t(cfg_.key_dim) + 1) / 2;
+  double logical_bytes = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    const auto k = size_t(int(e.kind));
+    const std::size_t vcf = e.value.empty() ? e.value_cf : e.value.size();
+    const bool remote = e.value.empty() && e.value_cf > 0;
+    MLR_CHECK_MSG(!remote || values != nullptr,
+                  "index-only seed entry without a value fetcher");
+    if (values != nullptr) {
+      // Per-kind seq the entry is about to get == the kind's current count.
+      const u64 seq = next_seq_[k].load(std::memory_order_acquire);
+      seed_vlen_[k].resize(size_t(seq) + 1, 0);
+      seed_pos_[k].resize(size_t(seq) + 1, 0);
+      if (remote) {
+        seed_vlen_[k][size_t(seq)] = u32(vcf);
+        seed_pos_[k][size_t(seq)] = u64(i);
+      }
+    }
     (void)store_entry(e.kind, e.key, e.value, e.norm, e.probe,
                       /*async=*/false);
+    logical_bytes += double(key_cf + vcf) * sizeof(cfloat);
+  }
   for (int k = 0; k < kNumOpKinds; ++k)
     shared_boundary_[size_t(k)] = next_seq_[size_t(k)].load();
-  // Seed blobs are resident before the session runs; account them so the
-  // first pipelined charge continues from the real footprint.
-  accounted_store_bytes_ = double(values_.bytes());
+  // Seed blobs are (logically) resident before the session runs; account
+  // them so the first pipelined charge continues from the real footprint.
+  // The *logical* footprint — key + full value per entry — is what the
+  // paper-scale DRAM curve means, and for an index-only seed it is what the
+  // resident bytes become once payloads land; using it keeps the accounting
+  // identical to a value-carrying seed of the same snapshot.
+  accounted_store_bytes_ = logical_bytes;
+}
+
+void MemoDb::materialize(QueryReply& rp) {
+  if (!rp.hit || rp.remote_pos == QueryReply::kNoRemote) return;
+  const std::size_t key_cf = (size_t(cfg_.key_dim) + 1) / 2;
+  // Another harvest of the same entry may already have cached the payload.
+  auto blob = values_.get(rp.match_id);
+  MLR_CHECK(blob.has_value());
+  auto stored = kvstore::from_blob(*blob);
+  if (stored.size() > key_cf) {
+    rp.value.assign(stored.begin() + i64(key_cf), stored.end());
+  } else {
+    MLR_CHECK(fetcher_ != nullptr);
+    auto v = fetcher_->fetch(rp.remote_pos);
+    MLR_CHECK_MSG(v.size() == rp.value_cf,
+                  "fetched payload length disagrees with the seed index");
+    // Upgrade the key-only blob so later rounds (and the dedup/export
+    // paths) serve this entry locally. Concurrent upgrades write identical
+    // bytes; KvStore::put is atomic per key.
+    stored.insert(stored.end(), v.begin(), v.end());
+    values_.put(rp.match_id, kvstore::to_blob(stored));
+    rp.value = std::move(v);
+  }
+  rp.remote_pos = QueryReply::kNoRemote;
 }
 
 std::size_t MemoDb::entries(OpKind kind) const {

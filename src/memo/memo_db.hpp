@@ -114,11 +114,42 @@ struct QueryRequest {
 
 /// Outcome of one lookup.
 struct QueryReply {
+  /// remote_pos value meaning "the payload is local (in `value`)".
+  static constexpr u64 kNoRemote = ~u64(0);
+
   bool hit = false;
   u64 match_id = 0;
   double cosine = 0.0;           ///< similarity of matched key
   std::vector<cfloat> value;     ///< retrieved FFT result when hit
+  /// cfloat length of the matched value — set for every hit, even while the
+  /// payload is still remote. The virtual clock charges from this length,
+  /// so charging never waits on (or varies with) the wall-clock transport.
+  std::size_t value_cf = 0;
+  /// Seed-snapshot position of a hit whose value payload is still remote
+  /// (in flight on the tier transport); kNoRemote once the payload is in
+  /// `value`. Resolve with MemoDb::materialize() before reading `value`.
+  u64 remote_pos = kNoRemote;
   sim::VTime value_ready = 0.0;  ///< virtual time the value is on the compute node
+};
+
+/// Lazy value-payload source for a remote-seeded session (implemented by
+/// net::TierClient over the tier transport). The scoring phase calls
+/// request() per remote hit (non-blocking — just notes interest) and
+/// flush() once per scored slice (ships one coalesced GET_BATCH per shard);
+/// the engine harvests with fetch() at value-copy time, after the slice's
+/// miss FFTs were issued — the cache_request/cache_sync split that lets a
+/// remote round-trip hide under local compute. Implementations must be
+/// thread-safe: scoring and harvesting run on pool workers.
+class ValueFetcher {
+ public:
+  virtual ~ValueFetcher() = default;
+  /// Note interest in snapshot position `pos` (idempotent, non-blocking).
+  virtual void request(u64 pos) = 0;
+  /// Ship every noted request that is not already in flight.
+  virtual void flush() = 0;
+  /// Block until `pos`'s payload arrived and return it. Throws on transport
+  /// failure (sticky — see net/request_table.hpp).
+  virtual std::vector<cfloat> fetch(u64 pos) = 0;
 };
 
 struct MemoDbConfig {
@@ -182,8 +213,10 @@ class MemoDb {
   /// Block until slice `t` finished scoring; rethrows a stashed scoring
   /// error. The returned replies carry hit/match/cosine/value but no timing
   /// — value_ready is assigned by finalize(). The span is valid until
-  /// finalize()/abort_round().
-  std::span<const QueryReply> collect(SliceTicket t);
+  /// finalize()/abort_round(); it is mutable so the caller can
+  /// materialize() remote hits in place (finalize moves the same objects
+  /// into the completed round).
+  std::span<QueryReply> collect(SliceTicket t);
   /// Deterministic serial scheduling pass over every submitted slice in
   /// submission order; returns the round's completed replies, bit-identical
   /// (values, hits, virtual times, wire messages, timing stats) to one
@@ -267,6 +300,11 @@ class MemoDb {
     double norm = 1.0;
     std::vector<cfloat> probe;
     std::vector<cfloat> value;
+    /// Full value length in cfloats. Equals value.size() when the payload
+    /// is present; an *index-only* entry (net wire format's seed form) has
+    /// an empty `value` with value_cf > 0 — the payload stays on the tier
+    /// server and sessions fetch it lazily (ValueFetcher).
+    std::size_t value_cf = 0;
   };
 
   /// Export entries in canonical kind-major order (all of kind 0 in
@@ -282,7 +320,22 @@ class MemoDb {
   /// the entries were first inserted) and the per-kind shared boundaries are
   /// set to the seed sizes so seeded hits are distinguishable from hits on
   /// this session's own insertions.
-  void import_entries(std::span<const Entry> entries);
+  ///
+  /// With a non-null `values` fetcher, *index-only* entries (empty value,
+  /// value_cf > 0) are accepted: the session stores a key-only blob plus the
+  /// value length, scores hits exactly as if the payload were local (hit
+  /// decisions need key/norm/probe/length only), and resolves the payload
+  /// lazily — score_requests batches fetcher->request() calls per slice and
+  /// the engine harvests via materialize(). A fetched payload is cached
+  /// into the value store, so later rounds serve it locally.
+  void import_entries(std::span<const Entry> entries,
+                      ValueFetcher* values = nullptr);
+
+  /// Resolve a remote hit in place: fetch the value payload (blocking — the
+  /// engine calls this after the slice's miss FFTs were issued), cache it
+  /// into the value store, and clear remote_pos. No-op for local replies.
+  /// Never touches a virtual timeline. Safe on pool workers.
+  void materialize(QueryReply& rp);
   /// True when `match_id` (a QueryReply::match_id) refers to a seeded —
   /// i.e. cross-job — entry (its per-kind sequence is below that kind's
   /// shared boundary).
@@ -360,6 +413,13 @@ class MemoDb {
   std::array<std::atomic<u64>, kNumOpKinds> next_seq_{};
   /// Per-kind sequence below which entries came from import_entries().
   std::array<u64, kNumOpKinds> shared_boundary_{};
+  /// Lazy value source for an index-only seed (null for local seeds).
+  ValueFetcher* fetcher_ = nullptr;
+  /// Remote-seed bookkeeping, indexed by per-kind seq (only filled when the
+  /// seed is index-only): the full value length and the entry's snapshot
+  /// position (the fetch key — snapshot order is what GET addresses).
+  std::array<std::vector<u32>, kNumOpKinds> seed_vlen_;
+  std::array<std::vector<u64>, kNumOpKinds> seed_pos_;
   u64 messages_ = 0;
   /// Store bytes accounted in charge order — the DRAM footprint the virtual
   /// clock sees. Decoupled from values_.bytes() (which trails the async

@@ -56,11 +56,17 @@ std::size_t StageExecutor::lane_for(const MemoizedLamino& ml,
   return std::size_t(int(kind) % int(tail_lanes_));
 }
 
+i64 StageExecutor::default_tail_lanes() {
+  const auto hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::min<i64>(kNumOpKinds, i64(hw));
+}
+
 void StageExecutor::set_tail_lanes(i64 lanes) {
   // Re-sharding while tails are in flight would let one kind's tails land
   // on two lanes (order break); settle first.
   settle();
-  tail_lanes_ = std::clamp<i64>(lanes, 1, kNumOpKinds);
+  tail_lanes_ =
+      lanes <= 0 ? default_tail_lanes() : std::clamp<i64>(lanes, 1, kNumOpKinds);
 }
 
 void StageExecutor::drain_lane(std::size_t lane) {
@@ -425,13 +431,26 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
           tickets[s + 1] = ml.db_->submit_slice(slice_reqs(s + 1), &pool());
         const auto scored = ml.db_->collect(tickets[s]);
         const std::size_t off = s * per;
-        parallel_for(pool(), 0, i64(scored.size()), [&](i64 q) {
-          const std::size_t r = off + std::size_t(q);
+        // Misses first: a remote-seeded DB issued its slice's GET_BATCH
+        // fetches at the end of scoring, so running every miss FFT before
+        // any hit materializes leaves the round-trips fully covered by
+        // local compute (in-process seeds: materialize is a no-op and the
+        // order is irrelevant — outputs never depend on it either way).
+        std::vector<std::size_t> order;
+        order.reserve(scored.size());
+        for (std::size_t q = 0; q < scored.size(); ++q)
+          if (!scored[q].hit) order.push_back(q);
+        for (std::size_t q = 0; q < scored.size(); ++q)
+          if (scored[q].hit) order.push_back(q);
+        parallel_for(pool(), 0, i64(order.size()), [&](i64 oo) {
+          const std::size_t q = order[std::size_t(oo)];
+          const std::size_t r = off + q;
           auto& c = chunks[req_chunk[r]];
-          if (scored[size_t(q)].hit) {
-            MLR_CHECK(scored[size_t(q)].value.size() == c.out.size());
-            std::copy(scored[size_t(q)].value.begin(),
-                      scored[size_t(q)].value.end(), c.out.begin());
+          if (scored[q].hit) {
+            ml.db_->materialize(scored[q]);
+            MLR_CHECK(scored[q].value.size() == c.out.size());
+            std::copy(scored[q].value.begin(), scored[q].value.end(),
+                      c.out.begin());
           } else {
             ml.compute_chunk(kind, c, &flops[req_chunk[r]]);
           }
@@ -447,11 +466,14 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
     // everything at once — scored serially, the legacy behaviour — with all
     // miss FFTs afterwards.
     replies = ml.db_->query_batch(reqs, host_t);
-    // Copy retrieved values into their chunk outputs in parallel.
+    // Copy retrieved values into their chunk outputs in parallel
+    // (materialize first: a remote-seeded hit carries only its value
+    // length until its GET_BATCH reply is harvested).
     parallel_for(pool(), 0, i64(replies.size()), [&](i64 rr) {
       const auto r = size_t(rr);
       if (!replies[r].hit) return;
       auto& c = chunks[req_chunk[r]];
+      ml.db_->materialize(replies[r]);
       MLR_CHECK(replies[r].value.size() == c.out.size());
       std::copy(replies[r].value.begin(), replies[r].value.end(),
                 c.out.begin());

@@ -111,14 +111,20 @@ class StageExecutor {
     pipeline_depth_ = depth > 1 ? depth : 1;
   }
   [[nodiscard]] i64 pipeline_depth() const { return pipeline_depth_; }
-  /// Number of independent tail-drainer lanes (clamped to [1, kNumOpKinds]).
-  /// A tail lands on lane (kind mod lanes), so same-kind tails keep total
-  /// order while different kinds drain concurrently; wrappers with a
-  /// kind-coupled cache are pinned to lane 0 regardless. Settles outstanding
-  /// tails before re-sharding. Any lane count produces bit-identical
-  /// outputs, records, virtual times, cache contents and DB state.
+  /// Number of independent tail-drainer lanes (clamped to [1, kNumOpKinds];
+  /// 0 restores the automatic default). A tail lands on lane (kind mod
+  /// lanes), so same-kind tails keep total order while different kinds
+  /// drain concurrently; wrappers with a kind-coupled cache are pinned to
+  /// lane 0 regardless. Settles outstanding tails before re-sharding. Any
+  /// lane count produces bit-identical outputs, records, virtual times,
+  /// cache contents and DB state.
   void set_tail_lanes(i64 lanes);
   [[nodiscard]] i64 tail_lanes() const { return tail_lanes_; }
+  /// The automatic lane count: min(kNumOpKinds, hardware_concurrency).
+  /// More lanes than cores just oversubscribes the pool with drainer jobs —
+  /// on a 1-core host the per-kind lanes cost wall time instead of hiding
+  /// it.
+  [[nodiscard]] static i64 default_tail_lanes();
   /// Drain every outstanding stage tail (DB stores + cache refills) and
   /// rethrow the first deferred error, if any. Callers reading DB entries
   /// or cache contents directly after run_stage must settle first; the
@@ -203,7 +209,7 @@ class StageExecutor {
   ThreadPool* pool_ = nullptr;
 
   i64 pipeline_depth_ = 1;
-  i64 tail_lanes_ = kNumOpKinds;
+  i64 tail_lanes_ = default_tail_lanes();
   std::mutex tails_mu_;
   std::condition_variable tails_cv_;
   std::array<Lane, kNumOpKinds> lanes_;

@@ -1,0 +1,114 @@
+#include "net/request_table.hpp"
+
+#include <chrono>
+
+namespace mlr::net {
+
+u64 RequestTable::next_id() {
+  std::lock_guard lk(mu_);
+  return next_++;
+}
+
+void RequestTable::expect(u64 id) {
+  std::lock_guard lk(mu_);
+  if (broken_) throw NetError(sticky_);
+  slots_.emplace(id, Slot{});
+}
+
+void RequestTable::complete(u64 id, std::vector<std::byte> payload) {
+  std::unique_lock lk(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) {
+    // A reply for a request we never sent (or already released): frames are
+    // desynchronized, so nothing received from here on can be trusted.
+    if (!broken_) {
+      broken_ = true;
+      sticky_ = "unsolicited reply for request id " + std::to_string(id);
+      for (auto& [k, s] : slots_) {
+        s.done = s.failed = true;
+        s.error = sticky_;
+      }
+    }
+    cv_.notify_all();
+    return;
+  }
+  it->second.done = true;
+  it->second.payload = std::move(payload);
+  cv_.notify_all();
+}
+
+void RequestTable::fail(u64 id, const std::string& error) {
+  std::lock_guard lk(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return;
+  it->second.done = it->second.failed = true;
+  it->second.error = error;
+  cv_.notify_all();
+}
+
+void RequestTable::fail_all(const std::string& error) {
+  std::lock_guard lk(mu_);
+  if (!broken_) {
+    broken_ = true;
+    sticky_ = error;
+  }
+  for (auto& [k, s] : slots_) {
+    if (s.done) continue;
+    s.done = s.failed = true;
+    s.error = sticky_;
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::byte> RequestTable::wait(u64 id, double timeout_s) {
+  std::unique_lock lk(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end())
+    throw NetError(broken_ ? sticky_
+                           : "wait for unregistered request id " +
+                                 std::to_string(id));
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  while (!it->second.done) {
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        !it->second.done) {
+      // The reply may still arrive after we stop listening — it would then
+      // be unsolicited — so a timeout poisons the whole transport.
+      if (!broken_) {
+        broken_ = true;
+        sticky_ = "request " + std::to_string(id) + " timed out after " +
+                  std::to_string(timeout_s) + " s";
+      }
+      for (auto& [k, s] : slots_) {
+        if (s.done) continue;
+        s.done = s.failed = true;
+        s.error = sticky_;
+      }
+      cv_.notify_all();
+      break;
+    }
+  }
+  Slot slot = std::move(it->second);
+  slots_.erase(it);
+  if (slot.failed) throw NetError(slot.error);
+  return std::move(slot.payload);
+}
+
+bool RequestTable::broken() const {
+  std::lock_guard lk(mu_);
+  return broken_;
+}
+
+std::string RequestTable::error() const {
+  std::lock_guard lk(mu_);
+  return sticky_;
+}
+
+std::size_t RequestTable::in_flight() const {
+  std::lock_guard lk(mu_);
+  return slots_.size();
+}
+
+}  // namespace mlr::net

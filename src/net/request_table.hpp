@@ -1,0 +1,78 @@
+// net/request_table — the in-flight request table of the memo transport.
+//
+// Mirrors the pending-reply table of a production block-service dispatch
+// loop: every outbound request gets a monotonically increasing id and a
+// slot; the reply reader completes slots in whatever order replies arrive
+// (out-of-order is fine — the id keys the slot, not the position); waiters
+// block on their slot with a timeout.
+//
+// Failure is *sticky* by design: a transport-level fault (connection died,
+// short read, unsolicited reply id, a waiter timed out) marks the whole
+// table broken, fails every in-flight slot, and makes every future
+// expect()/wait() throw immediately — once frames may have been lost there
+// is no way to know which, so the session surfaces one NetError instead of
+// hanging or silently computing with a torn tier view. A *per-request*
+// server error (Error reply frame) fails only its own slot.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlr::net {
+
+/// Transport failure surfaced to the caller (sticky once raised).
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class RequestTable {
+ public:
+  /// Next request id (monotonically increasing from 1; 0 is never issued).
+  u64 next_id();
+  /// Register an in-flight slot for `id` before the frame is sent, so a
+  /// reply can never race the registration. Throws NetError when broken.
+  void expect(u64 id);
+  /// Complete `id` with its reply payload. An unknown id is a protocol
+  /// violation (the peer answered a request we never made, or answered one
+  /// twice) and breaks the table.
+  void complete(u64 id, std::vector<std::byte> payload);
+  /// Fail `id` alone (per-request server error). Unknown ids are ignored.
+  void fail(u64 id, const std::string& error);
+  /// Break the table: every in-flight and future request fails with
+  /// `error`. Idempotent (the first error wins — it is the root cause).
+  void fail_all(const std::string& error);
+
+  /// Block until `id` completes; returns the reply payload and releases the
+  /// slot. Throws NetError on per-request failure, on a broken table, or
+  /// after `timeout_s` seconds (a timeout breaks the table: the reply may
+  /// still arrive later and would then be unsolicited).
+  std::vector<std::byte> wait(u64 id, double timeout_s);
+
+  [[nodiscard]] bool broken() const;
+  [[nodiscard]] std::string error() const;
+  [[nodiscard]] std::size_t in_flight() const;
+
+ private:
+  struct Slot {
+    bool done = false;
+    bool failed = false;
+    std::vector<std::byte> payload;
+    std::string error;
+  };
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<u64, Slot> slots_;
+  u64 next_ = 1;
+  bool broken_ = false;
+  std::string sticky_;
+};
+
+}  // namespace mlr::net

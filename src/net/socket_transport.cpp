@@ -1,0 +1,114 @@
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "net/transport.hpp"
+
+namespace mlr::net {
+
+namespace {
+
+bool read_full(int fd, std::byte* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const auto r = ::read(fd, buf + got, n - got);
+    if (r <= 0) return false;
+    got += std::size_t(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<SocketTransport> SocketTransport::connect_tcp(
+    const std::string& host, std::uint16_t port, int channels) {
+  MLR_CHECK(channels >= 1);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw NetError("unparseable tier address host: " + host);
+  auto t = std::unique_ptr<SocketTransport>(new SocketTransport());
+  for (int c = 0; c < channels; ++c) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw NetError("socket() failed (sockets unavailable)");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      throw NetError("connect to " + host + ":" + std::to_string(port) +
+                     " failed");
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    t->conns_.push_back(std::move(conn));
+  }
+  // Start readers only after every connect succeeded (a failed construction
+  // has no threads to unwind).
+  for (std::size_t c = 0; c < t->conns_.size(); ++c) {
+    auto* self = t.get();
+    t->conns_[c]->reader = std::thread([self, c] { self->reader_loop(c); });
+  }
+  return t;
+}
+
+SocketTransport::~SocketTransport() {
+  for (auto& conn : conns_)
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  for (auto& conn : conns_)
+    if (conn->reader.joinable()) conn->reader.join();
+  for (auto& conn : conns_)
+    if (conn->fd >= 0) ::close(conn->fd);
+}
+
+void SocketTransport::send(int channel, FrameType type, u64 request_id,
+                           std::span<const std::byte> payload) {
+  MLR_CHECK(channel >= 0 && channel < int(conns_.size()));
+  auto& conn = *conns_[std::size_t(channel)];
+  const auto frame = encode_frame(type, /*flags=*/0, request_id, payload);
+  std::lock_guard lk(conn.write_mu);
+  std::size_t put = 0;
+  while (put < frame.size()) {
+    const auto r = ::write(conn.fd, frame.data() + put, frame.size() - put);
+    if (r <= 0) {
+      table_.fail_all("connection write failed on channel " +
+                      std::to_string(channel));
+      throw NetError(table_.error());
+    }
+    put += std::size_t(r);
+  }
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+}
+
+void SocketTransport::reader_loop(std::size_t conn) {
+  const int fd = conns_[conn]->fd;
+  std::vector<std::byte> frame;
+  for (;;) {
+    frame.resize(kHeaderBytes);
+    if (!read_full(fd, frame.data(), kHeaderBytes)) {
+      table_.fail_all("connection closed (EOF or short read mid-header)");
+      return;
+    }
+    FrameHeader h;
+    try {
+      h = decode_header(frame);
+    } catch (const WireError& e) {
+      table_.fail_all(std::string("undecodable reply header: ") + e.what());
+      return;
+    }
+    frame.resize(kHeaderBytes + h.payload_bytes);
+    if (!read_full(fd, frame.data() + kHeaderBytes, h.payload_bytes)) {
+      table_.fail_all("connection closed mid-reply (truncated payload)");
+      return;
+    }
+    route_reply(frame);
+  }
+}
+
+}  // namespace mlr::net

@@ -1,0 +1,240 @@
+#include "net/tier_client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mlr::net {
+
+TierClient::TierClient(std::unique_ptr<Transport> transport,
+                       sim::FabricSpec fabric, int shard_count,
+                       double timeout_s)
+    : transport_(std::move(transport)),
+      fabric_(fabric, shard_count),
+      shard_count_(shard_count),
+      timeout_s_(timeout_s),
+      shard_entries_(std::size_t(shard_count), 0),
+      shard_bytes_(std::size_t(shard_count), 0.0),
+      queued_(std::size_t(shard_count)) {
+  MLR_CHECK(transport_ != nullptr && shard_count >= 1 && timeout_s > 0.0);
+  // GET/GET_BATCH ride channel = shard; the transport must cover them all.
+  MLR_CHECK(transport_->channels() >= shard_count);
+}
+
+std::vector<std::byte> TierClient::call(int channel, FrameType type,
+                                        std::span<const std::byte> payload) {
+  auto& table = transport_->table();
+  const u64 id = table.next_id();
+  table.expect(id);
+  transport_->send(channel, type, id, payload);
+  return table.wait(id, timeout_s_);
+}
+
+void TierClient::adopt_stats(WireReader& r) {
+  size_ = std::size_t(r.u64());
+  const auto n = r.u32();
+  if (int(n) != shard_count_)
+    throw NetError("tier stats shard count " + std::to_string(n) +
+                   " != configured " + std::to_string(shard_count_));
+  for (u32 s = 0; s < n; ++s) {
+    shard_entries_[s] = std::size_t(r.u64());
+    shard_bytes_[s] = r.f64();
+  }
+  total_bytes_ = r.f64();
+}
+
+u64 TierClient::begin_seed() {
+  auto& table = transport_->table();
+  const u64 id = table.next_id();
+  table.expect(id);
+  WireWriter w;
+  w.u8(0);  // index-only: values arrive lazily via GET_BATCH
+  transport_->send(0, FrameType::SnapshotExport, id, w.data());
+  return id;
+}
+
+serve::TierSeed TierClient::end_seed(
+    u64 ticket, std::vector<memo::MemoDb::Entry>& storage) {
+  const auto payload = transport_->table().wait(ticket, timeout_s_);
+  WireReader r(payload);
+  adopt_stats(r);
+  storage = decode_entries(r);
+  if (storage.size() != size_)
+    throw NetError("snapshot export size disagrees with its stats block");
+  pos_shard_.resize(storage.size());
+  for (std::size_t i = 0; i < storage.size(); ++i)
+    pos_shard_[i] = memo::entry_shard(storage[i], shard_count_);
+  {
+    // New session, new snapshot positions: prior fetch state is stale.
+    std::lock_guard lk(vmu_);
+    vstate_.clear();
+    batch_pos_.clear();
+    batch_claimed_.clear();
+    for (auto& q : queued_) q.clear();
+  }
+  return {&storage, this};
+}
+
+sim::VTime TierClient::charge_fetch(sim::VTime ready, double scale) {
+  // Same math as SharedTier::charge_fetch on the mirrored occupancy: the
+  // remote tier's bytes, the client's clock.
+  std::vector<double> wire(shard_bytes_);
+  for (double& b : wire) b *= scale;
+  return fabric_.transfer(ready, wire, total_bytes_ * scale);
+}
+
+sim::VTime TierClient::charge_store(
+    const std::vector<memo::MemoDb::Entry>& entries, sim::VTime ready,
+    double scale) {
+  double total = 0;
+  const auto wire = serve::promotion_wire(entries, shard_count_, scale, &total);
+  return fabric_.transfer(ready, wire, total);
+}
+
+serve::PromotionOutcome TierClient::fold(
+    std::vector<memo::MemoDb::Entry> entries) {
+  WireWriter w;
+  encode_entries(w, entries, /*with_values=*/true);
+  const auto payload = call(0, FrameType::Put, w.data());
+  WireReader r(payload);
+  serve::PromotionOutcome out;
+  out.promoted = r.u64();
+  out.dedup_drops = r.u64();
+  out.cap_drops = r.u64();
+  adopt_stats(r);
+  return out;
+}
+
+void TierClient::request(u64 pos) {
+  MLR_CHECK(std::size_t(pos) < pos_shard_.size());
+  std::lock_guard lk(vmu_);
+  if (vstate_.count(pos) != 0) return;  // queued, in flight, or already here
+  vstate_[pos];                         // Queued
+  queued_[std::size_t(pos_shard_[std::size_t(pos)])].push_back(pos);
+}
+
+void TierClient::flush() {
+  auto& table = transport_->table();
+  std::lock_guard lk(vmu_);
+  for (int shard = 0; shard < shard_count_; ++shard) {
+    auto& q = queued_[std::size_t(shard)];
+    if (q.empty()) continue;
+    // Sort the positions: request() call order depends on pool-worker
+    // interleaving, the frame on the wire must not.
+    std::sort(q.begin(), q.end());
+    const u64 id = table.next_id();
+    table.expect(id);
+    WireWriter w;
+    w.u32(u32(q.size()));
+    for (const u64 pos : q) {
+      w.u64(pos);
+      auto& vs = vstate_[pos];
+      vs.state = VState::Pending;
+      vs.batch_id = id;
+    }
+    batch_pos_[id] = std::move(q);
+    q.clear();
+    transport_->send(shard, FrameType::GetBatch, id, w.data());
+  }
+}
+
+std::vector<cfloat> TierClient::fetch(u64 pos) {
+  std::unique_lock lk(vmu_);
+  auto it = vstate_.find(pos);
+  if (it == vstate_.end()) {
+    // Never batched (e.g. a straggler materialize after state reset): one
+    // synchronous GET.
+    MLR_CHECK(std::size_t(pos) < pos_shard_.size());
+    const int shard = pos_shard_[std::size_t(pos)];
+    lk.unlock();
+    WireWriter w;
+    w.u64(pos);
+    const auto payload = call(shard, FrameType::Get, w.data());
+    WireReader r(payload);
+    const auto n = r.u32();
+    std::vector<cfloat> v;
+    v.reserve(n);
+    for (u32 i = 0; i < n; ++i) {
+      const float re = r.f32();
+      const float im = r.f32();
+      v.emplace_back(re, im);
+    }
+    return v;
+  }
+  if (it->second.state == VState::Queued) {
+    // fetch before flush (barriered engine path): ship this shard's queue
+    // now so the wait below has a frame to wait on.
+    lk.unlock();
+    flush();
+    lk.lock();
+    it = vstate_.find(pos);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(timeout_s_));
+  for (;;) {
+    if (it->second.state == VState::Ready) return it->second.value;
+    if (it->second.state == VState::Failed)
+      throw NetError(it->second.error);
+    const u64 batch = it->second.batch_id;
+    if (!batch_claimed_[batch]) {
+      // First fetcher of this batch harvests its reply for everyone.
+      batch_claimed_[batch] = true;
+      lk.unlock();
+      std::vector<std::byte> payload;
+      std::string err;
+      try {
+        payload = transport_->table().wait(batch, timeout_s_);
+      } catch (const NetError& e) {
+        err = e.what();
+      }
+      lk.lock();
+      if (err.empty()) {
+        try {
+          WireReader r(payload);
+          const auto n = r.u32();
+          for (u32 i = 0; i < n; ++i) {
+            const u64 p = r.u64();
+            const auto cf = r.u32();
+            std::vector<cfloat> v;
+            v.reserve(cf);
+            for (u32 c = 0; c < cf; ++c) {
+              const float re = r.f32();
+              const float im = r.f32();
+              v.emplace_back(re, im);
+            }
+            auto vit = vstate_.find(p);
+            if (vit == vstate_.end() || vit->second.batch_id != batch)
+              throw WireError("GET_BATCH reply names an unrequested position");
+            vit->second.state = VState::Ready;
+            vit->second.value = std::move(v);
+          }
+        } catch (const WireError& e) {
+          err = std::string("bad GET_BATCH reply: ") + e.what();
+        }
+      }
+      // Anything of this batch not published above (reply failed, or the
+      // reply skipped it) fails — a fetcher must never wait forever.
+      for (const u64 p : batch_pos_[batch]) {
+        auto& vs = vstate_[p];
+        if (vs.state == VState::Pending) {
+          vs.state = VState::Failed;
+          vs.error = err.empty() ? "position missing from GET_BATCH reply"
+                                 : err;
+        }
+      }
+      vcv_.notify_all();
+      it = vstate_.find(pos);
+      continue;
+    }
+    if (vcv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      transport_->table().fail_all("GET_BATCH fetch timed out");
+      throw NetError(transport_->table().error());
+    }
+    it = vstate_.find(pos);
+  }
+}
+
+}  // namespace mlr::net

@@ -1,0 +1,124 @@
+// net/tier_client — the remote serve::TierBackend: speaks the memo wire
+// protocol to a TierServer over a Transport and mirrors the tier's byte
+// accounting so ALL virtual-clock charging stays client-side (the contract
+// of serve/shared_tier.hpp).
+//
+// How each backend verb maps to wire traffic:
+//
+//   begin_seed()    → one SNAPSHOT_EXPORT (index-only) request, issued
+//                     non-blocking; the service overlaps the round-trip
+//                     with per-job setup and completes it in end_seed().
+//   end_seed()      → wait for the export reply; decode the index-only
+//                     snapshot into the caller's storage, refresh the stats
+//                     mirror and the position→shard map, reset the lazy
+//                     value-fetch state. Returns the snapshot plus `this`
+//                     as the session's memo::ValueFetcher.
+//   fold()          → one PUT with full payloads; the reply carries the
+//                     PromotionOutcome and the post-fold tier stats the
+//                     mirror adopts bit-exactly (doubles travel as IEEE-754
+//                     bits), so the next charge_fetch is bit-identical to
+//                     an in-process tier's.
+//   charge_fetch/charge_store → pure local math on the mirror + the
+//                     client's own sim::Fabric — promotion_wire() is shared
+//                     with SharedTier, so the charges cannot drift.
+//
+// The ValueFetcher half (the wall-clock overlap win): score_requests calls
+// request(pos) per remote hit and flush() per scored slice; flush ships ONE
+// GET_BATCH per shard (positions sorted — canonical frames), routed on that
+// shard's transport channel. fetch(pos) blocks on the batch's reply — by
+// then the engine has already issued the slice's miss FFTs, so the
+// round-trip hid under local compute. The first fetcher of a batch parses
+// the reply and publishes every position it carried; concurrent fetchers of
+// other positions in the same batch just wait on the condition variable.
+// Transport faults surface as sticky NetError from fetch()/end_seed()/
+// fold() — never a hang (every wait carries the configured timeout).
+//
+// Sessions of one service run sequentially on the wall clock (slots are
+// virtual), so one client serves them all; within a session, request/flush/
+// fetch run on pool workers and are fully locked.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "serve/shared_tier.hpp"
+
+namespace mlr::net {
+
+class TierClient final : public serve::TierBackend, public memo::ValueFetcher {
+ public:
+  /// `fabric` is the client-side charging model (the one the in-process
+  /// tier would own); `timeout_s` bounds every wire wait.
+  TierClient(std::unique_ptr<Transport> transport, sim::FabricSpec fabric,
+             int shard_count, double timeout_s);
+
+  // --- serve::TierBackend ---------------------------------------------------
+  u64 begin_seed() override;
+  serve::TierSeed end_seed(u64 ticket,
+                           std::vector<memo::MemoDb::Entry>& storage) override;
+  sim::VTime charge_fetch(sim::VTime ready, double scale) override;
+  sim::VTime charge_store(const std::vector<memo::MemoDb::Entry>& entries,
+                          sim::VTime ready, double scale) override;
+  serve::PromotionOutcome fold(
+      std::vector<memo::MemoDb::Entry> entries) override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  [[nodiscard]] int shard_count() const override { return shard_count_; }
+  [[nodiscard]] std::size_t shard_entries(int shard) const override {
+    return shard_entries_[std::size_t(shard)];
+  }
+  [[nodiscard]] double shard_bytes(int shard) const override {
+    return shard_bytes_[std::size_t(shard)];
+  }
+  [[nodiscard]] double total_bytes() const override { return total_bytes_; }
+  [[nodiscard]] const sim::Fabric& fabric() const override { return fabric_; }
+
+  // --- memo::ValueFetcher ---------------------------------------------------
+  void request(u64 pos) override;
+  void flush() override;
+  std::vector<cfloat> fetch(u64 pos) override;
+
+  [[nodiscard]] const Transport& transport() const { return *transport_; }
+
+ private:
+  /// Send one request on `channel` and block for its reply payload.
+  std::vector<std::byte> call(int channel, FrameType type,
+                              std::span<const std::byte> payload);
+  /// Adopt a stats block (size / per-shard occupancy / total) from a reply.
+  void adopt_stats(WireReader& r);
+
+  std::unique_ptr<Transport> transport_;
+  sim::Fabric fabric_;
+  int shard_count_;
+  double timeout_s_;
+
+  // Mirror of the server tier's accounting, adopted bit-exactly from reply
+  // stats blocks. Mutated only between sessions (end_seed / fold), read by
+  // the service's serial event loop — no lock needed.
+  std::size_t size_ = 0;
+  std::vector<std::size_t> shard_entries_;
+  std::vector<double> shard_bytes_;
+  double total_bytes_ = 0;
+
+  // Seed map: snapshot position → shard (routing for GET/GET_BATCH).
+  std::vector<int> pos_shard_;
+
+  // Lazy value-fetch state (locked: pool workers).
+  struct VState {
+    enum { Queued, Pending, Ready, Failed } state = Queued;
+    u64 batch_id = 0;           ///< request id of the batch carrying it
+    std::vector<cfloat> value;  ///< Ready: the payload (kept until reset)
+    std::string error;          ///< Failed: what went wrong
+  };
+  std::mutex vmu_;
+  std::condition_variable vcv_;
+  std::map<u64, VState> vstate_;                  ///< by snapshot position
+  std::vector<std::vector<u64>> queued_;          ///< per shard, unshipped
+  std::map<u64, std::vector<u64>> batch_pos_;     ///< batch id → positions
+  std::map<u64, bool> batch_claimed_;             ///< a harvester exists
+};
+
+}  // namespace mlr::net

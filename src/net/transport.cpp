@@ -1,0 +1,75 @@
+#include "net/transport.hpp"
+
+#include "common/error.hpp"
+#include "net/tier_server.hpp"
+
+namespace mlr::net {
+
+void Transport::route_reply(std::span<const std::byte> frame) {
+  FrameHeader h;
+  try {
+    h = decode_header(frame);
+  } catch (const WireError& e) {
+    table_.fail_all(std::string("undecodable reply frame: ") + e.what());
+    return;
+  }
+  if (!h.is_reply() || frame.size() != kHeaderBytes + h.payload_bytes) {
+    table_.fail_all("malformed reply frame (direction or length)");
+    return;
+  }
+  const auto payload = frame.subspan(kHeaderBytes);
+  if (h.type == FrameType::Error) {
+    // Per-request server failure: only this slot fails; the stream is fine.
+    std::string msg = "server error";
+    try {
+      WireReader r(payload);
+      msg = decode_error(r).message;
+    } catch (const WireError&) {
+    }
+    table_.fail(h.request_id, msg);
+    return;
+  }
+  table_.complete(h.request_id,
+                  std::vector<std::byte>(payload.begin(), payload.end()));
+}
+
+LoopbackTransport::LoopbackTransport(TierServer* server, int channels)
+    : server_(server), channels_(channels) {
+  MLR_CHECK(server != nullptr && channels >= 1);
+}
+
+void LoopbackTransport::send(int channel, FrameType type, u64 request_id,
+                             std::span<const std::byte> payload) {
+  MLR_CHECK(channel >= 0 && channel < channels_);
+  std::lock_guard lk(mu_);
+  // Encode the full frame and walk the bytes through the same
+  // decode→handle→encode path a socket would: byte-identical frames, just
+  // no file descriptor in the middle.
+  const auto frame = encode_frame(type, /*flags=*/0, request_id, payload);
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  auto reply = server_->handle_frame(frame);
+  if (drop_) return;  // fault: the reply vanishes; the waiter times out
+  if (truncate_at_ >= 0 && std::size_t(truncate_at_) < reply.size())
+    reply.resize(std::size_t(truncate_at_));
+  if (hold_) {
+    held_.push_back(std::move(reply));
+    return;
+  }
+  route_reply(reply);
+}
+
+void LoopbackTransport::deliver_held(bool reverse) {
+  std::vector<std::vector<std::byte>> held;
+  {
+    std::lock_guard lk(mu_);
+    held.swap(held_);
+  }
+  if (reverse) {
+    for (auto it = held.rbegin(); it != held.rend(); ++it) route_reply(*it);
+  } else {
+    for (const auto& f : held) route_reply(f);
+  }
+}
+
+}  // namespace mlr::net

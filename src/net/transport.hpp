@@ -1,0 +1,132 @@
+// net/transport — how request frames reach a TierServer and replies come
+// back.
+//
+// A Transport owns the in-flight RequestTable and moves whole frames; the
+// TierClient above it speaks the verbs. Two backends:
+//
+//   * LoopbackTransport — deterministic in-process backend (CI and the
+//     determinism matrix). send() encodes the full frame bytes, walks them
+//     through TierServer::handle_frame and routes the reply bytes back
+//     through the same decode path the socket reader uses — frames are
+//     byte-identical to the socket path, only the carrier differs. Replies
+//     complete synchronously (wall clock only; the virtual clock never sees
+//     transport at all — see shared_tier.hpp's client-side charging
+//     contract). Fault injection hooks simulate a truncated reply, a
+//     dropped reply (→ the waiter's timeout breaks the table) and held-back
+//     (reordered) delivery, so the sticky-error paths are testable without
+//     a real socket.
+//
+//   * SocketTransport — per-shard TCP connections to a TierServer on
+//     localhost (or any host): one writer mutex per connection (frames
+//     never interleave), one reply-reader thread per connection that
+//     completes the request table in arrival order. Any transport-level
+//     fault — connect failure, short read, EOF mid-frame, unparseable
+//     header — calls RequestTable::fail_all: every in-flight and future
+//     request surfaces one sticky NetError instead of hanging.
+//
+// Channel = connection index. The TierClient routes GET/GET_BATCH by shard
+// (channel = shard) so value fetches ride per-shard connections; verbs that
+// touch the whole tier (PUT, snapshots) ride channel 0.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/request_table.hpp"
+#include "net/wire.hpp"
+
+namespace mlr::net {
+
+class TierServer;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Send one request frame on `channel`. The reply lands in table() —
+  /// synchronously for loopback, from the reader thread for sockets.
+  virtual void send(int channel, FrameType type, u64 request_id,
+                    std::span<const std::byte> payload) = 0;
+  [[nodiscard]] virtual int channels() const = 0;
+  /// One human-readable word for stats/JSON ("loopback", "socket").
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  [[nodiscard]] RequestTable& table() { return table_; }
+  [[nodiscard]] u64 frames_sent() const {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  /// Route one received reply frame into the table — the ONE reply path
+  /// both backends share: decode the header, then complete/fail the slot
+  /// (Error frames fail their own request; undecodable bytes are the
+  /// caller's fault to escalate).
+  void route_reply(std::span<const std::byte> frame);
+
+  RequestTable table_;
+  std::atomic<u64> frames_sent_{0};
+  std::atomic<u64> bytes_sent_{0};
+};
+
+/// Deterministic in-memory backend over an in-process TierServer.
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(TierServer* server, int channels);
+
+  void send(int channel, FrameType type, u64 request_id,
+            std::span<const std::byte> payload) override;
+  [[nodiscard]] int channels() const override { return channels_; }
+  [[nodiscard]] const char* name() const override { return "loopback"; }
+
+  // --- Fault injection (tests) ----------------------------------------------
+  /// Deliver only the first `n` bytes of every subsequent reply frame.
+  void fault_truncate_replies(std::size_t n) { truncate_at_ = i64(n); }
+  /// Silently drop every subsequent reply (waiters hit their timeout).
+  void fault_drop_replies(bool on) { drop_ = on; }
+  /// Hold replies instead of delivering; deliver_held() releases them.
+  void fault_hold_replies(bool on) { hold_ = on; }
+  /// Deliver held replies, optionally in reverse (out-of-order) order.
+  void deliver_held(bool reverse);
+
+ private:
+  TierServer* server_;
+  int channels_;
+  std::mutex mu_;  ///< serializes send + fault state (callers are pool workers)
+  i64 truncate_at_ = -1;
+  bool drop_ = false;
+  bool hold_ = false;
+  std::vector<std::vector<std::byte>> held_;
+};
+
+/// Per-shard TCP connections to a TierServer (localhost or remote).
+class SocketTransport final : public Transport {
+ public:
+  /// Connect `channels` sockets to host:port. Throws NetError on failure
+  /// (callers treat that as "sockets unavailable" and may skip).
+  static std::unique_ptr<SocketTransport> connect_tcp(
+      const std::string& host, std::uint16_t port, int channels);
+  ~SocketTransport() override;
+
+  void send(int channel, FrameType type, u64 request_id,
+            std::span<const std::byte> payload) override;
+  [[nodiscard]] int channels() const override { return int(conns_.size()); }
+  [[nodiscard]] const char* name() const override { return "socket"; }
+
+ private:
+  SocketTransport() = default;
+  void reader_loop(std::size_t conn);
+
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;  ///< one frame at a time; frames never interleave
+    std::thread reader;
+  };
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace mlr::net

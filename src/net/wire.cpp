@@ -1,0 +1,204 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace mlr::net {
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::Get: return "GET";
+    case FrameType::GetBatch: return "GET_BATCH";
+    case FrameType::Put: return "PUT";
+    case FrameType::SnapshotExport: return "SNAPSHOT_EXPORT";
+    case FrameType::SnapshotImport: return "SNAPSHOT_IMPORT";
+    case FrameType::Error: return "ERROR";
+  }
+  return "?";
+}
+
+void WireWriter::u16(std::uint16_t v) {
+  u8(std::uint8_t(v & 0xff));
+  u8(std::uint8_t(v >> 8));
+}
+
+void WireWriter::u32(mlr::u32 v) {
+  for (int i = 0; i < 4; ++i) u8(std::uint8_t((v >> (8 * i)) & 0xff));
+}
+
+void WireWriter::u64(mlr::u64 v) {
+  for (int i = 0; i < 8; ++i) u8(std::uint8_t((v >> (8 * i)) & 0xff));
+}
+
+void WireWriter::f32(float v) { u32(std::bit_cast<mlr::u32>(v)); }
+
+void WireWriter::f64(double v) { u64(std::bit_cast<mlr::u64>(v)); }
+
+void WireWriter::bytes(std::span<const std::byte> b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void WireReader::need(std::size_t n) const {
+  if (buf_.size() - pos_ < n)
+    throw WireError("truncated frame: wanted " + std::to_string(n) +
+                    " bytes, " + std::to_string(buf_.size() - pos_) +
+                    " remain");
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return std::uint8_t(buf_[pos_++]);
+}
+
+std::uint16_t WireReader::u16() {
+  const auto lo = u8();
+  return std::uint16_t(lo | (std::uint16_t(u8()) << 8));
+}
+
+mlr::u32 WireReader::u32() {
+  need(4);
+  mlr::u32 v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= mlr::u32(std::uint8_t(buf_[pos_ + std::size_t(i)])) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+mlr::u64 WireReader::u64() {
+  need(8);
+  mlr::u64 v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= mlr::u64(std::uint8_t(buf_[pos_ + std::size_t(i)])) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+float WireReader::f32() { return std::bit_cast<float>(u32()); }
+
+double WireReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::span<const std::byte> WireReader::bytes(std::size_t n) {
+  need(n);
+  auto out = buf_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::byte> encode_frame(FrameType type, std::uint8_t flags,
+                                    u64 request_id,
+                                    std::span<const std::byte> payload) {
+  WireWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u8(std::uint8_t(type));
+  w.u8(flags);
+  w.u64(request_id);
+  w.u64(payload.size());
+  w.bytes(payload);
+  return w.take();
+}
+
+FrameHeader decode_header(std::span<const std::byte> buf) {
+  if (buf.size() < kHeaderBytes)
+    throw WireError("truncated frame header: " + std::to_string(buf.size()) +
+                    " of " + std::to_string(kHeaderBytes) + " bytes");
+  WireReader r(buf.first(kHeaderBytes));
+  FrameHeader h;
+  h.magic = r.u32();
+  if (h.magic != kWireMagic) throw WireError("bad frame magic");
+  h.version = r.u16();
+  if (h.version != kWireVersion)
+    throw WireError("wire version mismatch: got " +
+                    std::to_string(h.version) + ", want " +
+                    std::to_string(kWireVersion));
+  const auto t = r.u8();
+  if (t < std::uint8_t(FrameType::Get) || t > std::uint8_t(FrameType::Error))
+    throw WireError("unknown frame type " + std::to_string(t));
+  h.type = FrameType(t);
+  h.flags = r.u8();
+  h.request_id = r.u64();
+  h.payload_bytes = r.u64();
+  return h;
+}
+
+void encode_entries(WireWriter& w,
+                    std::span<const memo::MemoDb::Entry> entries,
+                    bool with_values) {
+  w.u64(entries.size());
+  for (const auto& e : entries) {
+    w.u8(std::uint8_t(int(e.kind)));
+    w.u32(mlr::u32(e.key.size()));
+    for (const float k : e.key) w.f32(k);
+    w.f64(e.norm);
+    w.u32(mlr::u32(e.probe.size()));
+    for (const auto& p : e.probe) {
+      w.f32(p.real());
+      w.f32(p.imag());
+    }
+    // The full value length always travels (a seeded session gates hit
+    // shapes on it before the payload exists locally); the payload itself
+    // only in the with_values form.
+    const auto vcf = e.value.empty() ? e.value_cf : e.value.size();
+    w.u32(mlr::u32(vcf));
+    w.u8(with_values && !e.value.empty() ? 1 : 0);
+    if (with_values && !e.value.empty()) {
+      for (const auto& v : e.value) {
+        w.f32(v.real());
+        w.f32(v.imag());
+      }
+    }
+  }
+}
+
+std::vector<memo::MemoDb::Entry> decode_entries(WireReader& r) {
+  const auto n = r.u64();
+  std::vector<memo::MemoDb::Entry> out;
+  out.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    memo::MemoDb::Entry e;
+    const auto kind = r.u8();
+    if (kind >= memo::kNumOpKinds)
+      throw WireError("entry kind out of range: " + std::to_string(kind));
+    e.kind = memo::OpKind(kind);
+    const auto kn = r.u32();
+    e.key.resize(kn);
+    for (auto& k : e.key) k = r.f32();
+    e.norm = r.f64();
+    const auto pn = r.u32();
+    e.probe.resize(pn);
+    for (auto& p : e.probe) {
+      const float re = r.f32();
+      const float im = r.f32();
+      p = cfloat(re, im);
+    }
+    e.value_cf = r.u32();
+    const auto has_value = r.u8();
+    if (has_value != 0) {
+      e.value.resize(e.value_cf);
+      for (auto& v : e.value) {
+        const float re = r.f32();
+        const float im = r.f32();
+        v = cfloat(re, im);
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void encode_error(WireWriter& w, const ErrorInfo& e) {
+  w.u32(e.code);
+  w.u32(mlr::u32(e.message.size()));
+  w.bytes(std::as_bytes(std::span<const char>(e.message)));
+}
+
+ErrorInfo decode_error(WireReader& r) {
+  ErrorInfo e;
+  e.code = r.u32();
+  const auto n = r.u32();
+  const auto b = r.bytes(n);
+  e.message.assign(reinterpret_cast<const char*>(b.data()), b.size());
+  return e;
+}
+
+}  // namespace mlr::net

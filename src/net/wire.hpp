@@ -1,0 +1,144 @@
+// net/wire — the length-prefixed binary wire format for memo-tier traffic.
+//
+// Every message is one *frame*: a fixed 24-byte header followed by
+// `payload_bytes` of payload. All integers and floats are explicit
+// little-endian (floats/doubles as the LE bytes of their IEEE-754 bit
+// patterns), so a frame means the same thing on every host and a recorded
+// frame is a stable golden artifact (tests/data/snapshot_frame.golden).
+//
+//   offset  size  field
+//   0       4     magic   "MLRW" (0x4D4C5257, LE on the wire)
+//   4       2     version (kWireVersion; a mismatch is a hard decode error)
+//   6       1     type    (FrameType)
+//   7       1     flags   (bit 0: reply; requests have it clear)
+//   8       8     request_id (echoed verbatim in the reply)
+//   16      8     payload_bytes
+//
+// Frame types carry the five memo-tier verbs (GET / GET_BATCH / PUT /
+// SNAPSHOT_EXPORT / SNAPSHOT_IMPORT) plus an Error reply whose payload is a
+// status code and a human-readable message. Snapshot and PUT payloads reuse
+// the MemoDb snapshot unit — encode_entries/decode_entries over
+// memo::MemoDb::Entry — as the payload serialization, in the tier's
+// canonical order; `with_values=false` produces the *index-only* form
+// (key/norm/probe/value length, no value bytes) a remote session seeds from
+// before lazily fetching values with GET/GET_BATCH.
+//
+// Decoding is bounds-checked everywhere: a truncated or corrupt frame
+// raises WireError before any state is touched (a torn snapshot import is
+// impossible — decode fully, then apply).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "memo/memo_db.hpp"
+
+namespace mlr::net {
+
+inline constexpr u32 kWireMagic = 0x4D4C5257;  // "MLRW"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 24;
+
+/// Request verbs (and the Error reply). The reply to a request carries the
+/// same type with the reply flag set.
+enum class FrameType : std::uint8_t {
+  Get = 1,             ///< one value by snapshot position
+  GetBatch = 2,        ///< many values by snapshot position (one per shard)
+  Put = 3,             ///< offer a promotion batch (charge/fold's fold half)
+  SnapshotExport = 4,  ///< fetch the tier snapshot (index-only or full)
+  SnapshotImport = 5,  ///< preload an empty tier from a full snapshot
+  Error = 6,           ///< reply-only: request failed server-side
+};
+const char* frame_type_name(FrameType t);
+
+inline constexpr std::uint8_t kFlagReply = 0x01;
+
+struct FrameHeader {
+  u32 magic = kWireMagic;
+  std::uint16_t version = kWireVersion;
+  FrameType type = FrameType::Get;
+  std::uint8_t flags = 0;
+  u64 request_id = 0;
+  u64 payload_bytes = 0;
+  [[nodiscard]] bool is_reply() const { return (flags & kFlagReply) != 0; }
+};
+
+/// Decode failure: truncated frame, bad magic/version, or a payload that
+/// does not parse. Always raised before any receiver state changes.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only little-endian encoder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(std::byte(v)); }
+  void u16(std::uint16_t v);
+  void u32(mlr::u32 v);
+  void u64(mlr::u64 v);
+  void f32(float v);
+  void f64(double v);
+  void bytes(std::span<const std::byte> b);
+  [[nodiscard]] const std::vector<std::byte>& data() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer. Every read
+/// past the end throws WireError.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> buf) : buf_(buf) {}
+  std::uint8_t u8();
+  std::uint16_t u16();
+  mlr::u32 u32();
+  mlr::u64 u64();
+  float f32();
+  double f64();
+  std::span<const std::byte> bytes(std::size_t n);
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Encode one full frame (header + payload).
+std::vector<std::byte> encode_frame(FrameType type, std::uint8_t flags,
+                                    u64 request_id,
+                                    std::span<const std::byte> payload);
+/// Decode and validate a frame header (exactly kHeaderBytes); the payload
+/// follows in the stream. Throws WireError on bad magic/version/length.
+FrameHeader decode_header(std::span<const std::byte> buf);
+
+// --- Snapshot payload codec --------------------------------------------------
+
+/// Encode entries in their given (canonical) order. With `with_values` the
+/// value payload travels too (PUT / SNAPSHOT_IMPORT / full export);
+/// without, only its cfloat length does (the index-only seed form — the
+/// decoded Entry has an empty `value` and `value_cf` set, and the session
+/// fetches the payload lazily via GET/GET_BATCH).
+void encode_entries(WireWriter& w,
+                    std::span<const memo::MemoDb::Entry> entries,
+                    bool with_values);
+std::vector<memo::MemoDb::Entry> decode_entries(WireReader& r);
+
+/// Error-reply payload.
+struct ErrorInfo {
+  u32 code = 0;  ///< 1 = malformed frame, 2 = bad request, 3 = internal
+  std::string message;
+};
+void encode_error(WireWriter& w, const ErrorInfo& e);
+ErrorInfo decode_error(WireReader& r);
+
+}  // namespace mlr::net

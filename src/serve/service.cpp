@@ -7,6 +7,10 @@
 #include "cluster/cluster.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#ifdef MLR_HAS_NET
+#include "net/tier_client.hpp"
+#include "net/tier_server.hpp"
+#endif
 
 namespace mlr::serve {
 
@@ -26,7 +30,43 @@ ReconService::ReconService(ServiceConfig cfg)
   tc.tau_dedup = cfg_.tau_dedup;
   tc.key_dim = mc.key_dim;
   tc.fabric = cfg_.fabric;
-  tier_ = std::make_unique<SharedTier>(tc);
+  if (cfg_.transport == TierTransport::Inproc) {
+    tier_ = std::make_unique<SharedTier>(tc);
+  } else {
+#ifdef MLR_HAS_NET
+    // Remote tier: the authoritative entries live in a TierServer (whose
+    // own fabric is forced off — all virtual charging happens here, on the
+    // client's fabric, so clocks are transport-invariant).
+    std::unique_ptr<net::Transport> transport;
+    if (cfg_.transport == TierTransport::Loopback) {
+      server_ = std::make_unique<net::TierServer>(tc);
+      transport = std::make_unique<net::LoopbackTransport>(server_.get(),
+                                                           cfg_.shard_count);
+    } else {
+      std::string host = "127.0.0.1";
+      std::uint16_t port = 0;
+      if (cfg_.tier_address.empty()) {
+        server_ = std::make_unique<net::TierServer>(tc);
+        port = server_->listen_and_serve();
+      } else {
+        const auto colon = cfg_.tier_address.rfind(':');
+        MLR_CHECK_MSG(colon != std::string::npos,
+                      "tier_address must be host:port");
+        host = cfg_.tier_address.substr(0, colon);
+        port = std::uint16_t(std::stoi(cfg_.tier_address.substr(colon + 1)));
+      }
+      transport =
+          net::SocketTransport::connect_tcp(host, port, cfg_.shard_count);
+    }
+    tier_ = std::make_unique<net::TierClient>(std::move(transport),
+                                              cfg_.fabric, cfg_.shard_count,
+                                              cfg_.net_timeout_s);
+#else
+    MLR_CHECK_MSG(false,
+                  "remote tier transport requested but the build has "
+                  "MLR_BUILD_NET=OFF");
+#endif
+  }
   slot_free_.assign(std::size_t(cfg_.slots), 0.0);
   sched_ = make_scheduler(cfg_.policy);
 }
@@ -52,6 +92,13 @@ const Array3D<cfloat>& ReconService::ground_truth(Scenario s, u64 seed) {
 JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
                                sim::VTime seed_ready,
                                std::vector<memo::MemoDb::Entry>* own_entries) {
+  // Issue the (possibly remote) seed-snapshot request FIRST: for a wire
+  // backend the index-only export round-trip overlaps all the per-job setup
+  // below; end_seed() harvests it just before the session is built. The
+  // in-process tier's begin/end pair degenerates to a pointer handoff.
+  const bool seeded = cfg_.memoize && tier_->size() > 0;
+  const u64 seed_ticket = seeded ? tier_->begin_seed() : 0;
+
   const auto prof = scenario_profile(req.scenario);
   const auto& pb = problem_for(req.scenario, req.seed);
   const double ws = work_scale_for(req.scenario);
@@ -88,9 +135,11 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
   // Hermetic session: fresh devices/net/memory node (virtual time starts at
   // 0 inside the session; the service adds `seed_ready`, the charged fabric
   // completion of its seed fetch), the service's one encoder, and a MemoDb
-  // seeded from the tier's canonical insertion-order snapshot.
-  const std::vector<memo::MemoDb::Entry>* seed =
-      cfg_.memoize && tier_->size() > 0 ? &tier_->snapshot() : nullptr;
+  // seeded from the tier's canonical insertion-order snapshot. A remote
+  // backend hands the snapshot over index-only plus a value fetcher.
+  std::vector<memo::MemoDb::Entry> seed_storage;
+  TierSeed seed{};
+  if (seeded) seed = tier_->end_seed(seed_ticket, seed_storage);
   std::unique_ptr<ExecutionContext> ctx;
   std::unique_ptr<cluster::Cluster> clu;
   memo::StageExecutor* exec = nullptr;
@@ -103,7 +152,8 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
     eo.pipeline_depth = cfg_.pipeline_depth;
     eo.tail_lanes = cfg_.tail_lanes;
     eo.registry = registry_;
-    eo.db_seed = seed;
+    eo.db_seed = seed.entries;
+    eo.db_values = seed.values;
     eo.shared_pool = pool_.get();
     ctx = std::make_unique<ExecutionContext>(ops_, eo);
     exec = &ctx->executor();
@@ -112,7 +162,8 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
     cluster::ClusterSpec cs;
     cs.gpus = cfg_.gpus_per_job;
     cs.registry = registry_;
-    cs.db_seed = seed;
+    cs.db_seed = seed.entries;
+    cs.db_values = seed.values;
     clu = std::make_unique<cluster::Cluster>(ops_, cs, mc, dbc);
     if (pool_ != nullptr) clu->executor().set_pool(pool_.get());
     clu->executor().set_pipeline_depth(cfg_.pipeline_depth);

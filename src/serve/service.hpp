@@ -55,6 +55,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "admm/solver.hpp"
@@ -64,7 +65,25 @@
 #include "serve/scheduler.hpp"
 #include "serve/shared_tier.hpp"
 
+namespace mlr::net {
+class TierServer;
+}
+
 namespace mlr::serve {
+
+/// Which carrier serves the shared memo tier (see serve/shared_tier.hpp's
+/// backend matrix and src/net/):
+///   * Inproc   — the tier lives in this address space; no wire traffic.
+///   * Loopback — a net::TierServer in this process behind the deterministic
+///     loopback transport: every verb travels as real wire frames
+///     (byte-identical to the socket path), sessions seed index-only and
+///     fetch values lazily. Outputs, records, fingerprints and virtual
+///     times are bit-identical to Inproc.
+///   * Socket   — per-shard TCP connections to a TierServer; `tier_address`
+///     names it ("host:port"), empty spawns one in-process on a localhost
+///     ephemeral port. Outputs identical to Inproc; wall times differ.
+/// Loopback/Socket require MLR_BUILD_NET (on by default).
+enum class TierTransport { Inproc, Loopback, Socket };
 
 struct ServiceConfig {
   // Shared problem geometry: every job of one service reconstructs on the
@@ -84,10 +103,10 @@ struct ServiceConfig {
   /// every depth.
   i64 pipeline_depth = 2;
   /// Tail-drainer lanes inside each session (per-OpKind tail sharding; see
-  /// StageExecutor::set_tail_lanes). Exports are kind-major and ids are
-  /// per-kind sequences, so the tier evolution is unchanged for every lane
-  /// count.
-  i64 tail_lanes = memo::kNumOpKinds;
+  /// StageExecutor::set_tail_lanes; 0 = automatic — min(kNumOpKinds,
+  /// hardware cores)). Exports are kind-major and ids are per-kind
+  /// sequences, so the tier evolution is unchanged for every lane count.
+  i64 tail_lanes = 0;
 
   // Memo tier.
   bool memoize = true;
@@ -109,8 +128,18 @@ struct ServiceConfig {
   /// scenario's query τ, so dedup compacts the tier without starving reuse.
   double tau_dedup = 0.999;
   /// Fabric the seed fetches and promotions are charged on. Disable to
-  /// restore the pre-fabric network-isolated sessions (zero charges).
+  /// restore the pre-fabric network-isolated sessions (zero charges). With
+  /// a remote transport the fabric still lives client-side — the charge
+  /// model is transport-invariant (shared_tier.hpp's client-side charging).
   sim::FabricSpec fabric{};
+  /// How the shared tier is reached (see TierTransport above).
+  TierTransport transport = TierTransport::Inproc;
+  /// Socket transport only: "host:port" of an external net::TierServer;
+  /// empty spawns one inside this process on 127.0.0.1.
+  std::string tier_address;
+  /// Wall-clock bound on every remote-tier wait (seed export, value fetch,
+  /// promotion PUT). A timeout surfaces as a sticky net::NetError.
+  double net_timeout_s = 30.0;
 
   // Scheduling.
   SchedulerPolicy policy = SchedulerPolicy::Fifo;
@@ -181,8 +210,9 @@ class ReconService {
   [[nodiscard]] const ServiceStats& stats() const { return stats_; }
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t shared_entries() const { return tier_->size(); }
-  /// The sharded tier (shard occupancy, fabric contention counters).
-  [[nodiscard]] const SharedTier& shared_tier() const { return *tier_; }
+  /// The tier backend (shard occupancy, fabric contention counters) —
+  /// in-process or a remote client, per ServiceConfig::transport.
+  [[nodiscard]] const TierBackend& tier() const { return *tier_; }
   [[nodiscard]] Scheduler& scheduler() { return *sched_; }
   [[nodiscard]] const lamino::Operators& ops() const { return ops_; }
   /// Ground truth for a scenario/seed (error accounting, tests).
@@ -218,7 +248,11 @@ class ReconService {
   lamino::Operators ops_;
   std::shared_ptr<encoder::EncoderRegistry> registry_;
   std::unique_ptr<ThreadPool> pool_;  ///< shared by sessions (null = global)
-  std::unique_ptr<SharedTier> tier_;  ///< the sharded shared memo tier
+  /// In-process TierServer backing the Loopback transport (and Socket with
+  /// an empty tier_address). Declared before tier_: the client holds a raw
+  /// pointer/connection into it and must be destroyed first.
+  std::unique_ptr<net::TierServer> server_;
+  std::unique_ptr<TierBackend> tier_;  ///< the shared memo tier backend
   std::vector<JobRequest> queue_;          ///< submitted, not yet drained
   std::vector<sim::VTime> slot_free_;      ///< per-slot next-free vtime
   u64 next_id_ = 1;

@@ -34,19 +34,28 @@ bool SharedTier::near_duplicate(const memo::MemoDb::Entry& e) const {
          cfg_.tau_dedup;
 }
 
+std::vector<double> promotion_wire(
+    const std::vector<memo::MemoDb::Entry>& entries, int shard_count,
+    double scale, double* total) {
+  std::vector<double> wire(std::size_t(shard_count), 0.0);
+  double sum = 0;
+  for (const auto& e : entries) {
+    const double b = double(memo::entry_bytes(e)) * scale;
+    wire[std::size_t(memo::entry_shard(e, shard_count))] += b;
+    sum += b;
+  }
+  if (total != nullptr) *total = sum;
+  return wire;
+}
+
 sim::VTime SharedTier::charge_store(
     const std::vector<memo::MemoDb::Entry>& entries, sim::VTime ready,
     double scale) {
   // The whole batch travels: the session ships first, the tier filters on
   // arrival — a rejected entry still spent its fabric time. The uplink
   // total accumulates in batch order (shard-count independent).
-  std::vector<double> wire(std::size_t(cfg_.shard_count), 0.0);
   double total = 0;
-  for (const auto& e : entries) {
-    const double b = double(memo::entry_bytes(e)) * scale;
-    wire[std::size_t(memo::entry_shard(e, cfg_.shard_count))] += b;
-    total += b;
-  }
+  const auto wire = promotion_wire(entries, cfg_.shard_count, scale, &total);
   return fabric_.transfer(ready, wire, total);
 }
 
@@ -56,6 +65,13 @@ PromotionOutcome SharedTier::promote(std::vector<memo::MemoDb::Entry> entries,
   PromotionOutcome out = fold(std::move(entries));
   out.done = done;
   return out;
+}
+
+void SharedTier::place(const memo::MemoDb::Entry& e) {
+  const int shard = memo::entry_shard(e, cfg_.shard_count);
+  shard_entries_[std::size_t(shard)] += 1;
+  shard_bytes_[std::size_t(shard)] += double(memo::entry_bytes(e));
+  total_bytes_ += double(memo::entry_bytes(e));
 }
 
 PromotionOutcome SharedTier::fold(std::vector<memo::MemoDb::Entry> entries) {
@@ -72,15 +88,24 @@ PromotionOutcome SharedTier::fold(std::vector<memo::MemoDb::Entry> entries) {
       ++out.dedup_drops;
       continue;
     }
-    const int shard = memo::entry_shard(e, cfg_.shard_count);
-    shard_entries_[std::size_t(shard)] += 1;
-    shard_bytes_[std::size_t(shard)] += double(memo::entry_bytes(e));
-    total_bytes_ += double(memo::entry_bytes(e));
+    place(e);
     index_[std::size_t(int(e.kind))]->add(u64(entries_.size()), e.key);
     entries_.push_back(std::move(e));
     ++out.promoted;
   }
   return out;
+}
+
+void SharedTier::import_snapshot(std::vector<memo::MemoDb::Entry> entries) {
+  MLR_CHECK_MSG(entries_.empty(), "import_snapshot requires an empty tier");
+  entries_.reserve(entries.size());
+  for (auto& e : entries) {
+    MLR_CHECK_MSG(!e.value.empty() || e.value_cf == 0,
+                  "import_snapshot needs full value payloads");
+    place(e);
+    index_[std::size_t(int(e.kind))]->add(u64(entries_.size()), e.key);
+    entries_.push_back(std::move(e));
+  }
 }
 
 }  // namespace mlr::serve

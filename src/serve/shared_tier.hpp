@@ -1,52 +1,61 @@
-// serve/shared_tier — the service's shared memo tier, sharded across memory
-// nodes and reached over the contended fabric.
+// serve/shared_tier — the service's shared memo tier behind a transport
+// boundary.
 //
-// One SharedTier holds every entry jobs have promoted, in one *canonical
-// insertion order* (promotion order — job-id order within a drain). Sessions
-// import exactly that order (MemoDb::import_entries), so the seed snapshot —
-// and therefore every id, IVF training set and hit decision downstream — is
-// bit-identical for every shard count: sharding decides *placement* (which
-// memory-node link carries an entry's bytes, by content hash
-// memo::entry_shard), never ordering or membership.
+// Since the net/ transport landed, the tier is an *interface*
+// (serve::TierBackend) with two families of implementations:
 //
-// Promotion splits the way an engine insertion does (charge_insert /
-// store_insert): the fabric *charge* happens when a shipment enters the
-// fabric, the tier *fold* (what the composition becomes) happens in job-id
-// order — so the tier is policy-invariant while the clock sees shipments in
-// time order. Timelines serialize in call order, so callers must keep
-// charge ready-times (approximately) monotone: the service charges fetches
-// online in dispatch order and promotion shipments at end-of-drain sorted
-// by finish time, and primes entirely off-fabric (an offline warm-up — the
-// fabric clock starts with traffic).
+//   * SharedTier (this file) — the in-process tier: entries live in this
+//     address space, seeds are handed out as a borrowed snapshot pointer,
+//     and the "network" is purely the virtual-clock fabric model.
+//   * net::TierClient — the remote tier: the authoritative entries live in
+//     a net::TierServer (same process over the deterministic loopback
+//     transport, or another process over TCP), every verb travels as a wire
+//     frame (net/wire.hpp), and seeds arrive *index-only* — sessions fetch
+//     value payloads lazily with GET/GET_BATCH while their miss FFTs run.
 //
-// What the virtual clock sees (all charged through one sim::Fabric that every
-// session of the service shares — the contention surface):
+// The contract every backend honours:
+//
+//   * Canonical order. The tier holds promoted entries in ONE canonical
+//     insertion order (promotion order — job-id order within a drain).
+//     Sessions seed from exactly that order, so ids, IVF training sets and
+//     every downstream hit decision are bit-identical no matter which
+//     backend (or shard count) serves the seed. Sharding decides
+//     *placement* — which memory-node link carries an entry's bytes, by
+//     content hash memo::entry_shard — never ordering or membership.
+//   * Charge/fold split. fold(entries) mutates the composition (cap check,
+//     then the dedup probe) and never touches a clock; charge_fetch /
+//     charge_store put the bytes on the virtual fabric. The service folds
+//     in job-id order (policy-invariant tier) but charges in time order.
+//   * Client-side charging. ALL virtual-clock charging happens in the
+//     client process, on the backend's own sim::Fabric, from per-shard byte
+//     accounting that a remote backend mirrors bit-exactly from the stats
+//     block in every PUT/export reply (doubles travel as their IEEE-754
+//     bits). Wire frames themselves charge nothing: the data path is
+//     pre-paid by the fetch/store charge model, which is what keeps
+//     loopback-transport virtual times bit-identical to the in-process
+//     tier. Socket transport adds real wall-clock latency only.
+//   * Seed handoff. begin_seed() issues the (possibly remote, non-blocking)
+//     snapshot request and end_seed() completes it — the service overlaps
+//     the gap with per-job setup work. For the in-process tier the pair
+//     degenerates to handing out &entries_.
+//
+// What the virtual clock sees (unchanged by the transport):
 //
 //   * charge_fetch(ready, scale) — a dispatched job fetches the whole tier
 //     before its compute starts: each shard streams its bytes on its own
-//     link while the total funnels through the shared uplink. Concurrent
-//     sessions queue on that uplink, so under load dispatch-to-compute gaps
-//     grow; with one slot (no concurrency) and the default link ≥ uplink
-//     bandwidths the fetch time is shard-count-invariant (see
-//     sim/fabric.hpp). `scale` is the session's work_scale: wire bytes are
-//     timed as their paper-scale counterparts, exactly like the MemoDb's
-//     value_scale charging.
-//   * charge_store(entries, ready, scale) — a finished job ships its session
-//     insertions back. All offered bytes travel (the tier filters on
-//     arrival, not the session).
-//   * fold(entries) — entry by entry in insertion order:
-//       1. cap: with the tier at max_entries the entry is dropped outright
-//          (no probe — the drop is inevitable).
-//       2. dedup probe: the entry's nearest tier neighbour in key space
-//          (per-kind ANN index — the same index family the live DB scores
-//          with) is fetched and memo::entry_similarity() gates it; above
-//          τ_dedup the entry is dropped as a near-duplicate. Accepted
-//          entries join the index immediately, so a batch dedups against
-//          itself too. τ_dedup = 0 disables the probe.
-//     The two drop classes are counted separately (dedup = compaction,
-//     cap = overflow). Folding is serial on the event-loop thread, so the
-//     tier's composition is deterministic — and, because the service folds
-//     in job-id order, identical for every scheduling policy.
+//     link while the total funnels through the shared uplink; concurrent
+//     sessions queue on that uplink. `scale` is the session's work_scale.
+//   * charge_store(entries, ready, scale) — a finished job ships its
+//     session insertions back; all offered bytes travel (the tier filters
+//     on arrival). The per-shard split both sides compute is
+//     promotion_wire() — one function, so in-process and remote mirrors
+//     can never drift.
+//   * fold(entries) — entry by entry in insertion order: the max_entries
+//     cap first (at capacity the drop is inevitable — no probe), then the
+//     dedup probe (nearest tier key within τ_dedup ⇒ dropped as a
+//     near-duplicate; accepted entries join the index immediately, so a
+//     batch dedups against itself). Drop classes are counted separately
+//     (dedup = compaction, cap = overflow).
 #pragma once
 
 #include <memory>
@@ -77,27 +86,82 @@ struct PromotionOutcome {
   sim::VTime done = 0;  ///< fabric completion time of the shipment
 };
 
-class SharedTier {
+/// What end_seed() hands a session: the snapshot to import and — for a
+/// remote backend — the lazy value fetcher (null means every entry carries
+/// its value payload inline).
+struct TierSeed {
+  const std::vector<memo::MemoDb::Entry>* entries = nullptr;
+  memo::ValueFetcher* values = nullptr;
+};
+
+/// The tier abstraction serve::ReconService runs against — see the header
+/// comment for the contract. Implemented in-process by SharedTier and over
+/// the wire by net::TierClient.
+class TierBackend {
+ public:
+  virtual ~TierBackend() = default;
+
+  /// Issue the seed-snapshot request (non-blocking for a remote backend);
+  /// returns a ticket for end_seed. Call only when size() > 0.
+  virtual u64 begin_seed() = 0;
+  /// Complete the seed request. `storage` receives the decoded snapshot for
+  /// a remote backend (and must outlive the session); the in-process tier
+  /// ignores it and returns its own entries.
+  virtual TierSeed end_seed(u64 ticket,
+                            std::vector<memo::MemoDb::Entry>& storage) = 0;
+
+  virtual sim::VTime charge_fetch(sim::VTime ready, double scale) = 0;
+  virtual sim::VTime charge_store(
+      const std::vector<memo::MemoDb::Entry>& entries, sim::VTime ready,
+      double scale) = 0;
+  virtual PromotionOutcome fold(std::vector<memo::MemoDb::Entry> entries) = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual int shard_count() const = 0;
+  [[nodiscard]] virtual std::size_t shard_entries(int shard) const = 0;
+  [[nodiscard]] virtual double shard_bytes(int shard) const = 0;
+  [[nodiscard]] virtual double total_bytes() const = 0;
+  /// The fabric all of this backend's charges land on (contention stats).
+  [[nodiscard]] virtual const sim::Fabric& fabric() const = 0;
+};
+
+/// Per-shard wire byte split of one offered batch at `scale`, plus (via
+/// `total`) the batch-order uplink total. The ONE place the split is
+/// computed: SharedTier::charge_store and the remote client's mirror both
+/// call it, so their fabric charges are bit-identical by construction.
+std::vector<double> promotion_wire(
+    const std::vector<memo::MemoDb::Entry>& entries, int shard_count,
+    double scale, double* total);
+
+/// The in-process tier (see the header comment).
+class SharedTier final : public TierBackend {
  public:
   explicit SharedTier(SharedTierConfig cfg);
+
+  /// In-process seed handoff: nothing to prefetch.
+  u64 begin_seed() override { return 0; }
+  TierSeed end_seed(u64 /*ticket*/,
+                    std::vector<memo::MemoDb::Entry>& /*storage*/) override {
+    return {&entries_, nullptr};
+  }
 
   /// Charge fetching the whole tier (per-shard byte split, timed at `scale`×
   /// the resident bytes) to the fabric; returns the completion time a
   /// dispatched session must wait for. An empty tier (or a disabled fabric)
   /// returns `ready`.
-  sim::VTime charge_fetch(sim::VTime ready, double scale = 1.0);
+  sim::VTime charge_fetch(sim::VTime ready, double scale = 1.0) override;
 
   /// Charge shipping the whole offered batch (drops included — the session
   /// ships first, the tier filters on arrival) at `ready`; returns the
   /// fabric completion time.
   sim::VTime charge_store(const std::vector<memo::MemoDb::Entry>& entries,
-                          sim::VTime ready, double scale = 1.0);
+                          sim::VTime ready, double scale = 1.0) override;
 
   /// Fold `entries` (one session's insertions, in insertion order) into the
   /// tier: cap check, then dedup probe (a tier at capacity drops without
   /// probing — the drop is inevitable either way). Touches no timeline —
   /// see the header comment's charge/fold split.
-  PromotionOutcome fold(std::vector<memo::MemoDb::Entry> entries);
+  PromotionOutcome fold(std::vector<memo::MemoDb::Entry> entries) override;
 
   /// charge_store + fold in one call (the outcome carries the charge's
   /// completion time). Pass the session's work_scale as `scale`, exactly as
@@ -105,25 +169,31 @@ class SharedTier {
   PromotionOutcome promote(std::vector<memo::MemoDb::Entry> entries,
                            sim::VTime ready, double scale = 1.0);
 
+  /// Preload an EMPTY tier from a full snapshot, bypassing cap and dedup:
+  /// the tier reproduces the snapshot exactly (entry i keeps position i).
+  /// The deployment handoff behind the SNAPSHOT_IMPORT wire verb.
+  void import_snapshot(std::vector<memo::MemoDb::Entry> entries);
+
   /// The canonical insertion-ordered snapshot sessions import — identical
   /// for every shard count.
   [[nodiscard]] const std::vector<memo::MemoDb::Entry>& snapshot() const {
     return entries_;
   }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] int shard_count() const { return cfg_.shard_count; }
-  [[nodiscard]] std::size_t shard_entries(int shard) const {
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+  [[nodiscard]] int shard_count() const override { return cfg_.shard_count; }
+  [[nodiscard]] std::size_t shard_entries(int shard) const override {
     return shard_entries_[std::size_t(shard)];
   }
-  [[nodiscard]] double shard_bytes(int shard) const {
+  [[nodiscard]] double shard_bytes(int shard) const override {
     return shard_bytes_[std::size_t(shard)];
   }
-  [[nodiscard]] double total_bytes() const { return total_bytes_; }
-  [[nodiscard]] const sim::Fabric& fabric() const { return fabric_; }
+  [[nodiscard]] double total_bytes() const override { return total_bytes_; }
+  [[nodiscard]] const sim::Fabric& fabric() const override { return fabric_; }
   [[nodiscard]] const SharedTierConfig& config() const { return cfg_; }
 
  private:
   [[nodiscard]] bool near_duplicate(const memo::MemoDb::Entry& e) const;
+  void place(const memo::MemoDb::Entry& e);  ///< shard + byte accounting
 
   SharedTierConfig cfg_;
   sim::Fabric fabric_;

@@ -1,0 +1,518 @@
+// Tests for the net/ remote-memo transport: wire primitives and the
+// snapshot codec (including the checked-in golden frame — the wire format
+// is a compatibility surface), the in-flight RequestTable's out-of-order
+// completion and sticky-failure semantics, the TierClient ↔ TierServer
+// round trip over loopback (mirror accounting bit-exact against a direct
+// SharedTier, index-only seed + lazy value fetch), fault injection on every
+// transport failure mode (truncated reply, dropped reply → timeout,
+// reordered delivery, unsolicited id, torn snapshot import), and the real
+// TCP socket backend (round trip + disconnect → sticky error, never a
+// hang). Environments without sockets skip the TCP cases.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "net/request_table.hpp"
+#include "net/tier_client.hpp"
+#include "net/tier_server.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "serve/shared_tier.hpp"
+
+namespace mlr::net {
+namespace {
+
+// --- Fixtures ----------------------------------------------------------------
+
+memo::MemoDb::Entry entry(memo::OpKind kind, std::vector<float> key,
+                          std::vector<cfloat> value, double norm = 1.0) {
+  memo::MemoDb::Entry e;
+  e.kind = kind;
+  e.key = std::move(key);
+  e.norm = norm;
+  e.value = std::move(value);
+  e.value_cf = e.value.size();
+  return e;
+}
+
+/// A small, fully deterministic snapshot exercising every codec branch:
+/// several kinds, distinct value lengths, a non-unit norm and one entry
+/// carrying an oracle probe.
+std::vector<memo::MemoDb::Entry> fixture_entries() {
+  std::vector<memo::MemoDb::Entry> v;
+  v.push_back(entry(memo::OpKind::Fu1D, {1.0f, 0.0f, 0.0f, 0.0f},
+                    {{1.0f, -2.0f}, {0.5f, 0.25f}}));
+  v.push_back(entry(memo::OpKind::Fu1D, {0.0f, 1.0f, 0.0f, 0.0f},
+                    {{-0.125f, 8.0f}, {3.0f, 0.0f}, {0.0f, -1.0f}}, 2.0));
+  auto probed = entry(memo::OpKind::Fu2D, {0.0f, 0.0f, 1.0f, 0.0f},
+                      {{4.0f, 4.0f}}, 0.5);
+  probed.probe = {{0.75f, -0.75f}, {-1.5f, 2.5f}};
+  v.push_back(probed);
+  return v;
+}
+
+serve::SharedTierConfig tier_config(int shards = 2) {
+  serve::SharedTierConfig tc;
+  tc.shard_count = shards;
+  tc.tau_dedup = 0.99;
+  tc.key_dim = 4;
+  return tc;
+}
+
+std::vector<std::byte> import_frame(const std::vector<memo::MemoDb::Entry>& v,
+                                    u64 request_id) {
+  WireWriter w;
+  encode_entries(w, v, /*with_values=*/true);
+  return encode_frame(FrameType::SnapshotImport, 0, request_id, w.data());
+}
+
+// --- Wire primitives ---------------------------------------------------------
+
+TEST(Wire, PrimitivesRoundTripLittleEndian) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f32(-1.5f);
+  w.f64(3.141592653589793);
+  // The encoding is explicit LE, not host order: check the first bytes.
+  ASSERT_GE(w.size(), 7u);
+  EXPECT_EQ(std::to_integer<unsigned>(w.data()[0]), 0xABu);
+  EXPECT_EQ(std::to_integer<unsigned>(w.data()[1]), 0x34u);  // u16 low byte
+  EXPECT_EQ(std::to_integer<unsigned>(w.data()[2]), 0x12u);
+  EXPECT_EQ(std::to_integer<unsigned>(w.data()[3]), 0xEFu);  // u32 low byte
+  WireReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f32(), -1.5f);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), WireError);  // past the end
+}
+
+TEST(Wire, FrameHeaderRoundTripAndValidation) {
+  const std::vector<std::byte> payload(5, std::byte{0x7F});
+  const auto frame = encode_frame(FrameType::GetBatch, kFlagReply, 42, payload);
+  ASSERT_EQ(frame.size(), kHeaderBytes + 5);
+  const auto h = decode_header(frame);
+  EXPECT_EQ(h.magic, kWireMagic);
+  EXPECT_EQ(h.version, kWireVersion);
+  EXPECT_EQ(h.type, FrameType::GetBatch);
+  EXPECT_TRUE(h.is_reply());
+  EXPECT_EQ(h.request_id, 42u);
+  EXPECT_EQ(h.payload_bytes, 5u);
+
+  // Truncated header / bad magic / wrong version are hard decode errors.
+  EXPECT_THROW(decode_header(std::span(frame).first(kHeaderBytes - 1)),
+               WireError);
+  auto bad = frame;
+  bad[0] = std::byte{0x00};
+  EXPECT_THROW(decode_header(bad), WireError);
+  auto vers = frame;
+  vers[4] = std::byte{0xFF};
+  EXPECT_THROW(decode_header(vers), WireError);
+}
+
+TEST(Wire, EntriesRoundTripFullAndIndexOnly) {
+  const auto ref = fixture_entries();
+  for (const bool with_values : {true, false}) {
+    WireWriter w;
+    encode_entries(w, ref, with_values);
+    WireReader r(w.data());
+    const auto out = decode_entries(r);
+    EXPECT_TRUE(r.done());
+    ASSERT_EQ(out.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(int(out[i].kind), int(ref[i].kind));
+      EXPECT_EQ(out[i].key, ref[i].key);
+      EXPECT_EQ(out[i].norm, ref[i].norm);
+      EXPECT_EQ(out[i].probe, ref[i].probe);
+      // The full value length always travels; the payload only when asked —
+      // the index-only seed form a remote session fetches lazily.
+      EXPECT_EQ(out[i].value_cf, ref[i].value.size());
+      if (with_values)
+        EXPECT_EQ(out[i].value, ref[i].value);
+      else
+        EXPECT_TRUE(out[i].value.empty());
+    }
+  }
+}
+
+TEST(Wire, ErrorPayloadRoundTrip) {
+  WireWriter w;
+  encode_error(w, {3, "backend exploded"});
+  WireReader r(w.data());
+  const auto e = decode_error(r);
+  EXPECT_EQ(e.code, 3u);
+  EXPECT_EQ(e.message, "backend exploded");
+}
+
+TEST(Wire, SnapshotFrameMatchesGoldenBytes) {
+  // The wire format is a compatibility surface: the SNAPSHOT_EXPORT reply
+  // (stats block + full entry codec) for the fixture tier must reproduce
+  // the checked-in golden frame byte for byte. Regenerate deliberately with
+  // MLR_WRITE_GOLDEN=1 after an intentional format (version) change.
+  TierServer server(tier_config(2));
+  server.handle_frame(import_frame(fixture_entries(), 1));
+  const auto request = [] {
+    WireWriter w;
+    w.u8(1);  // with_values
+    return encode_frame(FrameType::SnapshotExport, 0, /*request_id=*/7,
+                        w.data());
+  }();
+  const auto reply = server.handle_frame(request);
+  ASSERT_GE(reply.size(), kHeaderBytes);
+  EXPECT_EQ(decode_header(reply).type, FrameType::SnapshotExport);
+
+  const std::string path =
+      std::string(MLR_TEST_DATA_DIR) + "/snapshot_frame.golden";
+  if (std::getenv("MLR_WRITE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(reply.data()),
+              std::streamsize(reply.size()));
+    ASSERT_TRUE(out.good()) << "failed to write " << path;
+    GTEST_SKIP() << "golden frame regenerated at " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with MLR_WRITE_GOLDEN=1)";
+  std::vector<char> golden((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  ASSERT_EQ(golden.size(), reply.size());
+  EXPECT_EQ(0, std::memcmp(golden.data(), reply.data(), reply.size()));
+
+  // And the golden bytes round-trip: decoding them reproduces the fixture.
+  WireReader r(std::span<const std::byte>(reply).subspan(kHeaderBytes));
+  r.u64();                    // stats: size
+  const auto sn = r.u32();    // stats: shard count
+  for (u32 s = 0; s < sn; ++s) {
+    r.u64();
+    r.f64();
+  }
+  r.f64();                    // stats: total bytes
+  const auto out = decode_entries(r);
+  const auto ref = fixture_entries();
+  ASSERT_EQ(out.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(out[i].key, ref[i].key);
+    EXPECT_EQ(out[i].value, ref[i].value);
+    EXPECT_EQ(out[i].probe, ref[i].probe);
+  }
+}
+
+// --- RequestTable ------------------------------------------------------------
+
+TEST(RequestTable, CompletesOutOfOrderByRequestId) {
+  RequestTable t;
+  const u64 a = t.next_id(), b = t.next_id();
+  EXPECT_LT(a, b);
+  t.expect(a);
+  t.expect(b);
+  EXPECT_EQ(t.in_flight(), 2u);
+  t.complete(b, {std::byte{2}});  // replies arrive in reverse order
+  t.complete(a, {std::byte{1}});
+  EXPECT_EQ(std::to_integer<int>(t.wait(a, 1.0)[0]), 1);
+  EXPECT_EQ(std::to_integer<int>(t.wait(b, 1.0)[0]), 2);
+  EXPECT_EQ(t.in_flight(), 0u);
+  EXPECT_FALSE(t.broken());
+}
+
+TEST(RequestTable, PerRequestFailureIsNotSticky) {
+  RequestTable t;
+  const u64 a = t.next_id(), b = t.next_id();
+  t.expect(a);
+  t.expect(b);
+  t.fail(a, "server said no");  // an Error reply fails only its own slot
+  EXPECT_THROW(t.wait(a, 1.0), NetError);
+  EXPECT_FALSE(t.broken());
+  t.complete(b, {});
+  EXPECT_NO_THROW(t.wait(b, 1.0));
+}
+
+TEST(RequestTable, FailAllIsStickyAndFirstErrorWins) {
+  RequestTable t;
+  const u64 a = t.next_id();
+  t.expect(a);
+  t.fail_all("connection reset");
+  t.fail_all("second fault");  // idempotent: the root cause wins
+  EXPECT_TRUE(t.broken());
+  EXPECT_NE(t.error().find("connection reset"), std::string::npos);
+  EXPECT_THROW(t.wait(a, 1.0), NetError);
+  EXPECT_THROW(t.expect(t.next_id()), NetError);  // future requests too
+}
+
+TEST(RequestTable, TimeoutBreaksTheTable) {
+  RequestTable t;
+  const u64 a = t.next_id();
+  t.expect(a);
+  EXPECT_THROW(t.wait(a, 0.05), NetError);
+  // The reply may still arrive later and would then be unsolicited — the
+  // table is broken, not just the one slot.
+  EXPECT_TRUE(t.broken());
+}
+
+TEST(RequestTable, UnsolicitedReplyBreaksTheTable) {
+  RequestTable t;
+  const u64 a = t.next_id();
+  t.expect(a);
+  t.complete(999, {});  // the peer answered a request we never made
+  EXPECT_TRUE(t.broken());
+  EXPECT_THROW(t.wait(a, 1.0), NetError);
+}
+
+// --- TierClient over loopback ------------------------------------------------
+
+TEST(TierClient, MirrorsTierAccountingBitExactly) {
+  const auto tc = tier_config(2);
+  TierServer server(tc);
+  TierClient client(std::make_unique<LoopbackTransport>(&server, 2), tc.fabric,
+                    2, /*timeout_s=*/5.0);
+  serve::SharedTier direct(tc);  // the in-process reference
+
+  EXPECT_EQ(client.size(), 0u);
+  auto batch = fixture_entries();
+  const auto remote = client.fold(batch);
+  const auto local = direct.fold(std::move(batch));
+  EXPECT_EQ(remote.promoted, local.promoted);
+  EXPECT_EQ(remote.dedup_drops, local.dedup_drops);
+  EXPECT_EQ(remote.cap_drops, local.cap_drops);
+
+  // The stats block carried doubles as IEEE-754 bits: the mirror is
+  // bit-exact, so client-side fabric charges cannot drift from in-process.
+  ASSERT_EQ(client.size(), direct.size());
+  ASSERT_EQ(client.shard_count(), direct.shard_count());
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(client.shard_entries(s), direct.shard_entries(s));
+    EXPECT_EQ(client.shard_bytes(s), direct.shard_bytes(s));
+  }
+  EXPECT_EQ(client.total_bytes(), direct.total_bytes());
+  EXPECT_EQ(client.charge_fetch(3.0, 1.5), direct.charge_fetch(3.0, 1.5));
+  const auto more = fixture_entries();
+  EXPECT_EQ(client.charge_store(more, 7.0, 2.0),
+            direct.charge_store(more, 7.0, 2.0));
+}
+
+TEST(TierClient, IndexOnlySeedThenLazyValueFetch) {
+  const auto tc = tier_config(2);
+  TierServer server(tc);
+  auto transport = std::make_unique<LoopbackTransport>(&server, 2);
+  TierClient client(std::move(transport), tc.fabric, 2, /*timeout_s=*/5.0);
+  const auto ref = fixture_entries();
+  client.fold(ref);
+
+  // begin_seed is non-blocking (the service overlaps the round trip with
+  // job setup); end_seed lands the index-only snapshot in caller storage.
+  const u64 ticket = client.begin_seed();
+  std::vector<memo::MemoDb::Entry> storage;
+  const auto seed = client.end_seed(ticket, storage);
+  ASSERT_EQ(seed.entries, &storage);
+  ASSERT_EQ(seed.values, &client);
+  ASSERT_EQ(storage.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_TRUE(storage[i].value.empty());
+    EXPECT_EQ(storage[i].value_cf, ref[i].value.size());
+    EXPECT_EQ(storage[i].key, ref[i].key);
+  }
+
+  // Batched path: request() + flush() then fetch() — one GET_BATCH per
+  // shard; every position lands.
+  client.request(0);
+  client.request(2);
+  client.request(2);  // idempotent
+  client.flush();
+  EXPECT_EQ(client.fetch(0), server.tier().snapshot()[0].value);
+  EXPECT_EQ(client.fetch(2), server.tier().snapshot()[2].value);
+  // Unbatched path: a cold fetch() falls back to one synchronous GET.
+  EXPECT_EQ(client.fetch(1), server.tier().snapshot()[1].value);
+}
+
+// --- Fault injection ---------------------------------------------------------
+
+TEST(TierClientFaults, TruncatedReplyIsStickyNotTorn) {
+  const auto tc = tier_config(1);
+  TierServer server(tc);
+  auto transport = std::make_unique<LoopbackTransport>(&server, 1);
+  auto* lb = transport.get();
+  TierClient client(std::move(transport), tc.fabric, 1, /*timeout_s=*/1.0);
+  client.fold(fixture_entries());
+  std::vector<memo::MemoDb::Entry> storage;
+  client.end_seed(client.begin_seed(), storage);
+
+  lb->fault_truncate_replies(10);  // shorter than a frame header
+  EXPECT_THROW(client.fold(fixture_entries()), NetError);
+  // Sticky: the table is broken, later verbs fail fast instead of hanging.
+  EXPECT_THROW(client.begin_seed(), NetError);
+  EXPECT_THROW(client.fetch(0), NetError);
+}
+
+TEST(TierClientFaults, DroppedReplyTimesOutSticky) {
+  const auto tc = tier_config(1);
+  TierServer server(tc);
+  auto transport = std::make_unique<LoopbackTransport>(&server, 1);
+  auto* lb = transport.get();
+  TierClient client(std::move(transport), tc.fabric, 1, /*timeout_s=*/0.1);
+  client.fold(fixture_entries());
+  std::vector<memo::MemoDb::Entry> storage;
+  client.end_seed(client.begin_seed(), storage);
+
+  lb->fault_drop_replies(true);
+  EXPECT_THROW(client.fetch(0), NetError);  // waits 0.1 s, then breaks
+  lb->fault_drop_replies(false);
+  EXPECT_THROW(client.fold(fixture_entries()), NetError);  // still broken
+}
+
+TEST(TierClientFaults, ReorderedRepliesCompleteTheRightSlots) {
+  // Out-of-order replies are legal: the request id keys the slot. Hold two
+  // GET replies and deliver them reversed; both fetches get their own
+  // value, not each other's.
+  const auto tc = tier_config(2);
+  TierServer server(tc);
+  auto transport = std::make_unique<LoopbackTransport>(&server, 2);
+  auto* lb = transport.get();
+  auto& table = transport->table();
+  server.handle_frame(import_frame(fixture_entries(), 1));
+
+  lb->fault_hold_replies(true);
+  const u64 a = table.next_id(), b = table.next_id();
+  const auto get = [](u64 pos) {
+    WireWriter w;
+    w.u64(pos);
+    return w.take();
+  };
+  table.expect(a);
+  lb->send(0, FrameType::Get, a, get(0));
+  table.expect(b);
+  lb->send(1, FrameType::Get, b, get(2));
+  EXPECT_EQ(table.in_flight(), 2u);
+  lb->fault_hold_replies(false);
+  lb->deliver_held(/*reverse=*/true);
+
+  const std::pair<u64, u64> cases[] = {{a, 0}, {b, 2}};
+  for (const auto& [id, pos] : cases) {
+    const auto payload = table.wait(id, 1.0);
+    WireReader r(payload);
+    const auto n = r.u32();
+    std::vector<cfloat> v;
+    for (u32 i = 0; i < n; ++i) {
+      const float re = r.f32(), im = r.f32();
+      v.emplace_back(re, im);
+    }
+    EXPECT_EQ(v, server.tier().snapshot()[std::size_t(pos)].value);
+  }
+  EXPECT_FALSE(table.broken());
+}
+
+TEST(TierClientFaults, ServerErrorReplyFailsOnlyItsRequest) {
+  // A GET past the tier draws an Error reply: a per-request failure that
+  // fails its own slot, but the stream (and every later request) stays
+  // usable — unlike a transport fault, nothing turns sticky.
+  TierServer server(tier_config(1));
+  LoopbackTransport lb(&server, 1);
+  auto& table = lb.table();
+  server.handle_frame(import_frame(fixture_entries(), 1));
+
+  const auto get = [](u64 pos) {
+    WireWriter w;
+    w.u64(pos);
+    return w.take();
+  };
+  const u64 bad = table.next_id();
+  table.expect(bad);
+  lb.send(0, FrameType::Get, bad, get(999));
+  EXPECT_THROW(table.wait(bad, 1.0), NetError);
+  EXPECT_FALSE(table.broken());
+
+  const u64 good = table.next_id();
+  table.expect(good);
+  lb.send(0, FrameType::Get, good, get(0));
+  const auto payload = table.wait(good, 1.0);
+  WireReader r(payload);
+  EXPECT_EQ(r.u32(), server.tier().snapshot()[0].value.size());
+}
+
+TEST(TierServerFaults, TruncatedImportCannotTearTheTier) {
+  // decode-then-apply: a snapshot import whose payload is cut mid-entry
+  // produces an Error reply and leaves the tier exactly as it was.
+  TierServer server(tier_config(2));
+  WireWriter w;
+  encode_entries(w, fixture_entries(), /*with_values=*/true);
+  auto payload = w.take();
+  payload.resize(payload.size() - 4);  // tear the last value
+  const auto reply = server.handle_frame(
+      encode_frame(FrameType::SnapshotImport, 0, 9, payload));
+  const auto h = decode_header(reply);
+  EXPECT_EQ(h.type, FrameType::Error);
+  EXPECT_EQ(h.request_id, 9u);
+  WireReader r(std::span<const std::byte>(reply).subspan(kHeaderBytes));
+  EXPECT_EQ(decode_error(r).code, 2u);
+  EXPECT_EQ(server.tier().size(), 0u);  // untouched
+}
+
+// --- Socket backend ----------------------------------------------------------
+
+TEST(SocketTransport, RoundTripOverLocalhost) {
+  const auto tc = tier_config(2);
+  TierServer server(tc);
+  std::uint16_t port = 0;
+  try {
+    port = server.listen_and_serve();
+  } catch (const NetError& e) {
+    GTEST_SKIP() << "sockets unavailable: " << e.what();
+  }
+  std::unique_ptr<Transport> transport;
+  try {
+    transport = SocketTransport::connect_tcp("127.0.0.1", port, 2);
+  } catch (const NetError& e) {
+    GTEST_SKIP() << "connect failed: " << e.what();
+  }
+  TierClient client(std::move(transport), tc.fabric, 2, /*timeout_s=*/10.0);
+  const auto ref = fixture_entries();
+  const auto out = client.fold(ref);
+  EXPECT_EQ(out.promoted, server.tier().size());
+  std::vector<memo::MemoDb::Entry> storage;
+  client.end_seed(client.begin_seed(), storage);
+  ASSERT_EQ(storage.size(), server.tier().size());
+  for (u64 pos = 0; pos < storage.size(); ++pos) {
+    client.request(pos);
+  }
+  client.flush();
+  for (u64 pos = 0; pos < storage.size(); ++pos)
+    EXPECT_EQ(client.fetch(pos), server.tier().snapshot()[pos].value);
+  server.stop();
+}
+
+TEST(SocketTransport, DisconnectSurfacesStickyErrorNeverHangs) {
+  const auto tc = tier_config(1);
+  auto server = std::make_unique<TierServer>(tc);
+  std::uint16_t port = 0;
+  try {
+    port = server->listen_and_serve();
+  } catch (const NetError& e) {
+    GTEST_SKIP() << "sockets unavailable: " << e.what();
+  }
+  std::unique_ptr<Transport> transport;
+  try {
+    transport = SocketTransport::connect_tcp("127.0.0.1", port, 1);
+  } catch (const NetError& e) {
+    GTEST_SKIP() << "connect failed: " << e.what();
+  }
+  TierClient client(std::move(transport), tc.fabric, 1, /*timeout_s=*/5.0);
+  client.fold(fixture_entries());
+  std::vector<memo::MemoDb::Entry> storage;
+  client.end_seed(client.begin_seed(), storage);
+
+  // Kill the server between requests: the reader thread sees EOF, breaks
+  // the table, and every later verb surfaces one sticky NetError — bounded
+  // by the timeout, never a hang.
+  server->stop();
+  EXPECT_THROW(client.fetch(0), NetError);
+  EXPECT_THROW(client.fold(fixture_entries()), NetError);
+}
+
+}  // namespace
+}  // namespace mlr::net

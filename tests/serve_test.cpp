@@ -15,6 +15,9 @@
 #include "serve/service.hpp"
 #include "serve/shared_tier.hpp"
 #include "serve/workload.hpp"
+#ifdef MLR_HAS_NET
+#include "net/request_table.hpp"
+#endif
 
 namespace mlr::serve {
 namespace {
@@ -617,6 +620,100 @@ TEST(ReconService, ClusterSessionsIdenticalAcrossPolicies) {
   EXPECT_EQ(a.fingerprint, b.fingerprint);
   EXPECT_EQ(a.run_vtime, b.run_vtime);
 }
+
+// --- Remote-tier transports (net/) -------------------------------------------
+
+#ifdef MLR_HAS_NET
+
+TEST(ReconService, LoopbackTransportMatrix) {
+  // The transport acceptance property (loopback half): rehosting the shared
+  // tier on the wire protocol's deterministic in-process backend changes
+  // NOTHING a session can observe — outputs, per-job records and the whole
+  // virtual-clock schedule are bit-identical to the in-process tier, across
+  // shard counts × policies × threads × pipeline_depth × tail_lanes. Wire
+  // frames charge no virtual time (client-side charging contract) and the
+  // index-only seed + lazy value fetch reproduces every hit decision.
+  WorkloadConfig wc;
+  wc.jobs = 3;
+  wc.mean_interarrival = 40.0;
+  wc.mix = {{Scenario::PcbInspection, 1.0}, {Scenario::BrainScan, 1.0}};
+  wc.distinct_objects = 2;
+  wc.tenants = {{"A", 1.0, 1, 1.0}, {"B", 2.0, 2, 1.0}};
+  WorkloadGenerator gen(wc);
+  const auto jobs = gen.generate();
+  const auto warm = gen.priming_set();
+
+  struct Knobs {
+    int shards;
+    unsigned threads;
+    i64 depth;
+    i64 overlap;
+    i64 tail_lanes;  // 0 = the automatic default
+  };
+  const Knobs knobs[] = {{1, 1, 0, 0, 1}, {2, 3, 2, 4, 2}, {4, 2, 5, 0, 0}};
+  const SchedulerPolicy policies[] = {SchedulerPolicy::Fifo,
+                                      SchedulerPolicy::FairShare};
+  const RunSummary* global_ref = nullptr;
+  RunSummary first;
+  for (const auto policy : policies) {
+    for (const auto& k : knobs) {
+      auto cfg = tiny_config(policy, /*slots=*/2);
+      cfg.shard_count = k.shards;
+      cfg.threads = k.threads;
+      cfg.pipeline_depth = k.depth;
+      cfg.overlap_slices = k.overlap;
+      cfg.tail_lanes = k.tail_lanes;
+      const auto inproc = run_workload(cfg, jobs, warm);
+      cfg.transport = TierTransport::Loopback;
+      const auto loop = run_workload(cfg, jobs, warm);
+      // Same knobs, different carrier: the FULL schedule reproduces.
+      EXPECT_EQ(loop.fingerprint, inproc.fingerprint);
+      EXPECT_EQ(loop.run_vtime, inproc.run_vtime);
+      EXPECT_EQ(loop.queue_wait, inproc.queue_wait);
+      EXPECT_EQ(loop.seed_fetch, inproc.seed_fetch);
+      EXPECT_EQ(loop.finish, inproc.finish);
+      // And outputs + run vtimes are one global identity across everything.
+      if (global_ref == nullptr) {
+        first = inproc;
+        global_ref = &first;
+      }
+      EXPECT_EQ(loop.fingerprint, global_ref->fingerprint);
+      EXPECT_EQ(loop.run_vtime, global_ref->run_vtime);
+    }
+  }
+}
+
+TEST(ReconService, SocketTransportMatchesInproc) {
+  // The transport acceptance property (socket half): the same workload
+  // served through real TCP connections to a localhost TierServer produces
+  // bit-identical outputs and virtual clocks — only wall time differs.
+  // Environments without sockets (sandboxes) skip.
+  WorkloadConfig wc;
+  wc.jobs = 3;
+  wc.mean_interarrival = 40.0;
+  wc.mix = {{Scenario::PcbInspection, 1.0}, {Scenario::BrainScan, 1.0}};
+  wc.distinct_objects = 2;
+  WorkloadGenerator gen(wc);
+  const auto jobs = gen.generate();
+  const auto warm = gen.priming_set();
+
+  auto cfg = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  cfg.shard_count = 2;
+  cfg.threads = 2;
+  cfg.pipeline_depth = 2;
+  const auto inproc = run_workload(cfg, jobs, warm);
+  cfg.transport = TierTransport::Socket;
+  try {
+    const auto sock = run_workload(cfg, jobs, warm);
+    EXPECT_EQ(sock.fingerprint, inproc.fingerprint);
+    EXPECT_EQ(sock.run_vtime, inproc.run_vtime);
+    EXPECT_EQ(sock.finish, inproc.finish);
+  } catch (const net::NetError& e) {
+    GTEST_SKIP() << "socket transport unavailable: " << e.what();
+  }
+}
+
+#endif  // MLR_HAS_NET
 
 // --- Workload generation -----------------------------------------------------
 
