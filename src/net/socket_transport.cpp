@@ -97,12 +97,16 @@ void SocketTransport::reader_loop(std::size_t conn) {
     }
     FrameHeader h;
     try {
+      // decode_header enforces kMaxFramePayload, so a corrupt or
+      // desynchronized reply stream cannot wrap the resize below or drive
+      // it to an absurd size; any residual allocation failure becomes the
+      // sticky error, not a process-terminating escape from this thread.
       h = decode_header(frame);
-    } catch (const WireError& e) {
+      frame.resize(kHeaderBytes + h.payload_bytes);
+    } catch (const std::exception& e) {
       table_.fail_all(std::string("undecodable reply header: ") + e.what());
       return;
     }
-    frame.resize(kHeaderBytes + h.payload_bytes);
     if (!read_full(fd, frame.data() + kHeaderBytes, h.payload_bytes)) {
       table_.fail_all("connection closed mid-reply (truncated payload)");
       return;

@@ -174,6 +174,12 @@ void TierServer::accept_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) break;  // listen socket closed by stop()
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Raced with stop(): the connection landed before the listen socket
+      // closed. Refuse it rather than spawn a handler stop() already swept.
+      ::close(fd);
+      break;
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     std::lock_guard lk(conn_mu_);
@@ -187,18 +193,18 @@ void TierServer::serve_connection(int fd) {
   for (;;) {
     frame.resize(kHeaderBytes);
     if (!read_full(fd, frame.data(), kHeaderBytes)) break;
-    FrameHeader h;
-    try {
-      h = decode_header(frame);
-    } catch (const WireError&) {
-      break;  // desynchronized stream: drop the connection
-    }
-    frame.resize(kHeaderBytes + h.payload_bytes);
-    if (!read_full(fd, frame.data() + kHeaderBytes, h.payload_bytes)) break;
     std::vector<std::byte> reply;
     try {
+      // decode_header enforces kMaxFramePayload, so the resize below can
+      // neither wrap kHeaderBytes + payload_bytes nor be driven to an
+      // absurd size by a hostile header.
+      const auto h = decode_header(frame);
+      frame.resize(kHeaderBytes + h.payload_bytes);
+      if (!read_full(fd, frame.data() + kHeaderBytes, h.payload_bytes)) break;
       reply = handle_frame(frame);
-    } catch (const WireError&) {
+    } catch (const std::exception&) {
+      // Desynchronized stream, reply-as-request, or allocation failure:
+      // drop this connection, never the process.
       break;
     }
     if (!write_full(fd, reply.data(), reply.size())) break;
@@ -220,11 +226,15 @@ void TierServer::stop() {
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (acceptor_.joinable()) acceptor_.join();
-  // After the acceptor exited no new connections appear; join and close.
+  // After the acceptor exited no new connections appear — but it may have
+  // registered one between the shutdown pass above and observing the closed
+  // listen socket. Shut every fd down again (idempotent) so no handler
+  // thread can sit in read_full forever and block the joins below.
   std::vector<std::thread> threads;
   std::vector<int> fds;
   {
     std::lock_guard lk(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
     threads.swap(conn_threads_);
     fds.swap(conn_fds_);
   }

@@ -118,6 +118,9 @@ FrameHeader decode_header(std::span<const std::byte> buf) {
   h.flags = r.u8();
   h.request_id = r.u64();
   h.payload_bytes = r.u64();
+  if (h.payload_bytes > kMaxFramePayload)
+    throw WireError("frame payload_bytes " + std::to_string(h.payload_bytes) +
+                    " exceeds cap " + std::to_string(kMaxFramePayload));
   return h;
 }
 
@@ -152,6 +155,16 @@ void encode_entries(WireWriter& w,
 
 std::vector<memo::MemoDb::Entry> decode_entries(WireReader& r) {
   const auto n = r.u64();
+  // Every wire-controlled count is checked against the bytes actually left
+  // in the frame BEFORE any reserve/resize: a tiny corrupt frame must throw
+  // WireError, never demand a multi-gigabyte allocation. The minimum entry
+  // encoding is kind(1) + key_len(4) + norm(8) + probe_len(4) +
+  // value_cf(4) + has_value(1) = 22 bytes.
+  constexpr u64 kMinEntryBytes = 22;
+  if (n > r.remaining() / kMinEntryBytes)
+    throw WireError("entry count " + std::to_string(n) +
+                    " cannot fit in " + std::to_string(r.remaining()) +
+                    " remaining bytes");
   std::vector<memo::MemoDb::Entry> out;
   out.reserve(n);
   for (u64 i = 0; i < n; ++i) {
@@ -161,10 +174,16 @@ std::vector<memo::MemoDb::Entry> decode_entries(WireReader& r) {
       throw WireError("entry kind out of range: " + std::to_string(kind));
     e.kind = memo::OpKind(kind);
     const auto kn = r.u32();
+    if (kn > r.remaining() / sizeof(float))
+      throw WireError("entry key length " + std::to_string(kn) +
+                      " exceeds remaining frame bytes");
     e.key.resize(kn);
     for (auto& k : e.key) k = r.f32();
     e.norm = r.f64();
     const auto pn = r.u32();
+    if (pn > r.remaining() / (2 * sizeof(float)))
+      throw WireError("entry probe length " + std::to_string(pn) +
+                      " exceeds remaining frame bytes");
     e.probe.resize(pn);
     for (auto& p : e.probe) {
       const float re = r.f32();
@@ -174,6 +193,9 @@ std::vector<memo::MemoDb::Entry> decode_entries(WireReader& r) {
     e.value_cf = r.u32();
     const auto has_value = r.u8();
     if (has_value != 0) {
+      if (e.value_cf > r.remaining() / (2 * sizeof(float)))
+        throw WireError("entry value length " + std::to_string(e.value_cf) +
+                        " exceeds remaining frame bytes");
       e.value.resize(e.value_cf);
       for (auto& v : e.value) {
         const float re = r.f32();

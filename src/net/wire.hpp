@@ -42,6 +42,11 @@ namespace mlr::net {
 inline constexpr u32 kWireMagic = 0x4D4C5257;  // "MLRW"
 inline constexpr std::uint16_t kWireVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 24;
+/// Hard cap on payload_bytes, enforced in decode_header: a header from a
+/// hostile or desynchronized peer must not be able to wrap
+/// kHeaderBytes + payload_bytes (out-of-bounds write into the frame buffer)
+/// or demand a multi-GiB allocation before any payload byte arrives.
+inline constexpr u64 kMaxFramePayload = u64(1) << 30;  // 1 GiB
 
 /// Request verbs (and the Error reply). The reply to a request carries the
 /// same type with the reply flag set.

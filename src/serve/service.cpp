@@ -53,7 +53,18 @@ ReconService::ReconService(ServiceConfig cfg)
         MLR_CHECK_MSG(colon != std::string::npos,
                       "tier_address must be host:port");
         host = cfg_.tier_address.substr(0, colon);
-        port = std::uint16_t(std::stoi(cfg_.tier_address.substr(colon + 1)));
+        const auto port_str = cfg_.tier_address.substr(colon + 1);
+        unsigned long parsed = 0;
+        const bool digits =
+            !port_str.empty() && port_str.size() <= 5 &&
+            std::all_of(port_str.begin(), port_str.end(), [](unsigned char c) {
+              return c >= '0' && c <= '9';
+            });
+        if (digits) parsed = std::stoul(port_str);
+        MLR_CHECK_MSG(digits && parsed >= 1 && parsed <= 65535,
+                      "tier_address port must be 1-65535, got \"" +
+                          cfg_.tier_address + "\"");
+        port = std::uint16_t(parsed);
       }
       transport =
           net::SocketTransport::connect_tcp(host, port, cfg_.shard_count);

@@ -118,6 +118,72 @@ TEST(Wire, FrameHeaderRoundTripAndValidation) {
   EXPECT_THROW(decode_header(vers), WireError);
 }
 
+TEST(Wire, HostilePayloadSizeIsRejectedAtHeaderDecode) {
+  // A peer-controlled payload_bytes near 2^64 would wrap
+  // kHeaderBytes + payload_bytes into a tiny buffer (out-of-bounds write in
+  // the frame readers); a merely huge one would bad_alloc. Both must die in
+  // decode_header as WireError, before any resize.
+  const auto header_with_payload_bytes = [](u64 payload_bytes) {
+    WireWriter w;
+    w.u32(kWireMagic);
+    w.u16(kWireVersion);
+    w.u8(std::uint8_t(FrameType::Get));
+    w.u8(0);
+    w.u64(/*request_id=*/1);
+    w.u64(payload_bytes);
+    return w.take();
+  };
+  EXPECT_THROW(decode_header(header_with_payload_bytes(kMaxFramePayload + 1)),
+               WireError);
+  EXPECT_THROW(
+      decode_header(header_with_payload_bytes(~u64{0} - kHeaderBytes + 1)),
+      WireError);
+  EXPECT_NO_THROW(decode_header(header_with_payload_bytes(kMaxFramePayload)));
+}
+
+TEST(Wire, CorruptEntryCountsThrowBeforeAllocating) {
+  // Wire-controlled counts (entry count, key/probe/value lengths) must be
+  // checked against the bytes actually left in the frame before any
+  // reserve/resize — a tiny corrupt frame throws WireError instead of
+  // demanding a multi-gigabyte allocation.
+  {
+    WireWriter w;
+    w.u64(~u64{0});  // entry count a 8-byte frame cannot possibly hold
+    WireReader r(w.data());
+    EXPECT_THROW(decode_entries(r), WireError);
+  }
+  {
+    WireWriter w;
+    w.u64(1);
+    w.u8(0);             // kind
+    w.u32(0xFFFFFFFFu);  // key length beyond the frame
+    WireReader r(w.data());
+    EXPECT_THROW(decode_entries(r), WireError);
+  }
+  {
+    WireWriter w;
+    w.u64(1);
+    w.u8(0);             // kind
+    w.u32(0);            // key length
+    w.f64(1.0);          // norm
+    w.u32(0xFFFFFFFFu);  // probe length beyond the frame
+    WireReader r(w.data());
+    EXPECT_THROW(decode_entries(r), WireError);
+  }
+  {
+    WireWriter w;
+    w.u64(1);
+    w.u8(0);             // kind
+    w.u32(0);            // key length
+    w.f64(1.0);          // norm
+    w.u32(0);            // probe length
+    w.u32(0xFFFFFFFFu);  // value_cf beyond the frame...
+    w.u8(1);             // ...with the value payload claimed present
+    WireReader r(w.data());
+    EXPECT_THROW(decode_entries(r), WireError);
+  }
+}
+
 TEST(Wire, EntriesRoundTripFullAndIndexOnly) {
   const auto ref = fixture_entries();
   for (const bool with_values : {true, false}) {

@@ -713,6 +713,20 @@ TEST(ReconService, SocketTransportMatchesInproc) {
   }
 }
 
+TEST(ReconService, MalformedTierAddressIsRejectedBeforeConnecting) {
+  // A bad host:port must fail the MLR_CHECK conventions (mlr::Error with
+  // the offending address), not leak a raw std::invalid_argument from stoi
+  // or silently truncate an out-of-range port through the uint16_t cast.
+  for (const char* addr :
+       {"no-port-separator", "host:", "host:abc", "host:0", "host:65536",
+        "host:99999999999"}) {
+    auto cfg = tiny_config(SchedulerPolicy::Fifo, /*slots=*/1);
+    cfg.transport = TierTransport::Socket;
+    cfg.tier_address = addr;
+    EXPECT_THROW(ReconService{cfg}, mlr::Error) << addr;
+  }
+}
+
 #endif  // MLR_HAS_NET
 
 // --- Workload generation -----------------------------------------------------
