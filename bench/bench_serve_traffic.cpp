@@ -102,6 +102,11 @@ int main(int argc, char** argv) {
   const double tau_dedup = args.get_double("--tau-dedup", 0.999);
   const TierTransport transport =
       parse_transport(args.get_str("--transport", "inproc"));
+  // --trace <path>: record the first (FIFO) replay with the obs trace
+  // recorder and write a Chrome-trace/Perfetto JSON there. Recording is
+  // enable-only and read-only, so the traced run stays in the output
+  // identity gate with the untraced ones.
+  const char* trace_path = args.get_str("--trace", nullptr);
 
 #ifndef MLR_HAS_NET
   if (transport != TierTransport::Inproc) {
@@ -141,9 +146,10 @@ int main(int argc, char** argv) {
   const auto traffic = gen.generate();
   const auto warm = gen.priming_set();
 
-  auto run_once = [&](SchedulerPolicy policy, int shard_count,
-                      TierTransport tr) {
+  auto run_once = [&](SchedulerPolicy policy, int shard_count, TierTransport tr,
+                      const char* trace = nullptr) {
     ServiceConfig sc;
+    if (trace != nullptr) sc.trace_path = trace;
     sc.n = n;
     sc.slots = slots;
     sc.gpus_per_job = gpus_per_job;
@@ -199,7 +205,11 @@ int main(int argc, char** argv) {
                                       SchedulerPolicy::FairShare};
   std::vector<PolicyResult> results;
   for (const auto policy : policies)
-    results.push_back(run_once(policy, shards, transport));
+    results.push_back(run_once(
+        policy, shards, transport,
+        policy == SchedulerPolicy::Fifo ? trace_path : nullptr));
+  if (trace_path != nullptr)
+    std::printf("[trace written to %s]\n\n", trace_path);
 
   std::printf("%-9s %5s %4s %5s | %24s | %24s | %5s %6s\n", "policy", "done",
               "rej", "ddl%", "queue wait p50/p90/p99 (s)",
@@ -372,6 +382,10 @@ int main(int argc, char** argv) {
     row.set("shared_hits", st.shared_hits);
     row.set("makespan_s", st.makespan);
   }
+  if (trace_path != nullptr) json.set("trace_path", trace_path);
+  // The obs registry accumulated across every replay above (all policies,
+  // shard counts and transports) — one deterministic instrument dump.
+  bench::append_obs(json, obs::metrics().snapshot());
   json.set("wall_s", wall.seconds());
   if (!bench::write_json(args.json_path(), json)) return 1;
   bench::footer(wall.seconds());

@@ -44,6 +44,7 @@
 #include "memo/memo_db.hpp"
 #include "memo/memoized_ops.hpp"
 #include "memo/stage_executor.hpp"
+#include "obs/trace.hpp"
 #include "sim/device.hpp"
 
 int main(int argc, char** argv) {
@@ -252,6 +253,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Disabled-path trace overhead: the obs contract is "a couple of relaxed
+  // atomic loads per MLR_TRACE_SPAN when recording is off". Measure it here
+  // so BENCH.md anchors the number the instrumented hot paths pay.
+  {
+    constexpr int kSpans = 1'000'000;
+    WallTimer ot;
+    for (int i = 0; i < kSpans; ++i) {
+      MLR_TRACE_SPAN("bench.noop", "bench");
+    }
+    const double ns_per_span = ot.seconds() * 1e9 / kSpans;
+    std::printf("\ndisabled-path trace overhead: %.2f ns per MLR_TRACE_SPAN "
+                "(%d spans, recording off)\n",
+                ns_per_span, kSpans);
+    json.set("trace_disabled_ns_per_span", ns_per_span);
+  }
+  // Engine + solver instrument dump (stage phase timings, memo outcomes).
+  bench::append_obs(json, obs::metrics().snapshot());
   json.set("outcome_mismatch", mismatch);
   if (!bench::write_json(args.json_path(), json)) return 1;
   return mismatch ? 1 : 0;

@@ -14,6 +14,7 @@
 
 #include "common/stats.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace mlr::bench {
 
@@ -180,6 +181,32 @@ class JsonObject {
   }
   std::vector<Field> fields_;
 };
+
+/// Append an obs::MetricsSnapshot to the bench JSON as three row arrays
+/// (obs_counters / obs_gauges / obs_histograms) — one shared shape for every
+/// bench so the perf trajectory can diff instrument values across PRs.
+/// Histogram rows carry the summary (count, sum, p50/p99), not the full
+/// bucket vector; the full dump lives in MetricsSnapshot::to_json().
+inline void append_obs(JsonObject& json, const obs::MetricsSnapshot& snap) {
+  for (const auto& [name, v] : snap.counters) {
+    auto& row = json.row("obs_counters");
+    row.set("name", name);
+    row.set("value", v);
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    auto& row = json.row("obs_gauges");
+    row.set("name", name);
+    row.set("value", v);
+  }
+  for (const auto& h : snap.histograms) {
+    auto& row = json.row("obs_histograms");
+    row.set("name", h.name);
+    row.set("count", h.count);
+    row.set("sum", h.sum);
+    row.set("p50", h.quantile(0.5));
+    row.set("p99", h.quantile(0.99));
+  }
+}
 
 /// Write `obj` to `path` (no-op when path is null); returns success.
 inline bool write_json(const char* path, const JsonObject& obj) {

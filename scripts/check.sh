@@ -6,32 +6,55 @@
 #     across tier transports — the loopback/socket smokes below),
 #   * bench_stage_scaling exits non-zero if barrier/overlap/pipelined modes
 #     resolve different memo outcomes, and emits the BENCH_*.json
-#     perf-trajectory point.
+#     perf-trajectory point,
+#   * a trace-enabled serve replay (--trace over the loopback transport)
+#     must produce a non-empty, parseable Chrome-trace JSON while staying
+#     in the bench's own output-identity gate (trace on/off bit-identity).
 # The TSan preset additionally re-runs the cross-stage determinism matrix
-# (now threads x overlap x depth x tail-lanes), the fused elementwise-kernel
-# suite (tiled reductions racing on the shared partial buffer is exactly
-# where a combine-order bug would hide), the serve shard matrix
-# (shards x policies x threads x pipeline_depth), the remote-tier loopback
-# matrix (same workload rehosted on the wire protocol) and the transport
-# fault-injection suite (reply-reader threads + the in-flight request table
-# are exactly where a completion race would hide) explicitly before the
-# smokes. Socket smokes skip gracefully where sockets are unavailable.
+# (now threads x overlap x depth x tail-lanes), the trace-on/off identity
+# matrix (recorder rings hammered from pool + drainer threads), the obs
+# unit suite, the fused elementwise-kernel suite (tiled reductions racing
+# on the shared partial buffer is exactly where a combine-order bug would
+# hide), the serve shard matrix (shards x policies x threads x
+# pipeline_depth), the remote-tier loopback matrix (same workload rehosted
+# on the wire protocol) and the transport fault-injection suite
+# (reply-reader threads + the in-flight request table are exactly where a
+# completion race would hide) explicitly before the smokes. Socket smokes
+# skip gracefully where sockets are unavailable.
 #   ./scripts/check.sh          release build + ctest + smokes
 #   ./scripts/check.sh tsan     ThreadSanitizer build + ctest + matrix +
 #                               smokes (slower)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Trace smoke: $1 = trace file written by a --trace run. Non-empty and (when
+# python3 exists) parseable JSON with a non-empty traceEvents array.
+check_trace() {
+  local trace="$1"
+  [[ -s "$trace" ]] || { echo "trace smoke: $trace empty or missing"; exit 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$trace" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    t = json.load(f)
+ev = t["traceEvents"]
+assert len(ev) > 0, "traceEvents empty"
+print(f"trace smoke: {sys.argv[1]} OK ({len(ev)} events)")
+EOF
+  fi
+}
+
 preset="${1:-}"
 if [[ "$preset" == "tsan" ]]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)"
   ctest --preset tsan -j "$(nproc)"
+  ./build-tsan/obs_test
   ./build-tsan/concurrency_test \
-    --gtest_filter='Concurrency.PipelinedCrossStageDeterminismMatrix:Concurrency.StageExecutorDeterministic*'
+    --gtest_filter='Concurrency.PipelinedCrossStageDeterminismMatrix:Concurrency.StageExecutorDeterministic*:Concurrency.TraceOnOffBitIdentityMatrix'
   ./build-tsan/ew_test --gtest_filter='Ew.*'
   ./build-tsan/serve_test \
-    --gtest_filter='ReconService.OutputsIdenticalAcrossPipelineDepths:ReconService.SharedTierShardMatrix:ReconService.LoopbackTransportMatrix'
+    --gtest_filter='ReconService.OutputsIdenticalAcrossPipelineDepths:ReconService.SharedTierShardMatrix:ReconService.LoopbackTransportMatrix:ReconService.TraceOnOffBitIdentity'
   if [[ -x ./build-tsan/net_test ]]; then
     ./build-tsan/net_test \
       --gtest_filter='RequestTable.*:TierClientFaults.*:TierServerFaults.*:SocketTransport.*'
@@ -39,6 +62,9 @@ if [[ "$preset" == "tsan" ]]; then
   ./build-tsan/bench_stage_scaling --n 12 --reps 2 --threads 2 \
     --tail-lanes 2 --json /tmp/BENCH_stage_scaling.tsan.json
   ./build-tsan/bench_serve_traffic --jobs 8 --n small
+  ./build-tsan/bench_serve_traffic --jobs 8 --n small --transport loopback \
+    --trace /tmp/mlr_trace.tsan.json
+  check_trace /tmp/mlr_trace.tsan.json
   ./build-tsan/bench_serve_traffic --jobs 8 --n small --transport socket
 else
   cmake -B build -S .
@@ -48,6 +74,10 @@ else
     --json /tmp/BENCH_stage_scaling.smoke.json
   ./build/bench_serve_traffic --jobs 8 --n small \
     --json /tmp/BENCH_serve_traffic.smoke.json
+  ./build/bench_serve_traffic --jobs 8 --n small --transport loopback \
+    --trace /tmp/mlr_trace.smoke.json \
+    --json /tmp/BENCH_serve_traffic.loopback.json
+  check_trace /tmp/mlr_trace.smoke.json
   ./build/bench_serve_traffic --jobs 8 --n small --transport socket \
     --json /tmp/BENCH_serve_traffic.socket.json
 fi

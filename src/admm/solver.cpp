@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace mlr::admm {
 
@@ -40,12 +41,26 @@ double Solver::ew_cost(const EwStats& delta) const {
 }
 
 void Solver::end_phase(SolveResult& r, Phase p, const EwStats& ew0,
-                       std::chrono::steady_clock::time_point w0) {
+                       std::chrono::steady_clock::time_point w0,
+                       sim::VTime t) {
   auto& prof = r.phases[std::size_t(p)];
   prof.ew += knl_.stats() - ew0;
-  prof.wall_s +=
+  const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - w0)
           .count();
+  prof.wall_s += wall_s;
+  if (obs::trace_enabled()) {
+    // Reuse the phase's already-measured wall window for the span (end "now"
+    // minus the measured duration) — no second clock pair.
+    auto& tr = obs::TraceRecorder::instance();
+    const u64 dur = u64(wall_s * 1e9);
+    const u64 t1 = tr.now_ns();
+    tr.complete(phase_name(p), "solver", t1 > dur ? t1 - dur : 0, dur, 0);
+    // The session's local virtual clock — the second clock domain as a
+    // counter track (service jobs start each session at virtual 0, so the
+    // track is a per-job sawtooth).
+    tr.counter("vclock.session", t);
+  }
 }
 
 sim::VTime Solver::stage_fu1d(const Array3D<cfloat>& in, Array3D<cfloat>& out,
@@ -284,7 +299,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
   t = observe("lambda", t);
   t = observe("g", t);
   double rho = cfg_.rho;
-  end_phase(result, Phase::Init, init_ew0, init_w0);
+  end_phase(result, Phase::Init, init_ew0, init_w0, t);
   if (obs_ != nullptr) obs_->phase_end(Phase::Init, t);
 
   // Encoder calibration: warmup iterations run un-memoized while collecting
@@ -329,7 +344,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     cfg_.rho = rho;  // keep step size consistent with current penalty
     t = run_lsp(u, dref, gfield, t, &st.loss, &st);
     st.lsp_s = t - lsp0;
-    end_phase(result, Phase::Lsp, lsp_ew0, lsp_w0);
+    end_phase(result, Phase::Lsp, lsp_ew0, lsp_w0, t);
     if (obs_ != nullptr) obs_->phase_end(Phase::Lsp, t);
 
     // --- RSP: ψ = shrink(∇u + λ/ρ, α/ρ) --------------------------------
@@ -346,7 +361,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     t += ew_cost(knl_.stats() - rsp_ew0);
     t = observe("psi", t);
     st.rsp_s = t - rsp0;
-    end_phase(result, Phase::Rsp, rsp_ew0, rsp_w0);
+    end_phase(result, Phase::Rsp, rsp_ew0, rsp_w0, t);
     if (obs_ != nullptr) obs_->phase_end(Phase::Rsp, t);
 
     // --- λ update ------------------------------------------------------
@@ -361,7 +376,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
         knl_.lambda_update(lambda, gu, psi, rho, cfg_.adaptive_rho);
     t += ew_cost(knl_.stats() - lam_ew0);
     st.lambda_s = t - lam0;
-    end_phase(result, Phase::LambdaUpdate, lam_ew0, lam_w0);
+    end_phase(result, Phase::LambdaUpdate, lam_ew0, lam_w0, t);
     if (obs_ != nullptr) obs_->phase_end(Phase::LambdaUpdate, t);
 
     // --- penalty update (residual balancing) ----------------------------
@@ -382,7 +397,7 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     st.loss += cfg_.alpha * knl_.tv_norm(gu);
     t += ew_cost(knl_.stats() - pen_ew0);
     st.penalty_s = t - pen0;
-    end_phase(result, Phase::PenaltyUpdate, pen_ew0, pen_w0);
+    end_phase(result, Phase::PenaltyUpdate, pen_ew0, pen_w0, t);
     if (obs_ != nullptr) obs_->phase_end(Phase::PenaltyUpdate, t);
 
     st.t_end = t;

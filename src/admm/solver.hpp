@@ -161,9 +161,10 @@ class Solver {
   // delta is deterministic, so the charge is too.
   double ew_cost(const EwStats& delta) const;
   // Fold the kernel work since `ew0` and the wall clock since `w0` into the
-  // phase profile of `r`.
+  // phase profile of `r`; emits the phase's trace span and a
+  // "vclock.session" counter sample at virtual time `t` when recording.
   void end_phase(SolveResult& r, Phase p, const EwStats& ew0,
-                 std::chrono::steady_clock::time_point w0);
+                 std::chrono::steady_clock::time_point w0, sim::VTime t);
 
   sim::VTime observe(const std::string& var, sim::VTime t) {
     return obs_ != nullptr ? obs_->on_access(var, t) : t;

@@ -1,8 +1,11 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+
+#include "common/thread_id.hpp"
 
 namespace mlr {
 
@@ -18,6 +21,12 @@ const char* level_name(LogLevel l) {
     default: return "?";
   }
 }
+// Seconds since the first log line of the process (steady clock), so lines
+// can be lined up against a trace recorded in the same run.
+std::chrono::steady_clock::time_point log_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
@@ -26,8 +35,15 @@ LogLevel log_level() { return g_level.load(); }
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
+  const double t =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    log_epoch())
+          .count();
+  // thread_index() matches the tid tracks in the trace JSON, so a log tag
+  // [tN] and a Perfetto thread row name the same thread.
   std::lock_guard lk(g_io_mu);
-  std::fprintf(stderr, "[mlr %s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "[mlr %10.6f t%02u %s] %s\n", t, thread_index(),
+               level_name(level), msg.c_str());
 }
 }  // namespace detail
 

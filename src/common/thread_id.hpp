@@ -1,0 +1,27 @@
+// Small stable per-thread index, assigned on first use. Shared by the
+// logger (line tags) and the trace recorder (Perfetto tid) so a log line
+// and a trace track with the same index are the same OS thread.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.hpp"
+
+namespace mlr {
+
+namespace detail {
+inline std::atomic<u32>& thread_index_counter() {
+  static std::atomic<u32> c{0};
+  return c;
+}
+}  // namespace detail
+
+/// Index 0 is whichever thread asks first (normally main); pool workers
+/// pick up 1..N in creation order. Never reused within a process.
+inline u32 thread_index() {
+  thread_local const u32 idx =
+      detail::thread_index_counter().fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+}  // namespace mlr

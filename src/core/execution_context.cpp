@@ -1,6 +1,7 @@
 #include "core/execution_context.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace mlr {
 
@@ -8,6 +9,7 @@ ExecutionContext::ExecutionContext(const lamino::Operators& ops,
                                    ExecutionOptions opt)
     : opt_(opt), net_(opt.link), memnode_(opt.memory_node) {
   MLR_CHECK(opt_.gpus >= 1);
+  if (opt_.trace) obs::TraceRecorder::instance().enable();
   if (opt_.memo.enable) {
     db_ = std::make_unique<memo::MemoDb>(opt_.db, &net_, &memnode_);
     if (opt_.db_seed != nullptr)

@@ -67,6 +67,12 @@ struct ExecutionOptions {
   /// Borrow an existing worker pool instead of owning one (all job sessions
   /// of a service share the service pool). Overrides `threads` when set.
   ThreadPool* shared_pool = nullptr;
+  /// Enable the process-global trace recorder (obs/trace.hpp) for this run.
+  /// Enable-only — a context never turns recording off behind another
+  /// context's back; the caller drains via obs::TraceRecorder::write_json.
+  /// Tracing never perturbs outputs, records, fingerprints or virtual
+  /// times.
+  bool trace = false;
 };
 
 class ExecutionContext {

@@ -5,9 +5,54 @@
 
 #include "common/array.hpp"
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "encoder/layers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mlr::memo {
+
+namespace {
+
+/// Per-phase wall-clock histograms and outcome counters. Cached references:
+/// after the first stage, each event is one relaxed atomic op.
+struct StageMetrics {
+  obs::Histogram& sync_wait_s;
+  obs::Histogram& encode_probe_s;
+  obs::Histogram& score_s;
+  obs::Histogram& miss_fft_s;
+  obs::Histogram& tail_drain_s;
+  obs::Counter& stages;
+  obs::Counter& chunks;
+  obs::Counter& cache_hit;
+  obs::Counter& db_hit;
+  obs::Counter& db_hit_shared;
+  obs::Counter& miss;
+  obs::Counter& computed;
+  obs::Counter& tail_items;
+  static StageMetrics& get() {
+    static StageMetrics m{
+        obs::metrics().histogram("stage.sync_wait_s", obs::latency_edges_s()),
+        obs::metrics().histogram("stage.encode_probe_s",
+                                 obs::latency_edges_s()),
+        obs::metrics().histogram("stage.score_s", obs::latency_edges_s()),
+        obs::metrics().histogram("stage.miss_fft_s", obs::latency_edges_s()),
+        obs::metrics().histogram("stage.tail_drain_s",
+                                 obs::latency_edges_s()),
+        obs::metrics().counter("stage.stages"),
+        obs::metrics().counter("stage.chunks"),
+        obs::metrics().counter("memo.cache_hit"),
+        obs::metrics().counter("memo.db_hit"),
+        obs::metrics().counter("memo.db_hit_shared"),
+        obs::metrics().counter("memo.miss"),
+        obs::metrics().counter("memo.computed"),
+        obs::metrics().counter("stage.tail_items"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 StageExecutor::StageExecutor(MemoizedLamino& ml) : wrappers_{&ml} {}
 
@@ -29,6 +74,10 @@ StageExecutor::~StageExecutor() {
 // --- Cross-stage data tails --------------------------------------------------
 
 void StageExecutor::run_tail_items(StageTail& tail) {
+  MLR_TRACE_SPAN("stage.tail_drain", "engine", u64(tail.items.size()));
+  auto& sm = StageMetrics::get();
+  sm.tail_items.add(tail.items.size());
+  const WallTimer wt;
   MemoizedLamino& ml = *tail.ml;
   for (auto& it : tail.items) {
     // Cache refill first (it copies from the item), then the DB store moves
@@ -43,6 +92,7 @@ void StageExecutor::run_tail_items(StageTail& tail) {
   }
   tail.items.clear();
   tail.items.shrink_to_fit();
+  sm.tail_drain_s.observe(wt.seconds());
 }
 
 std::size_t StageExecutor::lane_for(const MemoizedLamino& ml,
@@ -292,11 +342,19 @@ void StageExecutor::run_bypass(MemoizedLamino& ml, OpKind kind,
   // Fast path: memoization disabled or bypassed (warmup) — the Fig 1
   // pipeline (H2D / kernel / D2H with copy-compute overlap). Encoder sample
   // collection already happened in run_stage's global-chunk-order pass.
+  MLR_TRACE_SPAN(op_kind_name(kind), "engine", u64(chunks.size()));
+  auto& sm = StageMetrics::get();
+  sm.stages.add();
+  sm.chunks.add(chunks.size());
+  sm.computed.add(chunks.size());
   // Parallel phase: the real FFT numerics of every chunk at once.
   std::vector<double> flops(chunks.size(), 0.0);
-  parallel_for(pool(), 0, i64(chunks.size()), [&](i64 i) {
-    ml.compute_chunk(kind, chunks[size_t(i)], &flops[size_t(i)]);
-  });
+  {
+    MLR_TRACE_SPAN("stage.bypass_compute", "engine");
+    parallel_for(pool(), 0, i64(chunks.size()), [&](i64 i) {
+      ml.compute_chunk(kind, chunks[size_t(i)], &flops[size_t(i)]);
+    });
+  }
   // Serial phase: deterministic virtual-clock scheduling in chunk order.
   sim::VTime stage_done = ready;
   for (std::size_t i = 0; i < chunks.size(); ++i) {
@@ -328,12 +386,21 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
                                  sim::VTime ready,
                                  std::span<ChunkRecord> records,
                                  sim::VTime* done) {
+  MLR_TRACE_SPAN(op_kind_name(kind), "engine", u64(chunks.size()));
+  auto& sm = StageMetrics::get();
+  sm.stages.add();
+  sm.chunks.add(chunks.size());
   // Cross-stage handoff barrier: previous stages' tails that this stage's
   // probes/queries must observe have to land first. An adjacent stage of a
   // different kind (the ADMM sequence always alternates kinds) sails
   // through — its encode/probe/score phases are what the previous stage's
   // tail hides under.
-  sync_tails(ml, kind);
+  {
+    MLR_TRACE_SPAN("stage.sync_tails", "engine");
+    const WallTimer wt;
+    sync_tails(ml, kind);
+    sm.sync_wait_s.observe(wt.seconds());
+  }
   const std::size_t n = chunks.size();
   const double encode_s =
       ml.registry_->encoder().encode_flops() / ml.cfg_.host_flops;
@@ -347,25 +414,30 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
   // probe the thread-safe local cache; a hit copies its stored value
   // straight into the chunk output. No inserts happen concurrently, so the
   // lookup results are independent of evaluation order.
-  parallel_for(pool(), 0, i64(n), [&](i64 ii) {
-    const auto i = size_t(ii);
-    auto& c = chunks[i];
-    auto& rec = records[i];
-    rec.kind = kind;
-    rec.location = c.spec.index;
-    keys[i] = ml.encode_chunk(kind, c.spec, c.in);
-    norms[i] = l2_norm<cfloat>(c.in);
-    probes[i] = ml.pooled_probe(kind, c.spec, c.in);
-    if (ml.cache_ != nullptr) {
-      auto hit = ml.cache_->lookup(kind, c.spec.index, keys[i], ml.cfg_.tau,
-                                   norms[i], probes[i]);
-      if (hit.has_value()) {
-        MLR_CHECK(hit->size() == c.out.size());
-        std::copy(hit->begin(), hit->end(), c.out.begin());
-        state[i] = 1;
+  {
+    MLR_TRACE_SPAN("stage.encode_probe", "engine", u64(n));
+    const WallTimer wt;
+    parallel_for(pool(), 0, i64(n), [&](i64 ii) {
+      const auto i = size_t(ii);
+      auto& c = chunks[i];
+      auto& rec = records[i];
+      rec.kind = kind;
+      rec.location = c.spec.index;
+      keys[i] = ml.encode_chunk(kind, c.spec, c.in);
+      norms[i] = l2_norm<cfloat>(c.in);
+      probes[i] = ml.pooled_probe(kind, c.spec, c.in);
+      if (ml.cache_ != nullptr) {
+        auto hit = ml.cache_->lookup(kind, c.spec.index, keys[i], ml.cfg_.tau,
+                                     norms[i], probes[i]);
+        if (hit.has_value()) {
+          MLR_CHECK(hit->size() == c.out.size());
+          std::copy(hit->begin(), hit->end(), c.out.begin());
+          state[i] = 1;
+        }
       }
-    }
-  });
+    });
+    sm.encode_probe_s.observe(wt.seconds());
+  }
 
   // Serial accounting pass: the host encodes keys and copies reused values
   // one after another (the paper's single host thread of control), so the
@@ -385,6 +457,7 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
                    ml.cfg_.work_scale / ml.cfg_.host_mem_bw;
       host_t += rec.copy_s;
       ++ml.counters_.cache_hit;
+      sm.cache_hit.add();
       continue;
     }
     reqs.push_back(
@@ -429,7 +502,12 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
       for (std::size_t s = 0; s < cuts; ++s) {
         if (s + 1 < cuts)
           tickets[s + 1] = ml.db_->submit_slice(slice_reqs(s + 1), &pool());
-        const auto scored = ml.db_->collect(tickets[s]);
+        const WallTimer score_wt;
+        const auto scored = [&] {
+          MLR_TRACE_SPAN("stage.score", "engine", u64(s));
+          return ml.db_->collect(tickets[s]);
+        }();
+        sm.score_s.observe(score_wt.seconds());
         const std::size_t off = s * per;
         // Misses first: a remote-seeded DB issued its slice's GET_BATCH
         // fetches at the end of scoring, so running every miss FFT before
@@ -442,6 +520,14 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
           if (!scored[q].hit) order.push_back(q);
         for (std::size_t q = 0; q < scored.size(); ++q)
           if (scored[q].hit) order.push_back(q);
+        // Covers the slice's miss FFTs (ordered first) plus its hit
+        // materialization — the local work the GET_BATCH round trip hides
+        // under, so this is the span net spans should overlap in a trace.
+        std::size_t slice_misses = 0;
+        for (std::size_t q = 0; q < scored.size(); ++q)
+          if (!scored[q].hit) ++slice_misses;
+        MLR_TRACE_SPAN("stage.miss_fft", "engine", u64(slice_misses));
+        const WallTimer miss_wt;
         parallel_for(pool(), 0, i64(order.size()), [&](i64 oo) {
           const std::size_t q = order[std::size_t(oo)];
           const std::size_t r = off + q;
@@ -455,6 +541,7 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
             ml.compute_chunk(kind, c, &flops[req_chunk[r]]);
           }
         });
+        sm.miss_fft_s.observe(miss_wt.seconds());
       }
       replies = ml.db_->finalize(host_t);
     } catch (...) {
@@ -465,10 +552,16 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
     // Barriered path (overlap_slices ≤ 1): ONE coalesced batch query for
     // everything at once — scored serially, the legacy behaviour — with all
     // miss FFTs afterwards.
-    replies = ml.db_->query_batch(reqs, host_t);
+    {
+      const WallTimer score_wt;
+      MLR_TRACE_SPAN("stage.score", "engine", u64(reqs.size()));
+      replies = ml.db_->query_batch(reqs, host_t);
+      sm.score_s.observe(score_wt.seconds());
+    }
     // Copy retrieved values into their chunk outputs in parallel
     // (materialize first: a remote-seeded hit carries only its value
     // length until its GET_BATCH reply is harvested).
+    MLR_TRACE_SPAN("stage.hit_copy", "engine");
     parallel_for(pool(), 0, i64(replies.size()), [&](i64 rr) {
       const auto r = size_t(rr);
       if (!replies[r].hit) return;
@@ -509,8 +602,11 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
         }
       }
       ++ml.counters_.db_hit;
-      if (ml.db_->is_shared_entry(replies[r].match_id))
+      sm.db_hit.add();
+      if (ml.db_->is_shared_entry(replies[r].match_id)) {
         ++ml.counters_.db_hit_shared;
+        sm.db_hit_shared.add();
+      }
       state[i] = 2;
       stage_done = std::max(stage_done, replies[r].value_ready + rec.copy_s);
     } else {
@@ -525,11 +621,14 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
   std::vector<std::size_t> misses;
   for (std::size_t i = 0; i < n; ++i)
     if (state[i] == 3) misses.push_back(i);
-  if (!sliced) {
+  if (!sliced && !misses.empty()) {
+    MLR_TRACE_SPAN("stage.miss_fft", "engine", u64(misses.size()));
+    const WallTimer wt;
     parallel_for(pool(), 0, i64(misses.size()), [&](i64 mm) {
       const std::size_t i = misses[size_t(mm)];
       ml.compute_chunk(kind, chunks[i], &flops[i]);
     });
+    sm.miss_fft_s.observe(wt.seconds());
   }
   // …and is scheduled on the simulated GPU in chunk order. The insertion's
   // virtual charge (link + node + DRAM accounting) stays right here — the
@@ -567,6 +666,8 @@ void StageExecutor::run_memoized(MemoizedLamino& ml, OpKind kind,
                                  std::move(probes[i]));
     }
     ++ml.counters_.miss;
+    sm.miss.add();
+    sm.computed.add();
     stage_done = std::max(stage_done, c_done);
   }
   *done = stage_done;

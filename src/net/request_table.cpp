@@ -2,7 +2,30 @@
 
 #include <chrono>
 
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+
 namespace mlr::net {
+
+namespace {
+
+struct TableMetrics {
+  obs::Counter& requests;
+  obs::Counter& timeouts;
+  obs::Gauge& in_flight_peak;
+  obs::Histogram& wait_s;
+  static TableMetrics& get() {
+    static TableMetrics m{
+        obs::metrics().counter("net.table.requests"),
+        obs::metrics().counter("net.table.timeouts"),
+        obs::metrics().gauge("net.table.in_flight_peak"),
+        obs::metrics().histogram("net.table.wait_s", obs::latency_edges_s()),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 u64 RequestTable::next_id() {
   std::lock_guard lk(mu_);
@@ -13,6 +36,9 @@ void RequestTable::expect(u64 id) {
   std::lock_guard lk(mu_);
   if (broken_) throw NetError(sticky_);
   slots_.emplace(id, Slot{});
+  auto& tm = TableMetrics::get();
+  tm.requests.add();
+  tm.in_flight_peak.raise(double(slots_.size()));
 }
 
 void RequestTable::complete(u64 id, std::vector<std::byte> payload) {
@@ -61,6 +87,7 @@ void RequestTable::fail_all(const std::string& error) {
 }
 
 std::vector<std::byte> RequestTable::wait(u64 id, double timeout_s) {
+  const WallTimer wt;
   std::unique_lock lk(mu_);
   auto it = slots_.find(id);
   if (it == slots_.end())
@@ -76,6 +103,7 @@ std::vector<std::byte> RequestTable::wait(u64 id, double timeout_s) {
         !it->second.done) {
       // The reply may still arrive after we stop listening — it would then
       // be unsolicited — so a timeout poisons the whole transport.
+      TableMetrics::get().timeouts.add();
       if (!broken_) {
         broken_ = true;
         sticky_ = "request " + std::to_string(id) + " timed out after " +
@@ -92,6 +120,7 @@ std::vector<std::byte> RequestTable::wait(u64 id, double timeout_s) {
   }
   Slot slot = std::move(it->second);
   slots_.erase(it);
+  TableMetrics::get().wait_s.observe(wt.seconds());
   if (slot.failed) throw NetError(slot.error);
   return std::move(slot.payload);
 }

@@ -5,8 +5,59 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mlr::net {
+
+namespace {
+
+/// Per-verb client counters + latency: frames and payload bytes out/in, one
+/// wall-clock latency histogram per verb.
+struct VerbMetrics {
+  obs::Counter& frames;
+  obs::Counter& bytes_out;
+  obs::Counter& bytes_in;
+  obs::Histogram& latency_s;
+};
+
+VerbMetrics make_verb_metrics(const char* side, FrameType t) {
+  const std::string base =
+      std::string("net.") + side + "." + frame_type_name(t);
+  auto& m = obs::metrics();
+  return {m.counter(base + ".frames"), m.counter(base + ".bytes_out"),
+          m.counter(base + ".bytes_in"),
+          m.histogram(base + ".latency_s", obs::latency_edges_s())};
+}
+
+VerbMetrics& client_verb_metrics(FrameType t) {
+  static VerbMetrics m[] = {
+      make_verb_metrics("client", FrameType::Get),
+      make_verb_metrics("client", FrameType::GetBatch),
+      make_verb_metrics("client", FrameType::Put),
+      make_verb_metrics("client", FrameType::SnapshotExport),
+      make_verb_metrics("client", FrameType::SnapshotImport),
+      make_verb_metrics("client", FrameType::Error),
+  };
+  const int idx = std::clamp(int(t) - 1, 0, 5);
+  return m[idx];
+}
+
+/// Trace span / async-pair names, one static literal per verb.
+const char* verb_span_name(FrameType t) {
+  switch (t) {
+    case FrameType::Get: return "net.get";
+    case FrameType::GetBatch: return "net.get_batch";
+    case FrameType::Put: return "net.put";
+    case FrameType::SnapshotExport: return "net.snapshot_export";
+    case FrameType::SnapshotImport: return "net.snapshot_import";
+    case FrameType::Error: return "net.error";
+  }
+  return "net.?";
+}
+
+}  // namespace
 
 TierClient::TierClient(std::unique_ptr<Transport> transport,
                        sim::FabricSpec fabric, int shard_count,
@@ -28,8 +79,16 @@ std::vector<std::byte> TierClient::call(int channel, FrameType type,
   auto& table = transport_->table();
   const u64 id = table.next_id();
   table.expect(id);
+  auto& vm = client_verb_metrics(type);
+  vm.frames.add();
+  vm.bytes_out.add(kHeaderBytes + payload.size());
+  const WallTimer wt;
+  MLR_TRACE_SPAN(verb_span_name(type), "net", id);
   transport_->send(channel, type, id, payload);
-  return table.wait(id, timeout_s_);
+  auto reply = table.wait(id, timeout_s_);
+  vm.latency_s.observe(wt.seconds());
+  vm.bytes_in.add(kHeaderBytes + reply.size());
+  return reply;
 }
 
 void TierClient::adopt_stats(WireReader& r) {
@@ -51,13 +110,22 @@ u64 TierClient::begin_seed() {
   table.expect(id);
   WireWriter w;
   w.u8(0);  // index-only: values arrive lazily via GET_BATCH
+  auto& vm = client_verb_metrics(FrameType::SnapshotExport);
+  vm.frames.add();
+  vm.bytes_out.add(kHeaderBytes + w.size());
+  obs::trace_async_begin("net.snapshot_export", "net", id);
   transport_->send(0, FrameType::SnapshotExport, id, w.data());
   return id;
 }
 
 serve::TierSeed TierClient::end_seed(
     u64 ticket, std::vector<memo::MemoDb::Entry>& storage) {
+  const WallTimer wt;
   const auto payload = transport_->table().wait(ticket, timeout_s_);
+  obs::trace_async_end("net.snapshot_export", "net", ticket);
+  auto& vm = client_verb_metrics(FrameType::SnapshotExport);
+  vm.latency_s.observe(wt.seconds());
+  vm.bytes_in.add(kHeaderBytes + payload.size());
   WireReader r(payload);
   adopt_stats(r);
   storage = decode_entries(r);
@@ -136,6 +204,13 @@ void TierClient::flush() {
     }
     batch_pos_[id] = std::move(q);
     q.clear();
+    auto& vm = client_verb_metrics(FrameType::GetBatch);
+    vm.frames.add();
+    vm.bytes_out.add(kHeaderBytes + w.size());
+    // Async pair: the begin here and the end at the harvesting fetch() put
+    // the in-flight round trip on the trace, overlapping whatever local
+    // compute runs meanwhile (stage.miss_fft on a healthy overlap).
+    obs::trace_async_begin("net.get_batch", "net", id);
     transport_->send(shard, FrameType::GetBatch, id, w.data());
   }
 }
@@ -185,11 +260,16 @@ std::vector<cfloat> TierClient::fetch(u64 pos) {
       lk.unlock();
       std::vector<std::byte> payload;
       std::string err;
+      const WallTimer wt;
       try {
         payload = transport_->table().wait(batch, timeout_s_);
       } catch (const NetError& e) {
         err = e.what();
       }
+      obs::trace_async_end("net.get_batch", "net", batch);
+      auto& vm = client_verb_metrics(FrameType::GetBatch);
+      vm.latency_s.observe(wt.seconds());
+      vm.bytes_in.add(kHeaderBytes + payload.size());
       lk.lock();
       if (err.empty()) {
         try {

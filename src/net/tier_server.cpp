@@ -1,19 +1,53 @@
 #include "net/tier_server.hpp"
 
+#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "net/request_table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mlr::net {
 
 namespace {
+
+/// Per-verb server-side counters + handle latency.
+struct ServerVerbMetrics {
+  obs::Counter& frames;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Histogram& handle_s;
+};
+
+ServerVerbMetrics make_server_verb(FrameType t) {
+  const std::string base = std::string("net.server.") + frame_type_name(t);
+  auto& m = obs::metrics();
+  return {m.counter(base + ".frames"), m.counter(base + ".bytes_in"),
+          m.counter(base + ".bytes_out"),
+          m.histogram(base + ".handle_s", obs::latency_edges_s())};
+}
+
+ServerVerbMetrics& server_verb_metrics(FrameType t) {
+  static ServerVerbMetrics m[] = {
+      make_server_verb(FrameType::Get),
+      make_server_verb(FrameType::GetBatch),
+      make_server_verb(FrameType::Put),
+      make_server_verb(FrameType::SnapshotExport),
+      make_server_verb(FrameType::SnapshotImport),
+      make_server_verb(FrameType::Error),
+  };
+  const int idx = std::clamp(int(t) - 1, 0, 5);
+  return m[idx];
+}
 
 /// Stats block appended to PUT / SNAPSHOT_EXPORT / SNAPSHOT_IMPORT replies:
 /// the tier occupancy a remote client mirrors for its client-side fabric
@@ -138,31 +172,50 @@ std::vector<std::byte> TierServer::handle_frame(
   if (frame.size() != kHeaderBytes + h.payload_bytes)
     throw WireError("frame length disagrees with header payload_bytes");
   const auto payload = frame.subspan(kHeaderBytes);
+  auto& vm = server_verb_metrics(h.type);
+  vm.frames.add();
+  vm.bytes_in.add(frame.size());
+  const WallTimer wt;
+  MLR_TRACE_SPAN("net.serve", "net", h.request_id);
   try {
     const auto reply = handle(h.type, payload);
-    return encode_frame(h.type, kFlagReply, h.request_id, reply);
+    auto out = encode_frame(h.type, kFlagReply, h.request_id, reply);
+    vm.handle_s.observe(wt.seconds());
+    vm.bytes_out.add(out.size());
+    return out;
   } catch (const std::exception& e) {
     WireWriter w;
     encode_error(w, {/*code=*/2, e.what()});
-    return encode_frame(FrameType::Error, kFlagReply, h.request_id, w.data());
+    auto out =
+        encode_frame(FrameType::Error, kFlagReply, h.request_id, w.data());
+    vm.handle_s.observe(wt.seconds());
+    vm.bytes_out.add(out.size());
+    server_verb_metrics(FrameType::Error).frames.add();
+    return out;
   }
 }
 
-std::uint16_t TierServer::listen_and_serve() {
+std::uint16_t TierServer::listen_and_serve(const std::string& host,
+                                           std::uint16_t port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw NetError("socket() failed");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw NetError("listen address is not a valid IPv4 literal: " + host);
+  }
+  addr.sin_port = htons(port);  // 0 = ephemeral
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
           0 ||
       ::listen(listen_fd_, 16) != 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
-    throw NetError("bind/listen on 127.0.0.1 failed");
+    throw NetError("bind/listen on " + host + ":" + std::to_string(port) +
+                   " failed");
   }
   socklen_t len = sizeof addr;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);

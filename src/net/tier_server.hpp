@@ -59,9 +59,13 @@ class TierServer {
   /// the request failed).
   std::vector<std::byte> handle_frame(std::span<const std::byte> frame);
 
-  /// Start serving over TCP on 127.0.0.1; returns the bound (ephemeral)
-  /// port. Throws NetError when sockets are unavailable.
-  std::uint16_t listen_and_serve();
+  /// Start serving over TCP; returns the bound port. Defaults bind the
+  /// loopback interface on an ephemeral port (the in-process test/bench
+  /// setup); the standalone binary (examples/tier_server_main.cpp) passes a
+  /// real host:port. `host` must be an IPv4 literal. Throws NetError when
+  /// sockets are unavailable or the address does not bind.
+  std::uint16_t listen_and_serve(const std::string& host = "127.0.0.1",
+                                 std::uint16_t port = 0);
   void stop();
 
   [[nodiscard]] const serve::SharedTier& tier() const { return tier_; }

@@ -1,0 +1,275 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace mlr::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    // Metric names are plain identifiers; escape just enough to keep the
+    // output valid JSON if one ever isn't.
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.empty()) throw std::invalid_argument("histogram needs edges");
+  for (std::size_t i = 1; i < edges_.size(); ++i)
+    if (!(edges_[i - 1] < edges_[i]))
+      throw std::invalid_argument("histogram edges must strictly increase");
+  counts_ = std::make_unique<std::atomic<u64>[]>(edges_.size() + 1);
+  for (std::size_t i = 0; i <= edges_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  const auto idx = std::size_t(it - edges_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<u64> Histogram::bucket_counts() const {
+  std::vector<u64> out(edges_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= edges_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_edges(double lo, double hi, int n) {
+  if (!(lo > 0.0) || !(hi > lo) || n < 2)
+    throw std::invalid_argument("exponential_edges needs 0 < lo < hi, n >= 2");
+  std::vector<double> edges(static_cast<std::size_t>(n));
+  const double step = std::log(hi / lo) / double(n - 1);
+  for (int i = 0; i < n; ++i) edges[std::size_t(i)] = lo * std::exp(step * i);
+  edges.back() = hi;  // pin the top edge exactly
+  return edges;
+}
+
+const std::vector<double>& latency_edges_s() {
+  static const std::vector<double> e =
+      Histogram::exponential_edges(1e-6, 10.0, 29);
+  return e;
+}
+
+const std::vector<double>& vtime_edges_s() {
+  static const std::vector<double> e =
+      Histogram::exponential_edges(1e-2, 1e6, 33);
+  return e;
+}
+
+// --- Snapshot ----------------------------------------------------------------
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * double(count);
+  u64 seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const u64 c = counts[i];
+    if (c == 0) continue;
+    if (double(seen + c) >= target) {
+      const double lo = i == 0 ? edges.front() : edges[i - 1];
+      const double hi = i < edges.size() ? edges[i] : edges.back();
+      const double frac =
+          c ? std::clamp((target - double(seen)) / double(c), 0.0, 1.0) : 0.0;
+      return lo + (hi - lo) * frac;
+    }
+    seen += c;
+  }
+  return edges.back();
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  const auto merge_pairs = [](auto& mine, const auto& theirs, auto combine) {
+    for (const auto& [name, v] : theirs) {
+      const auto it = std::lower_bound(
+          mine.begin(), mine.end(), name,
+          [](const auto& p, const std::string& n) { return p.first < n; });
+      if (it != mine.end() && it->first == name)
+        it->second = combine(it->second, v);
+      else
+        mine.insert(it, {name, v});
+    }
+  };
+  merge_pairs(counters, other.counters,
+              [](u64 a, u64 b) { return a + b; });
+  merge_pairs(gauges, other.gauges,
+              [](double a, double b) { return std::max(a, b); });
+  for (const auto& h : other.histograms) {
+    const auto it = std::lower_bound(
+        histograms.begin(), histograms.end(), h.name,
+        [](const HistogramSnapshot& a, const std::string& n) {
+          return a.name < n;
+        });
+    if (it != histograms.end() && it->name == h.name) {
+      if (it->edges != h.edges)
+        throw std::invalid_argument("histogram edge mismatch merging " +
+                                    h.name);
+      for (std::size_t i = 0; i < it->counts.size(); ++i)
+        it->counts[i] += h.counts[i];
+      it->count += h.count;
+      it->sum += h.sum;
+    } else {
+      histograms.insert(it, h);
+    }
+  }
+}
+
+u64 MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [n, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, n);
+    out += ':';
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [n, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, n);
+    out += ':';
+    append_double(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, h.name);
+    out += ":{\"count\":" + std::to_string(h.count) + ",\"sum\":";
+    append_double(out, h.sum);
+    out += ",\"edges\":[";
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      if (i) out += ',';
+      append_double(out, h.edges[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.counts[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               const std::vector<double>& edges) {
+  std::lock_guard lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(edges))
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard lk(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [n, c] : counters_) snap.counters.emplace_back(n, c->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [n, g] : gauges_) snap.gauges.emplace_back(n, g->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [n, h] : histograms_) {
+      HistogramSnapshot hs;
+      hs.name = n;
+      hs.edges = h->edges();
+      hs.counts = h->bucket_counts();
+      hs.count = h->count();
+      hs.sum = h->sum();
+      snap.histograms.push_back(std::move(hs));
+    }
+  }
+  u64 events = 0;
+  for (const auto& [n, v] : snap.counters) events += v;
+  MLR_LOG(Debug) << "obs snapshot: " << snap.counters.size() << " counters ("
+                 << events << " events), " << snap.gauges.size()
+                 << " gauges, " << snap.histograms.size() << " histograms";
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& [n, c] : counters_) c->reset();
+  for (auto& [n, g] : gauges_) g->reset();
+  for (auto& [n, h] : histograms_) h->reset();
+}
+
+Registry& metrics() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+}  // namespace mlr::obs

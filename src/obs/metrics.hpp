@@ -1,0 +1,169 @@
+// obs/metrics — deterministic process-wide metrics registry.
+//
+// Three instrument kinds, all lock-free on the update path:
+//
+//   Counter    monotonically increasing u64 (relaxed fetch_add)
+//   Gauge      last-write / monotone-max double (CAS)
+//   Histogram  fixed-bucket distribution with *deterministic* bucket edges
+//              (the edge vector is part of the instrument's identity; a
+//              re-registration with different edges is a contract error)
+//
+// Instruments are registered by name in a Registry and live for the life of
+// the registry: lookup returns a stable reference, reset() zeroes values
+// but never invalidates references, so hot paths can cache
+//
+//   static auto& c = obs::metrics().counter("memo.cache_hit");
+//
+// once and pay one relaxed atomic op per event afterwards.
+//
+// snapshot() produces a MetricsSnapshot: plain sorted-by-name data that can
+// be merged across registries/processes (counters add, gauges take max,
+// histograms add bucket-wise — edges must match) and dumped as JSON. Merge
+// is deterministic: the result depends only on the multiset of inputs, not
+// the merge order. Each snapshot also routes a one-line summary through
+// MLR_LOG(Debug) so `--verbose --verbose` surfaces the registry without any
+// extra plumbing.
+//
+// Determinism contract: metrics never feed back into computation — enabling
+// or reading them cannot perturb outputs, records, cache fingerprints, or
+// virtual times. Histogram `sum` is a CAS-accumulated double, so its last
+// bits may vary with thread interleaving; bucket counts and `count` are
+// exact integers.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlr::obs {
+
+class Counter {
+ public:
+  void add(u64 n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] u64 value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Monotone raise: keeps the max of all observed values since reset.
+  void raise(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class Histogram {
+ public:
+  /// `edges` must be strictly increasing; bucket i counts values in
+  /// (edges[i-1], edges[i]], bucket edges.size() is the overflow bucket.
+  explicit Histogram(std::vector<double> edges);
+
+  void observe(double v);
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
+  [[nodiscard]] u64 count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::vector<u64> bucket_counts() const;
+  void reset();
+
+  /// Deterministic exponential edge ladder: n edges from lo to hi with a
+  /// constant ratio, computed in fixed order so every process derives the
+  /// same bits (bucket-edge golden in tests/obs_test.cpp).
+  static std::vector<double> exponential_edges(double lo, double hi, int n);
+
+ private:
+  std::vector<double> edges_;
+  std::unique_ptr<std::atomic<u64>[]> counts_;  // edges_.size() + 1 slots
+  std::atomic<u64> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Shared latency ladder for wall-clock durations: 1 µs .. 10 s.
+const std::vector<double>& latency_edges_s();
+/// Shared ladder for virtual-clock durations: 10 ms .. 1e6 s.
+const std::vector<double>& vtime_edges_s();
+
+// --- Snapshot ---------------------------------------------------------------
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> edges;
+  std::vector<u64> counts;  // edges.size() + 1, overflow last
+  u64 count = 0;
+  double sum = 0.0;
+  /// Quantile estimate by linear interpolation inside the owning bucket
+  /// (underflow clamps to edges.front(), overflow to edges.back()).
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double mean() const { return count ? sum / double(count) : 0.0; }
+};
+
+struct MetricsSnapshot {
+  // All three sorted by name.
+  std::vector<std::pair<std::string, u64>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Deterministic union: counters add, gauges take the max, histograms add
+  /// bucket-wise. Mismatched histogram edges for the same name are a
+  /// contract violation (throws).
+  void merge(const MetricsSnapshot& other);
+
+  [[nodiscard]] u64 counter_value(std::string_view name) const;
+  [[nodiscard]] const HistogramSnapshot* histogram(std::string_view name) const;
+
+  /// Compact JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{edges,counts,count,sum}}}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+// --- Registry ---------------------------------------------------------------
+
+class Registry {
+ public:
+  /// Get-or-create by name. References stay valid for the registry's life.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `edges` is consulted only on first registration; a later caller naming
+  /// the same histogram with different edges gets the original (edges are
+  /// part of the metric's contract, pinned by the first registration).
+  Histogram& histogram(std::string_view name, const std::vector<double>& edges);
+
+  /// Sorted, mergeable copy of everything; logs a Debug one-liner.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero all values. Instruments stay registered, references stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry every subsystem reports into.
+Registry& metrics();
+
+}  // namespace mlr::obs

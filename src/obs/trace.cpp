@@ -1,0 +1,291 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/thread_id.hpp"
+
+namespace mlr::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Event {
+  const char* name;
+  const char* cat;
+  char ph;     // 'X', 'i', 'b', 'e', 'C'
+  u32 tid;
+  u64 ts_ns;
+  u64 dur_ns;  // 'X' only
+  u64 id;      // async correlation id / span arg
+  double value;  // 'C' only
+};
+
+/// Per-thread fixed-capacity ring: newest events win, drops are counted.
+/// 64 Ki events ≈ 4 MiB per recording thread.
+constexpr std::size_t kRingCapacity = std::size_t(1) << 16;
+
+struct ThreadRing {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::size_t head = 0;  // next overwrite slot once full
+  u64 total = 0;         // pushes since last clear
+  u32 tid = 0;
+
+  void push(const Event& e) {
+    std::lock_guard lk(mu);
+    if (events.size() < kRingCapacity) {
+      events.push_back(e);
+    } else {
+      events[head] = e;
+      head = (head + 1) % kRingCapacity;
+    }
+    ++total;
+  }
+};
+
+std::mutex g_rings_mu;
+// Rings are leaked deliberately: a pool thread can exit while the recorder
+// still holds its events for a later drain.
+std::vector<ThreadRing*>& rings() {
+  static std::vector<ThreadRing*>* v = new std::vector<ThreadRing*>();
+  return *v;
+}
+
+ThreadRing& my_ring() {
+  thread_local ThreadRing* r = [] {
+    auto* ring = new ThreadRing();
+    ring->tid = mlr::thread_index();
+    ring->events.reserve(1024);
+    std::lock_guard lk(g_rings_mu);
+    rings().push_back(ring);
+    return ring;
+  }();
+  return *r;
+}
+
+i64 steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+// Epoch as raw steady-clock nanoseconds so now_ns() is lock-free.
+std::atomic<i64> g_epoch_ns{-1};
+
+void pin_epoch() {
+  i64 expected = -1;
+  const i64 now = steady_ns();
+  g_epoch_ns.compare_exchange_strong(expected, now,
+                                     std::memory_order_relaxed);
+}
+
+void append_ts_us(std::string& out, u64 ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder* r = new TraceRecorder();
+  return *r;
+}
+
+void TraceRecorder::enable() {
+  pin_epoch();  // pin the wall epoch before the first event
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lk(g_rings_mu);
+  for (auto* r : rings()) {
+    std::lock_guard rlk(r->mu);
+    r->events.clear();
+    r->head = 0;
+    r->total = 0;
+  }
+}
+
+u64 TraceRecorder::now_ns() const {
+  const i64 e = g_epoch_ns.load(std::memory_order_relaxed);
+  if (e < 0) return 0;
+  const i64 d = steady_ns() - e;
+  return d > 0 ? u64(d) : 0;
+}
+
+void TraceRecorder::complete(const char* name, const char* cat, u64 ts_ns,
+                             u64 dur_ns, u64 id) {
+  if (!trace_enabled()) return;
+  my_ring().push(
+      {name, cat, 'X', mlr::thread_index(), ts_ns, dur_ns, id, 0.0});
+}
+
+void TraceRecorder::instant(const char* name, const char* cat, u64 id) {
+  if (!trace_enabled()) return;
+  my_ring().push(
+      {name, cat, 'i', mlr::thread_index(), now_ns(), 0, id, 0.0});
+}
+
+void TraceRecorder::async_begin(const char* name, const char* cat, u64 id) {
+  if (!trace_enabled()) return;
+  my_ring().push(
+      {name, cat, 'b', mlr::thread_index(), now_ns(), 0, id, 0.0});
+}
+
+void TraceRecorder::async_end(const char* name, const char* cat, u64 id) {
+  if (!trace_enabled()) return;
+  my_ring().push(
+      {name, cat, 'e', mlr::thread_index(), now_ns(), 0, id, 0.0});
+}
+
+void TraceRecorder::counter(const char* name, double value) {
+  if (!trace_enabled()) return;
+  my_ring().push(
+      {name, "counter", 'C', mlr::thread_index(), now_ns(), 0, 0, value});
+}
+
+u64 TraceRecorder::buffered_events() const {
+  std::lock_guard lk(g_rings_mu);
+  u64 n = 0;
+  for (auto* r : rings()) {
+    std::lock_guard rlk(r->mu);
+    n += r->events.size();
+  }
+  return n;
+}
+
+u64 TraceRecorder::dropped_events() const {
+  std::lock_guard lk(g_rings_mu);
+  u64 n = 0;
+  for (auto* r : rings()) {
+    std::lock_guard rlk(r->mu);
+    n += r->total - r->events.size();
+  }
+  return n;
+}
+
+std::string TraceRecorder::json() const {
+  // Merge every ring in chronological push order, then sort globally.
+  std::vector<Event> all;
+  std::vector<std::pair<u32, u64>> drops;  // (tid, dropped)
+  {
+    std::lock_guard lk(g_rings_mu);
+    for (auto* r : rings()) {
+      std::lock_guard rlk(r->mu);
+      const std::size_t n = r->events.size();
+      all.reserve(all.size() + n);
+      for (std::size_t i = 0; i < n; ++i)
+        all.push_back(r->events[(r->head + i) % std::max<std::size_t>(n, 1)]);
+      if (r->total > n) drops.emplace_back(r->tid, r->total - n);
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns : a.tid < b.tid;
+  });
+
+  std::string out;
+  out.reserve(128 + all.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"mlr\"}}";
+  // Thread-name metadata for every track that recorded.
+  std::vector<u32> tids;
+  for (const auto& e : all) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (const u32 tid : tids) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"thread-" +
+           std::to_string(tid) + "\"}}";
+  }
+  for (const auto& [tid, n] : drops) {
+    out += ",\n{\"name\":\"trace.dropped\",\"cat\":\"obs\",\"ph\":\"i\","
+           "\"s\":\"g\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"ts\":0,\"args\":{\"count\":" +
+           std::to_string(n) + "}}";
+  }
+  for (const auto& e : all) {
+    out += ",\n{\"name\":\"";
+    out += e.name;
+    out += "\",\"cat\":\"";
+    out += e.cat;
+    out += "\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    append_ts_us(out, e.ts_ns);
+    switch (e.ph) {
+      case 'X':
+        out += ",\"dur\":";
+        append_ts_us(out, e.dur_ns);
+        if (e.id) out += ",\"args\":{\"id\":" + std::to_string(e.id) + "}";
+        break;
+      case 'i':
+        out += ",\"s\":\"t\"";
+        if (e.id) out += ",\"args\":{\"id\":" + std::to_string(e.id) + "}";
+        break;
+      case 'b':
+      case 'e':
+        out += ",\"id\":" + std::to_string(e.id);
+        break;
+      case 'C': {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, ",\"args\":{\"v\":%.9g}", e.value);
+        out += buf;
+        break;
+      }
+      default:
+        break;
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceRecorder::write_json(const std::string& path) const {
+  const std::string body = json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    MLR_LOG(Warn) << "trace: cannot open " << path << " for writing";
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok)
+    MLR_LOG(Warn) << "trace: short write to " << path;
+  else
+    MLR_LOG(Info) << "trace: wrote " << body.size() << " bytes to " << path;
+  return ok;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* cat, u64 id)
+    : name_(name), cat_(cat), id_(id), t0_(0), active_(trace_enabled()) {
+  if (active_) t0_ = TraceRecorder::instance().now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_ || !trace_enabled()) return;
+  auto& r = TraceRecorder::instance();
+  r.complete(name_, cat_, t0_, r.now_ns() - t0_, id_);
+}
+
+}  // namespace mlr::obs

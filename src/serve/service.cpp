@@ -7,12 +7,48 @@
 #include "cluster/cluster.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #ifdef MLR_HAS_NET
 #include "net/tier_client.hpp"
 #include "net/tier_server.hpp"
 #endif
 
 namespace mlr::serve {
+
+namespace {
+
+/// Serving metrics, all on the *virtual* clock (the domain jobs queue and
+/// run in); the wall-clock side of the same story lives in the stage/net
+/// histograms.
+struct ServeMetrics {
+  obs::Counter& jobs_completed;
+  obs::Counter& jobs_rejected;
+  obs::Counter& tier_promoted;
+  obs::Counter& tier_dedup_drops;
+  obs::Counter& tier_cap_drops;
+  obs::Histogram& queue_wait_vs;
+  obs::Histogram& turnaround_vs;
+  obs::Histogram& seed_fetch_vs;
+  obs::Histogram& slot_busy_vs;
+  static ServeMetrics& get() {
+    auto& m = obs::metrics();
+    static ServeMetrics sm{
+        m.counter("serve.jobs_completed"),
+        m.counter("serve.jobs_rejected"),
+        m.counter("tier.promoted"),
+        m.counter("tier.dedup_drops"),
+        m.counter("tier.cap_drops"),
+        m.histogram("serve.queue_wait_vs", obs::vtime_edges_s()),
+        m.histogram("serve.turnaround_vs", obs::vtime_edges_s()),
+        m.histogram("serve.seed_fetch_vs", obs::vtime_edges_s()),
+        m.histogram("serve.slot_busy_vs", obs::vtime_edges_s()),
+    };
+    return sm;
+  }
+};
+
+}  // namespace
 
 ReconService::ReconService(ServiceConfig cfg)
     : cfg_(cfg), geom_(lamino::Geometry::cube(cfg.n)), ops_(geom_) {
@@ -80,6 +116,7 @@ ReconService::ReconService(ServiceConfig cfg)
   }
   slot_free_.assign(std::size_t(cfg_.slots), 0.0);
   sched_ = make_scheduler(cfg_.policy);
+  if (!cfg_.trace_path.empty()) obs::TraceRecorder::instance().enable();
 }
 
 ReconService::~ReconService() = default;
@@ -103,6 +140,10 @@ const Array3D<cfloat>& ReconService::ground_truth(Scenario s, u64 seed) {
 JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
                                sim::VTime seed_ready,
                                std::vector<memo::MemoDb::Entry>* own_entries) {
+  // The per-job trace tree: "job" wraps the whole synchronous session;
+  // setup/solve/export children plus the net layer's async seed-export and
+  // GET_BATCH pairs hang under it on the same track.
+  MLR_TRACE_SPAN("job", "serve", req.id);
   // Issue the (possibly remote) seed-snapshot request FIRST: for a wire
   // backend the index-only export round-trip overlaps all the per-job setup
   // below; end_seed() harvests it just before the session is built. The
@@ -150,51 +191,65 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
   // backend hands the snapshot over index-only plus a value fetcher.
   std::vector<memo::MemoDb::Entry> seed_storage;
   TierSeed seed{};
-  if (seeded) seed = tier_->end_seed(seed_ticket, seed_storage);
+  if (seeded) {
+    MLR_TRACE_SPAN("job.seed_harvest", "serve", req.id);
+    seed = tier_->end_seed(seed_ticket, seed_storage);
+  }
   std::unique_ptr<ExecutionContext> ctx;
   std::unique_ptr<cluster::Cluster> clu;
   memo::StageExecutor* exec = nullptr;
   memo::MemoDb* db = nullptr;
-  if (cfg_.gpus_per_job <= 1) {
-    ExecutionOptions eo;
-    eo.gpus = 1;
-    eo.memo = mc;
-    eo.db = dbc;
-    eo.pipeline_depth = cfg_.pipeline_depth;
-    eo.tail_lanes = cfg_.tail_lanes;
-    eo.registry = registry_;
-    eo.db_seed = seed.entries;
-    eo.db_values = seed.values;
-    eo.shared_pool = pool_.get();
-    ctx = std::make_unique<ExecutionContext>(ops_, eo);
-    exec = &ctx->executor();
-    db = ctx->db();
-  } else {
-    cluster::ClusterSpec cs;
-    cs.gpus = cfg_.gpus_per_job;
-    cs.registry = registry_;
-    cs.db_seed = seed.entries;
-    cs.db_values = seed.values;
-    clu = std::make_unique<cluster::Cluster>(ops_, cs, mc, dbc);
-    if (pool_ != nullptr) clu->executor().set_pool(pool_.get());
-    clu->executor().set_pipeline_depth(cfg_.pipeline_depth);
-    clu->executor().set_tail_lanes(cfg_.tail_lanes);
-    exec = &clu->executor();
-    db = cfg_.memoize ? &clu->db() : nullptr;
+  {
+    MLR_TRACE_SPAN("job.session_build", "serve", req.id);
+    if (cfg_.gpus_per_job <= 1) {
+      ExecutionOptions eo;
+      eo.gpus = 1;
+      eo.memo = mc;
+      eo.db = dbc;
+      eo.pipeline_depth = cfg_.pipeline_depth;
+      eo.tail_lanes = cfg_.tail_lanes;
+      eo.registry = registry_;
+      eo.db_seed = seed.entries;
+      eo.db_values = seed.values;
+      eo.shared_pool = pool_.get();
+      ctx = std::make_unique<ExecutionContext>(ops_, eo);
+      exec = &ctx->executor();
+      db = ctx->db();
+    } else {
+      cluster::ClusterSpec cs;
+      cs.gpus = cfg_.gpus_per_job;
+      cs.registry = registry_;
+      cs.db_seed = seed.entries;
+      cs.db_values = seed.values;
+      clu = std::make_unique<cluster::Cluster>(ops_, cs, mc, dbc);
+      if (pool_ != nullptr) clu->executor().set_pool(pool_.get());
+      clu->executor().set_pipeline_depth(cfg_.pipeline_depth);
+      clu->executor().set_tail_lanes(cfg_.tail_lanes);
+      exec = &clu->executor();
+      db = cfg_.memoize ? &clu->db() : nullptr;
+    }
   }
 
   admm::Solver solver(*exec, ac);
-  const auto res = solver.solve(pb.d);
+  const auto res = [&] {
+    MLR_TRACE_SPAN("job.solve", "serve", req.id);
+    return solver.solve(pb.d);
+  }();
 
   st.run_vtime = res.total_vtime;
   st.finish = seed_ready + res.total_vtime;
+  // The session's virtual completion on the service timeline — the second
+  // clock domain, exported as a counter track against the wall-clock axis.
+  obs::trace_counter("vclock.service", st.finish);
   st.deadline_met = req.deadline <= 0 || st.finish <= req.deadline;
   st.memo = exec->counters();
   st.cache_hit_rate = exec->cache_stats().hit_rate();
   st.error_vs_truth = relative_error<cfloat>(pb.truth.span(), res.u.span());
   st.output_fingerprint = fnv1a_bytes(res.u.data(), std::size_t(res.u.bytes()));
-  if (own_entries != nullptr && db != nullptr)
+  if (own_entries != nullptr && db != nullptr) {
+    MLR_TRACE_SPAN("job.export", "serve", req.id);
     *own_entries = db->export_entries(/*session_only=*/true);
+  }
   return st;
 }
 
@@ -212,7 +267,12 @@ sim::VTime ReconService::charge_seed_fetch(sim::VTime t, double scale) {
 void ReconService::fold_promotion(JobStats* st,
                                   std::vector<memo::MemoDb::Entry> entries) {
   if (entries.empty()) return;
+  MLR_TRACE_SPAN("job.promote", "serve", st != nullptr ? st->id : 0);
   const PromotionOutcome outcome = tier_->fold(std::move(entries));
+  auto& sm = ServeMetrics::get();
+  sm.tier_promoted.add(outcome.promoted);
+  sm.tier_dedup_drops.add(outcome.dedup_drops);
+  sm.tier_cap_drops.add(outcome.cap_drops);
   stats_.promoted += outcome.promoted;
   stats_.shared_dedup_drops += outcome.dedup_drops;
   stats_.shared_cap_drops += outcome.cap_drops;
@@ -227,6 +287,7 @@ std::vector<JobStats> ReconService::prime(std::span<const JobRequest> warm) {
   // Offline warm-up: the tier is built before traffic exists, so neither
   // the seed fetches nor the promotions of warm jobs touch the fabric — its
   // clock starts with drain().
+  MLR_TRACE_SPAN("service.prime", "serve", u64(warm.size()));
   std::vector<JobStats> out;
   out.reserve(warm.size());
   for (const auto& w : warm) {
@@ -248,6 +309,12 @@ u64 ReconService::submit(JobRequest req) {
 }
 
 void ReconService::account(const JobStats& st) {
+  auto& sm = ServeMetrics::get();
+  sm.jobs_completed.add();
+  sm.queue_wait_vs.observe(st.queue_wait());
+  sm.turnaround_vs.observe(st.turnaround());
+  sm.seed_fetch_vs.observe(st.seed_fetch_s);
+  sm.slot_busy_vs.observe(st.run_vtime + st.seed_fetch_s);
   ++stats_.completed;
   stats_.queue_wait.add(st.queue_wait());
   stats_.turnaround.add(st.turnaround());
@@ -270,6 +337,11 @@ std::vector<JobStats> ReconService::drain() {
   MLR_CHECK_MSG(!cfg_.memoize || registry_->encoder().quantized(),
                 "prime() the service before drain(): the cross-job encoder "
                 "must be trained once, not by whichever job runs first");
+  // Explicit begin/complete instead of a RAII span: the drain span must be
+  // flushed into the rings BEFORE write_json() below, or the trace file
+  // would miss its own top-level span.
+  const u64 drain_t0 =
+      obs::trace_enabled() ? obs::TraceRecorder::instance().now_ns() : 0;
   std::vector<JobRequest> arr = std::move(queue_);
   queue_.clear();
   std::sort(arr.begin(), arr.end(),
@@ -340,6 +412,8 @@ std::vector<JobStats> ReconService::drain() {
         rej.arrival = rej.start = rej.finish = jr.arrival;
         rej.deadline_met = jr.deadline <= 0;
         ++stats_.rejected;
+        ServeMetrics::get().jobs_rejected.add();
+        obs::trace_instant("job.rejected", "serve", jr.id);
         out.push_back(std::move(rej));
       } else {
         waiting.push_back({&jr});
@@ -359,6 +433,9 @@ std::vector<JobStats> ReconService::drain() {
     // so charging shipments whose jobs finished by t first, then this fetch,
     // keeps the fabric's ready times in time order.
     charge_shipments_until(t);
+    // Virtual dispatch time on the service timeline (counter track pairs
+    // with the vclock.service sample run_job emits at job completion).
+    obs::trace_counter("vclock.service", t);
     const sim::VTime seed_ready =
         cfg_.memoize ? charge_seed_fetch(t, work_scale_for(req.scenario)) : t;
     std::vector<memo::MemoDb::Entry> mine;
@@ -383,6 +460,26 @@ std::vector<JobStats> ReconService::drain() {
     const auto it = own.find(st.id);
     if (it != own.end()) fold_promotion(&st, std::move(it->second));
   }
+  // Fabric busy/contention gauges: read from sim/ here rather than
+  // instrumenting the fabric itself — sim/ stays free of obs dependencies.
+  {
+    const sim::Fabric& fab = tier_->fabric();
+    auto& m = obs::metrics();
+    m.gauge("fabric.uplink_busy_vs").set(fab.uplink().busy_time());
+    double link_busy = 0;
+    for (int i = 0; i < fab.links(); ++i)
+      link_busy += fab.link(i).busy_time();
+    m.gauge("fabric.links_busy_vs").set(link_busy);
+    m.gauge("fabric.contention_vs").set(fab.contention_wait_s());
+    m.gauge("fabric.bytes_moved").set(fab.bytes_moved());
+    m.gauge("fabric.transfers").set(double(fab.transfers()));
+  }
+  if (obs::trace_enabled()) {
+    auto& tr = obs::TraceRecorder::instance();
+    tr.complete("service.drain", "serve", drain_t0, tr.now_ns() - drain_t0, 0);
+  }
+  if (!cfg_.trace_path.empty())
+    obs::TraceRecorder::instance().write_json(cfg_.trace_path);
   return out;
 }
 

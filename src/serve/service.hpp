@@ -146,6 +146,12 @@ struct ServiceConfig {
 
   /// >0 caps every scenario's outer iterations (tests / CI smoke).
   int iters_cap = 0;
+
+  /// Non-empty: enable the process-global trace recorder (obs/trace.hpp)
+  /// and write the Chrome-trace JSON here at the end of every drain().
+  /// Tracing never feeds back into computation, so outputs, records,
+  /// fingerprints and virtual times are bit-identical with it on or off.
+  std::string trace_path;
 };
 
 struct TenantStats {

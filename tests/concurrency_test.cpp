@@ -19,6 +19,7 @@
 #include "memo/memo_cache.hpp"
 #include "memo/memoized_ops.hpp"
 #include "memo/stage_executor.hpp"
+#include "obs/trace.hpp"
 
 namespace mlr::memo {
 namespace {
@@ -485,6 +486,122 @@ TEST(Concurrency, PipelinedCrossStageDeterminismMatrix) {
                      " lanes=" + std::to_string(lanes));
         expect_same(ref, run_cfg(4, 4, depth, 1, CacheKind::Global, lanes));
       }
+    }
+  }
+}
+
+// Tracing joins the bit-identity matrix: enabling the obs trace recorder
+// (rings filling from every pool/drainer thread) must not perturb outputs,
+// per-chunk records, cache fingerprints, DB entry counts or virtual times
+// for any threads × lanes combination. Runs with recording ON are compared
+// against the untraced serial reference — under TSan this also hammers the
+// recorder's ring registration/push/drain paths from the worker threads.
+TEST(Concurrency, TraceOnOffBitIdentityMatrix) {
+  lamino::Operators ops{lamino::Geometry::cube(10)};
+  const auto& g = ops.geometry();
+  auto u = lamino::to_complex(lamino::make_phantom(
+      g.object_shape(), lamino::PhantomKind::BrainTissue, 9));
+  Array3D<cfloat> base_u1(g.u1_shape());
+  Array3D<cfloat> churn_obj(g.object_shape()), churn_u1(g.u1_shape());
+  {
+    Rng rng(78);
+    auto fill = [&rng](Array3D<cfloat>& a) {
+      for (i64 i = 0; i < a.size(); ++i)
+        a.data()[i] = cfloat(float(rng.normal()), float(rng.normal()));
+    };
+    fill(base_u1);
+    fill(churn_obj);
+    fill(churn_u1);
+  }
+  auto chunks = lamino::make_chunks(g.n1, 2);
+
+  struct Run {
+    std::vector<Array3D<cfloat>> outs;
+    std::vector<std::vector<ChunkRecord>> recs;
+    std::vector<sim::VTime> dones;
+    u64 cache_fp = 0;
+    u64 db_entries = 0;
+  };
+  auto run_cfg = [&](unsigned threads, i64 lanes, bool traced) {
+    auto& rec = obs::TraceRecorder::instance();
+    if (traced) rec.enable();
+    Run run;
+    sim::Device dev{0};
+    sim::Interconnect net;
+    sim::MemoryNode node;
+    MemoDb db{{.key_dim = 16, .tau = 0.92, .overlap_slices = 4,
+               .ivf = {.nlist = 2, .train_size = 8}},
+              &net, &node};
+    MemoizedLamino ml(ops, {.enable = true, .tau = 0.92, .key_dim = 16,
+                            .encoder_hw = 16},
+                      &dev, &db);
+    ThreadPool pool(threads);
+    ml.executor().set_pool(&pool);
+    ml.executor().set_pipeline_depth(2);
+    ml.executor().set_tail_lanes(lanes);
+    auto make_work = [&](OpKind kind, Array3D<cfloat>& dst, bool mixed) {
+      const bool adj = kind == OpKind::Fu1DAdj;
+      const Array3D<cfloat>& src = adj ? base_u1 : u;
+      const Array3D<cfloat>& alt = adj ? churn_u1 : churn_obj;
+      std::vector<StageChunk> w;
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        const auto& spec = chunks[c];
+        const auto& in = (mixed && c % 2 == 1) ? alt : src;
+        w.push_back({spec, in.slices(spec.begin, spec.count),
+                     dst.slices(spec.begin, spec.count)});
+      }
+      return w;
+    };
+    const struct {
+      OpKind kind;
+      bool mixed;
+    } passes[] = {{OpKind::Fu1D, false},
+                  {OpKind::Fu1DAdj, false},
+                  {OpKind::Fu1D, true},
+                  {OpKind::Fu1DAdj, true}};
+    sim::VTime t = 0;
+    for (const auto& p : passes) {
+      run.outs.emplace_back(p.kind == OpKind::Fu1DAdj ? g.object_shape()
+                                                      : g.u1_shape());
+      auto w = make_work(p.kind, run.outs.back(), p.mixed);
+      auto rep = ml.executor().run_stage(p.kind, w, t);
+      t = rep.done;
+      run.recs.push_back(std::move(rep.records));
+      run.dones.push_back(t);
+    }
+    ml.executor().settle();
+    run.cache_fp = ml.cache() != nullptr ? ml.cache()->fingerprint() : 0;
+    run.db_entries = db.total_entries();
+    if (traced) {
+      rec.disable();
+      rec.clear();
+    }
+    return run;
+  };
+
+  const Run ref = run_cfg(1, 1, /*traced=*/false);
+  for (const unsigned threads : {1u, 4u}) {
+    for (const i64 lanes : {i64(1), i64(4)}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " lanes=" + std::to_string(lanes));
+      const Run got = run_cfg(threads, lanes, /*traced=*/true);
+      ASSERT_EQ(ref.outs.size(), got.outs.size());
+      for (std::size_t p = 0; p < ref.outs.size(); ++p) {
+        for (i64 i = 0; i < ref.outs[p].size(); ++i)
+          ASSERT_EQ(ref.outs[p].data()[i], got.outs[p].data()[i])
+              << "pass " << p;
+        ASSERT_EQ(ref.recs[p].size(), got.recs[p].size());
+        for (std::size_t i = 0; i < ref.recs[p].size(); ++i) {
+          EXPECT_EQ(int(ref.recs[p][i].outcome), int(got.recs[p][i].outcome));
+          EXPECT_EQ(ref.recs[p][i].encode_s, got.recs[p][i].encode_s);
+          EXPECT_EQ(ref.recs[p][i].db_s, got.recs[p][i].db_s);
+          EXPECT_EQ(ref.recs[p][i].compute_s, got.recs[p][i].compute_s);
+          EXPECT_EQ(ref.recs[p][i].copy_s, got.recs[p][i].copy_s);
+        }
+        EXPECT_EQ(ref.dones[p], got.dones[p]);
+      }
+      EXPECT_EQ(ref.cache_fp, got.cache_fp);
+      EXPECT_EQ(ref.db_entries, got.db_entries);
     }
   }
 }

@@ -1,0 +1,341 @@
+// Unit tests for src/obs: the metrics registry (counter/gauge/histogram
+// semantics, deterministic bucket edges, order-independent snapshot merge,
+// JSON dumps) and the trace recorder (span emission, ring bounds, the
+// disabled-path no-op contract, Chrome-trace JSON well-formedness and the
+// required-span schema).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mlr::obs {
+namespace {
+
+// --- Minimal JSON well-formedness checker -----------------------------------
+// Recursive-descent validator (no tree built): enough to assert that the
+// metrics and trace dumps are parseable JSON, without a JSON dependency.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    for (++pos_; pos_ < s_.size(); ++pos_) {
+      if (s_[pos_] == '\\') { ++pos_; continue; }
+      if (s_[pos_] == '"') { ++pos_; return true; }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(unsigned(s_[pos_])) != 0 || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string_view sv(lit);
+    if (s_.compare(pos_, sv.size(), sv) != 0) return false;
+    pos_ += sv.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(unsigned(s_[pos_])) != 0) ++pos_;
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- Instruments -------------------------------------------------------------
+
+TEST(Metrics, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndRaise) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.raise(2.0);  // lower: no-op
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.raise(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Metrics, ExponentialEdgesGolden) {
+  // The shared latency ladder is part of every histogram's identity: the
+  // exact bits must never drift, or cross-process merges start throwing.
+  const auto e = Histogram::exponential_edges(1e-6, 10.0, 29);
+  ASSERT_EQ(e.size(), 29u);
+  EXPECT_DOUBLE_EQ(e[0], 9.9999999999999995e-07);
+  EXPECT_DOUBLE_EQ(e[1], 1.7782794100389229e-06);
+  EXPECT_DOUBLE_EQ(e[7], 5.6234132519034914e-05);
+  EXPECT_DOUBLE_EQ(e[14], 0.0031622776601683803);
+  EXPECT_DOUBLE_EQ(e[28], 10.0);  // back() pinned to hi exactly
+  for (std::size_t i = 1; i < e.size(); ++i) EXPECT_LT(e[i - 1], e[i]);
+  // Re-derivation is bit-identical (fixed evaluation order).
+  EXPECT_EQ(Histogram::exponential_edges(1e-6, 10.0, 29), e);
+
+  const auto& v = vtime_edges_s();
+  ASSERT_EQ(v.size(), 33u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.01);
+  EXPECT_DOUBLE_EQ(v[16], 100.0000000000001);
+  EXPECT_DOUBLE_EQ(v.back(), 1e6);
+}
+
+TEST(Metrics, HistogramBucketingAndQuantile) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_THROW(Histogram({2.0, 2.0}), std::exception);  // not increasing
+  h.observe(0.5);   // bucket 0: (-inf, 1]
+  h.observe(1.0);   // bucket 0 (right-closed)
+  h.observe(1.5);   // bucket 1
+  h.observe(3.0);   // bucket 2
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+
+  HistogramSnapshot snap{"h", h.edges(), counts, h.count(), h.sum()};
+  EXPECT_DOUBLE_EQ(snap.mean(), 106.0 / 5);
+  // p100 clamps to the last finite edge; p0 to the first.
+  EXPECT_LE(snap.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 4.0);
+  const double p50 = snap.quantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+}
+
+TEST(Metrics, RegistryReferencesSurviveReset) {
+  Registry reg;
+  auto& c = reg.counter("a.count");
+  auto& g = reg.gauge("a.peak");
+  auto& h = reg.histogram("a.lat", {1.0, 2.0});
+  c.add(5);
+  g.raise(2.5);
+  h.observe(1.5);
+  reg.reset();
+  // Same instruments, zeroed — the cached-reference hot-path pattern.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);
+  EXPECT_EQ(reg.counter("a.count").value(), 1u);
+  EXPECT_EQ(&reg.counter("a.count"), &c);
+  EXPECT_EQ(&reg.histogram("a.lat", {9.0}), &h);  // edges pinned by first reg
+}
+
+TEST(Metrics, SnapshotMergeIsOrderIndependent) {
+  Registry a, b;
+  a.counter("x").add(3);
+  a.gauge("g").raise(1.0);
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+  b.counter("x").add(4);
+  b.counter("y").add(1);
+  b.gauge("g").raise(5.0);
+  b.histogram("h", {1.0, 2.0}).observe(1.5);
+
+  auto ab = a.snapshot();
+  ab.merge(b.snapshot());
+  auto ba = b.snapshot();
+  ba.merge(a.snapshot());
+
+  EXPECT_EQ(ab.counter_value("x"), 7u);
+  EXPECT_EQ(ab.counter_value("y"), 1u);
+  EXPECT_EQ(ab.counter_value("x"), ba.counter_value("x"));
+  ASSERT_NE(ab.histogram("h"), nullptr);
+  EXPECT_EQ(ab.histogram("h")->count, 2u);
+  EXPECT_EQ(ab.histogram("h")->counts, ba.histogram("h")->counts);
+  // The whole dump is identical either way: merge depends only on the
+  // multiset of inputs.
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+  // Gauges take the max.
+  double g_ab = 0;
+  for (const auto& [n, v] : ab.gauges)
+    if (n == "g") g_ab = v;
+  EXPECT_DOUBLE_EQ(g_ab, 5.0);
+}
+
+TEST(Metrics, MergeRejectsMismatchedEdges) {
+  Registry a, b;
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+  b.histogram("h", {1.0, 3.0}).observe(0.5);
+  auto sa = a.snapshot();
+  EXPECT_THROW(sa.merge(b.snapshot()), std::exception);
+}
+
+TEST(Metrics, SnapshotJsonIsWellFormed) {
+  Registry reg;
+  reg.counter("a\"quoted\\name").add(1);
+  reg.gauge("g").set(0.25);
+  reg.histogram("h", Histogram::exponential_edges(1e-6, 10.0, 5)).observe(1.0);
+  const std::string js = reg.snapshot().to_json();
+  JsonChecker chk(js);
+  EXPECT_TRUE(chk.valid()) << js;
+  EXPECT_NE(js.find("\"counters\""), std::string::npos);
+  EXPECT_NE(js.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(js.find("\"histograms\""), std::string::npos);
+}
+
+// --- Trace recorder ----------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& tr = TraceRecorder::instance();
+    tr.disable();
+    tr.clear();
+  }
+  void TearDown() override {
+    auto& tr = TraceRecorder::instance();
+    tr.disable();
+    tr.clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecorderBuffersNothing) {
+  auto& tr = TraceRecorder::instance();
+  const u64 before = tr.buffered_events();
+  {
+    MLR_TRACE_SPAN("obs_test.noop", "test");
+    trace_instant("obs_test.i", "test");
+    trace_async_begin("obs_test.a", "test", 1);
+    trace_async_end("obs_test.a", "test", 1);
+    trace_counter("obs_test.c", 1.0);
+  }
+  EXPECT_EQ(tr.buffered_events(), before);
+}
+
+TEST_F(TraceTest, JsonIsWellFormedAndCarriesAllEventKinds) {
+  auto& tr = TraceRecorder::instance();
+  tr.enable();
+  {
+    MLR_TRACE_SPAN("obs_test.span", "test", 7);
+    trace_instant("obs_test.instant", "test");
+    trace_async_begin("obs_test.async", "test", 42);
+    trace_async_end("obs_test.async", "test", 42);
+    trace_counter("obs_test.vclock", 123.5);
+  }
+  tr.disable();
+  EXPECT_GE(tr.buffered_events(), 5u);
+  const std::string js = tr.json();
+  JsonChecker chk(js);
+  EXPECT_TRUE(chk.valid()) << js;
+  EXPECT_NE(js.find("\"traceEvents\""), std::string::npos);
+  for (const char* needle :
+       {"obs_test.span", "obs_test.instant", "obs_test.async",
+        "obs_test.vclock", "\"ph\":\"X\"", "\"ph\":\"i\"", "\"ph\":\"b\"",
+        "\"ph\":\"e\"", "\"ph\":\"C\"", "process_name"})
+    EXPECT_NE(js.find(needle), std::string::npos) << needle;
+}
+
+TEST_F(TraceTest, SpanStartedWhileEnabledSurvivesDisable) {
+  auto& tr = TraceRecorder::instance();
+  tr.enable();
+  const u64 before = tr.buffered_events();
+  {
+    MLR_TRACE_SPAN("obs_test.cross", "test");
+    tr.disable();
+  }  // dtor runs with recording off — must not emit, must not crash
+  EXPECT_EQ(tr.buffered_events(), before);
+}
+
+TEST_F(TraceTest, RingIsBoundedAndCountsDrops) {
+  auto& tr = TraceRecorder::instance();
+  tr.enable();
+  // Overflow one thread's ring: capacity is 1<<16 events.
+  constexpr int kEvents = (1 << 16) + 500;
+  for (int i = 0; i < kEvents; ++i) tr.instant("obs_test.flood", "test", u64(i));
+  tr.disable();
+  EXPECT_LE(tr.buffered_events(), u64(1) << 16);
+  EXPECT_GE(tr.dropped_events(), 500u);
+  // Drop count is exported in the JSON as a per-track marker.
+  const std::string js = tr.json();
+  EXPECT_NE(js.find("trace.dropped"), std::string::npos);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTracks) {
+  auto& tr = TraceRecorder::instance();
+  tr.enable();
+  trace_instant("obs_test.main", "test");
+  std::thread([] { trace_instant("obs_test.worker", "test"); }).join();
+  tr.disable();
+  const std::string js = tr.json();
+  JsonChecker chk(js);
+  EXPECT_TRUE(chk.valid());
+  EXPECT_NE(js.find("obs_test.main"), std::string::npos);
+  EXPECT_NE(js.find("obs_test.worker"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlr::obs

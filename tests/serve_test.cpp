@@ -9,8 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 
+#include "obs/trace.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/service.hpp"
 #include "serve/shared_tier.hpp"
@@ -451,6 +455,53 @@ TEST(ReconService, OutputsIdenticalAcrossPoliciesAndEngineKnobs) {
   EXPECT_EQ(a.fingerprint, a2.fingerprint);
   EXPECT_EQ(a.run_vtime, a2.run_vtime);
   EXPECT_EQ(a.queue_wait, a2.queue_wait);
+}
+
+// Tracing joins the serving bit-identity property: a run that records a
+// trace (ServiceConfig::trace_path) must reproduce the untraced schedule
+// bit-for-bit — fingerprints, run vtimes, queue waits and finish times —
+// while the trace file itself comes out non-empty and carries the per-job
+// span taxonomy.
+TEST(ReconService, TraceOnOffBitIdentity) {
+  WorkloadConfig wc;
+  wc.jobs = 4;
+  wc.mean_interarrival = 40.0;
+  wc.mix = {{Scenario::PcbInspection, 1.0}, {Scenario::BrainScan, 1.0}};
+  wc.distinct_objects = 2;
+  wc.tenants = {{"A", 1.0, 1, 1.0}, {"B", 2.0, 2, 1.0}};
+  WorkloadGenerator gen(wc);
+  const auto jobs = gen.generate();
+  const auto warm = gen.priming_set();
+
+  auto cfg = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  cfg.threads = 2;
+  cfg.overlap_slices = 4;
+  const auto off = run_workload(cfg, jobs, warm);
+
+  auto traced = cfg;
+  traced.trace_path = ::testing::TempDir() + "mlr_serve_trace_test.json";
+  const auto on = run_workload(traced, jobs, warm);
+  auto& rec = obs::TraceRecorder::instance();
+  rec.disable();
+  rec.clear();
+
+  EXPECT_EQ(off.fingerprint, on.fingerprint);
+  EXPECT_EQ(off.run_vtime, on.run_vtime);
+  EXPECT_EQ(off.queue_wait, on.queue_wait);
+  EXPECT_EQ(off.seed_fetch, on.seed_fetch);
+  EXPECT_EQ(off.finish, on.finish);
+
+  std::ifstream f(traced.trace_path);
+  ASSERT_TRUE(f.good()) << traced.trace_path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string js = ss.str();
+  EXPECT_GT(js.size(), 100u);
+  for (const char* needle :
+       {"\"traceEvents\"", "\"job\"", "job.solve", "job.session_build",
+        "job.export", "service.drain", "vclock.service", "vclock.session"})
+    EXPECT_NE(js.find(needle), std::string::npos) << needle;
+  std::remove(traced.trace_path.c_str());
 }
 
 TEST(ReconService, OutputsIdenticalAcrossPipelineDepths) {
