@@ -23,6 +23,17 @@
 // whole workload over localhost TCP and must reproduce the inproc outputs
 // bit-for-bit). A transport cross-check always replays the FIFO point on a
 // second transport and feeds it into the same output-identity gate.
+//
+// Chaos mode (`--chaos kill-tier-at-job=N | blip-tier-at-job=N`, socket
+// transport only) replays the FIFO point once more against a bench-owned
+// TCP tier server that is killed at the Nth dispatch and later restarted
+// from its snapshot on the same port. The "kill" flavor holds the outage
+// past the reconnect budget and gates on exactly-one failed job, cold
+// (degraded) sessions for the in-between dispatches, and a service-level
+// reconnect; the "blip" flavor restarts within the budget and gates on
+// zero failed jobs plus at least one transport reconnect + idempotent
+// replay. Both gate on surviving seeded jobs staying bit-identical to the
+// fault-free baseline and fold into the exit code.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -33,7 +44,15 @@
 #include "serve/service.hpp"
 #include "serve/workload.hpp"
 #ifdef MLR_HAS_NET
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
 #include "net/request_table.hpp"
+#include "net/tier_server.hpp"
+#include "net/wire.hpp"
 #endif
 
 namespace {
@@ -107,6 +126,46 @@ int main(int argc, char** argv) {
   // enable-only and read-only, so the traced run stays in the output
   // identity gate with the untraced ones.
   const char* trace_path = args.get_str("--trace", nullptr);
+  // --chaos kill-tier-at-job=N | blip-tier-at-job=N: fault-injection mode,
+  // socket transport only. Both kill the bench-owned TCP tier server at the
+  // Nth dispatch of a dedicated chaos replay. "kill" leaves it down until
+  // --chaos-restart-after further dispatches have gone by: the struck job
+  // exhausts its reconnect budget and fails, the in-between jobs run as
+  // degraded cold sessions, and the service re-ships their buffered
+  // promotions on recovery. "blip" restarts the server from a side thread
+  // after --chaos-blip-ms, inside the reconnect budget: the transport's own
+  // reconnect + idempotent replay absorbs the outage and NO job fails.
+  // --retry-max / --backoff-ms size the reconnect budget (defaults differ
+  // per flavor: kill wants the budget to die fast, blip wants the backoff
+  // schedule to cover the restart window).
+  const char* chaos = args.get_str("--chaos", nullptr);
+  bool chaos_blip = false;
+  i64 chaos_at = 0;
+  if (chaos != nullptr) {
+    const char* kKill = "kill-tier-at-job=";
+    const char* kBlip = "blip-tier-at-job=";
+    if (std::strncmp(chaos, kKill, std::strlen(kKill)) == 0) {
+      chaos_at = std::atoll(chaos + std::strlen(kKill));
+    } else if (std::strncmp(chaos, kBlip, std::strlen(kBlip)) == 0) {
+      chaos_at = std::atoll(chaos + std::strlen(kBlip));
+      chaos_blip = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "unknown --chaos %s (kill-tier-at-job=N | blip-tier-at-job=N)\n",
+          chaos);
+      return 2;
+    }
+    if (transport != TierTransport::Socket || chaos_at < 1) {
+      std::fprintf(stderr, "--chaos requires --transport socket and N >= 1\n");
+      return 2;
+    }
+  }
+  const i64 chaos_restart_after = args.get_i64("--chaos-restart-after", 3);
+  const double chaos_blip_ms = args.get_double("--chaos-blip-ms", 50.0);
+  const int retry_max = int(args.get_i64("--retry-max", chaos_blip ? 6 : 3));
+  const double backoff_ms =
+      args.get_double("--backoff-ms", chaos_blip ? 25.0 : 5.0);
 
 #ifndef MLR_HAS_NET
   if (transport != TierTransport::Inproc) {
@@ -313,6 +372,191 @@ int main(int argc, char** argv) {
       (unsigned long long)results[0].stats.shared_cap_drops,
       100.0 * results[0].stats.cross_job_hit_rate());
 
+  // Chaos replay: fault-inject the live TCP tier mid-drain and gate on the
+  // recovery contract. The bench owns the TierServer here (instead of
+  // letting the service spawn one) so the dispatch hook can kill it and
+  // restart it — snapshot-restored, on the same port — mid-run.
+  bool chaos_ok = true;
+  bool chaos_identical = true;
+  i64 chaos_failed = 0, chaos_degraded = 0, chaos_completed = 0;
+  u64 chaos_reconnects = 0, chaos_replays = 0, chaos_retries = 0;
+  double chaos_recovery_s = 0;
+  double degraded_vtime_mean = 0, seeded_vtime_mean = 0;
+#ifdef MLR_HAS_NET
+  if (chaos != nullptr) {
+    if (chaos_blip)
+      std::printf(
+          "\nchaos: blip tier at dispatch %lld, restart after %.0f ms "
+          "(reconnect budget %d x %.0f ms)\n",
+          (long long)chaos_at, chaos_blip_ms, retry_max, backoff_ms);
+    else
+      std::printf(
+          "\nchaos: kill tier at dispatch %lld, restart %lld dispatches "
+          "later (reconnect budget %d x %.0f ms)\n",
+          (long long)chaos_at, (long long)chaos_restart_after, retry_max,
+          backoff_ms);
+
+    // Mirror the service's own remote-tier config so the external server is
+    // indistinguishable from the one a fault-free run would spawn.
+    serve::SharedTierConfig tc;
+    tc.shard_count = shards;
+    tc.max_entries = ServiceConfig{}.max_shared_entries;
+    tc.tau_dedup = tau_dedup;
+    tc.key_dim = memo::MemoConfig{}.key_dim;
+    auto server = std::make_unique<net::TierServer>(tc);
+    const std::uint16_t chaos_port = server->listen_and_serve();
+
+    std::mutex srv_mu;  // hook thread vs blip restarter thread
+    std::vector<memo::MemoDb::Entry> checkpoint;
+    std::atomic<bool> restart_failed{false};
+    auto restart_server = [&] {
+      try {
+        auto fresh = std::make_unique<net::TierServer>(tc);
+        if (!checkpoint.empty()) {
+          // Durable-tier semantics: the replacement comes back with the
+          // killed server's last snapshot, shipped over the same wire path
+          // sessions use (SNAPSHOT_IMPORT).
+          net::WireWriter w;
+          net::encode_entries(w, checkpoint, /*with_values=*/true);
+          fresh->handle_frame(
+              net::encode_frame(net::FrameType::SnapshotImport, 0, 1, w.data()));
+        }
+        fresh->listen_and_serve("127.0.0.1", chaos_port);
+        std::lock_guard<std::mutex> lk(srv_mu);
+        server = std::move(fresh);
+      } catch (const std::exception& e) {
+        restart_failed = true;
+        std::fprintf(stderr, "chaos: tier restart failed: %s\n", e.what());
+      }
+    };
+    std::thread blip_restarter;
+
+    ServiceConfig sc;
+    sc.n = n;
+    sc.slots = slots;
+    sc.gpus_per_job = gpus_per_job;
+    sc.threads = args.threads();
+    sc.overlap_slices = args.overlap();
+    sc.pipeline_depth = args.pipeline();
+    sc.iters_cap = iters_cap;
+    sc.policy = SchedulerPolicy::Fifo;
+    sc.shard_count = shards;
+    sc.tau_dedup = tau_dedup;
+    sc.transport = TierTransport::Socket;
+    sc.tier_address = "127.0.0.1:" + std::to_string(chaos_port);
+    sc.net_retry_max = retry_max;
+    sc.net_backoff_ms = backoff_ms;
+    sc.fabric.enabled = fabric_gbps > 0;
+    if (fabric_gbps > 0) {
+      sc.fabric.link_bandwidth = fabric_gbps * 1e9 / 8.0;
+      sc.fabric.uplink_bandwidth = fabric_gbps * 1e9 / 8.0;
+    }
+    i64 dispatched = 0;
+    sc.dispatch_hook = [&](const JobRequest&) {
+      ++dispatched;
+      if (dispatched == chaos_at) {
+        checkpoint = server->tier().snapshot();
+        {
+          std::lock_guard<std::mutex> lk(srv_mu);
+          server.reset();  // connection reset / refused from here on
+        }
+        if (chaos_blip)
+          blip_restarter = std::thread([&] {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(chaos_blip_ms));
+            restart_server();
+          });
+      } else if (!chaos_blip &&
+                 dispatched == chaos_at + chaos_restart_after) {
+        restart_server();  // in-hook: next recovery probe finds it up
+      }
+    };
+
+    const auto before = obs::metrics().snapshot();
+    ReconService svc(sc);
+    svc.prime(warm);
+    for (const auto& j : traffic) svc.submit(j);
+    const auto res = svc.drain();
+    if (blip_restarter.joinable()) blip_restarter.join();
+    const auto after = obs::metrics().snapshot();
+    chaos_reconnects = after.counter_value("net.client.reconnects") -
+                       before.counter_value("net.client.reconnects");
+    chaos_replays = after.counter_value("net.client.replays") -
+                    before.counter_value("net.client.replays");
+    chaos_retries = after.counter_value("net.table.retries") -
+                    before.counter_value("net.table.retries");
+    if (const auto* h = after.histogram("net.client.recovery_s")) {
+      const auto* hb = before.histogram("net.client.recovery_s");
+      chaos_recovery_s = h->sum - (hb != nullptr ? hb->sum : 0.0);
+    }
+
+    // Surviving seeded jobs must be bit-identical to the fault-free socket
+    // FIFO baseline (results[0]). Degraded (cold) jobs legitimately differ —
+    // they reconstruct without the shared seed — and failed jobs have no
+    // output at all; both are excluded from the identity gate but counted
+    // against the flavor's expectations below.
+    double dsum = 0, ssum = 0;
+    i64 dcount = 0, scount = 0;
+    for (const auto& st : res) {
+      if (!st.admitted) continue;
+      if (st.outcome == JobOutcome::Failed) {
+        ++chaos_failed;
+        std::printf("  job %llu failed: %s\n", (unsigned long long)st.id,
+                    st.failure.c_str());
+        continue;
+      }
+      ++chaos_completed;
+      if (st.degraded) {
+        ++chaos_degraded;
+        dsum += st.run_vtime;
+        ++dcount;
+        continue;
+      }
+      ssum += st.run_vtime;
+      ++scount;
+      const auto it = results[0].fingerprints.find(st.id);
+      if (it != results[0].fingerprints.end() &&
+          it->second != st.output_fingerprint)
+        chaos_identical = false;
+    }
+    degraded_vtime_mean = dcount > 0 ? dsum / double(dcount) : 0.0;
+    seeded_vtime_mean = scount > 0 ? ssum / double(scount) : 0.0;
+
+    if (chaos_blip) {
+      // The outage fits inside the reconnect budget: nobody fails, nobody
+      // degrades, and at least one stashed read was replayed post-reconnect.
+      chaos_ok = chaos_failed == 0 && chaos_degraded == 0 &&
+                 chaos_reconnects >= 1 && chaos_replays >= 1 &&
+                 !restart_failed;
+    } else {
+      // Exactly the struck job fails; the dispatches between kill and
+      // restart run cold; the recovery probe reconnects the client.
+      chaos_ok = chaos_failed == 1 &&
+                 chaos_degraded == chaos_restart_after - 1 &&
+                 chaos_reconnects >= 1 && !restart_failed;
+    }
+    chaos_ok = chaos_ok && chaos_identical;
+
+    std::printf(
+        "  completed %lld (degraded %lld), failed %lld | reconnects %llu, "
+        "replays %llu, batch retries %llu, recovery %.3f s\n",
+        (long long)chaos_completed, (long long)chaos_degraded,
+        (long long)chaos_failed, (unsigned long long)chaos_reconnects,
+        (unsigned long long)chaos_replays, (unsigned long long)chaos_retries,
+        chaos_recovery_s);
+    if (dcount > 0)
+      std::printf(
+          "  degraded (cold) mean run_vtime %.0f s vs seeded %.0f s "
+          "(%.2fx)\n",
+          degraded_vtime_mean, seeded_vtime_mean,
+          seeded_vtime_mean > 0 ? degraded_vtime_mean / seeded_vtime_mean
+                                : 0.0);
+    std::printf("  surviving seeded jobs vs fault-free baseline: %s\n",
+                chaos_identical ? "bit-identical" : "MISMATCH");
+    std::printf("  chaos gate: %s\n", chaos_ok ? "OK" : "FAILED");
+  }
+#endif
+
   // Machine-readable trajectory point: configuration, per-policy wall/virtual
   // results and memo outcome counts (--json BENCH_serve_traffic.json).
   bench::JsonObject json;
@@ -382,6 +626,28 @@ int main(int argc, char** argv) {
     row.set("shared_hits", st.shared_hits);
     row.set("makespan_s", st.makespan);
   }
+  if (chaos != nullptr) {
+    auto& row = json.row("chaos");
+    row.set("flavor", chaos_blip ? "blip" : "kill");
+    row.set("at_dispatch", chaos_at);
+    if (chaos_blip)
+      row.set("blip_ms", chaos_blip_ms);
+    else
+      row.set("restart_after_dispatches", chaos_restart_after);
+    row.set("retry_max", i64(retry_max));
+    row.set("backoff_ms", backoff_ms);
+    row.set("completed", chaos_completed);
+    row.set("degraded_jobs", chaos_degraded);
+    row.set("jobs_failed", chaos_failed);
+    row.set("reconnects", chaos_reconnects);
+    row.set("replays", chaos_replays);
+    row.set("batch_retries", chaos_retries);
+    row.set("recovery_s", chaos_recovery_s);
+    row.set("degraded_run_vtime_mean_s", degraded_vtime_mean);
+    row.set("seeded_run_vtime_mean_s", seeded_vtime_mean);
+    row.set("surviving_identical", chaos_identical);
+    row.set("gate", chaos_ok);
+  }
   if (trace_path != nullptr) json.set("trace_path", trace_path);
   // The obs registry accumulated across every replay above (all policies,
   // shard counts and transports) — one deterministic instrument dump.
@@ -389,5 +655,5 @@ int main(int argc, char** argv) {
   json.set("wall_s", wall.seconds());
   if (!bench::write_json(args.json_path(), json)) return 1;
   bench::footer(wall.seconds());
-  return identical ? 0 : 1;
+  return identical && chaos_ok ? 0 : 1;
 }

@@ -68,6 +68,9 @@ int main(int argc, char** argv) {
   sa.sa_handler = on_signal;
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+  // A client vanishing mid-reply is that connection's problem (send fails
+  // with EPIPE and the handler drops it), never a reason to kill the tier.
+  std::signal(SIGPIPE, SIG_IGN);
 
   char buf[256];
   while (g_stop == 0) {

@@ -17,10 +17,15 @@
 # on the shared partial buffer is exactly where a combine-order bug would
 # hide), the serve shard matrix (shards x policies x threads x
 # pipeline_depth), the remote-tier loopback matrix (same workload rehosted
-# on the wire protocol) and the transport fault-injection suite
+# on the wire protocol), the transport fault-injection suite
 # (reply-reader threads + the in-flight request table are exactly where a
-# completion race would hide) explicitly before the smokes. Socket smokes
-# skip gracefully where sockets are unavailable.
+# completion race would hide) and the reconnect/degradation suites
+# (LoopbackReconnect.* + ReconServiceFaults.* — recovery ladder vs the
+# reply reader, replay vs racing senders) explicitly before the smokes.
+# Both presets also run the chaos smoke: a TCP tier killed mid-run and
+# restarted from a snapshot, gated on "surviving jobs bit-identical,
+# service exits 0". Socket smokes skip gracefully where sockets are
+# unavailable.
 #   ./scripts/check.sh          release build + ctest + smokes
 #   ./scripts/check.sh tsan     ThreadSanitizer build + ctest + matrix +
 #                               smokes (slower)
@@ -57,7 +62,8 @@ if [[ "$preset" == "tsan" ]]; then
     --gtest_filter='ReconService.OutputsIdenticalAcrossPipelineDepths:ReconService.SharedTierShardMatrix:ReconService.LoopbackTransportMatrix:ReconService.TraceOnOffBitIdentity'
   if [[ -x ./build-tsan/net_test ]]; then
     ./build-tsan/net_test \
-      --gtest_filter='RequestTable.*:TierClientFaults.*:TierServerFaults.*:SocketTransport.*'
+      --gtest_filter='RequestTable.*:TierClientFaults.*:TierServerFaults.*:SocketTransport.*:LoopbackReconnect.*'
+    ./build-tsan/serve_test --gtest_filter='ReconServiceFaults.*'
   fi
   ./build-tsan/bench_stage_scaling --n 12 --reps 2 --threads 2 \
     --tail-lanes 2 --json /tmp/BENCH_stage_scaling.tsan.json
@@ -66,6 +72,8 @@ if [[ "$preset" == "tsan" ]]; then
     --trace /tmp/mlr_trace.tsan.json
   check_trace /tmp/mlr_trace.tsan.json
   ./build-tsan/bench_serve_traffic --jobs 8 --n small --transport socket
+  ./build-tsan/bench_serve_traffic --jobs 8 --n small --transport socket \
+    --chaos kill-tier-at-job=3
 else
   cmake -B build -S .
   cmake --build build -j "$(nproc)"
@@ -80,4 +88,9 @@ else
   check_trace /tmp/mlr_trace.smoke.json
   ./build/bench_serve_traffic --jobs 8 --n small --transport socket \
     --json /tmp/BENCH_serve_traffic.socket.json
+  ./build/bench_serve_traffic --jobs 8 --n small --transport socket \
+    --chaos kill-tier-at-job=3 \
+    --json /tmp/BENCH_serve_traffic.chaos.json
+  ./build/bench_serve_traffic --jobs 8 --n small --transport socket \
+    --chaos blip-tier-at-job=3
 fi

@@ -12,12 +12,14 @@ namespace {
 struct TableMetrics {
   obs::Counter& requests;
   obs::Counter& timeouts;
+  obs::Counter& stale_replies;
   obs::Gauge& in_flight_peak;
   obs::Histogram& wait_s;
   static TableMetrics& get() {
     static TableMetrics m{
         obs::metrics().counter("net.table.requests"),
         obs::metrics().counter("net.table.timeouts"),
+        obs::metrics().counter("net.table.stale_replies"),
         obs::metrics().gauge("net.table.in_flight_peak"),
         obs::metrics().histogram("net.table.wait_s", obs::latency_edges_s()),
     };
@@ -45,8 +47,16 @@ void RequestTable::complete(u64 id, std::vector<std::byte> payload) {
   std::unique_lock lk(mu_);
   auto it = slots_.find(id);
   if (it == slots_.end()) {
-    // A reply for a request we never sent (or already released): frames are
-    // desynchronized, so nothing received from here on can be trusted.
+    if (retry_mode_) {
+      // A late duplicate: the waiter timed out per-request, or a replayed
+      // frame's original reply survived the reconnect. Expected weather —
+      // count it and move on.
+      TableMetrics::get().stale_replies.add();
+      return;
+    }
+    // Legacy regime: a reply for a request we never sent (or already
+    // released) means frames are desynchronized — nothing received from
+    // here on can be trusted.
     if (!broken_) {
       broken_ = true;
       sticky_ = "unsolicited reply for request id " + std::to_string(id);
@@ -58,16 +68,23 @@ void RequestTable::complete(u64 id, std::vector<std::byte> payload) {
     cv_.notify_all();
     return;
   }
+  if (it->second.done) {
+    // Duplicate reply to a slot already failed/completed (replay raced the
+    // original reply). Keep the first outcome.
+    if (retry_mode_) TableMetrics::get().stale_replies.add();
+    return;
+  }
   it->second.done = true;
   it->second.payload = std::move(payload);
   cv_.notify_all();
 }
 
-void RequestTable::fail(u64 id, const std::string& error) {
+void RequestTable::fail(u64 id, const std::string& error, bool retryable) {
   std::lock_guard lk(mu_);
   auto it = slots_.find(id);
-  if (it == slots_.end()) return;
+  if (it == slots_.end() || it->second.done) return;
   it->second.done = it->second.failed = true;
+  it->second.retryable = retryable;
   it->second.error = error;
   cv_.notify_all();
 }
@@ -81,9 +98,15 @@ void RequestTable::fail_all(const std::string& error) {
   for (auto& [k, s] : slots_) {
     if (s.done) continue;
     s.done = s.failed = true;
+    s.retryable = false;
     s.error = sticky_;
   }
   cv_.notify_all();
+}
+
+void RequestTable::forget(u64 id) {
+  std::lock_guard lk(mu_);
+  slots_.erase(id);
 }
 
 std::vector<std::byte> RequestTable::wait(u64 id, double timeout_s) {
@@ -101,13 +124,26 @@ std::vector<std::byte> RequestTable::wait(u64 id, double timeout_s) {
   while (!it->second.done) {
     if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
         !it->second.done) {
-      // The reply may still arrive after we stop listening — it would then
-      // be unsolicited — so a timeout poisons the whole transport.
       TableMetrics::get().timeouts.add();
+      const std::string msg = "request " + std::to_string(id) +
+                              " timed out after " + std::to_string(timeout_s) +
+                              " s";
+      if (retry_mode_) {
+        // Per-request failure: the reply is merely late or lost; a stale
+        // arrival later is dropped by complete(). The verb layer decides
+        // whether to re-issue (RetryableError).
+        it->second.done = it->second.failed = true;
+        it->second.retryable = true;
+        it->second.error = msg;
+        cv_.notify_all();
+        break;
+      }
+      // Legacy regime: the reply may still arrive after we stop listening —
+      // it would then be unsolicited — so a timeout poisons the whole
+      // transport.
       if (!broken_) {
         broken_ = true;
-        sticky_ = "request " + std::to_string(id) + " timed out after " +
-                  std::to_string(timeout_s) + " s";
+        sticky_ = msg;
       }
       for (auto& [k, s] : slots_) {
         if (s.done) continue;
@@ -121,8 +157,16 @@ std::vector<std::byte> RequestTable::wait(u64 id, double timeout_s) {
   Slot slot = std::move(it->second);
   slots_.erase(it);
   TableMetrics::get().wait_s.observe(wt.seconds());
-  if (slot.failed) throw NetError(slot.error);
+  if (slot.failed) {
+    if (slot.retryable) throw RetryableError(slot.error);
+    throw NetError(slot.error);
+  }
   return std::move(slot.payload);
+}
+
+void RequestTable::set_retry_mode(bool on) {
+  std::lock_guard lk(mu_);
+  retry_mode_ = on;
 }
 
 bool RequestTable::broken() const {
@@ -138,6 +182,12 @@ std::string RequestTable::error() const {
 std::size_t RequestTable::in_flight() const {
   std::lock_guard lk(mu_);
   return slots_.size();
+}
+
+bool RequestTable::pending(u64 id) const {
+  std::lock_guard lk(mu_);
+  const auto it = slots_.find(id);
+  return it != slots_.end() && !it->second.done;
 }
 
 }  // namespace mlr::net

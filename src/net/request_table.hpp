@@ -6,13 +6,28 @@
 // (out-of-order is fine — the id keys the slot, not the position); waiters
 // block on their slot with a timeout.
 //
-// Failure is *sticky* by design: a transport-level fault (connection died,
-// short read, unsolicited reply id, a waiter timed out) marks the whole
-// table broken, fails every in-flight slot, and makes every future
-// expect()/wait() throw immediately — once frames may have been lost there
-// is no way to know which, so the session surfaces one NetError instead of
-// hanging or silently computing with a torn tier view. A *per-request*
-// server error (Error reply frame) fails only its own slot.
+// The table runs in one of two failure regimes:
+//
+//   * Legacy (retry mode OFF, the default): failure is *sticky* by design.
+//     A transport-level fault (connection died, short read, unsolicited
+//     reply id, a waiter timed out) marks the whole table broken, fails
+//     every in-flight slot, and makes every future expect()/wait() throw
+//     immediately — once frames may have been lost there is no way to know
+//     which, so the session surfaces one NetError instead of hanging or
+//     silently computing with a torn tier view.
+//   * Retry mode ON (the transport has a reconnect budget,
+//     Transport::set_retry): transient events become *per-request*
+//     failures. A wait() timeout fails only its own slot — with a
+//     RetryableError, because the read-class verbs are idempotent and the
+//     caller may re-issue — and an unknown-id reply is dropped and counted
+//     (net.table.stale_replies) instead of breaking the table: after a
+//     per-request timeout or a replay, a late duplicate reply is expected
+//     weather, not desynchronization. fail_all still exists and is still
+//     sticky — the transport calls it once its reconnect budget is
+//     exhausted (the tier is declared down).
+//
+// A *per-request* server error (Error reply frame) fails only its own slot
+// in both regimes.
 #pragma once
 
 #include <condition_variable>
@@ -27,10 +42,20 @@
 
 namespace mlr::net {
 
-/// Transport failure surfaced to the caller (sticky once raised).
+/// Transport failure surfaced to the caller (sticky once raised via
+/// fail_all; per-request otherwise).
 class NetError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// A transiently failed request: the transport is (or may be) healthy
+/// again, only this request's outcome was lost. Safe to handle at a level
+/// that knows the verb's idempotency — read verbs re-issue, at-most-once
+/// verbs (PUT / SNAPSHOT_IMPORT) surface it to the caller.
+class RetryableError : public NetError {
+ public:
+  using NetError::NetError;
 };
 
 class RequestTable {
@@ -41,29 +66,44 @@ class RequestTable {
   /// reply can never race the registration. Throws NetError when broken.
   void expect(u64 id);
   /// Complete `id` with its reply payload. An unknown id is a protocol
-  /// violation (the peer answered a request we never made, or answered one
-  /// twice) and breaks the table.
+  /// violation in the legacy regime (the peer answered a request we never
+  /// made, or answered one twice) and breaks the table; in retry mode it is
+  /// dropped and counted as a stale reply (late duplicate after a
+  /// per-request timeout or a replay).
   void complete(u64 id, std::vector<std::byte> payload);
-  /// Fail `id` alone (per-request server error). Unknown ids are ignored.
-  void fail(u64 id, const std::string& error);
+  /// Fail `id` alone (per-request failure). Unknown ids are ignored.
+  /// `retryable` marks the failure transient: wait() throws RetryableError.
+  void fail(u64 id, const std::string& error, bool retryable = false);
   /// Break the table: every in-flight and future request fails with
   /// `error`. Idempotent (the first error wins — it is the root cause).
   void fail_all(const std::string& error);
+  /// Drop `id`'s slot if its waiter will never run (send-side throw after
+  /// expect). Unknown ids are ignored.
+  void forget(u64 id);
 
   /// Block until `id` completes; returns the reply payload and releases the
-  /// slot. Throws NetError on per-request failure, on a broken table, or
-  /// after `timeout_s` seconds (a timeout breaks the table: the reply may
-  /// still arrive later and would then be unsolicited).
+  /// slot. Throws RetryableError on a retryable per-request failure,
+  /// NetError on any other failure or a broken table, or after `timeout_s`
+  /// seconds. A timeout breaks the table in the legacy regime (the reply
+  /// may still arrive later and would then be unsolicited); in retry mode
+  /// it fails only this slot, retryably (stale replies are tolerated).
   std::vector<std::byte> wait(u64 id, double timeout_s);
+
+  /// Switch failure regimes (see the header comment). Flipped by
+  /// Transport::set_retry, before any traffic.
+  void set_retry_mode(bool on);
 
   [[nodiscard]] bool broken() const;
   [[nodiscard]] std::string error() const;
   [[nodiscard]] std::size_t in_flight() const;
+  /// Slot registered and still awaiting its reply?
+  [[nodiscard]] bool pending(u64 id) const;
 
  private:
   struct Slot {
     bool done = false;
     bool failed = false;
+    bool retryable = false;
     std::vector<std::byte> payload;
     std::string error;
   };
@@ -72,6 +112,7 @@ class RequestTable {
   std::unordered_map<u64, Slot> slots_;
   u64 next_ = 1;
   bool broken_ = false;
+  bool retry_mode_ = false;
   std::string sticky_;
 };
 

@@ -29,86 +29,145 @@ std::unique_ptr<SocketTransport> SocketTransport::connect_tcp(
     const std::string& host, std::uint16_t port, int channels) {
   MLR_CHECK(channels >= 1);
   sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
     throw NetError("unparseable tier address host: " + host);
   auto t = std::unique_ptr<SocketTransport>(new SocketTransport());
+  t->host_ = host;
+  t->port_ = port;
   for (int c = 0; c < channels; ++c) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) throw NetError("socket() failed (sockets unavailable)");
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-      ::close(fd);
+    const int fd = t->dial();
+    if (fd < 0)
       throw NetError("connect to " + host + ":" + std::to_string(port) +
-                     " failed");
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+                     " failed (sockets unavailable)");
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
     t->conns_.push_back(std::move(conn));
   }
   // Start readers only after every connect succeeded (a failed construction
-  // has no threads to unwind).
+  // has no threads to unwind). Each reader is pinned to the (fd, generation)
+  // it was spawned for; a reconnect retires it and spawns a fresh one.
   for (std::size_t c = 0; c < t->conns_.size(); ++c) {
     auto* self = t.get();
-    t->conns_[c]->reader = std::thread([self, c] { self->reader_loop(c); });
+    const int fd = t->conns_[c]->fd;
+    const u64 gen = t->generation(int(c));
+    t->conns_[c]->reader =
+        std::thread([self, c, fd, gen] { self->reader_loop(c, fd, gen); });
   }
   return t;
 }
 
 SocketTransport::~SocketTransport() {
+  // Stop first: a reader noticing the shutdown below must exit, not run the
+  // recovery ladder against a perfectly healthy server forever.
+  closing_.store(true, std::memory_order_relaxed);
   for (auto& conn : conns_)
     if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
   for (auto& conn : conns_)
     if (conn->reader.joinable()) conn->reader.join();
+  std::vector<std::thread> retired;
+  std::vector<int> rfds;
+  {
+    std::lock_guard lk(retire_mu_);
+    retired.swap(retired_readers_);
+    rfds.swap(retired_fds_);
+  }
+  for (auto& th : retired)
+    if (th.joinable()) th.join();
+  for (const int fd : rfds) ::close(fd);
   for (auto& conn : conns_)
     if (conn->fd >= 0) ::close(conn->fd);
 }
 
-void SocketTransport::send(int channel, FrameType type, u64 request_id,
-                           std::span<const std::byte> payload) {
+int SocketTransport::dial() const {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+void SocketTransport::write_frame(int channel, FrameType /*type*/,
+                                  const std::vector<std::byte>& frame) {
   MLR_CHECK(channel >= 0 && channel < int(conns_.size()));
   auto& conn = *conns_[std::size_t(channel)];
-  const auto frame = encode_frame(type, /*flags=*/0, request_id, payload);
   std::lock_guard lk(conn.write_mu);
   std::size_t put = 0;
   while (put < frame.size()) {
-    const auto r = ::write(conn.fd, frame.data() + put, frame.size() - put);
-    if (r <= 0) {
-      table_.fail_all("connection write failed on channel " +
-                      std::to_string(channel));
-      throw NetError(table_.error());
-    }
+    // MSG_NOSIGNAL: a peer that died between frames must surface as EPIPE
+    // (→ the recovery ladder), not as a process-killing SIGPIPE.
+    const auto r = ::send(conn.fd, frame.data() + put, frame.size() - put,
+                          MSG_NOSIGNAL);
+    if (r <= 0)
+      throw TransportFault("connection write failed on channel " +
+                           std::to_string(channel));
     put += std::size_t(r);
   }
-  frames_sent_.fetch_add(1, std::memory_order_relaxed);
-  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
 }
 
-void SocketTransport::reader_loop(std::size_t conn) {
-  const int fd = conns_[conn]->fd;
+bool SocketTransport::reopen(int channel) {
+  const int nfd = dial();
+  if (nfd < 0) return false;
+  auto& conn = *conns_[std::size_t(channel)];
+  std::lock_guard lk(conn.write_mu);
+  // Retire the dead carrier: shutdown unblocks its reader (which exits on
+  // the stale generation), the fd and thread are reaped at destruction.
+  if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+  {
+    std::lock_guard rl(retire_mu_);
+    if (conn.reader.joinable())
+      retired_readers_.push_back(std::move(conn.reader));
+    if (conn.fd >= 0) retired_fds_.push_back(conn.fd);
+  }
+  conn.fd = nfd;
+  return true;
+}
+
+void SocketTransport::on_recovered(int channel) {
+  auto& conn = *conns_[std::size_t(channel)];
+  const int fd = conn.fd;
+  const u64 gen = generation(channel);
+  conn.reader = std::thread(
+      [this, channel, fd, gen] { reader_loop(std::size_t(channel), fd, gen); });
+}
+
+void SocketTransport::reader_loop(std::size_t conn, int fd, u64 gen) {
   std::vector<std::byte> frame;
   for (;;) {
+    std::string fault;
     frame.resize(kHeaderBytes);
     if (!read_full(fd, frame.data(), kHeaderBytes)) {
-      table_.fail_all("connection closed (EOF or short read mid-header)");
-      return;
+      fault = "connection closed (EOF or short read mid-header)";
+    } else {
+      FrameHeader h{};
+      try {
+        // decode_header enforces kMaxFramePayload, so a corrupt or
+        // desynchronized reply stream cannot wrap the resize below or drive
+        // it to an absurd size; any residual allocation failure becomes a
+        // carrier fault, not a process-terminating escape from this thread.
+        h = decode_header(frame);
+        frame.resize(kHeaderBytes + h.payload_bytes);
+      } catch (const std::exception& e) {
+        fault = std::string("undecodable reply header: ") + e.what();
+      }
+      if (fault.empty() &&
+          !read_full(fd, frame.data() + kHeaderBytes, h.payload_bytes))
+        fault = "connection closed mid-reply (truncated payload)";
     }
-    FrameHeader h;
-    try {
-      // decode_header enforces kMaxFramePayload, so a corrupt or
-      // desynchronized reply stream cannot wrap the resize below or drive
-      // it to an absurd size; any residual allocation failure becomes the
-      // sticky error, not a process-terminating escape from this thread.
-      h = decode_header(frame);
-      frame.resize(kHeaderBytes + h.payload_bytes);
-    } catch (const std::exception& e) {
-      table_.fail_all(std::string("undecodable reply header: ") + e.what());
-      return;
-    }
-    if (!read_full(fd, frame.data() + kHeaderBytes, h.payload_bytes)) {
-      table_.fail_all("connection closed mid-reply (truncated payload)");
+    if (!fault.empty()) {
+      // This reader is done either way: destruction, a recovery that
+      // already superseded this carrier, a successful recovery (which
+      // spawned a new reader on the new connection), or a broken table.
+      if (!closing_.load(std::memory_order_relaxed))
+        recover_channel(int(conn), gen, fault);
       return;
     }
     route_reply(frame);

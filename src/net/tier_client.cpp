@@ -61,17 +61,37 @@ const char* verb_span_name(FrameType t) {
 
 TierClient::TierClient(std::unique_ptr<Transport> transport,
                        sim::FabricSpec fabric, int shard_count,
-                       double timeout_s)
+                       double timeout_s, RetrySpec retry)
     : transport_(std::move(transport)),
       fabric_(fabric, shard_count),
       shard_count_(shard_count),
       timeout_s_(timeout_s),
+      retry_(retry),
       shard_entries_(std::size_t(shard_count), 0),
       shard_bytes_(std::size_t(shard_count), 0.0),
       queued_(std::size_t(shard_count)) {
   MLR_CHECK(transport_ != nullptr && shard_count >= 1 && timeout_s > 0.0);
   // GET/GET_BATCH ride channel = shard; the transport must cover them all.
   MLR_CHECK(transport_->channels() >= shard_count);
+  transport_->set_retry(retry_);
+}
+
+void TierClient::reconnect(std::unique_ptr<Transport> transport) {
+  MLR_CHECK(transport != nullptr && transport->channels() >= shard_count_);
+  transport->set_retry(retry_);
+  transport_ = std::move(transport);
+  // A client-level reconnect (fresh transport after the old one's budget
+  // died) counts on the same ladder observable as an in-transport reopen.
+  obs::metrics().counter("net.client.reconnects").add();
+  // The lazy fetch state is keyed by request ids of the dead table; reset
+  // it (positions re-request against the new carrier as needed). The stats
+  // mirror and the fabric survive — they model the tier, not the carrier.
+  std::lock_guard lk(vmu_);
+  vstate_.clear();
+  batch_pos_.clear();
+  batch_claimed_.clear();
+  batch_retry_.clear();
+  for (auto& q : queued_) q.clear();
 }
 
 std::vector<std::byte> TierClient::call(int channel, FrameType type,
@@ -140,6 +160,7 @@ serve::TierSeed TierClient::end_seed(
     vstate_.clear();
     batch_pos_.clear();
     batch_claimed_.clear();
+    batch_retry_.clear();
     for (auto& q : queued_) q.clear();
   }
   return {&storage, this};
@@ -260,9 +281,13 @@ std::vector<cfloat> TierClient::fetch(u64 pos) {
       lk.unlock();
       std::vector<std::byte> payload;
       std::string err;
+      bool retryable = false;
       const WallTimer wt;
       try {
         payload = transport_->table().wait(batch, timeout_s_);
+      } catch (const RetryableError& e) {
+        err = e.what();
+        retryable = true;
       } catch (const NetError& e) {
         err = e.what();
       }
@@ -271,6 +296,50 @@ std::vector<cfloat> TierClient::fetch(u64 pos) {
       vm.latency_s.observe(wt.seconds());
       vm.bytes_in.add(kHeaderBytes + payload.size());
       lk.lock();
+      if (retryable && batch_retry_[batch] < retry_.retry_max) {
+        // One slow or lost slice must not break the table (the old
+        // fail_all behavior): re-issue JUST this batch under a fresh id.
+        // The positions are already sorted — the retry frame is canonical.
+        auto& table = transport_->table();
+        const u64 fresh = table.next_id();
+        table.expect(fresh);
+        const int tried = batch_retry_[batch];
+        auto positions = std::move(batch_pos_[batch]);
+        batch_pos_.erase(batch);
+        batch_claimed_.erase(batch);
+        batch_retry_.erase(batch);
+        WireWriter w;
+        w.u32(u32(positions.size()));
+        for (const u64 p : positions) {
+          w.u64(p);
+          auto& vs = vstate_[p];
+          vs.state = VState::Pending;
+          vs.batch_id = fresh;
+        }
+        const int shard = pos_shard_[std::size_t(positions.front())];
+        batch_retry_[fresh] = tried + 1;
+        batch_pos_[fresh] = std::move(positions);
+        obs::metrics().counter("net.table.retries").add();
+        vm.frames.add();
+        vm.bytes_out.add(kHeaderBytes + w.size());
+        obs::trace_async_begin("net.get_batch", "net", fresh);
+        try {
+          transport_->send(shard, FrameType::GetBatch, fresh, w.data());
+        } catch (const NetError& e) {
+          // Reconnect budget exhausted mid-retry: fail this batch's
+          // positions so no fetcher waits forever, then surface the error.
+          for (const u64 p : batch_pos_[fresh]) {
+            auto& vs = vstate_[p];
+            vs.state = VState::Failed;
+            vs.error = e.what();
+          }
+          vcv_.notify_all();
+          throw;
+        }
+        vcv_.notify_all();
+        it = vstate_.find(pos);
+        continue;  // this thread claims the fresh batch next iteration
+      }
       if (err.empty()) {
         try {
           WireReader r(payload);
@@ -310,6 +379,10 @@ std::vector<cfloat> TierClient::fetch(u64 pos) {
       continue;
     }
     if (vcv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      if (retry_.enabled())
+        // Per-request failure regime: only this fetch gives up; the
+        // harvester (and the table) may still be making progress.
+        throw NetError("GET_BATCH fetch timed out");
       transport_->table().fail_all("GET_BATCH fetch timed out");
       throw NetError(transport_->table().error());
     }

@@ -33,6 +33,14 @@
 // Transport faults surface as sticky NetError from fetch()/end_seed()/
 // fold() — never a hang (every wait carries the configured timeout).
 //
+// With a reconnect budget (RetrySpec, retry_max > 0) faults stop being
+// sticky: a slow or lost GET_BATCH reply fails per-request and the
+// harvesting fetch() re-issues that one batch (counted as
+// net.table.retries) up to retry_max times before giving up; a PUT
+// interrupted by a reconnect surfaces RetryableError from fold() — the
+// service buffers the promotion and re-ships it on recovery (the tier's
+// dedup probe absorbs the duplicate if the original did land).
+//
 // Sessions of one service run sequentially on the wall clock (slots are
 // virtual), so one client serves them all; within a session, request/flush/
 // fetch run on pool workers and are fully locked.
@@ -52,9 +60,10 @@ namespace mlr::net {
 class TierClient final : public serve::TierBackend, public memo::ValueFetcher {
  public:
   /// `fabric` is the client-side charging model (the one the in-process
-  /// tier would own); `timeout_s` bounds every wire wait.
+  /// tier would own); `timeout_s` bounds every wire wait; `retry` is the
+  /// transport's reconnect budget (default: legacy sticky).
   TierClient(std::unique_ptr<Transport> transport, sim::FabricSpec fabric,
-             int shard_count, double timeout_s);
+             int shard_count, double timeout_s, RetrySpec retry = {});
 
   // --- serve::TierBackend ---------------------------------------------------
   u64 begin_seed() override;
@@ -75,6 +84,12 @@ class TierClient final : public serve::TierBackend, public memo::ValueFetcher {
   }
   [[nodiscard]] double total_bytes() const override { return total_bytes_; }
   [[nodiscard]] const sim::Fabric& fabric() const override { return fabric_; }
+  /// The tier is reachable as far as this client knows: the transport's
+  /// table has not been broken (reconnect budget not exhausted). A false
+  /// here is what flips the service into degraded cold-session mode.
+  [[nodiscard]] bool healthy() const override {
+    return !transport_->table().broken();
+  }
 
   // --- memo::ValueFetcher ---------------------------------------------------
   void request(u64 pos) override;
@@ -82,6 +97,14 @@ class TierClient final : public serve::TierBackend, public memo::ValueFetcher {
   std::vector<cfloat> fetch(u64 pos) override;
 
   [[nodiscard]] const Transport& transport() const { return *transport_; }
+  [[nodiscard]] Transport& transport_mut() { return *transport_; }
+
+  /// Swap in a freshly connected transport after the old one's budget was
+  /// exhausted (the service's recovery probe). Keeps the fabric and the
+  /// stats mirror — the tier's accounting survived the outage server-side
+  /// (or was restored from a checkpoint); only the carrier is new. Lazy
+  /// fetch state is reset (its request ids belong to the dead table).
+  void reconnect(std::unique_ptr<Transport> transport);
 
  private:
   /// Send one request on `channel` and block for its reply payload.
@@ -94,6 +117,7 @@ class TierClient final : public serve::TierBackend, public memo::ValueFetcher {
   sim::Fabric fabric_;
   int shard_count_;
   double timeout_s_;
+  RetrySpec retry_{};
 
   // Mirror of the server tier's accounting, adopted bit-exactly from reply
   // stats blocks. Mutated only between sessions (end_seed / fold), read by
@@ -119,6 +143,7 @@ class TierClient final : public serve::TierBackend, public memo::ValueFetcher {
   std::vector<std::vector<u64>> queued_;          ///< per shard, unshipped
   std::map<u64, std::vector<u64>> batch_pos_;     ///< batch id → positions
   std::map<u64, bool> batch_claimed_;             ///< a harvester exists
+  std::map<u64, int> batch_retry_;                ///< re-issues so far
 };
 
 }  // namespace mlr::net

@@ -75,7 +75,9 @@ bool read_full(int fd, std::byte* buf, std::size_t n) {
 bool write_full(int fd, const std::byte* buf, std::size_t n) {
   std::size_t put = 0;
   while (put < n) {
-    const auto r = ::write(fd, buf + put, n - put);
+    // MSG_NOSIGNAL: a client that died mid-reply must surface as a write
+    // error on this connection, not a process-wide SIGPIPE.
+    const auto r = ::send(fd, buf + put, n - put, MSG_NOSIGNAL);
     if (r <= 0) return false;
     put += std::size_t(r);
   }

@@ -83,6 +83,23 @@ struct JobRequest {
   u64 seed = 1;                  ///< object identity (phantom seed)
 };
 
+/// How a job left the service. Rejected jobs never ran (admission control);
+/// Failed jobs were dispatched but their session threw — the error is
+/// preserved in JobStats::failure, the slot was released, and every OTHER
+/// job's outputs/records/vtimes are unaffected (per-job failure isolation:
+/// sessions are hermetic and the tier folds in job-id order, so a failed
+/// job is simply absent from the fold).
+enum class JobOutcome : int { Completed = 0, Rejected = 1, Failed = 2 };
+
+inline const char* job_outcome_name(JobOutcome o) {
+  switch (o) {
+    case JobOutcome::Completed: return "completed";
+    case JobOutcome::Rejected: return "rejected";
+    case JobOutcome::Failed: return "failed";
+  }
+  return "?";
+}
+
 /// Outcome of one job.
 struct JobStats {
   u64 id = 0;
@@ -90,6 +107,12 @@ struct JobStats {
   Scenario scenario{};
   int priority = 1;
   bool admitted = true;          ///< false: rejected at arrival (queue full)
+  JobOutcome outcome = JobOutcome::Completed;
+  std::string failure;           ///< Failed only: what the session threw
+  /// Ran in degraded (cold-session) mode: the shared tier was unreachable,
+  /// so no seed was imported and the job's promotion was buffered locally
+  /// for re-shipment on recovery.
+  bool degraded = false;
   int slot = -1;                 ///< execution slot that ran the job
   sim::VTime arrival = 0, start = 0, finish = 0;
   /// Policy-invariant job runtime: sessions are hermetic (seed snapshot +

@@ -73,22 +73,18 @@ ReconService::ReconService(ServiceConfig cfg)
     // Remote tier: the authoritative entries live in a TierServer (whose
     // own fabric is forced off — all virtual charging happens here, on the
     // client's fabric, so clocks are transport-invariant).
-    std::unique_ptr<net::Transport> transport;
     if (cfg_.transport == TierTransport::Loopback) {
       server_ = std::make_unique<net::TierServer>(tc);
-      transport = std::make_unique<net::LoopbackTransport>(server_.get(),
-                                                           cfg_.shard_count);
     } else {
-      std::string host = "127.0.0.1";
-      std::uint16_t port = 0;
+      tier_host_ = "127.0.0.1";
       if (cfg_.tier_address.empty()) {
         server_ = std::make_unique<net::TierServer>(tc);
-        port = server_->listen_and_serve();
+        tier_port_ = server_->listen_and_serve();
       } else {
         const auto colon = cfg_.tier_address.rfind(':');
         MLR_CHECK_MSG(colon != std::string::npos,
                       "tier_address must be host:port");
-        host = cfg_.tier_address.substr(0, colon);
+        tier_host_ = cfg_.tier_address.substr(0, colon);
         const auto port_str = cfg_.tier_address.substr(colon + 1);
         unsigned long parsed = 0;
         const bool digits =
@@ -100,14 +96,12 @@ ReconService::ReconService(ServiceConfig cfg)
         MLR_CHECK_MSG(digits && parsed >= 1 && parsed <= 65535,
                       "tier_address port must be 1-65535, got \"" +
                           cfg_.tier_address + "\"");
-        port = std::uint16_t(parsed);
+        tier_port_ = std::uint16_t(parsed);
       }
-      transport =
-          net::SocketTransport::connect_tcp(host, port, cfg_.shard_count);
     }
-    tier_ = std::make_unique<net::TierClient>(std::move(transport),
-                                              cfg_.fabric, cfg_.shard_count,
-                                              cfg_.net_timeout_s);
+    tier_ = std::make_unique<net::TierClient>(
+        make_transport(), cfg_.fabric, cfg_.shard_count, cfg_.net_timeout_s,
+        net::RetrySpec{cfg_.net_retry_max, cfg_.net_backoff_ms});
 #else
     MLR_CHECK_MSG(false,
                   "remote tier transport requested but the build has "
@@ -120,6 +114,60 @@ ReconService::ReconService(ServiceConfig cfg)
 }
 
 ReconService::~ReconService() = default;
+
+std::unique_ptr<net::Transport> ReconService::make_transport() {
+#ifdef MLR_HAS_NET
+  if (cfg_.transport == TierTransport::Loopback)
+    return std::make_unique<net::LoopbackTransport>(server_.get(),
+                                                    cfg_.shard_count);
+  return net::SocketTransport::connect_tcp(tier_host_, tier_port_,
+                                           cfg_.shard_count);
+#else
+  MLR_CHECK_MSG(false, "no net support in this build");
+  return nullptr;
+#endif
+}
+
+void ReconService::enter_degraded(const std::string& why) {
+  if (degraded_) return;
+  degraded_ = true;
+  ++stats_.degraded_spans;
+  obs::metrics().counter("serve.degraded_spans").add();
+  obs::trace_instant("serve.degraded", "serve", stats_.degraded_spans);
+  (void)why;
+}
+
+void ReconService::try_tier_recovery() {
+#ifdef MLR_HAS_NET
+  auto* client = dynamic_cast<net::TierClient*>(tier_.get());
+  if (client == nullptr) {
+    degraded_ = false;
+    return;
+  }
+  try {
+    client->reconnect(make_transport());
+    // Re-ship the promotions buffered while cold, in job-id order — the
+    // same fold path (and therefore the same tier evolution) a healthy
+    // drain would have used. Entries are copied so a fold interrupted by a
+    // relapse keeps its batch buffered for the next probe. Exact duplicates
+    // of a PUT that did land before the outage are absorbed by the tier's
+    // dedup probe.
+    while (!cold_promotions_.empty()) {
+      auto& [id, entries] = cold_promotions_.front();
+      (void)id;
+      fold_promotion(nullptr, entries);
+      cold_promotions_.erase(cold_promotions_.begin());
+    }
+    degraded_ = false;
+    obs::trace_instant("serve.recovered", "serve", stats_.degraded_spans);
+  } catch (const net::NetError&) {
+    // Tier still down (or it relapsed mid-re-ship): stay degraded; the
+    // next dispatch probes again.
+  }
+#else
+  degraded_ = false;
+#endif
+}
 
 const ReconService::Problem& ReconService::problem_for(Scenario s, u64 seed) {
   const auto key = std::make_pair(int(s), seed);
@@ -139,7 +187,8 @@ const Array3D<cfloat>& ReconService::ground_truth(Scenario s, u64 seed) {
 
 JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
                                sim::VTime seed_ready,
-                               std::vector<memo::MemoDb::Entry>* own_entries) {
+                               std::vector<memo::MemoDb::Entry>* own_entries,
+                               bool cold) {
   // The per-job trace tree: "job" wraps the whole synchronous session;
   // setup/solve/export children plus the net layer's async seed-export and
   // GET_BATCH pairs hang under it on the same track.
@@ -148,7 +197,9 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
   // backend the index-only export round-trip overlaps all the per-job setup
   // below; end_seed() harvests it just before the session is built. The
   // in-process tier's begin/end pair degenerates to a pointer handoff.
-  const bool seeded = cfg_.memoize && tier_->size() > 0;
+  // A cold (degraded-mode) session skips the seed entirely — the tier is
+  // unreachable; the job still runs, just without cross-job reuse.
+  const bool seeded = cfg_.memoize && !cold && tier_->size() > 0;
   const u64 seed_ticket = seeded ? tier_->begin_seed() : 0;
 
   const auto prof = scenario_profile(req.scenario);
@@ -183,6 +234,7 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
   st.arrival = req.arrival;
   st.start = start;
   st.seed_fetch_s = seed_ready - start;
+  st.degraded = cold;
 
   // Hermetic session: fresh devices/net/memory node (virtual time starts at
   // 0 inside the session; the service adds `seed_ready`, the charged fabric
@@ -293,10 +345,27 @@ std::vector<JobStats> ReconService::prime(std::span<const JobRequest> warm) {
   for (const auto& w : warm) {
     JobRequest req = w;
     req.id = next_id_++;
-    std::vector<memo::MemoDb::Entry> own;
-    auto st = run_job(req, 0.0, 0.0, cfg_.memoize ? &own : nullptr);
-    if (cfg_.memoize) fold_promotion(&st, std::move(own));
-    out.push_back(std::move(st));
+    try {
+      std::vector<memo::MemoDb::Entry> own;
+      auto st = run_job(req, 0.0, 0.0, cfg_.memoize ? &own : nullptr);
+      if (cfg_.memoize) fold_promotion(&st, std::move(own));
+      out.push_back(std::move(st));
+    } catch (const std::exception& e) {
+      // A warm job that throws poisons only itself: later warm jobs (and
+      // the drain) still run against whatever tier was built so far.
+      JobStats st;
+      st.id = req.id;
+      st.tenant = req.tenant;
+      st.scenario = req.scenario;
+      st.priority = req.priority;
+      st.arrival = st.start = st.finish = req.arrival;
+      st.outcome = JobOutcome::Failed;
+      st.failure = e.what();
+      ++stats_.jobs_failed;
+      obs::metrics().counter("serve.jobs_failed").add();
+      obs::trace_instant("job.failed", "serve", req.id);
+      out.push_back(std::move(st));
+    }
   }
   return out;
 }
@@ -409,6 +478,7 @@ std::vector<JobStats> ReconService::drain() {
         rej.scenario = jr.scenario;
         rej.priority = jr.priority;
         rej.admitted = false;
+        rej.outcome = JobOutcome::Rejected;
         rej.arrival = rej.start = rej.finish = jr.arrival;
         rej.deadline_met = jr.deadline <= 0;
         ++stats_.rejected;
@@ -436,29 +506,90 @@ std::vector<JobStats> ReconService::drain() {
     // Virtual dispatch time on the service timeline (counter track pairs
     // with the vclock.service sample run_job emits at job completion).
     obs::trace_counter("vclock.service", t);
-    const sim::VTime seed_ready =
-        cfg_.memoize ? charge_seed_fetch(t, work_scale_for(req.scenario)) : t;
-    std::vector<memo::MemoDb::Entry> mine;
-    const bool collect = cfg_.memoize && cfg_.promote_after_drain;
-    JobStats st = run_job(req, t, seed_ready, collect ? &mine : nullptr);
-    st.slot = int(slot);
-    // Usage accounting bills the whole slot occupancy — the seed fetch holds
-    // the slot just like the compute does.
-    sched_->on_dispatch(req, t, st.finish - st.start);
-    slot_free_[slot] = st.finish;
-    if (collect) {
-      own.emplace(req.id, std::move(mine));
-      pending.push_back({st.finish, req.id, req.scenario});
+    // Per-job failure isolation: ANY throw out of this job's dispatch or
+    // session — a NetError whose reconnect budget ran out, a chaos hook, a
+    // solver bug — fails only this job. The slot is released, the message
+    // preserved, and the loop moves on; sessions are hermetic and the tier
+    // folds post-drain in job-id order, so the other jobs' sessions never
+    // see a difference.
+    try {
+      if (cfg_.dispatch_hook) cfg_.dispatch_hook(req);
+      // Degraded mode probes recovery once per dispatch: cheap when the
+      // tier is still down (one failed connect), and the earliest possible
+      // exit from cold sessions when it is back.
+      if (degraded_) try_tier_recovery();
+      const bool cold = degraded_;
+      const sim::VTime seed_ready =
+          cfg_.memoize && !cold
+              ? charge_seed_fetch(t, work_scale_for(req.scenario))
+              : t;
+      std::vector<memo::MemoDb::Entry> mine;
+      const bool collect = cfg_.memoize && cfg_.promote_after_drain;
+      JobStats st =
+          run_job(req, t, seed_ready, collect ? &mine : nullptr, cold);
+      st.slot = int(slot);
+      // Usage accounting bills the whole slot occupancy — the seed fetch
+      // holds the slot just like the compute does.
+      sched_->on_dispatch(req, t, st.finish - st.start);
+      slot_free_[slot] = st.finish;
+      if (collect) {
+        own.emplace(req.id, std::move(mine));
+        pending.push_back({st.finish, req.id, req.scenario});
+      }
+      account(st);
+      out.push_back(std::move(st));
+    } catch (const std::exception& e) {
+      JobStats st;
+      st.id = req.id;
+      st.tenant = req.tenant;
+      st.scenario = req.scenario;
+      st.priority = req.priority;
+      st.arrival = req.arrival;
+      st.start = st.finish = t;
+      st.slot = int(slot);
+      st.outcome = JobOutcome::Failed;
+      st.failure = e.what();
+      st.degraded = degraded_;
+      ++stats_.jobs_failed;
+      obs::metrics().counter("serve.jobs_failed").add();
+      obs::trace_instant("job.failed", "serve", req.id);
+      slot_free_[slot] = t;  // the slot frees immediately
+      out.push_back(std::move(st));
     }
-    account(st);
-    out.push_back(std::move(st));
+    // A job whose transport faults past the reconnect budget leaves the
+    // backend broken; declare the tier down and flip to cold sessions so
+    // the queue keeps draining instead of failing job after job.
+    if (cfg_.memoize && !degraded_ && !tier_->healthy())
+      enter_degraded("tier transport broken (reconnect budget exhausted)");
   }
   charge_shipments_until(std::numeric_limits<sim::VTime>::infinity());
   std::sort(out.begin(), out.end(),
             [](const JobStats& a, const JobStats& b) { return a.id < b.id; });
   for (auto& st : out) {
     const auto it = own.find(st.id);
-    if (it != own.end()) fold_promotion(&st, std::move(it->second));
+    if (it == own.end() || it->second.empty()) continue;
+    auto& entries = it->second;
+#ifdef MLR_HAS_NET
+    if (cfg_.transport != TierTransport::Inproc) {
+      if (degraded_) {
+        // Tier down: buffer in job-id order (this loop's order) so the
+        // recovery re-ship folds exactly as a healthy drain would have.
+        cold_promotions_.emplace_back(st.id, std::move(entries));
+        continue;
+      }
+      try {
+        // Deliberate copy: a PUT interrupted by a fault is at-most-once —
+        // the batch must survive to be re-shipped on recovery (the tier's
+        // dedup probe absorbs it if the original did land).
+        fold_promotion(&st, entries);
+      } catch (const net::NetError&) {
+        enter_degraded("promotion PUT failed (tier unreachable)");
+        cold_promotions_.emplace_back(st.id, std::move(entries));
+      }
+      continue;
+    }
+#endif
+    fold_promotion(&st, std::move(entries));
   }
   // Fabric busy/contention gauges: read from sim/ here rather than
   // instrumenting the fabric itself — sim/ stays free of obs dependencies.

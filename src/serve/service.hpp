@@ -52,6 +52,7 @@
 //     and fabric settings while outputs stay bit-identical.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -67,6 +68,7 @@
 
 namespace mlr::net {
 class TierServer;
+class Transport;
 }
 
 namespace mlr::serve {
@@ -138,8 +140,23 @@ struct ServiceConfig {
   /// empty spawns one inside this process on 127.0.0.1.
   std::string tier_address;
   /// Wall-clock bound on every remote-tier wait (seed export, value fetch,
-  /// promotion PUT). A timeout surfaces as a sticky net::NetError.
+  /// promotion PUT). With net_retry_max == 0 a timeout surfaces as a sticky
+  /// net::NetError; with a retry budget it fails per-request and the client
+  /// re-issues the read before giving up.
   double net_timeout_s = 30.0;
+  /// Reconnect budget of the remote-tier transport: up to this many reopen
+  /// attempts per carrier fault, with bounded exponential backoff starting
+  /// at net_backoff_ms. 0 (default) preserves the sticky-NetError contract;
+  /// > 0 enables the recovery ladder — reconnect + idempotent replay, then
+  /// per-job failure isolation, then degraded cold-session mode once the
+  /// budget is exhausted (recovery is re-probed at each later dispatch).
+  int net_retry_max = 0;
+  double net_backoff_ms = 10.0;
+  /// Test/chaos hook: called right before each job is dispatched (after
+  /// scheduling, before the seed fetch). A throw here fails that one job —
+  /// the hook is how chaos benchmarks kill the tier mid-run and how tests
+  /// inject arbitrary session failures. Never called for rejected jobs.
+  std::function<void(const JobRequest&)> dispatch_hook;
 
   // Scheduling.
   SchedulerPolicy policy = SchedulerPolicy::Fifo;
@@ -163,6 +180,12 @@ struct TenantStats {
 /// Aggregate serving metrics (cumulative across drains).
 struct ServiceStats {
   u64 submitted = 0, completed = 0, rejected = 0, deadline_missed = 0;
+  /// Dispatched jobs whose session threw (outcome == JobOutcome::Failed);
+  /// the service released their slot and kept running.
+  u64 jobs_failed = 0;
+  /// Times the service flipped into degraded cold-session mode (tier
+  /// declared down after the reconnect budget was exhausted).
+  u64 degraded_spans = 0;
   Samples queue_wait, turnaround, run_vtime;  // admitted jobs only
   // Memoization outcomes summed over completed jobs.
   u64 lookups = 0, cache_hits = 0, db_hits = 0, shared_hits = 0, misses = 0;
@@ -219,6 +242,11 @@ class ReconService {
   /// The tier backend (shard occupancy, fabric contention counters) —
   /// in-process or a remote client, per ServiceConfig::transport.
   [[nodiscard]] const TierBackend& tier() const { return *tier_; }
+  /// Mutable backend access (tests inject transport faults through it).
+  [[nodiscard]] TierBackend& tier_mut() { return *tier_; }
+  /// In degraded cold-session mode right now (tier declared down; see
+  /// ServiceConfig::net_retry_max)?
+  [[nodiscard]] bool degraded() const { return degraded_; }
   [[nodiscard]] Scheduler& scheduler() { return *sched_; }
   [[nodiscard]] const lamino::Operators& ops() const { return ops_; }
   /// Ground truth for a scenario/seed (error accounting, tests).
@@ -236,7 +264,19 @@ class ReconService {
   /// session's own DB insertions.
   JobStats run_job(const JobRequest& req, sim::VTime start,
                    sim::VTime seed_ready,
-                   std::vector<memo::MemoDb::Entry>* own_entries);
+                   std::vector<memo::MemoDb::Entry>* own_entries,
+                   bool cold = false);
+  /// Build a transport per cfg_.transport (Loopback/Socket). Used at
+  /// construction and by the degraded-mode recovery probe.
+  std::unique_ptr<net::Transport> make_transport();
+  /// Flip into degraded cold-session mode (counted + traced). Idempotent
+  /// per span: a second fault while already degraded is not a new span.
+  void enter_degraded(const std::string& why);
+  /// Degraded-mode recovery probe, run at dispatch time: rebuild the
+  /// transport, re-ship buffered promotions through the normal fold path,
+  /// and leave degraded mode. A probe that fails leaves everything as it
+  /// was — the next dispatch probes again.
+  void try_tier_recovery();
   /// Virtual-clock multiplier of a scenario's wire/compute charges.
   [[nodiscard]] double work_scale_for(Scenario s) const;
   /// Charge the seed fetch for a job dispatched at `t`; returns when the
@@ -259,6 +299,15 @@ class ReconService {
   /// pointer/connection into it and must be destroyed first.
   std::unique_ptr<net::TierServer> server_;
   std::unique_ptr<TierBackend> tier_;  ///< the shared memo tier backend
+  /// Degraded cold-session mode: the remote tier is down (reconnect budget
+  /// exhausted). Jobs run unseeded, promotions buffer locally in job-id
+  /// order and re-ship through the normal fold path on recovery.
+  bool degraded_ = false;
+  std::vector<std::pair<u64, std::vector<memo::MemoDb::Entry>>>
+      cold_promotions_;
+  /// Socket-transport dial target (recovery probes re-dial it).
+  std::string tier_host_;
+  std::uint16_t tier_port_ = 0;
   std::vector<JobRequest> queue_;          ///< submitted, not yet drained
   std::vector<sim::VTime> slot_free_;      ///< per-slot next-free vtime
   u64 next_id_ = 1;

@@ -123,6 +123,10 @@ class TierBackend {
   [[nodiscard]] virtual double total_bytes() const = 0;
   /// The fabric all of this backend's charges land on (contention stats).
   [[nodiscard]] virtual const sim::Fabric& fabric() const = 0;
+  /// Is the tier reachable? The in-process tier always is; a remote client
+  /// reports false once its transport's reconnect budget is exhausted — the
+  /// signal that flips ReconService into degraded cold-session mode.
+  [[nodiscard]] virtual bool healthy() const { return true; }
 };
 
 /// Per-shard wire byte split of one offered batch at `scale`, plus (via

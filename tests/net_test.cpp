@@ -580,5 +580,257 @@ TEST(SocketTransport, DisconnectSurfacesStickyErrorNeverHangs) {
   EXPECT_THROW(client.fold(fixture_entries()), NetError);
 }
 
+// --- Reconnect + idempotent replay -------------------------------------------
+
+TEST(Wire, ReadVerbRepliesAreReplayEquivalent) {
+  // The contract replay rests on: handling the SAME read-class request frame
+  // twice yields byte-for-byte identical replies (a re-issue after a
+  // reconnect is indistinguishable from the original), while PUT mutates —
+  // which is why it stays at-most-once.
+  TierServer server(tier_config(2));
+  server.handle_frame(import_frame(fixture_entries(), 1));
+
+  WireWriter get;
+  get.u64(0);
+  WireWriter batch;
+  batch.u32(2);
+  batch.u64(0);
+  batch.u64(2);
+  WireWriter exp;
+  exp.u8(0);  // index-only snapshot export
+  const std::pair<FrameType, std::vector<std::byte>> reads[] = {
+      {FrameType::Get, get.take()},
+      {FrameType::GetBatch, batch.take()},
+      {FrameType::SnapshotExport, exp.take()},
+  };
+  for (const auto& [type, payload] : reads) {
+    ASSERT_TRUE(replayable_verb(type));
+    const auto frame = encode_frame(type, 0, 7, payload);
+    const auto first = server.handle_frame(frame);
+    const auto second = server.handle_frame(frame);
+    EXPECT_EQ(first, second) << frame_type_name(type);
+  }
+
+  // PUT is not replay-equivalent: the second application sees its own
+  // entries already in the tier and dedups them — a re-send would double
+  // count. The verb classifier must say so.
+  EXPECT_FALSE(replayable_verb(FrameType::Put));
+  EXPECT_FALSE(replayable_verb(FrameType::SnapshotImport));
+  const std::vector<memo::MemoDb::Entry> fresh = {
+      entry(memo::OpKind::Fu1D, {0.0f, 0.0f, 0.0f, 1.0f}, {{9.0f, 9.0f}})};
+  WireWriter put;
+  encode_entries(put, fresh, /*with_values=*/true);
+  const auto put_frame = encode_frame(FrameType::Put, 0, 8, put.take());
+  const auto size_before = server.tier().size();
+  const auto first = server.handle_frame(put_frame);   // promotes the entry
+  const auto second = server.handle_frame(put_frame);  // dedup-drops it
+  EXPECT_NE(first, second);
+  EXPECT_EQ(server.tier().size(), size_before + 1);
+}
+
+TEST(RequestTable, RetryModeTimeoutFailsOnlyThatRequest) {
+  RequestTable t;
+  t.set_retry_mode(true);
+  const u64 a = t.next_id(), b = t.next_id();
+  t.expect(a);
+  t.expect(b);
+  // The timeout is a per-request, retryable failure — not a table break.
+  EXPECT_THROW(t.wait(a, 0.05), RetryableError);
+  EXPECT_FALSE(t.broken());
+  t.complete(b, {std::byte{7}});
+  EXPECT_EQ(std::to_integer<int>(t.wait(b, 1.0)[0]), 7);
+  // The late reply to the timed-out slot is stale weather, not a protocol
+  // violation: dropped, table stays healthy.
+  t.complete(a, {std::byte{9}});
+  EXPECT_FALSE(t.broken());
+  EXPECT_NO_THROW(t.expect(t.next_id()));
+}
+
+TEST(RequestTable, RetryModeDropsStaleReplies) {
+  RequestTable t;
+  t.set_retry_mode(true);
+  t.complete(999, {});  // unknown id: dropped (legacy regime would break)
+  EXPECT_FALSE(t.broken());
+  const u64 a = t.next_id();
+  t.expect(a);
+  t.complete(a, {std::byte{1}});
+  t.complete(a, {std::byte{2}});  // duplicate after a replay: first wins
+  EXPECT_FALSE(t.broken());
+  EXPECT_EQ(std::to_integer<int>(t.wait(a, 1.0)[0]), 1);
+}
+
+TEST(LoopbackReconnect, ReplayAfterScriptedDisconnect) {
+  // Carrier drops mid-send: the frame is lost, the recovery ladder reopens
+  // on the first attempt and replays the stashed GET — the waiter gets its
+  // value with no caller-visible error.
+  TierServer server(tier_config(1));
+  server.handle_frame(import_frame(fixture_entries(), 1));
+  LoopbackTransport lb(&server, 1);
+  lb.set_retry({/*retry_max=*/3, /*backoff_ms=*/0.0});
+  auto& table = lb.table();
+
+  lb.fault_disconnect_after(0);  // the very next frame is lost
+  const u64 a = table.next_id();
+  table.expect(a);
+  WireWriter w;
+  w.u64(0);
+  lb.send(0, FrameType::Get, a, w.data());
+  const auto payload = table.wait(a, 1.0);
+  WireReader r(payload);
+  EXPECT_EQ(r.u32(), server.tier().snapshot()[0].value.size());
+  EXPECT_FALSE(table.broken());
+  EXPECT_FALSE(lb.carrier_down());
+  EXPECT_EQ(lb.reconnects(), 1u);
+  EXPECT_EQ(lb.replays(), 1u);
+}
+
+TEST(LoopbackReconnect, AtMostOncePutSurfacesRetryableError) {
+  // The carrier dies on the first PUT: the frame may or may not have
+  // reached the server (here: lost), so it must NOT be re-sent. The ladder
+  // recovers the carrier, the PUT's waiter gets a RetryableError, and the
+  // tier was not mutated.
+  TierServer server(tier_config(1));
+  LoopbackTransport lb(&server, 1);
+  lb.set_retry({/*retry_max=*/3, /*backoff_ms=*/0.0});
+  auto& table = lb.table();
+
+  lb.fault_disconnect_on_put(true);
+  const u64 a = table.next_id();
+  table.expect(a);
+  WireWriter w;
+  encode_entries(w, fixture_entries(), /*with_values=*/true);
+  EXPECT_THROW(lb.send(0, FrameType::Put, a, w.data()), RetryableError);
+  EXPECT_EQ(server.tier().size(), 0u);  // the lost frame was never applied
+  // The carrier is healthy again: the same PUT re-issued by the CALLER (who
+  // owns the at-most-once ambiguity) lands.
+  EXPECT_FALSE(lb.carrier_down());
+  EXPECT_FALSE(table.broken());
+  const u64 b = table.next_id();
+  table.expect(b);
+  WireWriter w2;
+  encode_entries(w2, fixture_entries(), /*with_values=*/true);
+  lb.send(0, FrameType::Put, b, w2.data());
+  EXPECT_NO_THROW(table.wait(b, 1.0));
+  EXPECT_EQ(server.tier().size(), fixture_entries().size());
+}
+
+TEST(LoopbackReconnect, ExhaustedBudgetIsSticky) {
+  // Every reopen attempt fails: the ladder's floor is the legacy sticky
+  // contract — fail_all with the root fault plus the budget diagnosis.
+  TierServer server(tier_config(1));
+  LoopbackTransport lb(&server, 1);
+  lb.set_retry({/*retry_max=*/2, /*backoff_ms=*/0.0});
+  auto& table = lb.table();
+
+  lb.fault_disconnect_after(0);
+  lb.fault_reconnect_after(1 << 20);  // never reconnects
+  const u64 a = table.next_id();
+  table.expect(a);
+  WireWriter w;
+  w.u64(0);
+  EXPECT_THROW(lb.send(0, FrameType::Get, a, w.data()), NetError);
+  EXPECT_TRUE(table.broken());
+  EXPECT_NE(table.error().find("reconnect budget of 2 attempt(s) exhausted"),
+            std::string::npos);
+  EXPECT_THROW(table.expect(table.next_id()), NetError);
+  EXPECT_EQ(lb.reconnects(), 0u);
+}
+
+TEST(LoopbackReconnect, RetryDisabledPreservesStickyContract) {
+  // net_retry_max == 0 must behave exactly like before the ladder existed:
+  // the first carrier fault breaks the table, no reopen is attempted.
+  TierServer server(tier_config(1));
+  LoopbackTransport lb(&server, 1);  // no set_retry: legacy regime
+  auto& table = lb.table();
+
+  lb.fault_disconnect_after(0);
+  const u64 a = table.next_id();
+  table.expect(a);
+  WireWriter w;
+  w.u64(0);
+  EXPECT_THROW(lb.send(0, FrameType::Get, a, w.data()), NetError);
+  EXPECT_TRUE(table.broken());
+  EXPECT_TRUE(lb.carrier_down());  // nobody tried to reopen
+  EXPECT_EQ(lb.reconnects(), 0u);
+}
+
+TEST(TierClientFaults, SlowBatchRetriesBeforeBreakingTable) {
+  // A single lost GET_BATCH reply used to poison the whole table (the PR-7
+  // sticky contract). With a retry budget the harvester re-issues that one
+  // batch under a fresh id and every waiter gets its value.
+  const auto tc = tier_config(1);
+  TierServer server(tc);
+  auto transport = std::make_unique<LoopbackTransport>(&server, 1);
+  auto* lb = transport.get();
+  TierClient client(std::move(transport), tc.fabric, 1, /*timeout_s=*/0.2,
+                    RetrySpec{/*retry_max=*/2, /*backoff_ms=*/1.0});
+  client.fold(fixture_entries());
+  std::vector<memo::MemoDb::Entry> storage;
+  client.end_seed(client.begin_seed(), storage);
+
+  lb->fault_drop_next(1);  // the first GET_BATCH reply vanishes
+  client.request(0);
+  client.request(2);
+  client.flush();
+  EXPECT_EQ(client.fetch(0), server.tier().snapshot()[0].value);
+  EXPECT_EQ(client.fetch(2), server.tier().snapshot()[2].value);
+  EXPECT_FALSE(client.transport_mut().table().broken());
+  EXPECT_TRUE(client.healthy());
+}
+
+TEST(SocketTransport, ReconnectReplaysAcrossServerRestart) {
+  // Real-socket half of the reconnect matrix: kill the TCP server under a
+  // retry-budgeted transport, restart it on the same port, and verify the
+  // next verb round-trips (the reader detected the fault, the ladder
+  // redialed). Environments without sockets skip.
+  const auto tc = tier_config(1);
+  auto server = std::make_unique<TierServer>(tc);
+  std::uint16_t port = 0;
+  try {
+    port = server->listen_and_serve();
+  } catch (const NetError& e) {
+    GTEST_SKIP() << "sockets unavailable: " << e.what();
+  }
+  std::unique_ptr<Transport> transport;
+  try {
+    transport = SocketTransport::connect_tcp("127.0.0.1", port, 1);
+  } catch (const NetError& e) {
+    GTEST_SKIP() << "connect failed: " << e.what();
+  }
+  transport->set_retry({/*retry_max=*/40, /*backoff_ms=*/25.0});
+  auto* raw = transport.get();
+  TierClient client(std::move(transport), tc.fabric, 1, /*timeout_s=*/20.0,
+                    RetrySpec{/*retry_max=*/40, /*backoff_ms=*/25.0});
+  const auto ref = fixture_entries();
+  client.fold(ref);
+  const auto snapshot = server->tier().snapshot();
+
+  // Kill + restart on the same port. The restart runs concurrently with
+  // the client's redial loop — exactly the chaos-bench "blip" shape.
+  server.reset();
+  server = std::make_unique<TierServer>(tc);
+  {
+    WireWriter w;
+    encode_entries(w, snapshot, /*with_values=*/true);
+    server->handle_frame(encode_frame(FrameType::SnapshotImport, 0, 1,
+                                      w.data()));
+  }
+  try {
+    server->listen_and_serve("127.0.0.1", port);
+  } catch (const NetError& e) {
+    GTEST_SKIP() << "same-port rebind unavailable: " << e.what();
+  }
+
+  // The next verb may fault once (the old connection is dead) and must
+  // come back through the ladder with the right bytes.
+  std::vector<memo::MemoDb::Entry> storage;
+  client.end_seed(client.begin_seed(), storage);
+  ASSERT_EQ(storage.size(), ref.size());
+  for (u64 pos = 0; pos < storage.size(); ++pos)
+    EXPECT_EQ(client.fetch(pos), server->tier().snapshot()[pos].value);
+  EXPECT_TRUE(client.healthy());
+  EXPECT_GE(raw->reconnects(), 1u);
+}
+
 }  // namespace
 }  // namespace mlr::net
