@@ -34,6 +34,23 @@
 // zero failed jobs plus at least one transport reconnect + idempotent
 // replay. Both gate on surviving seeded jobs staying bit-identical to the
 // fault-free baseline and fold into the exit code.
+//
+// Deadline-aware serving (docs/serving.md "Admission and preemption"):
+// `--preempt` replays the FIFO point with stage-boundary preemption on
+// (quantum auto-derived as half the baseline's median run_vtime, or
+// `--preempt-quantum S`) and feeds the preempted outputs into the same
+// bit-identity gate — preemption is schedule-shaped only, so the gate and
+// at least one observed preemption fold into the exit code. `--admission
+// reject|downgrade|both` replays the FIFO point under deadline admission
+// and records admitted/rejected/downgraded counts plus the deadline hit
+// rate among admitted. `--slot-sweep` replays FIFO at 1/2/4 slots (with
+// admission + preemption when enabled) — the capacity dimension of the
+// deadline story. `--scaled N` generates scaled_workload(N): a
+// heavy-tailed, bursty + diurnal, SLO-classed trace of N jobs replayed
+// through the full admission + preemption stack with per-SLO-class
+// outcome rows (its job ids collide with the base trace's, so it stays
+// out of the identity gate).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -87,13 +104,33 @@ TierTransport parse_transport(const char* s) {
 struct PolicyResult {
   std::string name;
   int shards = 1;
+  int slots = 0;  ///< slot count this replay ran with
   TierTransport transport = TierTransport::Inproc;
   ServiceStats stats;
   std::map<u64, u64> fingerprints;
+  std::vector<JobStats> job_stats;  ///< full per-job records from drain()
   double contention_s = 0;  ///< uplink queueing behind other sessions
   std::size_t tier_entries = 0;
   std::vector<std::size_t> shard_entries;
 };
+
+/// Per-replay overrides for the deadline-aware replays: slot count,
+/// admission mode, preemption quantum, and (for --scaled) a different
+/// trace + priming set. Zero/null fields fall back to the bench defaults.
+struct RunOpts {
+  int slots = 0;
+  AdmissionMode admission = AdmissionMode::None;
+  double quantum = 0;
+  const std::vector<JobRequest>* traffic = nullptr;
+  const std::vector<JobRequest>* warm = nullptr;
+};
+
+/// p-th percentile of an unsorted sample (sorts in place; 0 when empty).
+double pct(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[std::min(v.size() - 1, std::size_t(p * double(v.size())))];
+}
 
 double deadline_hit_rate(const ServiceStats& st) {
   return st.completed > 0
@@ -126,6 +163,31 @@ int main(int argc, char** argv) {
   // enable-only and read-only, so the traced run stays in the output
   // identity gate with the untraced ones.
   const char* trace_path = args.get_str("--trace", nullptr);
+  // Deadline-aware serving knobs (see the header comment): --preempt /
+  // --preempt-quantum, --admission MODE, --slot-sweep, --scaled N.
+  const bool preempt = args.has("--preempt");
+  const double preempt_quantum_arg = args.get_double("--preempt-quantum", 0.0);
+  const char* admission_arg = args.get_str("--admission", "off");
+  const bool slot_sweep_on = args.has("--slot-sweep");
+  const i64 scaled_jobs = args.get_i64("--scaled", 0);
+  std::vector<AdmissionMode> adm_modes;
+  if (std::strcmp(admission_arg, "reject") == 0) {
+    adm_modes = {AdmissionMode::Reject};
+  } else if (std::strcmp(admission_arg, "downgrade") == 0) {
+    adm_modes = {AdmissionMode::Downgrade};
+  } else if (std::strcmp(admission_arg, "both") == 0) {
+    adm_modes = {AdmissionMode::Reject, AdmissionMode::Downgrade};
+  } else if (std::strcmp(admission_arg, "off") != 0) {
+    std::fprintf(stderr, "unknown --admission %s (off|reject|downgrade|both)\n",
+                 admission_arg);
+    return 2;
+  }
+  if ((preempt || scaled_jobs > 0) && args.get_i64("--gpus-per-job", 1) != 1) {
+    std::fprintf(stderr,
+                 "--preempt/--scaled require --gpus-per-job 1 (stage-boundary "
+                 "preemption yields one slot at a time)\n");
+    return 2;
+  }
   // --chaos kill-tier-at-job=N | blip-tier-at-job=N: fault-injection mode,
   // socket transport only. Both kill the bench-owned TCP tier server at the
   // Nth dispatch of a dedicated chaos replay. "kill" leaves it down until
@@ -206,11 +268,11 @@ int main(int argc, char** argv) {
   const auto warm = gen.priming_set();
 
   auto run_once = [&](SchedulerPolicy policy, int shard_count, TierTransport tr,
-                      const char* trace = nullptr) {
+                      const char* trace = nullptr, RunOpts opts = {}) {
     ServiceConfig sc;
     if (trace != nullptr) sc.trace_path = trace;
     sc.n = n;
-    sc.slots = slots;
+    sc.slots = opts.slots > 0 ? opts.slots : slots;
     sc.gpus_per_job = gpus_per_job;
     sc.threads = args.threads();
     sc.overlap_slices = args.overlap();
@@ -220,19 +282,24 @@ int main(int argc, char** argv) {
     sc.shard_count = shard_count;
     sc.tau_dedup = tau_dedup;
     sc.transport = tr;
+    sc.admission = opts.admission;
+    sc.preempt_quantum_s = opts.quantum;
     sc.fabric.enabled = fabric_gbps > 0;
     if (fabric_gbps > 0) {
       sc.fabric.link_bandwidth = fabric_gbps * 1e9 / 8.0;
       sc.fabric.uplink_bandwidth = fabric_gbps * 1e9 / 8.0;
     }
     ReconService svc(sc);
-    svc.prime(warm);
-    for (const auto& j : traffic) svc.submit(j);
+    svc.prime(opts.warm != nullptr ? *opts.warm : warm);
+    for (const auto& j : (opts.traffic != nullptr ? *opts.traffic : traffic))
+      svc.submit(j);
     PolicyResult pr;
     pr.name = policy_name(policy);
     pr.shards = shard_count;
+    pr.slots = sc.slots;
     pr.transport = tr;
-    for (const auto& st : svc.drain())
+    pr.job_stats = svc.drain();
+    for (const auto& st : pr.job_stats)
       if (st.admitted) pr.fingerprints[st.id] = st.output_fingerprint;
     pr.stats = svc.stats();
     pr.contention_s = svc.tier().fabric().contention_wait_s();
@@ -348,21 +415,118 @@ int main(int argc, char** argv) {
                 100.0 * pr.stats.cross_job_hit_rate(),
                 100.0 * deadline_hit_rate(pr.stats));
 
+  // Preemption replay: same trace, FIFO, stage-boundary preemption on.
+  // Preemption is schedule-shaped only — the preempted run's outputs,
+  // fingerprints and run vtimes must be bit-identical to the uninterrupted
+  // baseline (fed into the identity gate below), and under a quantum of
+  // half the baseline's median run_vtime on a contended queue at least one
+  // job must actually have yielded, or the smoke proves nothing.
+  std::vector<PolicyResult> preempt_runs;
+  bool preempt_ok = true;
+  double quantum = preempt_quantum_arg;
+  if (preempt) {
+    if (quantum <= 0) {
+      std::vector<double> rv;
+      for (const auto& st : results[0].job_stats)
+        if (st.outcome == JobOutcome::Completed) rv.push_back(st.run_vtime);
+      quantum = rv.empty() ? 1.0 : pct(rv, 0.5) / 2.0;
+    }
+    RunOpts o;
+    o.quantum = quantum;
+    preempt_runs.push_back(
+        run_once(SchedulerPolicy::Fifo, shards, transport, nullptr, o));
+    const auto& pr = preempt_runs.back();
+    const auto ta = summarize(pr.stats.turnaround);
+    const auto ta0 = summarize(results[0].stats.turnaround);
+    preempt_ok = pr.stats.preemptions > 0;
+    std::printf(
+        "\npreemption (fifo, quantum %.0f s): %llu preemptions, done %llu, "
+        "ddl%% %.0f, turnaround p50/p99 %.0f/%.0f s (baseline %.0f/%.0f)\n",
+        quantum, (unsigned long long)pr.stats.preemptions,
+        (unsigned long long)pr.stats.completed,
+        100.0 * deadline_hit_rate(pr.stats), ta.p50, ta.p99, ta0.p50, ta0.p99);
+    if (!preempt_ok)
+      std::printf("  preemption smoke: NO preemption observed (quantum too "
+                  "coarse for this trace?)\n");
+  }
+
+  // Admission replays: same trace, FIFO, deadline admission on. Rejected
+  // jobs never reach a slot (serve_test pins that they charge nothing);
+  // admitted jobs must stay bit-identical to the baseline, so these runs
+  // feed the identity gate too.
+  std::vector<PolicyResult> adm_runs;
+  if (!adm_modes.empty()) {
+    std::printf("\nadmission (fifo):\n");
+    std::printf("%10s %5s %4s %4s %5s %5s | %24s\n", "mode", "adm", "rej",
+                "down", "done", "ddl%", "turnaround p50/p99 (s)");
+    for (const auto mode : adm_modes) {
+      RunOpts o;
+      o.admission = mode;
+      if (preempt) o.quantum = quantum;
+      adm_runs.push_back(
+          run_once(SchedulerPolicy::Fifo, shards, transport, nullptr, o));
+      const auto& pr = adm_runs.back();
+      u64 admitted = 0;
+      for (const auto& st : pr.job_stats) admitted += st.admitted ? 1 : 0;
+      const auto ta = summarize(pr.stats.turnaround);
+      std::printf("%10s %5llu %4llu %4llu %5llu %5.0f | %9.0f %9.0f\n",
+                  admission_mode_name(mode), (unsigned long long)admitted,
+                  (unsigned long long)pr.stats.admission_rejected,
+                  (unsigned long long)pr.stats.admission_downgraded,
+                  (unsigned long long)pr.stats.completed,
+                  100.0 * deadline_hit_rate(pr.stats), ta.p50, ta.p99);
+    }
+  }
+
+  // Slot sweep: the capacity dimension of the deadline story. More slots →
+  // shorter queues → higher deadline hit rate among admitted (and fewer
+  // admission rejects, since the admission model books per-slot finish
+  // estimates). Outputs stay bit-identical: slots place jobs, sessions stay
+  // hermetic.
+  std::vector<PolicyResult> slot_runs;
+  if (slot_sweep_on) {
+    std::printf("\nslot sweep (fifo%s%s):\n",
+                !adm_modes.empty() ? ", admission " : "",
+                !adm_modes.empty() ? admission_mode_name(adm_modes[0]) : "");
+    std::printf("%5s %5s %4s %7s %5s %5s %14s %10s\n", "slots", "done", "rej",
+                "preempt", "ddl%", "util%", "p99 turn. (s)", "makespan");
+    for (const int sl : {1, 2, 4}) {
+      RunOpts o;
+      o.slots = sl;
+      if (preempt) o.quantum = quantum;
+      if (!adm_modes.empty()) o.admission = adm_modes[0];
+      slot_runs.push_back(
+          run_once(SchedulerPolicy::Fifo, shards, transport, nullptr, o));
+      const auto& pr = slot_runs.back();
+      const auto ta = summarize(pr.stats.turnaround);
+      std::printf("%5d %5llu %4llu %7llu %5.0f %5.0f %14.0f %10.0f\n", sl,
+                  (unsigned long long)pr.stats.completed,
+                  (unsigned long long)pr.stats.rejected,
+                  (unsigned long long)pr.stats.preemptions,
+                  100.0 * deadline_hit_rate(pr.stats),
+                  100.0 * pr.stats.utilization(sl), ta.p99,
+                  pr.stats.makespan);
+    }
+  }
+
   // Hermetic-session + placement-only-sharding + transport guarantees:
-  // identical outputs under every policy, shard count AND tier transport.
-  // The admitted *set* can legitimately differ once admission control
-  // rejects (queue dynamics are policy-dependent), so compare over the
-  // union: every job two or more runs both ran must agree bit-for-bit.
+  // identical outputs under every policy, shard count, tier transport,
+  // slot count, admission mode AND preemption schedule. The admitted *set*
+  // can legitimately differ once admission control rejects (queue dynamics
+  // are policy-dependent), so compare over the union: every job two or
+  // more runs both ran must agree bit-for-bit.
   bool identical = true;
   std::map<u64, u64> agreed;
-  for (const auto* set : {&results, &sweep, &xruns})
+  for (const auto* set :
+       {&results, &sweep, &xruns, &preempt_runs, &adm_runs, &slot_runs})
     for (const auto& pr : *set)
       for (const auto& [id, fp] : pr.fingerprints) {
         const auto [it, fresh] = agreed.emplace(id, fp);
         if (!fresh && it->second != fp) identical = false;
       }
   std::printf(
-      "\noutput identity across policies, shard counts and transports: %s\n",
+      "\noutput identity across policies, shard counts, transports, slots, "
+      "admission and preemption: %s\n",
       identical ? "OK (bit-identical)" : "MISMATCH");
   std::printf(
       "shared tier (fifo): %llu promoted, %llu dedup drops (tau %.3f), "
@@ -371,6 +535,80 @@ int main(int argc, char** argv) {
       (unsigned long long)results[0].stats.shared_dedup_drops, tau_dedup,
       (unsigned long long)results[0].stats.shared_cap_drops,
       100.0 * results[0].stats.cross_job_hit_rate());
+
+  // Scaled workload: scaled_workload(N) — heavy-tailed scenario mix, bursty
+  // + diurnally modulated arrivals, three tenants spanning the SLO classes —
+  // replayed through the full admission + preemption stack. Its job ids
+  // collide with the base trace's, so it reports outcomes (overall and per
+  // SLO class) instead of joining the identity gate; the determinism of this
+  // path is pinned by serve_test's preemption/admission matrices.
+  std::vector<PolicyResult> scaled_runs;
+  struct ClassAgg {
+    u64 jobs = 0, completed = 0, rejected = 0, downgraded = 0, preempted = 0;
+    u64 preemptions = 0, deadline_hits = 0;
+    std::vector<double> turnaround;
+  };
+  std::map<int, ClassAgg> scaled_classes;
+  if (scaled_jobs > 0) {
+    const AdmissionMode smode =
+        adm_modes.empty() ? AdmissionMode::Reject : adm_modes[0];
+    auto swc = scaled_workload(std::size_t(scaled_jobs), seed);
+    WorkloadGenerator sgen(swc);
+    const auto straffic = sgen.generate();
+    const auto swarm = sgen.priming_set();
+    RunOpts o;
+    o.traffic = &straffic;
+    o.warm = &swarm;
+    o.admission = smode;
+    if (preempt) o.quantum = quantum;
+    scaled_runs.push_back(
+        run_once(SchedulerPolicy::Fifo, shards, transport, nullptr, o));
+    const auto& pr = scaled_runs.back();
+    for (const auto& st : pr.job_stats) {
+      auto& agg = scaled_classes[int(st.slo)];
+      ++agg.jobs;
+      if (!st.admitted) {
+        ++agg.rejected;
+        continue;
+      }
+      agg.downgraded += st.downgraded ? 1 : 0;
+      if (st.outcome != JobOutcome::Completed) continue;
+      ++agg.completed;
+      agg.preempted += st.preemptions > 0 ? 1 : 0;
+      agg.preemptions += st.preemptions;
+      agg.deadline_hits += st.deadline_met ? 1 : 0;
+      agg.turnaround.push_back(st.turnaround());
+    }
+    std::printf(
+        "\nscaled workload (%lld jobs, heavy-tailed + diurnal, admission "
+        "%s%s):\n",
+        (long long)scaled_jobs, admission_mode_name(smode),
+        preempt ? ", preemption on" : "");
+    std::printf("%12s %5s %5s %4s %4s %7s %5s | %24s\n", "class", "jobs",
+                "done", "rej", "down", "preempt", "ddl%",
+                "turnaround p50/p99 (s)");
+    for (auto& [cls, agg] : scaled_classes) {
+      const double ddl = agg.completed > 0
+                             ? 100.0 * double(agg.deadline_hits) /
+                                   double(agg.completed)
+                             : 0.0;
+      std::printf("%12s %5llu %5llu %4llu %4llu %7llu %5.0f | %9.0f %9.0f\n",
+                  slo_class_name(SloClass(cls)), (unsigned long long)agg.jobs,
+                  (unsigned long long)agg.completed,
+                  (unsigned long long)agg.rejected,
+                  (unsigned long long)agg.downgraded,
+                  (unsigned long long)agg.preemptions, ddl,
+                  pct(agg.turnaround, 0.5), pct(agg.turnaround, 0.99));
+    }
+    std::printf(
+        "  totals: done %llu, rejected %llu, preemptions %llu, ddl%% %.0f "
+        "(among admitted), makespan %.0f s, xjob hit %.1f%%\n",
+        (unsigned long long)pr.stats.completed,
+        (unsigned long long)pr.stats.rejected,
+        (unsigned long long)pr.stats.preemptions,
+        100.0 * deadline_hit_rate(pr.stats), pr.stats.makespan,
+        100.0 * pr.stats.cross_job_hit_rate());
+  }
 
   // Chaos replay: fault-inject the live TCP tier mid-drain and gate on the
   // recovery contract. The bench owns the TierServer here (instead of
@@ -573,6 +811,10 @@ int main(int argc, char** argv) {
   json.set("tau_dedup", tau_dedup);
   json.set("transport", transport_name(transport));
   json.set("identical_outputs", identical);
+  json.set("admission", admission_arg);
+  json.set("preempt", preempt);
+  if (preempt) json.set("preempt_quantum_s", quantum);
+  if (scaled_jobs > 0) json.set("scaled_jobs", scaled_jobs);
   for (const auto& pr : results) {
     const auto& st = pr.stats;
     const auto qw = summarize(st.queue_wait);
@@ -582,9 +824,9 @@ int main(int argc, char** argv) {
     row.set("completed", st.completed);
     row.set("rejected", st.rejected);
     row.set("deadline_missed", st.deadline_missed);
-    row.set("queue_wait_p50_s", qw.p50);
-    row.set("queue_wait_p99_s", qw.p99);
-    row.set("turnaround_p50_s", ta.p50);
+    row.set("p50_queue_wait_s", qw.p50);
+    row.set("p99_queue_wait_s", qw.p99);
+    row.set("p50_turnaround_s", ta.p50);
     row.set("p99_turnaround_s", ta.p99);
     row.set("deadline_hit_rate", deadline_hit_rate(st));
     row.set("utilization", st.utilization(slots));
@@ -626,6 +868,84 @@ int main(int argc, char** argv) {
     row.set("shared_hits", st.shared_hits);
     row.set("makespan_s", st.makespan);
   }
+  for (const auto& pr : preempt_runs) {
+    const auto& st = pr.stats;
+    const auto ta = summarize(st.turnaround);
+    const auto ta0 = summarize(results[0].stats.turnaround);
+    auto& row = json.row("preemption");
+    row.set("quantum_s", quantum);
+    row.set("preemptions", st.preemptions);
+    row.set("completed", st.completed);
+    row.set("deadline_hit_rate", deadline_hit_rate(st));
+    row.set("p50_turnaround_s", ta.p50);
+    row.set("p99_turnaround_s", ta.p99);
+    row.set("baseline_p99_turnaround_s", ta0.p99);
+    row.set("utilization", st.utilization(pr.slots));
+    row.set("identical_to_baseline", identical);
+  }
+  for (std::size_t i = 0; i < adm_runs.size(); ++i) {
+    const auto& pr = adm_runs[i];
+    const auto& st = pr.stats;
+    const auto ta = summarize(st.turnaround);
+    u64 admitted = 0;
+    for (const auto& js : pr.job_stats) admitted += js.admitted ? 1 : 0;
+    auto& row = json.row("admission_modes");
+    row.set("mode", admission_mode_name(adm_modes[i]));
+    row.set("admitted", admitted);
+    row.set("admission_rejected", st.admission_rejected);
+    row.set("admission_downgraded", st.admission_downgraded);
+    row.set("completed", st.completed);
+    row.set("deadline_hit_rate", deadline_hit_rate(st));
+    row.set("p50_turnaround_s", ta.p50);
+    row.set("p99_turnaround_s", ta.p99);
+    row.set("preemptions", st.preemptions);
+    row.set("fabric_fetch_s", st.fabric_fetch_s);
+  }
+  for (const auto& pr : slot_runs) {
+    const auto& st = pr.stats;
+    const auto ta = summarize(st.turnaround);
+    auto& row = json.row("slot_sweep");
+    row.set("slots", i64(pr.slots));
+    row.set("completed", st.completed);
+    row.set("rejected", st.rejected);
+    row.set("preemptions", st.preemptions);
+    row.set("deadline_hit_rate", deadline_hit_rate(st));
+    row.set("p99_turnaround_s", ta.p99);
+    row.set("utilization", st.utilization(pr.slots));
+    row.set("makespan_s", st.makespan);
+  }
+  for (const auto& pr : scaled_runs) {
+    const auto& st = pr.stats;
+    const auto ta = summarize(st.turnaround);
+    auto& row = json.row("scaled");
+    row.set("jobs", scaled_jobs);
+    row.set("completed", st.completed);
+    row.set("rejected", st.rejected);
+    row.set("admission_rejected", st.admission_rejected);
+    row.set("preemptions", st.preemptions);
+    row.set("deadline_hit_rate", deadline_hit_rate(st));
+    row.set("p50_turnaround_s", ta.p50);
+    row.set("p99_turnaround_s", ta.p99);
+    row.set("makespan_s", st.makespan);
+    row.set("utilization", st.utilization(pr.slots));
+    row.set("shared_hits", st.shared_hits);
+  }
+  for (auto& [cls, agg] : scaled_classes) {
+    auto& row = json.row("scaled_classes");
+    row.set("slo_class", std::string(slo_class_name(SloClass(cls))));
+    row.set("jobs", agg.jobs);
+    row.set("completed", agg.completed);
+    row.set("rejected", agg.rejected);
+    row.set("downgraded", agg.downgraded);
+    row.set("preempted_jobs", agg.preempted);
+    row.set("preemptions", agg.preemptions);
+    row.set("deadline_hit_rate",
+            agg.completed > 0
+                ? double(agg.deadline_hits) / double(agg.completed)
+                : 0.0);
+    row.set("p50_turnaround_s", pct(agg.turnaround, 0.5));
+    row.set("p99_turnaround_s", pct(agg.turnaround, 0.99));
+  }
   if (chaos != nullptr) {
     auto& row = json.row("chaos");
     row.set("flavor", chaos_blip ? "blip" : "kill");
@@ -655,5 +975,5 @@ int main(int argc, char** argv) {
   json.set("wall_s", wall.seconds());
   if (!bench::write_json(args.json_path(), json)) return 1;
   bench::footer(wall.seconds());
-  return identical && chaos_ok ? 0 : 1;
+  return identical && chaos_ok && preempt_ok ? 0 : 1;
 }

@@ -9,7 +9,13 @@
 #     perf-trajectory point,
 #   * a trace-enabled serve replay (--trace over the loopback transport)
 #     must produce a non-empty, parseable Chrome-trace JSON while staying
-#     in the bench's own output-identity gate (trace on/off bit-identity).
+#     in the bench's own output-identity gate (trace on/off bit-identity),
+#   * the preemption smoke (--preempt --jobs 32) replays the FIFO point
+#     with stage-boundary preemption on and exits non-zero unless the
+#     preempted outputs are bit-identical to the uninterrupted baseline
+#     AND at least one job actually yielded.
+# The serving layer alone (service/scheduler matrices, workload contracts,
+# tier wire protocol) can be run via its CTest label: `ctest -L serve`.
 # The TSan preset additionally re-runs the cross-stage determinism matrix
 # (now threads x overlap x depth x tail-lanes), the trace-on/off identity
 # matrix (recorder rings hammered from pool + drainer threads), the obs
@@ -59,7 +65,8 @@ if [[ "$preset" == "tsan" ]]; then
     --gtest_filter='Concurrency.PipelinedCrossStageDeterminismMatrix:Concurrency.StageExecutorDeterministic*:Concurrency.TraceOnOffBitIdentityMatrix'
   ./build-tsan/ew_test --gtest_filter='Ew.*'
   ./build-tsan/serve_test \
-    --gtest_filter='ReconService.OutputsIdenticalAcrossPipelineDepths:ReconService.SharedTierShardMatrix:ReconService.LoopbackTransportMatrix:ReconService.TraceOnOffBitIdentity'
+    --gtest_filter='ReconService.OutputsIdenticalAcrossPipelineDepths:ReconService.SharedTierShardMatrix:ReconService.LoopbackTransportMatrix:ReconService.TraceOnOffBitIdentity:ReconService.PreemptionDeterminismMatrix:ReconService.PreemptedJobResumesOnDifferentSlot:ReconService.AdmissionDecisionInvarianceMatrix'
+  ./build-tsan/workload_test
   if [[ -x ./build-tsan/net_test ]]; then
     ./build-tsan/net_test \
       --gtest_filter='RequestTable.*:TierClientFaults.*:TierServerFaults.*:SocketTransport.*:LoopbackReconnect.*'
@@ -68,6 +75,7 @@ if [[ "$preset" == "tsan" ]]; then
   ./build-tsan/bench_stage_scaling --n 12 --reps 2 --threads 2 \
     --tail-lanes 2 --json /tmp/BENCH_stage_scaling.tsan.json
   ./build-tsan/bench_serve_traffic --jobs 8 --n small
+  ./build-tsan/bench_serve_traffic --preempt --jobs 32 --n small
   ./build-tsan/bench_serve_traffic --jobs 8 --n small --transport loopback \
     --trace /tmp/mlr_trace.tsan.json
   check_trace /tmp/mlr_trace.tsan.json
@@ -82,6 +90,8 @@ else
     --json /tmp/BENCH_stage_scaling.smoke.json
   ./build/bench_serve_traffic --jobs 8 --n small \
     --json /tmp/BENCH_serve_traffic.smoke.json
+  ./build/bench_serve_traffic --preempt --jobs 32 --n small \
+    --json /tmp/BENCH_serve_traffic.preempt.json
   ./build/bench_serve_traffic --jobs 8 --n small --transport loopback \
     --trace /tmp/mlr_trace.smoke.json \
     --json /tmp/BENCH_serve_traffic.loopback.json

@@ -231,10 +231,22 @@ sim::VTime Solver::run_lsp(Array3D<cfloat>& u, const Array3D<cfloat>& dhat_or_d,
 }
 
 SolveResult Solver::solve(const Array3D<cfloat>& d) {
+  SolverCheckpoint ck;
+  SolveResult result;
+  const bool finished = solve_resumable(d, ck, /*should_yield=*/nullptr,
+                                        &result);
+  MLR_CHECK(finished);
+  return result;
+}
+
+bool Solver::solve_resumable(const Array3D<cfloat>& d, SolverCheckpoint& ck,
+                             const YieldFn& should_yield, SolveResult* out) {
   const auto& geo = ml_.ops().geometry();
   MLR_CHECK(d.shape() == geo.data_shape());
+  MLR_CHECK(out != nullptr);
+  const bool resuming = ck.valid;
   SolveResult result;
-  sim::VTime t = 0;
+  sim::VTime t = resuming ? ck.t : 0;
   const double dev_xfer0 = exec_.device_transfer_busy();
   const EwStats solve_ew0 = knl_.stats();
   // The solver's back-to-back run_stage calls form one pipelined round on
@@ -256,64 +268,89 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
   // worker pool (deterministic size-based partition — results are
   // bit-identical for any pool width).
   knl_.set_pool(&exec_.pool());
-  if (obs_ != nullptr) obs_->phase_begin(Phase::Init, t);
-  const EwStats init_ew0 = knl_.stats();
-  const auto init_w0 = std::chrono::steady_clock::now();
-  if (lip_ == 0.0) {
-    // Power iteration on L*L (frequency-domain form; F_2D is unitary so the
-    // spectrum is identical). Plain operators — a one-off setup cost.
-    const auto& ops = ml_.ops();
-    Array3D<cfloat> v(geo.object_shape());
-    Rng rng(77);
-    for (auto& x : v) x = cfloat(float(rng.normal()), float(rng.normal()));
-    Array3D<cfloat> fwd(geo.data_shape()), bwd(geo.object_shape());
-    // `nv` carries the norm measured when the iterate was produced, so each
-    // iteration is one fused scale pass instead of norm pass + scale pass.
-    double nv = knl_.l2_norm(v.span());
-    for (int it = 0; it < 8; ++it) {
-      MLR_CHECK(nv > 0);
-      knl_.normalize(v, nv);
-      ops.forward_freq(v, fwd);
-      ops.adjoint_freq(fwd, bwd);
-      nv = lip_ = knl_.l2_norm(bwd.span());
-      std::swap(v, bwd);
-    }
-    MLR_LOG(Debug) << "power iteration: ||L*L|| ~= " << lip_;
-  }
-  Array3D<cfloat> u(geo.object_shape());
-  Array3D<cfloat> dref = d;
-  mem_.alloc("u", double(u.bytes()), t);
-  mem_.alloc("d", double(dref.bytes()), t);
-  if (cfg_.use_cancellation) {
-    // Algorithm 2 line 2: d̂ = F_2D·d once, before the iterations.
-    t = stage_f2d(dref, /*inverse=*/false, t);
-  }
-  VectorField psi(geo.object_shape()), lambda(geo.object_shape()),
-      gfield(geo.object_shape());
-  mem_.alloc("psi", double(psi.bytes()), t);
-  mem_.alloc("lambda", double(lambda.bytes()), t);
-  mem_.alloc("g", double(gfield.bytes()), t);
-  // Announce the variables' generation to the offload policy (greedy
-  // offloads "upon generation", §5.1).
-  t = observe("psi", t);
-  t = observe("lambda", t);
-  t = observe("g", t);
+  Array3D<cfloat> u, dref;
+  VectorField psi, lambda, gfield(geo.object_shape());
   double rho = cfg_.rho;
-  end_phase(result, Phase::Init, init_ew0, init_w0, t);
-  if (obs_ != nullptr) obs_->phase_end(Phase::Init, t);
+  int first_iter = 0;
+  if (!resuming) {
+    if (obs_ != nullptr) obs_->phase_begin(Phase::Init, t);
+    const EwStats init_ew0 = knl_.stats();
+    const auto init_w0 = std::chrono::steady_clock::now();
+    if (lip_ == 0.0) {
+      // Power iteration on L*L (frequency-domain form; F_2D is unitary so
+      // the spectrum is identical). Plain operators — a one-off setup cost.
+      const auto& ops = ml_.ops();
+      Array3D<cfloat> v(geo.object_shape());
+      Rng rng(77);
+      for (auto& x : v) x = cfloat(float(rng.normal()), float(rng.normal()));
+      Array3D<cfloat> fwd(geo.data_shape()), bwd(geo.object_shape());
+      // `nv` carries the norm measured when the iterate was produced, so
+      // each iteration is one fused scale pass instead of norm + scale.
+      double nv = knl_.l2_norm(v.span());
+      for (int it = 0; it < 8; ++it) {
+        MLR_CHECK(nv > 0);
+        knl_.normalize(v, nv);
+        ops.forward_freq(v, fwd);
+        ops.adjoint_freq(fwd, bwd);
+        nv = lip_ = knl_.l2_norm(bwd.span());
+        std::swap(v, bwd);
+      }
+      MLR_LOG(Debug) << "power iteration: ||L*L|| ~= " << lip_;
+    }
+    u = Array3D<cfloat>(geo.object_shape());
+    dref = d;
+    mem_.alloc("u", double(u.bytes()), t);
+    mem_.alloc("d", double(dref.bytes()), t);
+    if (cfg_.use_cancellation) {
+      // Algorithm 2 line 2: d̂ = F_2D·d once, before the iterations.
+      t = stage_f2d(dref, /*inverse=*/false, t);
+    }
+    psi = VectorField(geo.object_shape());
+    lambda = VectorField(geo.object_shape());
+    mem_.alloc("psi", double(psi.bytes()), t);
+    mem_.alloc("lambda", double(lambda.bytes()), t);
+    mem_.alloc("g", double(gfield.bytes()), t);
+    // Announce the variables' generation to the offload policy (greedy
+    // offloads "upon generation", §5.1).
+    t = observe("psi", t);
+    t = observe("lambda", t);
+    t = observe("g", t);
+    rho = cfg_.rho;
+    end_phase(result, Phase::Init, init_ew0, init_w0, t);
+    if (obs_ != nullptr) obs_->phase_end(Phase::Init, t);
+  } else {
+    // Resume: the init charges were paid in the first segment; restore the
+    // iteration-carried variables and continue at the saved boundary.
+    lip_ = ck.lip;
+    u = std::move(ck.u);
+    dref = std::move(ck.dref);
+    psi = std::move(ck.psi);
+    lambda = std::move(ck.lambda);
+    rho = ck.rho;
+    first_iter = ck.next_iter;
+    MLR_CHECK(first_iter > 0 && first_iter < cfg_.outer_iters);
+    mem_.alloc("u", double(u.bytes()), t);
+    mem_.alloc("d", double(dref.bytes()), t);
+    mem_.alloc("psi", double(psi.bytes()), t);
+    mem_.alloc("lambda", double(lambda.bytes()), t);
+    mem_.alloc("g", double(gfield.bytes()), t);
+  }
 
   // Encoder calibration: warmup iterations run un-memoized while collecting
   // real chunk samples; the CNN is then contrastive-trained and frozen.
   const bool needs_warmup = ml_.config().enable &&
                             !ml_.key_encoder().quantized() &&
                             cfg_.encoder_warmup_iters > 0;
+  MLR_CHECK_MSG(!(resuming && needs_warmup),
+                "resume requires a trained (quantized) encoder");
   if (needs_warmup) {
     exec_.set_bypass(true);
     exec_.set_collect_samples(true);
   }
 
   VectorField gu(geo.object_shape());
-  for (int iter = 0; iter < cfg_.outer_iters; ++iter) {
+  bool paused = false;
+  for (int iter = first_iter; iter < cfg_.outer_iters; ++iter) {
     IterationStats st;
     st.iter = iter;
     const auto memo0 = exec_.counters();
@@ -411,6 +448,45 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
     result.iterations.push_back(st);
     if (hook_) hook_(iter, u);
     MLR_LOG(Debug) << "iter " << iter << " loss " << st.loss << " vtime " << t;
+
+    // Stage-boundary yield point: every variable the next iteration reads
+    // is checkpointed above; yielding mid-warmup is excluded (bypass state
+    // and collected samples are not part of the checkpoint).
+    if (should_yield && !needs_warmup && iter + 1 < cfg_.outer_iters &&
+        should_yield(iter + 1, t)) {
+      // Close the pipelined round first so the owner can snapshot DB
+      // entries, cache contents and virtual clocks (settle never moves t:
+      // tail charges use the logical ready times recorded at issue).
+      exec_.settle();
+      ck.valid = true;
+      ck.next_iter = iter + 1;
+      ck.rho = rho;
+      ck.lip = lip_;
+      ck.t = t;
+      ck.u = std::move(u);
+      ck.dref = std::move(dref);
+      ck.psi = std::move(psi);
+      ck.lambda = std::move(lambda);
+      for (auto& s : result.iterations)
+        ck.iterations.push_back(std::move(s));
+      for (std::size_t p = 0; p < std::size_t(kNumPhases); ++p) {
+        ck.phases[p].ew += result.phases[p].ew;
+        ck.phases[p].wall_s += result.phases[p].wall_s;
+      }
+      ck.ew_total += knl_.stats() - solve_ew0;
+      ck.transfer_busy += exec_.device_transfer_busy() - dev_xfer0;
+      paused = true;
+      break;
+    }
+  }
+
+  if (paused) {
+    mem_.release("psi", ck.t);
+    mem_.release("lambda", ck.t);
+    mem_.release("g", ck.t);
+    mem_.release("u", ck.t);
+    mem_.release("d", ck.t);
+    return false;
   }
 
   mem_.release("psi", t);
@@ -421,12 +497,25 @@ SolveResult Solver::solve(const Array3D<cfloat>& d) {
   // Close the pipelined round before reading transfer stats; rethrows any
   // deferred tail error (the guard's settle then finds nothing left).
   exec_.settle();
+  // Stitch prior segments' accumulators (empty for an uninterrupted solve)
+  // under this segment's totals.
   result.total_vtime = t;
-  result.ew_total = knl_.stats() - solve_ew0;
-  const double xfer = exec_.device_transfer_busy() - dev_xfer0;
+  std::vector<IterationStats> its = std::move(ck.iterations);
+  for (auto& s : result.iterations) its.push_back(std::move(s));
+  result.iterations = std::move(its);
+  for (std::size_t p = 0; p < std::size_t(kNumPhases); ++p) {
+    result.phases[p].ew += ck.phases[p].ew;
+    result.phases[p].wall_s += ck.phases[p].wall_s;
+  }
+  result.ew_total = ck.ew_total;
+  result.ew_total += knl_.stats() - solve_ew0;
+  const double xfer =
+      ck.transfer_busy + (exec_.device_transfer_busy() - dev_xfer0);
   result.transfer_share = t > 0 ? xfer / t : 0.0;
   result.u = std::move(u);
-  return result;
+  ck = SolverCheckpoint{};  // consumed
+  *out = std::move(result);
+  return true;
 }
 
 double reconstruction_accuracy(const Array3D<cfloat>& reference,

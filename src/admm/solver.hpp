@@ -103,6 +103,37 @@ struct SolveResult {
   std::array<PhaseProfile, kNumPhases> phases;  ///< indexed by Phase
 };
 
+/// Everything a paused solve carries across a serve-layer preemption: the
+/// cross-iteration ADMM state (u, ψ, λ, ρ, the Lipschitz estimate, the
+/// pre-transformed data term d̂) plus the partial SolveResult accumulators
+/// of the completed segments. Engine-side state (memo DB entries, cache
+/// contents, counters, virtual timelines) is checkpointed separately by the
+/// owner — the solver's checkpoint is exactly the set of variables its
+/// outer loop carries between iterations (gfield/gu are rewritten fresh
+/// each iteration), which is why an outer-iteration boundary is an *exact*
+/// yield point: resuming reproduces the uninterrupted solve bit for bit.
+struct SolverCheckpoint {
+  bool valid = false;  ///< a paused solve is stored
+  int next_iter = 0;   ///< first outer iteration the resume will run
+  double rho = 0;
+  double lip = 0;      ///< power-iteration result (not re-run on resume)
+  sim::VTime t = 0;    ///< virtual time at the yield point
+  Array3D<cfloat> u;
+  Array3D<cfloat> dref;  ///< d̂ (Algorithm 2) / the data copy (Algorithm 1)
+  VectorField psi, lambda;
+  /// Partial SolveResult accumulators from completed segments.
+  std::vector<IterationStats> iterations;
+  std::array<PhaseProfile, kNumPhases> phases{};
+  EwStats ew_total;
+  double transfer_busy = 0;  ///< accumulated CPU↔GPU copy busy seconds
+  [[nodiscard]] bool started() const { return valid; }
+};
+
+/// Yield predicate for preemptible solves, consulted after every completed
+/// outer iteration with (next_iter, virtual time now). Returning true pauses
+/// the solve at that stage boundary.
+using YieldFn = std::function<bool(int, sim::VTime)>;
+
 class Solver {
  public:
   /// `ml` supplies both the real operators and the execution backend (all
@@ -116,6 +147,19 @@ class Solver {
 
   /// Reconstruct from measured projections `d` (spatial detector domain).
   SolveResult solve(const Array3D<cfloat>& d);
+
+  /// Preemptible solve. With `ck.valid`, resumes a paused solve from its
+  /// outer-iteration boundary instead of starting fresh (the owner must have
+  /// rebuilt the engine state — DB, cache, counters, virtual clocks — the
+  /// checkpoint was taken against; `d` is ignored beyond shape checks since
+  /// the checkpoint holds d̂). After each completed iteration `should_yield`
+  /// (when set) is consulted; on true the solve settles the pipelined round,
+  /// saves its carried state into `ck` and returns false. Returns true when
+  /// the solve ran to completion — `*out` then holds the stitched result,
+  /// bit-identical to an uninterrupted solve() of the same problem.
+  /// Yielding requires a trained encoder (no warmup in flight).
+  bool solve_resumable(const Array3D<cfloat>& d, SolverCheckpoint& ck,
+                       const YieldFn& should_yield, SolveResult* out);
 
   /// Per-variable memory accounting (Fig 2 / Fig 13 input).
   [[nodiscard]] const sim::MemoryTracker& memory() const { return mem_; }

@@ -105,6 +105,33 @@ class ExecutionContext {
   [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
   [[nodiscard]] const ExecutionOptions& options() const { return opt_; }
 
+  /// Snapshot of every virtual timeline in the context (per-device compute +
+  /// copy engines, the interconnect link, the memory-node CPU). A preempted
+  /// serve session checkpoints these and restores them onto the rebuilt
+  /// context: async insertion charges can leave link/node busy beyond the
+  /// solver's own clock at a yield point, and losing that queueing would
+  /// shift every later DB round-trip (and the job's run vtime).
+  struct SimClockState {
+    std::vector<sim::Device::ClockState> devices;
+    sim::Timeline::State link;
+    sim::Timeline::State memnode_cpu;
+  };
+  [[nodiscard]] SimClockState clock_state() const {
+    SimClockState s;
+    s.devices.reserve(devices_.size());
+    for (const auto& d : devices_) s.devices.push_back(d->clock_state());
+    s.link = net_.clock_state();
+    s.memnode_cpu = memnode_.clock_state();
+    return s;
+  }
+  void restore_clock(const SimClockState& s) {
+    MLR_CHECK(s.devices.size() == devices_.size());
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+      devices_[i]->restore_clock(s.devices[i]);
+    net_.restore_clock(s.link);
+    memnode_.restore_clock(s.memnode_cpu);
+  }
+
  private:
   ExecutionOptions opt_;
   sim::Interconnect net_;

@@ -98,6 +98,27 @@ u64 PrivateCache::fingerprint() const {
   return h;
 }
 
+CacheImage PrivateCache::image() const {
+  CacheImage img;
+  for (i64 s = 0; s < i64(slots_.size()); ++s) {
+    std::lock_guard lk(stripe(s));
+    const auto& e = slots_[size_t(s)];
+    if (e) img.items.push_back({s, OpKind(int(s / num_locations_)), *e});
+  }
+  img.stats = stats();
+  return img;
+}
+
+void PrivateCache::restore(const CacheImage& img) {
+  for (auto& e : slots_) e.reset();
+  for (const auto& it : img.items) {
+    MLR_CHECK(it.slot >= 0 && it.slot < i64(slots_.size()));
+    std::lock_guard lk(stripe(it.slot));
+    slots_[size_t(it.slot)] = it.entry;
+  }
+  restore_stats(img.stats);
+}
+
 GlobalCache::GlobalCache(i64 capacity, i64 shards)
     : shard_capacity_(0), shards_(size_t(std::max<i64>(1, shards))) {
   MLR_CHECK(capacity >= 1);
@@ -176,6 +197,32 @@ u64 GlobalCache::fingerprint() const {
     }
   }
   return h;
+}
+
+CacheImage GlobalCache::image() const {
+  CacheImage img;
+  for (i64 i = 0; i < i64(shards_.size()); ++i) {
+    const auto& sh = shards_[size_t(i)];
+    std::lock_guard lk(sh.mu);
+    for (const auto& t : sh.pool)  // preserve FIFO order within the shard
+      img.items.push_back({i, t.kind, t.entry});
+  }
+  img.stats = stats();
+  return img;
+}
+
+void GlobalCache::restore(const CacheImage& img) {
+  for (auto& sh : shards_) {
+    std::lock_guard lk(sh.mu);
+    sh.pool.clear();
+  }
+  for (const auto& it : img.items) {
+    MLR_CHECK(it.slot >= 0 && it.slot < i64(shards_.size()));
+    auto& sh = shards_[size_t(it.slot)];
+    std::lock_guard lk(sh.mu);
+    sh.pool.push_back({it.kind, it.entry});
+  }
+  restore_stats(img.stats);
 }
 
 }  // namespace mlr::memo

@@ -48,6 +48,22 @@ struct CacheEntry {
   std::vector<cfloat> probe;  ///< pooled input plane (oracle mode)
 };
 
+/// Deep copy of a cache's resident entries + counters, in the cache's own
+/// canonical iteration order (slot-major for PrivateCache, shard-then-FIFO
+/// for GlobalCache). Restoring an image onto a freshly constructed cache of
+/// the same geometry reproduces lookup results, eviction behaviour and
+/// fingerprint() bit-identically — the serve layer checkpoints a preempted
+/// session's cache through this.
+struct CacheImage {
+  struct Item {
+    i64 slot = 0;  ///< PrivateCache slot index / GlobalCache shard index
+    OpKind kind = OpKind(0);
+    CacheEntry entry;
+  };
+  std::vector<Item> items;
+  CacheStats stats;
+};
+
 /// Abstract cache over (op kind, chunk location) → FFT result.
 /// Implementations must be safe under concurrent lookup and insert.
 class MemoCache {
@@ -81,8 +97,19 @@ class MemoCache {
   /// produce the same fingerprint — the determinism tests compare the
   /// engine's cache contents across thread counts and overlap settings.
   [[nodiscard]] virtual u64 fingerprint() const = 0;
+  /// Checkpoint/restore of resident entries + counters (see CacheImage).
+  /// restore() replaces the current contents; call it only on a cache of the
+  /// same geometry (same locations/capacity/shards) as the image's source.
+  [[nodiscard]] virtual CacheImage image() const = 0;
+  virtual void restore(const CacheImage& img) = 0;
 
  protected:
+  void restore_stats(const CacheStats& s) {
+    lookups_.store(s.lookups, std::memory_order_relaxed);
+    hits_.store(s.hits, std::memory_order_relaxed);
+    comparisons_.store(s.comparisons, std::memory_order_relaxed);
+  }
+
   std::atomic<u64> lookups_{0};
   std::atomic<u64> hits_{0};
   std::atomic<u64> comparisons_{0};
@@ -105,6 +132,8 @@ class PrivateCache : public MemoCache {
               std::span<const cfloat> probe = {}) override;
   [[nodiscard]] std::size_t bytes() const override;
   [[nodiscard]] u64 fingerprint() const override;
+  [[nodiscard]] CacheImage image() const override;
+  void restore(const CacheImage& img) override;
   /// One single-entry slot per (kind, location): kinds never interact.
   [[nodiscard]] bool kind_isolated() const override { return true; }
 
@@ -138,6 +167,8 @@ class GlobalCache : public MemoCache {
               std::span<const cfloat> probe = {}) override;
   [[nodiscard]] std::size_t bytes() const override;
   [[nodiscard]] u64 fingerprint() const override;
+  [[nodiscard]] CacheImage image() const override;
+  void restore(const CacheImage& img) override;
 
   [[nodiscard]] i64 shards() const { return i64(shards_.size()); }
   /// Shards mix kinds and FIFO eviction crosses them, so a kind-A insert

@@ -529,6 +529,24 @@ void MemoDb::import_entries(std::span<const Entry> entries,
   accounted_store_bytes_ = logical_bytes;
 }
 
+void MemoDb::restore_session_entries(std::span<const Entry> entries) {
+  MLR_CHECK_MSG(!round_open_, "restore_session_entries inside an open round");
+  for (int k = 0; k < kNumOpKinds; ++k)
+    MLR_CHECK_MSG(
+        next_seq_[size_t(k)].load() == shared_boundary_[size_t(k)],
+        "restore_session_entries must run on a seed-only database");
+  const std::size_t key_cf = (size_t(cfg_.key_dim) + 1) / 2;
+  for (const auto& e : entries) {
+    // Own entries always carry their payload inline: the session stored
+    // them locally even when its *seed* was index-only.
+    MLR_CHECK(!e.value.empty() || e.value_cf == 0);
+    (void)store_entry(e.kind, e.key, e.value, e.norm, e.probe,
+                      /*async=*/false);
+    accounted_store_bytes_ +=
+        double(key_cf + e.value.size()) * sizeof(cfloat);
+  }
+}
+
 void MemoDb::materialize(QueryReply& rp) {
   if (!rp.hit || rp.remote_pos == QueryReply::kNoRemote) return;
   const std::size_t key_cf = (size_t(cfg_.key_dim) + 1) / 2;

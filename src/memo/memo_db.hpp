@@ -331,6 +331,18 @@ class MemoDb {
   void import_entries(std::span<const Entry> entries,
                       ValueFetcher* values = nullptr);
 
+  /// Re-install a preempted session's *own* insertions on top of a freshly
+  /// imported seed (serve-layer checkpoint/resume). Entries replay through
+  /// the synchronous store path in snapshot order, continuing the per-kind
+  /// sequences exactly where the seed left them — so the restored entries
+  /// get the ids they had in the original session and stay *above* the
+  /// shared boundary (a hit on one remains db_hit, not db_hit_shared). No
+  /// virtual-clock charges: their traffic was paid when first inserted;
+  /// their logical bytes are folded into the store accounting so later
+  /// pipelined charges continue from the real footprint. Call once, right
+  /// after import_entries(), before any query round.
+  void restore_session_entries(std::span<const Entry> entries);
+
   /// Resolve a remote hit in place: fetch the value payload (blocking — the
   /// engine calls this after the slice's miss FFTs were issued), cache it
   /// into the value store, and clear remote_pos. No-op for local replies.

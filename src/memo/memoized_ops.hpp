@@ -165,6 +165,16 @@ class MemoizedLamino {
   [[nodiscard]] const MemoConfig& config() const { return cfg_; }
   [[nodiscard]] const MemoCounters& counters() const { return counters_; }
   [[nodiscard]] const MemoCache* cache() const { return cache_.get(); }
+  /// Checkpoint/resume surface (serve-layer stage-boundary preemption): a
+  /// resumed session restores the wrapper's cache contents and outcome
+  /// counters so the continuation is indistinguishable from never pausing.
+  [[nodiscard]] CacheImage cache_image() const {
+    return cache_ ? cache_->image() : CacheImage{};
+  }
+  void restore_cache(const CacheImage& img) {
+    if (cache_) cache_->restore(img);
+  }
+  void set_counters(const MemoCounters& c) { counters_ = c; }
   [[nodiscard]] const encoder::CnnEncoder& key_encoder() const {
     return registry_->encoder();
   }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "lamino/phantom.hpp"
 #include "memo/memoized_ops.hpp"
@@ -71,6 +72,22 @@ inline ScenarioProfile scenario_profile(Scenario s) {
   return {};
 }
 
+/// Service-level objective class of a request. Admission may *downgrade* an
+/// infeasible Interactive/Standard job to BestEffort instead of rejecting
+/// it: the job keeps its deadline for reporting but stops counting against
+/// the admitted deadline-hit rate (it was told up front it would be late).
+enum class SloClass : int { Interactive = 0, Standard = 1, BestEffort = 2 };
+inline constexpr int kNumSloClasses = 3;
+
+inline const char* slo_class_name(SloClass c) {
+  switch (c) {
+    case SloClass::Interactive: return "interactive";
+    case SloClass::Standard: return "standard";
+    case SloClass::BestEffort: return "best-effort";
+  }
+  return "?";
+}
+
 /// One tenant's reconstruction order.
 struct JobRequest {
   u64 id = 0;                    ///< assigned by ReconService::submit
@@ -79,6 +96,7 @@ struct JobRequest {
   int priority = 1;              ///< higher runs first (Priority policy)
   sim::VTime arrival = 0;        ///< virtual arrival time
   sim::VTime deadline = 0;       ///< absolute virtual deadline; 0 = none
+  SloClass slo = SloClass::Standard;
   Scenario scenario = Scenario::BrainScan;
   u64 seed = 1;                  ///< object identity (phantom seed)
 };
@@ -106,14 +124,27 @@ struct JobStats {
   std::string tenant;
   Scenario scenario{};
   int priority = 1;
-  bool admitted = true;          ///< false: rejected at arrival (queue full)
+  SloClass slo = SloClass::Standard;
+  bool admitted = true;          ///< false: rejected at arrival
+  /// Why admission said no ("queue-full" / "deadline-infeasible"); empty
+  /// for admitted jobs.
+  std::string reject_reason;
+  /// Admission downgraded the job to SloClass::BestEffort at arrival: its
+  /// deadline was estimated infeasible but the job ran anyway.
+  bool downgraded = false;
   JobOutcome outcome = JobOutcome::Completed;
   std::string failure;           ///< Failed only: what the session threw
   /// Ran in degraded (cold-session) mode: the shared tier was unreachable,
   /// so no seed was imported and the job's promotion was buffered locally
   /// for re-shipment on recovery.
   bool degraded = false;
-  int slot = -1;                 ///< execution slot that ran the job
+  int slot = -1;                 ///< execution slot that ran the job (last)
+  /// Stage-boundary preemption: how many times the job yielded its slot and
+  /// requeued, and every slot that hosted one of its segments (in order).
+  /// Preemption is schedule-shaped only — outputs, records, cache
+  /// fingerprints and run_vtime are bit-identical to an uninterrupted run.
+  u64 preemptions = 0;
+  std::vector<int> slots_visited;
   sim::VTime arrival = 0, start = 0, finish = 0;
   /// Policy-invariant job runtime: sessions are hermetic (seed snapshot +
   /// own insertions), so a job's duration never depends on who else was in
@@ -132,6 +163,7 @@ struct JobStats {
   memo::MemoCounters memo;       ///< incl. db_hit_shared (cross-job reuse)
   double cache_hit_rate = 0;
   u64 output_fingerprint = 0;    ///< FNV-1a over the result bits
+  u64 cache_fingerprint = 0;     ///< session cache digest at completion
 
   [[nodiscard]] double queue_wait() const { return start - arrival; }
   [[nodiscard]] double turnaround() const { return finish - arrival; }

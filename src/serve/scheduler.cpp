@@ -15,10 +15,12 @@ const char* policy_name(SchedulerPolicy p) {
 
 namespace {
 
-/// Shared (arrival, id) tie-break: true when a should run before b.
-bool fifo_before(const JobRequest& a, const JobRequest& b) {
-  if (a.arrival != b.arrival) return a.arrival < b.arrival;
-  return a.id < b.id;
+/// Shared (queued_at, id) tie-break: true when a should run before b. A
+/// fresh job's queued_at is its arrival, a preempted job's is its yield
+/// time, so the order is "who has been waiting longest this round".
+bool fifo_before(const QueuedJob& a, const QueuedJob& b) {
+  if (a.queued_at != b.queued_at) return a.queued_at < b.queued_at;
+  return a.req->id < b.req->id;
 }
 
 }  // namespace
@@ -28,7 +30,7 @@ std::size_t FifoScheduler::pick(std::span<const QueuedJob> waiting,
   MLR_CHECK(!waiting.empty());
   std::size_t best = 0;
   for (std::size_t i = 1; i < waiting.size(); ++i)
-    if (fifo_before(*waiting[i].req, *waiting[best].req)) best = i;
+    if (fifo_before(waiting[i], waiting[best])) best = i;
   return best;
 }
 
@@ -40,7 +42,7 @@ std::size_t PriorityScheduler::pick(std::span<const QueuedJob> waiting,
     const auto& a = *waiting[i].req;
     const auto& b = *waiting[best].req;
     if (a.priority != b.priority ? a.priority > b.priority
-                                 : fifo_before(a, b))
+                                 : fifo_before(waiting[i], waiting[best]))
       best = i;
   }
   return best;
@@ -58,7 +60,7 @@ std::size_t FairShareScheduler::pick(std::span<const QueuedJob> waiting,
   for (std::size_t i = 1; i < waiting.size(); ++i) {
     const double v = vrun_of(*waiting[i].req);
     if (v < best_v ||
-        (v == best_v && fifo_before(*waiting[i].req, *waiting[best].req))) {
+        (v == best_v && fifo_before(waiting[i], waiting[best]))) {
       best = i;
       best_v = v;
     }

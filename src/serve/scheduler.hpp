@@ -29,6 +29,14 @@ const char* policy_name(SchedulerPolicy p);
 /// One waiting (admitted, arrived) job as the scheduler sees it.
 struct QueuedJob {
   const JobRequest* req = nullptr;
+  /// When the job entered the queue *this time*: the arrival for a fresh
+  /// job, the yield time for a preempted one awaiting its next segment.
+  /// Every policy tie-breaks on (queued_at, id) — a preempted job re-enters
+  /// as if it had just arrived, which turns FIFO into round-robin across
+  /// preemption quanta and lets later-arriving short jobs overtake a long
+  /// job between its segments.
+  sim::VTime queued_at = 0;
+  bool resumed = false;  ///< true: a preempted job's continuation
 };
 
 class Scheduler {

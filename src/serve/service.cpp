@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 #include <utility>
 
 #include "cluster/cluster.hpp"
@@ -24,6 +25,9 @@ namespace {
 struct ServeMetrics {
   obs::Counter& jobs_completed;
   obs::Counter& jobs_rejected;
+  obs::Counter& admission_rejected;
+  obs::Counter& admission_downgraded;
+  obs::Counter& preemptions;
   obs::Counter& tier_promoted;
   obs::Counter& tier_dedup_drops;
   obs::Counter& tier_cap_drops;
@@ -36,6 +40,9 @@ struct ServeMetrics {
     static ServeMetrics sm{
         m.counter("serve.jobs_completed"),
         m.counter("serve.jobs_rejected"),
+        m.counter("serve.admission_rejected"),
+        m.counter("serve.admission_downgraded"),
+        m.counter("serve.preemptions"),
         m.counter("tier.promoted"),
         m.counter("tier.dedup_drops"),
         m.counter("tier.cap_drops"),
@@ -55,6 +62,10 @@ ReconService::ReconService(ServiceConfig cfg)
   MLR_CHECK(cfg_.n >= 8 && cfg_.chunk_size >= 1);
   MLR_CHECK(cfg_.slots >= 1 && cfg_.gpus_per_job >= 1);
   MLR_CHECK_MSG(cfg_.max_queue >= 1, "admission needs room for one waiter");
+  MLR_CHECK_MSG(cfg_.gpus_per_job == 1 ||
+                    (cfg_.preempt_quantum_s <= 0 && !cfg_.preempt_force),
+                "stage-boundary preemption requires gpus_per_job == 1");
+  MLR_CHECK(cfg_.admission_margin > 0);
   const memo::MemoConfig mc{};  // encoder geometry defaults (key_dim, hw)
   registry_ = std::make_shared<encoder::EncoderRegistry>(
       encoder::EncoderConfig{.input_hw = mc.encoder_hw,
@@ -109,6 +120,7 @@ ReconService::ReconService(ServiceConfig cfg)
 #endif
   }
   slot_free_.assign(std::size_t(cfg_.slots), 0.0);
+  adm_free_.assign(std::size_t(cfg_.slots), 0.0);
   sched_ = make_scheduler(cfg_.policy);
   if (!cfg_.trace_path.empty()) obs::TraceRecorder::instance().enable();
 }
@@ -185,10 +197,10 @@ const Array3D<cfloat>& ReconService::ground_truth(Scenario s, u64 seed) {
   return problem_for(s, seed).truth;
 }
 
-JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
-                               sim::VTime seed_ready,
-                               std::vector<memo::MemoDb::Entry>* own_entries,
-                               bool cold) {
+ReconService::RunOutcome ReconService::run_job(
+    const JobRequest& req, sim::VTime start, sim::VTime seed_ready,
+    std::vector<memo::MemoDb::Entry>* own_entries, bool cold,
+    PausedJob* resume, const std::function<bool(sim::VTime)>& contended) {
   // The per-job trace tree: "job" wraps the whole synchronous session;
   // setup/solve/export children plus the net layer's async seed-export and
   // GET_BATCH pairs hang under it on the same track.
@@ -231,6 +243,7 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
   st.tenant = req.tenant;
   st.scenario = req.scenario;
   st.priority = req.priority;
+  st.slo = req.slo;
   st.arrival = req.arrival;
   st.start = start;
   st.seed_fetch_s = seed_ready - start;
@@ -282,14 +295,69 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
     }
   }
 
+  // Resumed segment: re-install the checkpointed session state on top of
+  // the freshly seeded context. The tier is constant during a drain (folds
+  // are post-drain), so the re-fetched seed is the *identical* snapshot the
+  // first segment saw; replaying the session's own insertions above it
+  // continues the per-kind id sequences exactly, and restoring the cache
+  // image, outcome counters and virtual timelines makes the rebuilt session
+  // indistinguishable from one that never yielded.
+  if (resume != nullptr) {
+    MLR_TRACE_SPAN("job.session_restore", "serve", req.id);
+    if (db != nullptr && !resume->own_entries.empty())
+      db->restore_session_entries(resume->own_entries);
+    if (ctx != nullptr) {
+      ctx->wrapper(0).restore_cache(resume->cache);
+      ctx->wrapper(0).set_counters(resume->counters);
+      ctx->restore_clock(resume->clocks);
+    }
+  }
+
+  admm::SolverCheckpoint ck;
+  if (resume != nullptr) ck = std::move(resume->ck);
+  const sim::VTime seg_t0 = ck.valid ? ck.t : 0.0;
+  admm::YieldFn yield_fn;
+  if ((cfg_.preempt_quantum_s > 0 || cfg_.preempt_force) && contended) {
+    yield_fn = [&](int, sim::VTime tn) {
+      if (cfg_.preempt_force) return true;
+      if (tn - seg_t0 < cfg_.preempt_quantum_s) return false;
+      // Map the session-local instant onto the service clock: compute
+      // started at seed_ready, this segment's solver clock started at
+      // seg_t0.
+      return contended(seed_ready + (tn - seg_t0));
+    };
+  }
+
   admm::Solver solver(*exec, ac);
-  const auto res = [&] {
+  admm::SolveResult res;
+  const bool finished = [&] {
     MLR_TRACE_SPAN("job.solve", "serve", req.id);
-    return solver.solve(pb.d);
+    return solver.solve_resumable(pb.d, ck, yield_fn, &res);
   }();
 
+  if (!finished) {
+    // Yielded at a stage boundary: checkpoint everything needed to rebuild
+    // the session bit-identically and hand the slot back.
+    RunOutcome ro;
+    ro.paused = true;
+    auto& pj = ro.paused_job;
+    pj.req = req;
+    pj.yield_time = seed_ready + (ck.t - seg_t0);
+    pj.ck = std::move(ck);
+    if (db != nullptr) {
+      MLR_TRACE_SPAN("job.export", "serve", req.id);
+      pj.own_entries = db->export_entries(/*session_only=*/true);
+    }
+    if (ctx != nullptr) {
+      pj.cache = ctx->wrapper(0).cache_image();
+      pj.counters = ctx->wrapper(0).counters();
+      pj.clocks = ctx->clock_state();
+    }
+    return ro;
+  }
+
   st.run_vtime = res.total_vtime;
-  st.finish = seed_ready + res.total_vtime;
+  st.finish = seed_ready + (res.total_vtime - seg_t0);
   // The session's virtual completion on the service timeline — the second
   // clock domain, exported as a counter track against the wall-clock axis.
   obs::trace_counter("vclock.service", st.finish);
@@ -298,11 +366,13 @@ JobStats ReconService::run_job(const JobRequest& req, sim::VTime start,
   st.cache_hit_rate = exec->cache_stats().hit_rate();
   st.error_vs_truth = relative_error<cfloat>(pb.truth.span(), res.u.span());
   st.output_fingerprint = fnv1a_bytes(res.u.data(), std::size_t(res.u.bytes()));
+  if (ctx != nullptr && ctx->wrapper(0).cache() != nullptr)
+    st.cache_fingerprint = ctx->wrapper(0).cache()->fingerprint();
   if (own_entries != nullptr && db != nullptr) {
     MLR_TRACE_SPAN("job.export", "serve", req.id);
     *own_entries = db->export_entries(/*session_only=*/true);
   }
-  return st;
+  return RunOutcome{std::move(st)};
 }
 
 double ReconService::work_scale_for(Scenario s) const {
@@ -314,6 +384,15 @@ sim::VTime ReconService::charge_seed_fetch(sim::VTime t, double scale) {
   const sim::VTime ready = tier_->charge_fetch(t, scale);
   stats_.fabric_fetch_s += ready - t;
   return ready;
+}
+
+double ReconService::estimate_fetch_s(double scale) const {
+  if (!cfg_.memoize || !cfg_.fabric.enabled || tier_->size() == 0) return 0.0;
+  // The uncontended lower bound of charge_fetch: every fetch funnels the
+  // whole tier through the shared uplink, so this is exact on an idle
+  // fabric and optimistic under contention (admission_margin buys slack).
+  return cfg_.fabric.latency +
+         tier_->total_bytes() * scale / cfg_.fabric.uplink_bandwidth;
 }
 
 void ReconService::fold_promotion(JobStats* st,
@@ -347,8 +426,13 @@ std::vector<JobStats> ReconService::prime(std::span<const JobRequest> warm) {
     req.id = next_id_++;
     try {
       std::vector<memo::MemoDb::Entry> own;
-      auto st = run_job(req, 0.0, 0.0, cfg_.memoize ? &own : nullptr);
+      auto st =
+          std::move(run_job(req, 0.0, 0.0, cfg_.memoize ? &own : nullptr).st);
       if (cfg_.memoize) fold_promotion(&st, std::move(own));
+      // Teach admission this scenario's runtime class (max across
+      // observations: run vtimes are policy-invariant, so this is too).
+      auto& est = est_run_[std::size_t(st.scenario)];
+      est = std::max(est, st.run_vtime);
       out.push_back(std::move(st));
     } catch (const std::exception& e) {
       // A warm job that throws poisons only itself: later warm jobs (and
@@ -450,6 +534,14 @@ std::vector<JobStats> ReconService::drain() {
     pending.erase(pending.begin(), pending.begin() + i64(shipped));
   };
   std::vector<QueuedJob> waiting;
+  // Preempted jobs awaiting their next segment, by id. A paused job is
+  // always also in `waiting` (as a resumed QueuedJob pointing at the
+  // PausedJob's owned request), so the loop condition needs no new term.
+  std::map<u64, std::unique_ptr<PausedJob>> paused;
+  // Ids admission flipped to best-effort (Downgrade mode) — recorded so the
+  // final JobStats can say so even though the request itself was mutated.
+  std::set<u64> downgraded_ids;
+  const bool preempt_on = cfg_.preempt_quantum_s > 0 || cfg_.preempt_force;
   std::size_t next = 0;
   while (next < arr.size() || !waiting.empty()) {
     // Earliest-free slot (ties: lowest index) sets the dispatch time: a job
@@ -463,21 +555,26 @@ std::vector<JobStats> ReconService::drain() {
       if (slot_free_[s2] < slot_free_[slot]) slot = s2;
     sim::VTime t = slot_free_[slot];
     sim::VTime earliest = std::numeric_limits<sim::VTime>::infinity();
-    for (const auto& w : waiting)
-      earliest = std::min(earliest, w.req->arrival);
+    for (const auto& w : waiting) earliest = std::min(earliest, w.queued_at);
     if (next < arr.size()) earliest = std::min(earliest, arr[next].arrival);
     t = std::max(t, earliest);
-    // Admission at arrival: everything that arrived by t joins the queue in
-    // arrival order; arrivals past the backlog cap are rejected.
+    // Admission at arrival: everything that arrived by t is processed in
+    // (arrival, id) order — deadline admission first (policy-invariant: its
+    // inputs are the arrival-ordered stream, the learned estimates and the
+    // controller's private adm_free_ model, never actual queue/slot state),
+    // then the backlog cap (policy-*dependent*, as before: it reads the
+    // real queue length).
     while (next < arr.size() && arr[next].arrival <= t) {
-      const JobRequest& jr = arr[next];
-      if (waiting.size() >= cfg_.max_queue) {
+      JobRequest& jr = arr[next];  // mutable: Downgrade rewrites jr.slo
+      auto reject = [&](const char* why) {
         JobStats rej;
         rej.id = jr.id;
         rej.tenant = jr.tenant;
         rej.scenario = jr.scenario;
         rej.priority = jr.priority;
+        rej.slo = jr.slo;
         rej.admitted = false;
+        rej.reject_reason = why;
         rej.outcome = JobOutcome::Rejected;
         rej.arrival = rej.start = rej.finish = jr.arrival;
         rej.deadline_met = jr.deadline <= 0;
@@ -485,18 +582,71 @@ std::vector<JobStats> ReconService::drain() {
         ServeMetrics::get().jobs_rejected.add();
         obs::trace_instant("job.rejected", "serve", jr.id);
         out.push_back(std::move(rej));
-      } else {
-        waiting.push_back({&jr});
+      };
+      bool adm_rejected = false;
+      const double er = est_run_[std::size_t(jr.scenario)];
+      if (cfg_.admission != AdmissionMode::None && jr.deadline > 0 &&
+          er > 0) {
+        // Model the earliest start the controller can promise: the least-
+        // loaded slot of its own bookkeeping, advanced below by the same
+        // estimates. est_fetch is the uncontended uplink pass of the
+        // (drain-constant) tier at this scenario's work scale.
+        std::size_t am = 0;
+        for (std::size_t s2 = 1; s2 < adm_free_.size(); ++s2)
+          if (adm_free_[s2] < adm_free_[am]) am = s2;
+        const sim::VTime est_start = std::max(jr.arrival, adm_free_[am]);
+        const double ef = estimate_fetch_s(work_scale_for(jr.scenario));
+        const bool feasible =
+            est_start + cfg_.admission_margin * (ef + er) <= jr.deadline;
+        if (!feasible && cfg_.admission == AdmissionMode::Reject) {
+          ++stats_.admission_rejected;
+          ServeMetrics::get().admission_rejected.add();
+          reject("deadline-infeasible");
+          adm_rejected = true;
+        } else {
+          if (!feasible) {  // AdmissionMode::Downgrade
+            jr.slo = SloClass::BestEffort;
+            downgraded_ids.insert(jr.id);
+            ++stats_.admission_downgraded;
+            ServeMetrics::get().admission_downgraded.add();
+            obs::trace_instant("job.downgraded", "serve", jr.id);
+          }
+          // Book the slot model (margin-free — the margin is headroom for
+          // the decision, not a tax on the model).
+          adm_free_[am] = est_start + ef + er;
+        }
+      }
+      if (!adm_rejected) {
+        if (waiting.size() >= cfg_.max_queue) {
+          reject("queue-full");
+        } else {
+          waiting.push_back({&jr, jr.arrival, false});
+        }
       }
       ++next;
     }
+    // Admission may have rejected every arrival in the batch, leaving
+    // nothing to dispatch: go around again (t then advances to the next
+    // pending arrival, so the admission loop always consumes at least one
+    // more request — no livelock) or fall out of the drain entirely.
+    if (waiting.empty()) continue;
     // Every waiter has arrived by t: t is non-decreasing across iterations
     // (the slot minimum and the earliest-pending-arrival terms both only
     // rise), and each waiter was admitted when its arrival was <= the then-
     // current t.
     const std::size_t pi = sched_->pick(waiting, t);
-    const JobRequest req = *waiting[pi].req;
+    const QueuedJob picked = waiting[pi];
+    const JobRequest req = *picked.req;
     waiting.erase(waiting.begin() + i64(pi));
+    // A resumed pick carries its checkpoint; extract it (the QueuedJob's
+    // req pointer aimed into the PausedJob we now own).
+    std::unique_ptr<PausedJob> resume;
+    if (picked.resumed) {
+      const auto it = paused.find(req.id);
+      MLR_CHECK(it != paused.end());
+      resume = std::move(it->second);
+      paused.erase(it);
+    }
     // The dispatched session first fetches the shared tier over the fabric
     // — the charge concurrent sessions contend on — and computes only once
     // the seed landed. Dispatch times are non-decreasing across iterations,
@@ -525,31 +675,100 @@ std::vector<JobStats> ReconService::drain() {
               : t;
       std::vector<memo::MemoDb::Entry> mine;
       const bool collect = cfg_.memoize && cfg_.promote_after_drain;
-      JobStats st =
-          run_job(req, t, seed_ready, collect ? &mine : nullptr, cold);
-      st.slot = int(slot);
-      // Usage accounting bills the whole slot occupancy — the seed fetch
-      // holds the slot just like the compute does.
-      sched_->on_dispatch(req, t, st.finish - st.start);
-      slot_free_[slot] = st.finish;
-      if (collect) {
-        own.emplace(req.id, std::move(mine));
-        pending.push_back({st.finish, req.id, req.scenario});
+      // Yield rule, evaluated at quantum-expired stage boundaries on the
+      // service clock: yield only when someone is waiting (or will have
+      // arrived by then) AND no other slot could serve them — otherwise
+      // keep running in place, no checkpoint cost. Preemption may read
+      // live queue state precisely because resume is bit-exact: it shapes
+      // the schedule, never the outputs.
+      std::function<bool(sim::VTime)> contended;
+      if (preempt_on) {
+        contended = [&, slot](sim::VTime at) {
+          const bool waiter =
+              !waiting.empty() ||
+              (next < arr.size() && arr[next].arrival <= at);
+          if (!waiter) return false;
+          for (std::size_t s2 = 0; s2 < slot_free_.size(); ++s2)
+            if (s2 != slot && slot_free_[s2] <= at) return false;
+          return true;
+        };
       }
-      account(st);
-      out.push_back(std::move(st));
+      if (resume != nullptr)
+        obs::trace_instant("job.resume", "serve", req.id);
+      RunOutcome ro = run_job(req, t, seed_ready, collect ? &mine : nullptr,
+                              cold, resume.get(), contended);
+      if (ro.paused) {
+        // The job yielded: requeue it (as of its yield time) with the
+        // accumulated cross-segment bookkeeping, free the slot, move on.
+        auto pj = std::make_unique<PausedJob>(std::move(ro.paused_job));
+        if (resume != nullptr) {
+          pj->first_start = resume->first_start;
+          pj->seed_fetch_total = resume->seed_fetch_total;
+          pj->preemptions = resume->preemptions;
+          pj->slots = std::move(resume->slots);
+        } else {
+          pj->first_start = t;
+        }
+        pj->seed_fetch_total += seed_ready - t;
+        ++pj->preemptions;
+        pj->slots.push_back(int(slot));
+        // Usage accounting bills the segment's slot occupancy now; the
+        // later segments bill theirs when they run.
+        sched_->on_dispatch(req, t, pj->yield_time - t);
+        slot_free_[slot] = pj->yield_time;
+        ++stats_.preemptions;
+        ServeMetrics::get().preemptions.add();
+        obs::trace_instant("job.preempt", "serve", req.id);
+        waiting.push_back({&pj->req, pj->yield_time, true});
+        paused.emplace(req.id, std::move(pj));
+      } else {
+        JobStats st = std::move(ro.st);
+        st.slot = int(slot);
+        if (resume != nullptr) {
+          // Stitch the whole-job record across segments: start is the
+          // first dispatch, seed_fetch_s sums every segment's re-fetch
+          // (turnaround absorbs them; run_vtime never does).
+          st.start = resume->first_start;
+          st.seed_fetch_s = resume->seed_fetch_total + (seed_ready - t);
+          st.preemptions = resume->preemptions;
+          st.slots_visited = std::move(resume->slots);
+        }
+        st.slots_visited.push_back(int(slot));
+        st.downgraded = downgraded_ids.count(st.id) > 0;
+        // Usage accounting bills this segment's slot occupancy — the seed
+        // fetch holds the slot just like the compute does.
+        sched_->on_dispatch(req, t, st.finish - t);
+        slot_free_[slot] = st.finish;
+        if (collect) {
+          own.emplace(req.id, std::move(mine));
+          pending.push_back({st.finish, req.id, req.scenario});
+        }
+        account(st);
+        out.push_back(std::move(st));
+      }
     } catch (const std::exception& e) {
       JobStats st;
       st.id = req.id;
       st.tenant = req.tenant;
       st.scenario = req.scenario;
       st.priority = req.priority;
+      st.slo = req.slo;
       st.arrival = req.arrival;
       st.start = st.finish = t;
       st.slot = int(slot);
       st.outcome = JobOutcome::Failed;
       st.failure = e.what();
       st.degraded = degraded_;
+      st.downgraded = downgraded_ids.count(st.id) > 0;
+      if (resume != nullptr) {
+        // A resumed segment that threw fails the whole job; its checkpoint
+        // dies with `resume` (per-job failure isolation, as for any other
+        // failed session).
+        st.preemptions = resume->preemptions;
+        st.slots_visited = std::move(resume->slots);
+        st.start = resume->first_start;
+        st.finish = t;
+      }
       ++stats_.jobs_failed;
       obs::metrics().counter("serve.jobs_failed").add();
       obs::trace_instant("job.failed", "serve", req.id);
@@ -562,9 +781,17 @@ std::vector<JobStats> ReconService::drain() {
     if (cfg_.memoize && !degraded_ && !tier_->healthy())
       enter_degraded("tier transport broken (reconnect budget exhausted)");
   }
+  MLR_CHECK_MSG(paused.empty(), "drain ended with a job still preempted");
   charge_shipments_until(std::numeric_limits<sim::VTime>::infinity());
   std::sort(out.begin(), out.end(),
             [](const JobStats& a, const JobStats& b) { return a.id < b.id; });
+  // Refresh admission's per-scenario runtime estimates (id order — run
+  // vtimes are policy-invariant, so the refreshed model is too).
+  for (const auto& st : out)
+    if (st.outcome == JobOutcome::Completed) {
+      auto& est = est_run_[std::size_t(st.scenario)];
+      est = std::max(est, st.run_vtime);
+    }
   for (auto& st : out) {
     const auto it = own.find(st.id);
     if (it == own.end() || it->second.empty()) continue;

@@ -52,6 +52,7 @@
 //     and fabric settings while outputs stay bit-identical.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
@@ -87,6 +88,31 @@ namespace mlr::serve {
 /// Loopback/Socket require MLR_BUILD_NET (on by default).
 enum class TierTransport { Inproc, Loopback, Socket };
 
+/// Deadline admission (docs/serving.md "Admission and preemption"):
+///   * None      — legacy behaviour: only the queue cap rejects.
+///   * Reject    — jobs whose estimated finish misses their deadline are
+///     rejected at arrival (never touch a slot, never charge the fabric).
+///   * Downgrade — infeasible jobs run anyway but are flipped to
+///     SloClass::BestEffort at arrival (counted, excluded from the admitted
+///     deadline-hit accounting by consumers that honour the class).
+/// Decisions are made at the job's *arrival instant on the virtual clock*
+/// from policy-invariant inputs only — the arrival-ordered stream, per-
+/// scenario run-vtime estimates learned from prime()/previous drains, the
+/// uncontended fetch estimate (tier bytes × work_scale over the uplink) and
+/// a private model of slot availability advanced by those same estimates —
+/// so the admitted/rejected/downgraded id sets are identical across
+/// scheduling policies, thread counts and tier transports.
+enum class AdmissionMode : int { None = 0, Reject = 1, Downgrade = 2 };
+
+inline const char* admission_mode_name(AdmissionMode m) {
+  switch (m) {
+    case AdmissionMode::None: return "none";
+    case AdmissionMode::Reject: return "reject";
+    case AdmissionMode::Downgrade: return "downgrade";
+  }
+  return "?";
+}
+
 struct ServiceConfig {
   // Shared problem geometry: every job of one service reconstructs on the
   // same grid and chunking, so keys/values are comparable across jobs.
@@ -118,8 +144,31 @@ struct ServiceConfig {
 
   // Admission control + shared-tier growth.
   std::size_t max_queue = 64;       ///< waiting jobs beyond this are rejected
+  /// Deadline-aware admission at arrival (see AdmissionMode). Requires
+  /// run-vtime estimates — scenarios never seen by prime()/a previous drain
+  /// are always admitted (no estimate, no grounds to reject).
+  AdmissionMode admission = AdmissionMode::None;
+  /// Feasibility margin: a job passes when
+  ///   est_start + admission_margin × (est_fetch + est_run) ≤ deadline.
+  /// >1 rejects more (headroom for estimate error), <1 gambles.
+  double admission_margin = 1.0;
   std::size_t max_shared_entries = 1u << 20;  ///< promotion cap
   bool promote_after_drain = true;
+
+  // Stage-boundary preemption (docs/serving.md). Requires gpus_per_job==1.
+  /// >0 enables preemption: a running job offers to yield its slot at the
+  /// first outer-iteration boundary after this many virtual seconds of
+  /// segment service time — and actually yields only when someone is
+  /// waiting with no other slot free (otherwise it keeps running in place,
+  /// no checkpoint cost). The preempted session checkpoints (solver state +
+  /// own DB entries + cache image + counters + virtual clocks), requeues at
+  /// its yield time, and a later dispatch rebuilds it bit-identically —
+  /// outputs, records, cache fingerprints and run_vtime never change, only
+  /// the schedule does. 0 = off.
+  double preempt_quantum_s = 0.0;
+  /// Test knob: yield at EVERY eligible stage boundary, contended or not —
+  /// forces each job through the full checkpoint/resume path.
+  bool preempt_force = false;
 
   // Shared-tier sharding + the cross-session fabric (serve/shared_tier.hpp,
   // sim/fabric.hpp). Sharding never changes outputs — only which link
@@ -180,6 +229,12 @@ struct TenantStats {
 /// Aggregate serving metrics (cumulative across drains).
 struct ServiceStats {
   u64 submitted = 0, completed = 0, rejected = 0, deadline_missed = 0;
+  /// Deadline admission outcomes (subset of / in addition to `rejected`):
+  /// jobs the controller rejected as deadline-infeasible, and jobs it
+  /// downgraded to SloClass::BestEffort instead.
+  u64 admission_rejected = 0, admission_downgraded = 0;
+  /// Stage-boundary yields (each resumed exactly once later).
+  u64 preemptions = 0;
   /// Dispatched jobs whose session threw (outcome == JobOutcome::Failed);
   /// the service released their slot and kept running.
   u64 jobs_failed = 0;
@@ -258,14 +313,47 @@ class ReconService {
     Array3D<cfloat> d;  ///< simulated projections
   };
   const Problem& problem_for(Scenario s, u64 seed);
-  /// Execute one job in a hermetic session: dispatched at `start`, compute
-  /// begins at `seed_ready` (the charged fabric fetch completion; == start
-  /// when nothing was fetched). `own_entries` (nullable) receives the
-  /// session's own DB insertions.
-  JobStats run_job(const JobRequest& req, sim::VTime start,
-                   sim::VTime seed_ready,
-                   std::vector<memo::MemoDb::Entry>* own_entries,
-                   bool cold = false);
+
+  /// A preempted job between segments: everything needed to rebuild its
+  /// hermetic session bit-identically at the next dispatch. The tier is
+  /// constant during a drain (folds happen post-drain), so the resumed
+  /// session re-fetches the *identical* seed snapshot; on top of it the
+  /// checkpoint re-installs the session's own insertions, cache contents,
+  /// outcome counters and virtual timelines, and the solver continues from
+  /// its saved outer-iteration boundary.
+  struct PausedJob {
+    JobRequest req;  ///< owned copy (the queue points into this)
+    admm::SolverCheckpoint ck;
+    std::vector<memo::MemoDb::Entry> own_entries;  ///< session's inserts
+    memo::CacheImage cache;
+    memo::MemoCounters counters;
+    ExecutionContext::SimClockState clocks;
+    sim::VTime yield_time = 0;   ///< service-clock instant the slot freed
+    sim::VTime first_start = 0;  ///< dispatch time of the first segment
+    double seed_fetch_total = 0; ///< fetch seconds across segments so far
+    u64 preemptions = 0;
+    std::vector<int> slots;      ///< slots visited by earlier segments
+  };
+
+  struct RunOutcome {
+    JobStats st;          ///< valid when !paused
+    bool paused = false;
+    PausedJob paused_job; ///< valid when paused
+  };
+
+  /// Execute one job segment in a hermetic session: dispatched at `start`,
+  /// compute begins at `seed_ready` (the charged fabric fetch completion;
+  /// == start when nothing was fetched). `own_entries` (nullable) receives
+  /// the session's own DB insertions on completion. `resume` (nullable)
+  /// continues a preempted session from its checkpoint. `contended`
+  /// (nullable) is consulted at quantum-expired stage boundaries with the
+  /// would-be yield instant on the service clock; preemption triggers when
+  /// it returns true (or always, under preempt_force).
+  RunOutcome run_job(const JobRequest& req, sim::VTime start,
+                     sim::VTime seed_ready,
+                     std::vector<memo::MemoDb::Entry>* own_entries,
+                     bool cold = false, PausedJob* resume = nullptr,
+                     const std::function<bool(sim::VTime)>& contended = {});
   /// Build a transport per cfg_.transport (Loopback/Socket). Used at
   /// construction and by the degraded-mode recovery probe.
   std::unique_ptr<net::Transport> make_transport();
@@ -279,6 +367,10 @@ class ReconService {
   void try_tier_recovery();
   /// Virtual-clock multiplier of a scenario's wire/compute charges.
   [[nodiscard]] double work_scale_for(Scenario s) const;
+  /// Admission's uncontended seed-fetch estimate at a scenario's work
+  /// scale: fabric latency + tier bytes × scale / uplink bandwidth. 0 when
+  /// nothing would be fetched (memoize off, fabric off, or empty tier).
+  [[nodiscard]] double estimate_fetch_s(double scale) const;
   /// Charge the seed fetch for a job dispatched at `t`; returns when the
   /// session may start computing.
   sim::VTime charge_seed_fetch(sim::VTime t, double scale);
@@ -310,6 +402,15 @@ class ReconService {
   std::uint16_t tier_port_ = 0;
   std::vector<JobRequest> queue_;          ///< submitted, not yet drained
   std::vector<sim::VTime> slot_free_;      ///< per-slot next-free vtime
+  /// Admission's *private* model of slot availability — advanced only by
+  /// the controller's own estimates at arrival instants, never read from
+  /// slot_free_/queue state, so decisions are policy-invariant. Persists
+  /// across drains (like slot_free_).
+  std::vector<sim::VTime> adm_free_;
+  /// Per-scenario run-vtime estimate: the max run_vtime observed across
+  /// prime() and completed drains (run vtimes are policy-invariant, so
+  /// this is too). 0 = never seen, admission has no grounds to reject.
+  std::array<double, std::size_t(kNumScenarios)> est_run_{};
   u64 next_id_ = 1;
   std::unique_ptr<Scheduler> sched_;
   ServiceStats stats_;

@@ -1,8 +1,11 @@
 // serve/workload — deterministic traffic generation for the reconstruction
-// service: Poisson or bursty arrivals over a heterogeneous scenario mix and
-// a weighted tenant population. Everything derives from one seed, so a
-// workload can be replayed against every scheduling policy (the per-policy
-// comparison bench_serve_traffic runs) and across processes.
+// service: Poisson, bursty or diurnally-modulated arrivals over a
+// heterogeneous (optionally heavy-tailed) scenario mix and a weighted
+// tenant population with per-tenant SLO classes. Everything derives from
+// one seed, so a workload can be replayed against every scheduling policy
+// (the per-policy comparison bench_serve_traffic runs) and across
+// processes — tests/workload_test.cpp pins the reproducibility, mix-
+// proportion and SLO-assignment contracts.
 #pragma once
 
 #include <utility>
@@ -17,7 +20,23 @@ struct TenantSpec {
   double weight = 1.0;        ///< fair-share weight
   int priority = 1;           ///< priority class of this tenant's jobs
   double traffic_share = 1.0; ///< relative share of generated jobs
+  /// SLO class every job of this tenant carries. Deadlines scale with the
+  /// class (see slo_slack_factor): interactive tenants get tight deadlines,
+  /// best-effort tenants none at all.
+  SloClass slo = SloClass::Standard;
 };
+
+/// Class-based deadline slack multiplier: a job's deadline is
+/// arrival + deadline_slack × slo_slack_factor(class). BestEffort returns 0
+/// — best-effort jobs carry no deadline at all.
+inline double slo_slack_factor(SloClass c) {
+  switch (c) {
+    case SloClass::Interactive: return 0.35;
+    case SloClass::Standard: return 1.0;
+    case SloClass::BestEffort: return 0.0;
+  }
+  return 1.0;
+}
 
 struct WorkloadConfig {
   u64 seed = 7;
@@ -29,7 +48,14 @@ struct WorkloadConfig {
   /// groups (same offered load, spikier queue).
   bool bursty = false;
   std::size_t burst_size = 4;
-  /// Deadline = arrival + slack virtual seconds; 0 = no deadlines.
+  /// Diurnal modulation on top of either arrival process: the instantaneous
+  /// arrival rate swings sinusoidally with this period (virtual seconds),
+  /// rate(t) = 1 + amplitude·sin(2πt/period) — a "daytime" peak and a
+  /// "night" trough per period, same seed → same trace. 0 = off.
+  double diurnal_period = 0.0;
+  double diurnal_amplitude = 0.75;  ///< 0..1 swing of the rate
+  /// Base deadline slack: deadline = arrival + deadline_slack ×
+  /// slo_slack_factor(tenant's class); 0 = no deadlines.
   double deadline_slack = 0.0;
   /// Jobs of one scenario draw their object (phantom seed) from this many
   /// distinct objects — the knob for how much cross-job similarity the
@@ -40,6 +66,18 @@ struct WorkloadConfig {
   /// Tenant population. Empty = one weight-1 "default" tenant.
   std::vector<TenantSpec> tenants;
 };
+
+/// The heavy-tailed scenario mix serving benchmarks default to: short
+/// interactive inspections dominate the stream while the paper-2K³
+/// MemoryConstrained class forms the rare long-job tail (the jobs
+/// stage-boundary preemption exists to overtake).
+std::vector<std::pair<Scenario, double>> heavy_tail_mix();
+
+/// Canonical scaled serving workload: `jobs` arrivals (hundreds by
+/// default) over heavy_tail_mix(), bursty + diurnally modulated, three
+/// tenants spanning the SLO classes (interactive / standard / best-effort)
+/// with class-scaled deadlines.
+WorkloadConfig scaled_workload(std::size_t jobs, u64 seed = 7);
 
 class WorkloadGenerator {
  public:

@@ -54,6 +54,20 @@ class Timeline {
     busy_accum_ = 0;
   }
 
+  /// Snapshot of the mutable clock state, for checkpoint/resume of a
+  /// session's virtual clocks (serve-layer preemption). Restoring on a
+  /// freshly-constructed timeline reproduces subsequent schedule() results
+  /// bit-identically.
+  struct State {
+    VTime busy_until = 0;
+    double busy_accum = 0;
+  };
+  [[nodiscard]] State state() const { return {busy_until_, busy_accum_}; }
+  void restore(const State& s) {
+    busy_until_ = s.busy_until;
+    busy_accum_ = s.busy_accum;
+  }
+
  private:
   std::string name_;
   VTime busy_until_ = 0;

@@ -48,6 +48,20 @@ class Device {
   [[nodiscard]] const Timeline& d2h_engine() const { return d2h_; }
   void reset();
 
+  /// Timeline-only snapshot (HBM tracker excluded: it is a diagnostic curve,
+  /// not an input to scheduling) for serve-layer checkpoint/resume.
+  struct ClockState {
+    Timeline::State compute, h2d, d2h;
+  };
+  [[nodiscard]] ClockState clock_state() const {
+    return {compute_.state(), h2d_.state(), d2h_.state()};
+  }
+  void restore_clock(const ClockState& s) {
+    compute_.restore(s.compute);
+    h2d_.restore(s.h2d);
+    d2h_.restore(s.d2h);
+  }
+
  private:
   int id_;
   DeviceSpec spec_;
@@ -81,6 +95,8 @@ class Interconnect {
   [[nodiscard]] const LinkSpec& spec() const { return spec_; }
   void set_jitter(double mean) { spec_.jitter_mean = mean; }
   void reset() { link_.reset(); }
+  [[nodiscard]] Timeline::State clock_state() const { return link_.state(); }
+  void restore_clock(const Timeline::State& s) { link_.restore(s); }
 
  private:
   LinkSpec spec_;
@@ -144,6 +160,8 @@ class MemoryNode {
   [[nodiscard]] const MemoryNodeSpec& spec() const { return spec_; }
   [[nodiscard]] MemoryTracker& dram() { return dram_tracker_; }
   void reset() { cpu_.reset(); }
+  [[nodiscard]] Timeline::State clock_state() const { return cpu_.state(); }
+  void restore_clock(const Timeline::State& s) { cpu_.restore(s); }
 
  private:
   MemoryNodeSpec spec_;

@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
+#include <tuple>
 
 #include "obs/trace.hpp"
 #include "serve/scheduler.hpp"
@@ -43,7 +45,8 @@ JobRequest make_req(u64 id, sim::VTime arrival, int priority = 1,
 
 std::vector<QueuedJob> views(const std::vector<JobRequest>& reqs) {
   std::vector<QueuedJob> v;
-  for (const auto& r : reqs) v.push_back({&r});
+  // queued_at = arrival, as drain() sets it for fresh jobs.
+  for (const auto& r : reqs) v.push_back({&r, r.arrival, false});
   return v;
 }
 
@@ -398,10 +401,16 @@ TEST(ReconService, DedupCompactsTierAndIsCountedPerJob) {
 
 struct RunSummary {
   std::map<u64, u64> fingerprint;
+  std::map<u64, u64> cache_fp;
   std::map<u64, double> run_vtime;
   std::map<u64, double> queue_wait;
   std::map<u64, double> seed_fetch;
   std::map<u64, double> finish;
+  std::map<u64, u64> preemptions;
+  std::map<u64, std::vector<int>> slots;
+  /// Memo outcome digest {computed, miss, db_hit, cache_hit, db_hit_shared}
+  /// — the per-job "records" half of the bit-identity contract.
+  std::map<u64, std::vector<u64>> memo;
 };
 
 RunSummary run_workload(ServiceConfig cfg,
@@ -413,10 +422,15 @@ RunSummary run_workload(ServiceConfig cfg,
   RunSummary out;
   for (const auto& st : svc.drain()) {
     out.fingerprint[st.id] = st.output_fingerprint;
+    out.cache_fp[st.id] = st.cache_fingerprint;
     out.run_vtime[st.id] = st.run_vtime;
     out.queue_wait[st.id] = st.queue_wait();
     out.seed_fetch[st.id] = st.seed_fetch_s;
     out.finish[st.id] = st.finish;
+    out.preemptions[st.id] = st.preemptions;
+    out.slots[st.id] = st.slots_visited;
+    out.memo[st.id] = {st.memo.computed, st.memo.miss, st.memo.db_hit,
+                       st.memo.cache_hit, st.memo.db_hit_shared};
   }
   return out;
 }
@@ -962,6 +976,331 @@ TEST(ReconServiceFaults, SessionThrowIsIsolatedPerJob) {
   EXPECT_EQ(failed, 1);
   EXPECT_EQ(svc.stats().jobs_failed, 1u);
   EXPECT_EQ(svc.stats().completed, 2u);
+}
+
+// --- Stage-boundary preemption: the determinism matrix -----------------------
+
+TEST(ReconService, PreemptionDeterminismMatrix) {
+  // The preemption acceptance property: forcing a job to yield at EVERY
+  // stage boundary (checkpoint → requeue → rebuild on whatever slot frees,
+  // re-import the seed + its own entries + cache + clocks → continue) must
+  // reproduce the uninterrupted run bit-for-bit — outputs, memo records,
+  // cache fingerprints AND run vtimes — across threads × pipeline_depth ×
+  // shards. Preemption is schedule-shaped only.
+  WorkloadConfig wc;
+  wc.jobs = 4;
+  wc.mean_interarrival = 10.0;
+  wc.mix = {{Scenario::PcbInspection, 1.0}, {Scenario::BrainScan, 1.0}};
+  wc.distinct_objects = 2;
+  WorkloadGenerator gen(wc);
+  const auto jobs = gen.generate();
+  const auto warm = gen.priming_set();
+
+  struct Knobs {
+    unsigned threads;
+    i64 depth;
+    int shards;
+  };
+  const Knobs knobs[] = {{1, 0, 1}, {3, 2, 2}, {2, 5, 4}};
+  for (const auto& k : knobs) {
+    auto cfg = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+    cfg.iters_cap = 3;  // three outer iterations → two yield points per job
+    cfg.threads = k.threads;
+    cfg.pipeline_depth = k.depth;
+    cfg.shard_count = k.shards;
+    const auto base = run_workload(cfg, jobs, warm);
+
+    auto pre = cfg;
+    pre.preempt_force = true;  // yield at every eligible boundary
+    const auto p = run_workload(pre, jobs, warm);
+
+    EXPECT_EQ(p.fingerprint, base.fingerprint);
+    EXPECT_EQ(p.cache_fp, base.cache_fp);
+    EXPECT_EQ(p.run_vtime, base.run_vtime);
+    EXPECT_EQ(p.memo, base.memo);
+    // The baseline never preempted; the forced run preempted every job at
+    // both boundaries.
+    for (const auto& [id, n] : base.preemptions) EXPECT_EQ(n, 0u);
+    for (const auto& [id, n] : p.preemptions) EXPECT_EQ(n, 2u) << id;
+  }
+}
+
+TEST(ReconService, PreemptedJobResumesOnDifferentSlot) {
+  // One job, two slots, forced yields: the job runs its first segment on
+  // slot 0; at the yield, slot 1 (free since 0) is the earliest-free slot,
+  // so the resumed segment provably rebuilds the session on DIFFERENT
+  // hardware — and still matches the uninterrupted run bit-for-bit.
+  auto cfg = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  cfg.iters_cap = 3;
+  JobRequest r;
+  r.scenario = Scenario::BrainScan;
+  r.seed = 200;
+  auto warm = warm_set();
+
+  ReconService base(cfg);
+  base.prime(warm);
+  base.submit(r);
+  const auto base_st = base.drain();
+  ASSERT_EQ(base_st.size(), 1u);
+
+  auto pre = cfg;
+  pre.preempt_force = true;
+  ReconService svc(pre);
+  svc.prime(warm);
+  svc.submit(r);
+  const auto st = svc.drain();
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_EQ(st[0].preemptions, 2u);
+  ASSERT_EQ(st[0].slots_visited, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(st[0].slot, 0);  // the last segment's slot
+  EXPECT_EQ(svc.stats().preemptions, 2u);
+
+  EXPECT_EQ(st[0].output_fingerprint, base_st[0].output_fingerprint);
+  EXPECT_EQ(st[0].cache_fingerprint, base_st[0].cache_fingerprint);
+  EXPECT_EQ(st[0].run_vtime, base_st[0].run_vtime);
+  EXPECT_EQ(st[0].memo.db_hit, base_st[0].memo.db_hit);
+  EXPECT_EQ(st[0].memo.db_hit_shared, base_st[0].memo.db_hit_shared);
+  EXPECT_EQ(st[0].memo.cache_hit, base_st[0].memo.cache_hit);
+  EXPECT_EQ(st[0].memo.miss, base_st[0].memo.miss);
+  // Each re-dispatch re-fetches the seed: the fetch total grows, and only
+  // turnaround absorbs it.
+  EXPECT_GT(st[0].seed_fetch_s, base_st[0].seed_fetch_s);
+  EXPECT_DOUBLE_EQ(st[0].finish - st[0].start,
+                   st[0].seed_fetch_s + st[0].run_vtime);
+  // Promotion after the preempted run matches the uninterrupted tier.
+  EXPECT_EQ(svc.shared_entries(), base.shared_entries());
+}
+
+TEST(ReconService, QuantumPreemptionLetsShortJobOvertake) {
+  // The scheduling payoff: one slot, a long MemoryConstrained job running
+  // when a short interactive job arrives. Without preemption the short job
+  // waits out the long one; with a quantum it overtakes at the next stage
+  // boundary — and both jobs' outputs and run vtimes stay bit-identical.
+  WorkloadConfig wc;
+  wc.jobs = 1;
+  wc.mix = {{Scenario::MemoryConstrained, 1.0}};
+  wc.distinct_objects = 1;
+  auto cfg = tiny_config(SchedulerPolicy::Fifo, /*slots=*/1);
+  cfg.iters_cap = 4;
+
+  JobRequest long_job;
+  long_job.scenario = Scenario::MemoryConstrained;
+  long_job.seed = 300;
+  long_job.arrival = 0.0;
+  JobRequest short_job;
+  short_job.scenario = Scenario::PcbInspection;
+  short_job.seed = 0;
+  short_job.slo = SloClass::Interactive;
+
+  std::vector<JobRequest> warm;
+  {
+    JobRequest w1 = long_job, w2 = short_job;
+    warm = {w1, w2};
+  }
+
+  auto run_pair = [&](double quantum) {
+    auto c = cfg;
+    c.preempt_quantum_s = quantum;
+    ReconService svc(c);
+    svc.prime(warm);
+    JobRequest lj = long_job, sj = short_job;
+    const u64 long_id = svc.submit(lj);
+    // The short job arrives mid-flight of the long one's first iteration.
+    sj.arrival = 1.0;
+    const u64 short_id = svc.submit(sj);
+    std::map<u64, JobStats> by_id;
+    for (auto& st : svc.drain()) by_id.emplace(st.id, std::move(st));
+    return std::make_tuple(by_id.at(long_id), by_id.at(short_id));
+  };
+
+  const auto [long_np, short_np] = run_pair(0.0);
+  // Quantum between the short job's WHOLE runtime and the long job's first
+  // stage boundary (~a quarter of its run, 8× the short one at these work
+  // scales): the long job yields at its first boundary with the short job
+  // waiting; the short job completes inside one quantum and never yields
+  // back. Run vtimes are policy-invariant, so the baseline's are exact.
+  const double quantum = short_np.run_vtime * 1.5;
+  ASSERT_LT(quantum, long_np.run_vtime / 4.0);
+  const auto [long_p, short_p] = run_pair(quantum);
+
+  EXPECT_EQ(short_np.preemptions + long_np.preemptions, 0u);
+  EXPECT_EQ(long_p.preemptions, 1u);
+  EXPECT_EQ(short_p.preemptions, 0u);  // the short job never yields
+  // Overtake: the short job finishes strictly earlier than without
+  // preemption; the long job pays (its finish moves later).
+  EXPECT_LT(short_p.finish, short_np.finish);
+  EXPECT_GT(long_p.finish, long_np.finish);
+  // Bit-identity is untouched by the schedule change.
+  EXPECT_EQ(long_p.output_fingerprint, long_np.output_fingerprint);
+  EXPECT_EQ(short_p.output_fingerprint, short_np.output_fingerprint);
+  EXPECT_EQ(long_p.run_vtime, long_np.run_vtime);
+  EXPECT_EQ(short_p.run_vtime, short_np.run_vtime);
+}
+
+// --- Deadline admission: decision invariance ---------------------------------
+
+TEST(ReconService, AdmissionDecisionInvarianceMatrix) {
+  // The admission acceptance property: the admitted / rejected / downgraded
+  // id sets are identical across scheduler policy × threads × transport —
+  // decisions read only the arrival-ordered stream, the learned estimates
+  // and the controller's private slot model. Rejected jobs never touch a
+  // slot or charge the fabric.
+  auto warm = warm_set();
+
+  struct Decision {
+    std::set<u64> admitted, rejected;
+    double fabric_fetch = 0;
+  };
+  auto run_with = [&](SchedulerPolicy policy, unsigned threads,
+                      TierTransport transport, AdmissionMode mode) {
+    auto cfg = tiny_config(policy, /*slots=*/1);
+    cfg.threads = threads;
+    cfg.transport = transport;
+    cfg.admission = mode;
+    ReconService svc(cfg);
+    const auto primed = svc.prime(warm);
+    // Deadlines in units of the learned estimate: generous for the first
+    // two, then tight enough that the booked slot model (est_start grows by
+    // est_fetch + est_run per admitted job) rules the later ones out.
+    const double er = primed[0].run_vtime;
+    const double ks[] = {10.0, 10.0, 1.2, 1.2, 0.5, 0.5};
+    for (const double k : ks) {
+      JobRequest r;
+      r.scenario = Scenario::BrainScan;
+      r.seed = 200;
+      r.arrival = 0.0;
+      r.deadline = k * er;
+      svc.submit(r);
+    }
+    Decision d;
+    for (const auto& st : svc.drain()) {
+      if (st.admitted) {
+        d.admitted.insert(st.id);
+      } else {
+        d.rejected.insert(st.id);
+        // Never dispatched: no slot, no fetch, no compute, no fabric.
+        EXPECT_EQ(st.outcome, JobOutcome::Rejected);
+        EXPECT_EQ(st.reject_reason, "deadline-infeasible");
+        EXPECT_EQ(st.slot, -1);
+        EXPECT_TRUE(st.slots_visited.empty());
+        EXPECT_EQ(st.seed_fetch_s, 0.0);
+        EXPECT_EQ(st.run_vtime, 0.0);
+        EXPECT_EQ(st.output_fingerprint, 0u);
+      }
+    }
+    d.fabric_fetch = svc.stats().fabric_fetch_s;
+    EXPECT_EQ(svc.stats().admission_rejected, d.rejected.size());
+    return d;
+  };
+
+  const auto ref = run_with(SchedulerPolicy::Fifo, 1, TierTransport::Inproc,
+                            AdmissionMode::Reject);
+  EXPECT_FALSE(ref.admitted.empty());
+  EXPECT_FALSE(ref.rejected.empty());
+
+  const SchedulerPolicy policies[] = {SchedulerPolicy::Fifo,
+                                      SchedulerPolicy::Priority,
+                                      SchedulerPolicy::FairShare};
+  std::vector<TierTransport> transports = {TierTransport::Inproc};
+#ifdef MLR_HAS_NET
+  transports.push_back(TierTransport::Loopback);
+#endif
+  for (const auto policy : policies)
+    for (const unsigned threads : {1u, 3u})
+      for (const auto transport : transports) {
+        const auto d = run_with(policy, threads, transport,
+                                AdmissionMode::Reject);
+        EXPECT_EQ(d.admitted, ref.admitted);
+        EXPECT_EQ(d.rejected, ref.rejected);
+        // Rejected jobs charged nothing: every run moved the same bytes.
+        EXPECT_DOUBLE_EQ(d.fabric_fetch, ref.fabric_fetch);
+      }
+}
+
+TEST(ReconService, DowngradeModeRunsInfeasibleJobsAsBestEffort) {
+  // Downgrade shares Reject's decision function exactly: the downgraded id
+  // set equals Reject's rejected set, but the jobs run (as BestEffort).
+  auto warm = warm_set();
+  auto run_mode = [&](AdmissionMode mode) {
+    auto cfg = tiny_config(SchedulerPolicy::Fifo, /*slots=*/1);
+    cfg.admission = mode;
+    ReconService svc(cfg);
+    const auto primed = svc.prime(warm);
+    const double er = primed[0].run_vtime;
+    const double ks[] = {10.0, 10.0, 0.5, 0.5};
+    for (const double k : ks) {
+      JobRequest r;
+      r.scenario = Scenario::BrainScan;
+      r.seed = 200;
+      r.arrival = 0.0;
+      r.deadline = k * er;
+      svc.submit(r);
+    }
+    return std::make_pair(svc.drain(), svc.stats());
+  };
+
+  const auto [rej_st, rej_stats] = run_mode(AdmissionMode::Reject);
+  const auto [dwn_st, dwn_stats] = run_mode(AdmissionMode::Downgrade);
+  std::set<u64> rejected, downgraded;
+  for (const auto& st : rej_st)
+    if (!st.admitted) rejected.insert(st.id);
+  for (const auto& st : dwn_st) {
+    EXPECT_TRUE(st.admitted);  // downgrade never rejects on deadline
+    EXPECT_EQ(st.outcome, JobOutcome::Completed);
+    if (st.downgraded) {
+      downgraded.insert(st.id);
+      EXPECT_EQ(int(st.slo), int(SloClass::BestEffort));
+    }
+  }
+  EXPECT_EQ(downgraded, rejected);
+  EXPECT_FALSE(downgraded.empty());
+  EXPECT_EQ(dwn_stats.admission_downgraded, downgraded.size());
+  EXPECT_EQ(dwn_stats.admission_rejected, 0u);
+  EXPECT_EQ(rej_stats.admission_rejected, rejected.size());
+}
+
+TEST(ReconService, AdmissionCanRejectEveryArrivalInABatch) {
+  // Regression: a batch whose every member is deadline-rejected leaves the
+  // dispatch queue empty — drain() must skip dispatching (not assert in the
+  // scheduler) and later arrivals must still run normally.
+  auto warm = warm_set();
+  auto cfg = tiny_config(SchedulerPolicy::Fifo, /*slots=*/2);
+  cfg.admission = AdmissionMode::Reject;
+  ReconService svc(cfg);
+  const auto primed = svc.prime(warm);
+  const double er = primed[0].run_vtime;
+  // Three simultaneous arrivals, all infeasible; one feasible straggler.
+  for (int i = 0; i < 3; ++i) {
+    JobRequest r;
+    r.scenario = Scenario::BrainScan;
+    r.seed = 200;
+    r.arrival = 0.0;
+    r.deadline = 0.01 * er;
+    svc.submit(r);
+  }
+  JobRequest late;
+  late.scenario = Scenario::BrainScan;
+  late.seed = 200;
+  late.arrival = 5.0;
+  late.deadline = 5.0 + 10.0 * er;
+  svc.submit(late);
+
+  const auto out = svc.drain();
+  ASSERT_EQ(out.size(), 4u);
+  u64 rejected = 0, completed = 0;
+  for (const auto& st : out) {
+    if (st.admitted) {
+      ++completed;
+      EXPECT_EQ(st.outcome, JobOutcome::Completed);
+      EXPECT_GE(st.start, 5.0);
+    } else {
+      ++rejected;
+      EXPECT_EQ(st.reject_reason, "deadline-infeasible");
+    }
+  }
+  EXPECT_EQ(rejected, 3u);
+  EXPECT_EQ(completed, 1u);
+  EXPECT_EQ(svc.stats().admission_rejected, 3u);
 }
 
 // --- Workload generation -----------------------------------------------------

@@ -1,0 +1,162 @@
+// Workload-generator contracts (serve/workload): seeded streams reproduce
+// bit-for-bit, heavy-tailed scenario mixes hit their configured proportions
+// within tolerance, SLO-class assignment is a deterministic function of the
+// tenant, diurnal modulation shapes arrivals without breaking monotonicity,
+// and the canonical scaled_workload() config scales to hundreds of jobs.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/workload.hpp"
+
+namespace mlr::serve {
+namespace {
+
+TEST(Workload, SeededStreamsReproduceBitForBit) {
+  for (const u64 seed : {u64(1), u64(7), u64(12345)}) {
+    auto wc = scaled_workload(/*jobs=*/200, seed);
+    WorkloadGenerator g1(wc), g2(wc);
+    const auto a = g1.generate(), b = g2.generate();
+    ASSERT_EQ(a.size(), 200u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].arrival, b[i].arrival);  // exact, not approximate
+      EXPECT_EQ(a[i].deadline, b[i].deadline);
+      EXPECT_EQ(a[i].tenant, b[i].tenant);
+      EXPECT_EQ(a[i].seed, b[i].seed);
+      EXPECT_EQ(int(a[i].scenario), int(b[i].scenario));
+      EXPECT_EQ(int(a[i].slo), int(b[i].slo));
+      EXPECT_EQ(a[i].priority, b[i].priority);
+    }
+    // A different seed must actually change the stream.
+    auto wc2 = wc;
+    wc2.seed = seed + 1;
+    const auto c = WorkloadGenerator(wc2).generate();
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size() && !differs; ++i)
+      differs = a[i].arrival != c[i].arrival || a[i].seed != c[i].seed;
+    EXPECT_TRUE(differs);
+  }
+}
+
+TEST(Workload, HeavyTailMixHitsConfiguredProportions) {
+  // 8:4:2:1 across pcb/ic/brain/memcon. With 3000 draws the observed share
+  // of each scenario should sit within a few points of its target (binomial
+  // σ ≈ 0.9 points at the largest share).
+  auto wc = scaled_workload(/*jobs=*/3000, /*seed=*/11);
+  const auto jobs = WorkloadGenerator(wc).generate();
+  std::map<int, double> count;
+  for (const auto& j : jobs) count[int(j.scenario)] += 1.0;
+  const auto mix = heavy_tail_mix();
+  double total_share = 0;
+  for (const auto& [sc, w] : mix) total_share += w;
+  for (const auto& [sc, w] : mix) {
+    const double want = w / total_share;
+    const double got = count[int(sc)] / double(jobs.size());
+    EXPECT_NEAR(got, want, 0.04)
+        << scenario_name(sc) << ": want " << want << " got " << got;
+  }
+  // The tail really is a tail: memcon is the rarest class but present.
+  EXPECT_GT(count[int(Scenario::MemoryConstrained)], 0.0);
+  EXPECT_LT(count[int(Scenario::MemoryConstrained)],
+            count[int(Scenario::PcbInspection)]);
+}
+
+TEST(Workload, SloClassAssignmentIsDeterministicPerTenant) {
+  auto wc = scaled_workload(/*jobs=*/400, /*seed=*/3);
+  const auto jobs = WorkloadGenerator(wc).generate();
+  // Every tenant maps to exactly one SLO class, and the mapping matches the
+  // spec table.
+  std::map<std::string, SloClass> want;
+  for (const auto& t : wc.tenants) want[t.name] = t.slo;
+  std::map<std::string, std::set<int>> seen;
+  for (const auto& j : jobs) {
+    seen[j.tenant].insert(int(j.slo));
+    ASSERT_TRUE(want.count(j.tenant)) << j.tenant;
+    EXPECT_EQ(int(j.slo), int(want[j.tenant])) << j.tenant;
+  }
+  for (const auto& [tenant, classes] : seen)
+    EXPECT_EQ(classes.size(), 1u) << tenant;
+  // All three classes are present in the canonical population.
+  std::set<int> classes;
+  for (const auto& j : jobs) classes.insert(int(j.slo));
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(Workload, DeadlinesScaleWithSloClass) {
+  auto wc = scaled_workload(/*jobs=*/300, /*seed=*/5);
+  const auto jobs = WorkloadGenerator(wc).generate();
+  for (const auto& j : jobs) {
+    const double slack = wc.deadline_slack * slo_slack_factor(j.slo);
+    if (j.slo == SloClass::BestEffort) {
+      EXPECT_EQ(j.deadline, 0.0);  // best-effort jobs carry no deadline
+    } else {
+      EXPECT_DOUBLE_EQ(j.deadline, j.arrival + slack);
+      EXPECT_GT(j.deadline, j.arrival);
+    }
+  }
+  // Interactive deadlines are strictly tighter than standard ones.
+  EXPECT_LT(slo_slack_factor(SloClass::Interactive),
+            slo_slack_factor(SloClass::Standard));
+}
+
+TEST(Workload, DiurnalModulationShapesArrivalsMonotonically) {
+  WorkloadConfig flat;
+  flat.jobs = 600;
+  flat.seed = 21;
+  flat.mean_interarrival = 10.0;
+  WorkloadConfig diurnal = flat;
+  diurnal.diurnal_period = 1500.0;
+  diurnal.diurnal_amplitude = 0.9;
+  const auto a = WorkloadGenerator(flat).generate();
+  const auto b = WorkloadGenerator(diurnal).generate();
+  // Monotone arrivals in both regimes.
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+    EXPECT_GE(b[i].arrival, b[i - 1].arrival);
+  }
+  // Modulation actually changes the trace...
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i)
+    differs = a[i].arrival != b[i].arrival;
+  EXPECT_TRUE(differs);
+  // ...and concentrates arrivals: the per-gap spread grows when the rate
+  // swings (peak gaps shrink, trough gaps stretch).
+  auto gap_variance = [](const std::vector<JobRequest>& v) {
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < v.size(); ++i)
+      gaps.push_back(v[i].arrival - v[i - 1].arrival);
+    double mean = 0;
+    for (const double g : gaps) mean += g;
+    mean /= double(gaps.size());
+    double var = 0;
+    for (const double g : gaps) var += (g - mean) * (g - mean);
+    return var / double(gaps.size());
+  };
+  EXPECT_GT(gap_variance(b), gap_variance(a));
+}
+
+TEST(Workload, ScaledWorkloadCoversHundredsOfJobsAndPrimesEveryScenario) {
+  auto wc = scaled_workload(/*jobs=*/500, /*seed=*/9);
+  WorkloadGenerator gen(wc);
+  const auto jobs = gen.generate();
+  ASSERT_EQ(jobs.size(), 500u);
+  // Bursty: at least one shared-instant pair exists.
+  bool burst = false;
+  for (std::size_t i = 1; i < jobs.size() && !burst; ++i)
+    burst = jobs[i].arrival == jobs[i - 1].arrival;
+  EXPECT_TRUE(burst);
+  // The priming set covers every scenario in the mix exactly once.
+  const auto warm = gen.priming_set();
+  std::set<int> primed;
+  for (const auto& w : warm) primed.insert(int(w.scenario));
+  EXPECT_EQ(primed.size(), heavy_tail_mix().size());
+  EXPECT_EQ(warm.size(), heavy_tail_mix().size());
+}
+
+}  // namespace
+}  // namespace mlr::serve
